@@ -1,0 +1,103 @@
+// Command datagen generates a synthetic financial-institute transaction
+// dataset (see DESIGN.md §3 for how it substitutes the paper's proprietary
+// data) and writes it as CSV, together with the FI's incumbent rule set and
+// the ground-truth pattern rules.
+//
+// Usage:
+//
+//	datagen -size 5000 -fraud 1.5 -seed 1 \
+//	        -out data.csv -rules-out rules.txt -truth-out truth.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rudolf "repro"
+)
+
+func main() {
+	var (
+		size      = flag.Int("size", 5000, "number of transactions")
+		fraud     = flag.Float64("fraud", 1.5, "fraud percentage (paper: 0.5-2.5)")
+		days      = flag.Int("days", 30, "observation period in days")
+		patterns  = flag.Int("patterns", 8, "number of planted attack patterns")
+		seed      = flag.Int64("seed", 1, "random seed")
+		minRules  = flag.Int("min-rules", 0, "pad the initial rule set to at least this many rules")
+		out       = flag.String("out", "data.csv", "output CSV path ('-' for stdout)")
+		rulesOut  = flag.String("rules-out", "", "optional path for the incumbent rule set")
+		truthOut  = flag.String("truth-out", "", "optional path for the ground-truth pattern rules")
+		schemaOut = flag.String("schema-out", "", "optional path for the schema JSON (for cmd/rudolf -schema)")
+	)
+	flag.Parse()
+
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{
+		Size: *size, FraudPct: *fraud, Days: *days, Patterns: *patterns, Seed: *seed,
+	})
+	if err := writeData(ds, *out); err != nil {
+		fatal(err)
+	}
+	if *rulesOut != "" {
+		if err := writeRules(*rulesOut, ds.Schema, rudolf.InitialRules(ds, *minRules, *seed)); err != nil {
+			fatal(err)
+		}
+	}
+	if *truthOut != "" {
+		if err := writeRules(*truthOut, ds.Schema, ds.Truth); err != nil {
+			fatal(err)
+		}
+	}
+	if *schemaOut != "" {
+		f, err := os.Create(*schemaOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ds.Schema.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	frauds := 0
+	for _, f := range ds.TrueFraud {
+		if f {
+			frauds++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %d transactions (%d fraudulent, %.2f%%), %d patterns\n",
+		ds.Rel.Len(), frauds, 100*float64(frauds)/float64(ds.Rel.Len()), len(ds.Patterns))
+}
+
+func writeData(ds *rudolf.Dataset, path string) error {
+	if path == "-" {
+		return ds.Rel.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ds.Rel.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeRules(path string, s *rudolf.Schema, rs *rudolf.RuleSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rudolf.WriteRules(f, s, rs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

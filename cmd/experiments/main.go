@@ -1,0 +1,153 @@
+// Command experiments regenerates the paper's evaluation: every figure of
+// Figure 3 plus the in-text results and the ablations, printed as the tables
+// the plots are drawn from (see EXPERIMENTS.md for the recorded output).
+//
+// Usage:
+//
+//	experiments              # everything
+//	experiments -fig 3b      # one figure: 3a 3b 3c 3d 3e 3f mix novice hops latency rudolfs ablations
+//	experiments -size 10000 -repeats 5 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which experiment to run")
+		report  = flag.String("report", "", "write a markdown paper-vs-measured report to this path and exit")
+		size    = flag.Int("size", 5000, "dataset size")
+		repeats = flag.Int("repeats", 3, "datasets to average over")
+		seed    = flag.Int64("seed", 0, "base random seed")
+	)
+	flag.Parse()
+
+	setup := experiment.Setup{
+		Data:    datagen.Config{Size: *size, Seed: *seed},
+		Repeats: *repeats,
+		Seed:    *seed,
+	}
+
+	runners := map[string]func(){
+		"3a": func() { experiment.Fig3a(setup).Render(os.Stdout) },
+		"3b": func() { experiment.Fig3b(setup).Render(os.Stdout) },
+		"3c": func() {
+			sizes := []int{*size / 5, *size / 2, *size, *size * 2}
+			experiment.Fig3c(setup, sizes).Render(os.Stdout)
+		},
+		"3d": func() {
+			experiment.Fig3d(setup, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
+		},
+		"3e": func() {
+			experiment.Fig3e(setup, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
+		},
+		"3f":     func() { renderFig3f(setup) },
+		"mix":    func() { renderMix(setup) },
+		"novice": func() { renderNovice(setup) },
+		"hops":   func() { experiment.HopSweep(setup, []float64{10, 15, 20}).Render(os.Stdout) },
+		"latency": func() {
+			fmt.Printf("proposal latency: %v (paper: at most one second)\n", experiment.ProposalLatency(setup))
+		},
+		"rudolfs":   func() { renderRudolfS(setup) },
+		"fleet":     func() { experiment.RenderFleet(os.Stdout, experiment.Fleet(setup, 15, *size)) },
+		"ablations": func() { renderAblations(setup) },
+	}
+	order := []string{"3a", "3b", "3c", "3d", "3e", "3f", "mix", "novice", "hops", "latency", "rudolfs", "fleet", "ablations"}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiment.Report(f, setup)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "report written to", *report)
+		return
+	}
+
+	if *fig == "all" {
+		for _, id := range order {
+			fmt.Printf("\n===== %s =====\n", id)
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[strings.ToLower(*fig)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (choose from %s, all)\n",
+			*fig, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	run()
+}
+
+func renderFig3f(setup experiment.Setup) {
+	rows := experiment.Fig3f(setup, 50, 3600)
+	fmt.Println("Figure 3f: expert time to fix up to 50 problematic transactions (1h session)")
+	fmt.Printf("%-14s  %5s  %6s  %7s  %9s  %8s\n", "method", "fixed", "asked", "rounds", "seconds", "sec/round")
+	for _, r := range rows {
+		fmt.Printf("%-14s  %5d  %6d  %7d  %9.0f  %8.0f\n",
+			r.Method, r.FixesCompleted, r.FixesAsked, r.Rounds, r.Seconds, r.SecondsPerRound)
+	}
+}
+
+func renderMix(setup experiment.Setup) {
+	mix := experiment.ModificationMix(setup)
+	fmt.Println("Modification mix (paper: ~75% condition refinements, ~20% rule splits, ~5% rule additions)")
+	kinds := make([]cost.ModKind, 0, len(mix))
+	for k := range mix {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return mix[kinds[i]] > mix[kinds[j]] })
+	for _, k := range kinds {
+		fmt.Printf("  %-24s %5.1f%%\n", k, mix[k])
+	}
+}
+
+func renderNovice(setup experiment.Setup) {
+	r := experiment.NoviceStudy(setup)
+	fmt.Println("Novice study (final % misclassified; paper: novices+RUDOLF ≈ experts − 5%, ≫ novices alone)")
+	fmt.Printf("  expert + RUDOLF: %6.2f%%\n", r.ExpertRudolf)
+	fmt.Printf("  novice + RUDOLF: %6.2f%%\n", r.NoviceRudolf)
+	fmt.Printf("  novice alone:    %6.2f%%\n", r.NoviceAlone)
+}
+
+func renderRudolfS(setup experiment.Setup) {
+	r := experiment.RudolfS(setup)
+	fmt.Println("RUDOLF-s study (final % misclassified; paper: RUDOLF-s ≈ fully-manual ≈ RUDOLF⁻)")
+	for _, id := range []experiment.MethodID{
+		experiment.MethodRudolf, experiment.MethodRudolfS,
+		experiment.MethodManual, experiment.MethodRudolfMinus,
+	} {
+		fmt.Printf("  %-14s %6.2f%%\n", id, r[id])
+	}
+}
+
+func renderAblations(setup experiment.Setup) {
+	fmt.Println("Ablation: clustering algorithm (final % misclassified)")
+	for name, err := range experiment.AblationClustering(setup) {
+		fmt.Printf("  %-20s %6.2f%%\n", name, err)
+	}
+	fmt.Println()
+	experiment.AblationTopK(setup, []int{1, 2, 3, 5}).Render(os.Stdout)
+	fmt.Println()
+	experiment.AblationWeights(setup, []float64{0, 0.5, 1, 2, 5}).Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("Ablation: modification cost model (final % misclassified)")
+	for name, err := range experiment.AblationWeightedCost(setup) {
+		fmt.Printf("  %-10s %6.2f%%\n", name, err)
+	}
+}

@@ -1,0 +1,198 @@
+// Command rudolf runs an interactive rule refinement session, the
+// command-line equivalent of the RUDOLF prototype: load a transaction CSV
+// (as produced by cmd/datagen) and a rule file, then review the system's
+// generalization and split proposals at the terminal. Pass -expert auto to
+// apply every proposal without review (the RUDOLF⁻ mode).
+//
+// Usage:
+//
+//	rudolf -data data.csv -rules rules.txt [-expert interactive|auto] [-rules-out refined.txt]
+//
+// Without -data, a synthetic dataset is generated on the fly (-size, -seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rudolf "repro"
+)
+
+func main() {
+	var (
+		dataPath   = flag.String("data", "", "transaction CSV (empty: generate synthetic data)")
+		schemaPath = flag.String("schema", "", "schema JSON for -data (empty: the built-in synthetic FI schema)")
+		rulesPath  = flag.String("rules", "", "rule file (empty: the FI's generated incumbent rules)")
+		expertKind = flag.String("expert", "interactive", "expert: interactive or auto")
+		size       = flag.Int("size", 2000, "synthetic dataset size (when -data is empty)")
+		seed       = flag.Int64("seed", 1, "synthetic dataset seed")
+		rulesOut   = flag.String("rules-out", "", "write the refined rules to this path")
+		classify   = flag.String("classify", "", "write the transactions flagged by the refined rules to this CSV path")
+		historyOut = flag.String("history", "", "append the refined version to this JSON rule history")
+		explain    = flag.Int("explain", -1, "explain the refined rules' verdict on this transaction index and exit")
+	)
+	flag.Parse()
+
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: *size, Seed: *seed})
+	schema := ds.Schema
+	rel := ds.Rel
+	if *schemaPath != "" {
+		f, err := os.Open(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		schema, err = rudolf.ReadSchemaJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		rel, err = rudolf.ReadCSV(schema, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *schemaPath != "" && (*dataPath == "" || *rulesPath == "") {
+		fatal(fmt.Errorf("-schema requires -data and -rules (the synthetic dataset has its own schema)"))
+	}
+
+	var ruleSet *rudolf.RuleSet
+	if *rulesPath != "" {
+		f, err := os.Open(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		ruleSet, err = rudolf.ReadRules(f, schema)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		ruleSet = rudolf.InitialRules(ds, 0, *seed)
+	}
+
+	var exp rudolf.Expert
+	switch *expertKind {
+	case "interactive":
+		exp = rudolf.NewInteractiveExpert(os.Stdin, os.Stdout)
+	case "auto":
+		exp = rudolf.NewAutoAcceptExpert()
+	default:
+		fatal(fmt.Errorf("unknown expert %q", *expertKind))
+	}
+
+	fmt.Printf("starting rules:\n%s\n", ruleSet.Format(schema))
+	opts := rudolf.Options{}
+	if *schemaPath == "" {
+		// The synthetic FI schema has a day attribute that must not
+		// separate clusters; custom schemas use the default clusterer.
+		opts.Clusterer = rudolf.DatasetClusterer()
+	}
+	sess := rudolf.NewSession(ruleSet, exp, opts)
+	stats := sess.Refine(rel)
+	fmt.Printf("\nfinal: %d/%d frauds captured, %d legitimate captured, %d unlabeled captured, %d modifications\n",
+		stats.FraudCaptured, stats.FraudTotal, stats.LegitCaptured,
+		stats.UnlabeledCaptured, stats.Modifications)
+	fmt.Printf("\nrefined rules:\n%s", sess.Rules().Format(schema))
+
+	if *rulesOut != "" {
+		f, err := os.Create(*rulesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rudolf.WriteRules(f, schema, sess.Rules()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *classify != "" {
+		if err := writeFlagged(*classify, schema, rel, sess.Rules()); err != nil {
+			fatal(err)
+		}
+	}
+	if *historyOut != "" {
+		if err := appendHistory(*historyOut, schema, ruleSet, sess); err != nil {
+			fatal(err)
+		}
+	}
+	if *explain >= 0 {
+		if *explain >= rel.Len() {
+			fatal(fmt.Errorf("-explain %d out of range (have %d transactions)", *explain, rel.Len()))
+		}
+		fmt.Printf("\nexplaining transaction %d: %s\n\n", *explain, rel.FormatTuple(*explain))
+		for _, e := range rudolf.Explain(sess.Rules(), rel, *explain) {
+			fmt.Print(e)
+		}
+	}
+}
+
+// appendHistory loads (or creates) the JSON history at path and commits the
+// session's starting and refined rule sets.
+func appendHistory(path string, schema *rudolf.Schema, initial *rudolf.RuleSet, sess *rudolf.Session) error {
+	hist := rudolf.NewHistory(schema)
+	if f, err := os.Open(path); err == nil {
+		loaded, err2 := rudolf.ReadHistoryJSON(f, schema)
+		f.Close()
+		if err2 != nil {
+			return err2
+		}
+		hist = loaded
+	}
+	if hist.Len() == 0 {
+		hist.Commit(initial, nil, "session start")
+	}
+	hist.Commit(sess.Rules(), sess.Log().All(), "refined by cmd/rudolf")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := hist.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "history now has %d versions -> %s\n", hist.Len(), path)
+	return f.Close()
+}
+
+// writeFlagged evaluates the rules with the compiled evaluator and writes
+// the captured transactions as CSV.
+func writeFlagged(path string, schema *rudolf.Schema, rel *rudolf.Relation, rs *rudolf.RuleSet) error {
+	ev := rudolf.CompileRules(schema, rs)
+	captured := ev.Eval(rel)
+	flagged := rudolf.NewRelation(schema)
+	var appendErr error
+	captured.ForEach(func(i int) {
+		if appendErr != nil {
+			return
+		}
+		_, appendErr = flagged.Append(rel.Tuple(i), rel.Label(i), rel.Score(i))
+	})
+	if appendErr != nil {
+		return appendErr
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := flagged.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "flagged %d of %d transactions -> %s\n", flagged.Len(), rel.Len(), path)
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rudolf:", err)
+	os.Exit(1)
+}

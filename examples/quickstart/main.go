@@ -1,0 +1,36 @@
+// Quickstart: generate a small synthetic financial-institute dataset, take
+// its (imperfect) incumbent rule set, and run one automatic refinement pass
+// (the RUDOLF⁻ mode — no human in the loop) to capture the reported frauds
+// and exclude the verified legitimate transactions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	rudolf "repro"
+)
+
+func main() {
+	// A 2000-transaction FI dataset with planted attack patterns.
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: 2000, FraudPct: 2.0, Seed: 7})
+	initial := rudolf.InitialRules(ds, 0, 7)
+
+	fmt.Printf("dataset: %d transactions, %d reported frauds\n\n",
+		ds.Rel.Len(), ds.Rel.Count(rudolf.Fraud))
+	fmt.Printf("incumbent rules (%d):\n%s\n", initial.Len(), initial.Format(ds.Schema))
+
+	sess := rudolf.NewSession(initial, rudolf.NewAutoAcceptExpert(), rudolf.Options{
+		Clusterer: rudolf.DatasetClusterer(),
+	})
+	before := sess.Stats(ds.Rel)
+	stats := sess.Refine(ds.Rel)
+
+	fmt.Printf("before: %d/%d frauds captured, %d legitimate wrongly captured\n",
+		before.FraudCaptured, before.FraudTotal, before.LegitCaptured)
+	fmt.Printf("after:  %d/%d frauds captured, %d legitimate wrongly captured (%d modifications)\n\n",
+		stats.FraudCaptured, stats.FraudTotal, stats.LegitCaptured, stats.Modifications)
+	fmt.Printf("refined rules (%d):\n%s", sess.Rules().Len(), sess.Rules().Format(ds.Schema))
+	fmt.Printf("\nmodification log:\n%s", sess.Log())
+}

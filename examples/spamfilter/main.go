@@ -1,0 +1,114 @@
+// Spamfilter applies RUDOLF to spam-rule refinement (another domain the
+// paper names): rules over a relation of mail features — sending-domain
+// ontology, link count, message size, hour — are adapted interactively as a
+// new spam campaign starts and a false positive is reported. The expert here
+// is scripted, standing in for a postmaster reviewing proposals.
+//
+//	go run ./examples/spamfilter
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	rudolf "repro"
+)
+
+func main() {
+	domainOnt := rudolf.NewOntology("sender").
+		Add("Any Sender").
+		Add("Corporate", "Any Sender").
+		Add("Freemail", "Any Sender").
+		Add("Disposable", "Any Sender").
+		Add("partner.example", "Corporate").
+		Add("internal.example", "Corporate").
+		Add("gmail.test", "Freemail").
+		Add("hotmail.test", "Freemail").
+		Add("tempmail.test", "Disposable").
+		Add("10minute.test", "Disposable").
+		MustBuild()
+
+	schema := rudolf.MustSchema(
+		rudolf.Attribute{Name: "hour", Kind: rudolf.Numeric,
+			Domain: rudolf.NewDomain(0, 23), Format: rudolf.FormatPlain},
+		rudolf.Attribute{Name: "links", Kind: rudolf.Numeric,
+			Domain: rudolf.NewDomain(0, 500), Format: rudolf.FormatPlain},
+		rudolf.Attribute{Name: "kbytes", Kind: rudolf.Numeric,
+			Domain: rudolf.NewDomain(0, 10000), Format: rudolf.FormatPlain},
+		rudolf.Attribute{Name: "sender", Kind: rudolf.Categorical, Ontology: domainOnt},
+	)
+
+	rel := rudolf.NewRelation(schema)
+	rng := rand.New(rand.NewSource(11))
+	leaf := func(names ...string) int64 {
+		return int64(domainOnt.MustLookup(names[rng.Intn(len(names))]))
+	}
+	// Normal mail.
+	for i := 0; i < 400; i++ {
+		rel.MustAppend(rudolf.Tuple{
+			int64(rng.Intn(24)), int64(rng.Intn(8)), int64(2 + rng.Intn(200)),
+			leaf("partner.example", "internal.example", "gmail.test", "hotmail.test"),
+		}, rudolf.Unlabeled, 150)
+	}
+	// New campaign: disposable-domain blasts with many links, small bodies.
+	for i := 0; i < 25; i++ {
+		rel.MustAppend(rudolf.Tuple{
+			int64(rng.Intn(24)), int64(25 + rng.Intn(60)), int64(1 + rng.Intn(12)),
+			leaf("tempmail.test", "10minute.test"),
+		}, rudolf.Fraud, 920) // spam plays the "fraud" role
+	}
+	// A user-reported false positive: the partner newsletter (many links).
+	newsletter := rudolf.Tuple{9, 40, 180, int64(domainOnt.MustLookup("partner.example"))}
+	fp := rel.MustAppend(newsletter, rudolf.Legitimate, 700)
+
+	// The incumbent filter: anything with very many links.
+	ruleSet, err := rudolf.ParseRules(schema, "links >= 35")
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("mail: %d messages, %d reported spam\n", rel.Len(), rel.Count(rudolf.Fraud))
+	fmt.Printf("\nincumbent filter:\n%s\n", ruleSet.Format(schema))
+
+	// The postmaster knows the campaign signature and rewrites proposals to
+	// the disposable-domain pattern; for the newsletter complaint they insist
+	// on the sender-based split.
+	sess := rudolf.NewSession(ruleSet, spamExpert{schema: schema, ont: domainOnt},
+		rudolf.Options{Weights: rudolf.Weights{Alpha: 10, Beta: 4, Gamma: 0.25}})
+	stats := sess.Refine(rel)
+
+	fmt.Printf("refined filter:\n%s\n", sess.Rules().Format(schema))
+	fmt.Printf("spam caught: %d/%d, false positives: %d (newsletter passes: %v)\n",
+		stats.FraudCaptured, stats.FraudTotal, stats.LegitCaptured,
+		len(sess.Rules().CapturingRules(schema, rel.Tuple(fp))) == 0)
+}
+
+// spamExpert accepts proposals, but rounds any generalization touching the
+// sender to the whole "Disposable" category (domain knowledge: the campaign
+// rotates through throwaway domains).
+type spamExpert struct {
+	schema *rudolf.Schema
+	ont    *rudolf.Ontology
+}
+
+func (e spamExpert) ReviewGeneralization(p *rudolf.GenProposal) rudolf.GenDecision {
+	sender := e.schema.MustIndex("sender")
+	disposable := e.ont.MustLookup("Disposable")
+	cond := p.Proposed.Cond(sender)
+	if cond.C != e.ont.Top() && e.ont.Contains(disposable, cond.C) && cond.C != disposable {
+		edited := p.Proposed.Clone()
+		edited.SetCond(sender, rudolf.ConceptCond(disposable))
+		return rudolf.GenDecision{Accept: true, Edited: edited}
+	}
+	return rudolf.GenDecision{Accept: true}
+}
+
+func (e spamExpert) ReviewSplit(p *rudolf.SplitProposal) rudolf.SplitDecision {
+	// Prefer the sender-based split for the newsletter complaint.
+	if p.Attr != e.schema.MustIndex("sender") {
+		return rudolf.SplitDecision{Accept: false}
+	}
+	return rudolf.SplitDecision{Accept: true}
+}
+
+func (e spamExpert) Satisfied(st rudolf.RoundStats) bool { return st.Perfect() }

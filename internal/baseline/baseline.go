@@ -1,0 +1,90 @@
+// Package baseline implements the comparison methods of Section 5: the
+// ML-score Threshold classifier, the No Change baseline, and the
+// Fully-manual simulated expert — plus the adapter that exposes a RUDOLF
+// core session (with any expert: oracle for RUDOLF, auto-accept for RUDOLF⁻,
+// novice for the student study) under the same Method interface so the
+// experiment harness can drive them uniformly.
+package baseline
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// RoundCost is what one refinement round cost a method.
+type RoundCost struct {
+	// Modifications is the number of rule modifications made this round.
+	Modifications int
+	// ExpertSeconds is the simulated human time spent this round.
+	ExpertSeconds float64
+}
+
+// Method is a fraud-detection method participating in the experiments. At
+// each round it observes the transactions seen so far (with the labels known
+// so far) and may update its internal rules; it then predicts fraud flags
+// for an arbitrary relation (the future window).
+type Method interface {
+	Name() string
+	Refine(rel *relation.Relation) RoundCost
+	Predict(rel *relation.Relation) *bitset.Set
+}
+
+// NoChange keeps the initial rules untouched — the "given rules without any
+// changes" baseline.
+type NoChange struct {
+	Rules *rules.Set
+}
+
+// Name implements Method.
+func (NoChange) Name() string { return "No Change" }
+
+// Refine implements Method (it never changes anything).
+func (NoChange) Refine(*relation.Relation) RoundCost { return RoundCost{} }
+
+// Predict implements Method.
+func (n NoChange) Predict(rel *relation.Relation) *bitset.Set { return n.Rules.Eval(rel) }
+
+// Rudolf adapts a core.Session + expert pair to the Method interface. With
+// an oracle expert it is RUDOLF; with expert.AutoAccept it is RUDOLF⁻; with
+// a novice it is the student-volunteer variant; with NumericOnly options it
+// is RUDOLF-s.
+type Rudolf struct {
+	name     string
+	session  *core.Session
+	expert   core.Expert
+	lastMods int
+	lastSecs float64
+}
+
+// NewRudolf wraps a session over the initial rules with the given expert.
+func NewRudolf(name string, initial *rules.Set, exp core.Expert, opts core.Options) *Rudolf {
+	return &Rudolf{name: name, session: core.NewSession(initial, exp, opts), expert: exp}
+}
+
+// Name implements Method.
+func (r *Rudolf) Name() string { return r.name }
+
+// Session exposes the underlying session (for modification-mix statistics).
+func (r *Rudolf) Session() *core.Session { return r.session }
+
+// Refine implements Method: one full interactive refinement on the data seen
+// so far.
+func (r *Rudolf) Refine(rel *relation.Relation) RoundCost {
+	r.session.Refine(rel)
+	mods := r.session.Log().Len()
+	cost := RoundCost{Modifications: mods - r.lastMods}
+	r.lastMods = mods
+	if tt, ok := r.expert.(core.TimeTracker); ok {
+		secs := tt.SimulatedSeconds()
+		cost.ExpertSeconds = secs - r.lastSecs
+		r.lastSecs = secs
+	}
+	return cost
+}
+
+// Predict implements Method.
+func (r *Rudolf) Predict(rel *relation.Relation) *bitset.Set {
+	return r.session.Rules().Eval(rel)
+}

@@ -1,0 +1,293 @@
+// Package cluster groups fraudulent transactions into clusters of similar
+// tuples and computes each cluster's representative tuple, as required by
+// the first step of the rule generalization algorithm (Algorithm 1).
+//
+// Two algorithms are provided: a deterministic single-pass leader clusterer,
+// and a one-pass streaming k-means in the style of Shindler, Wong and
+// Meyerson (NIPS 2011), which the paper cites as its clustering component.
+// Both operate on a normalized mixed numeric/categorical tuple distance.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// TupleDistance returns a normalized distance in [0, 1] between two tuples:
+// the mean over attributes of per-attribute distances, where numeric
+// attributes contribute |a−b| / |domain| and categorical attributes
+// contribute the ontological up-distance from a's value to cover b's,
+// normalized by the ontology's maximum depth.
+func TupleDistance(s *relation.Schema, a, b relation.Tuple) float64 {
+	if s.Arity() == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < s.Arity(); i++ {
+		attr := s.Attr(i)
+		if attr.Kind == relation.Categorical {
+			d, _ := attr.Ontology.UpDistance(ontology.Concept(a[i]), ontology.Concept(b[i]))
+			if md := attr.Ontology.MaxDepth(); md > 0 {
+				sum += float64(d) / float64(md)
+			}
+			continue
+		}
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += float64(diff) / float64(attr.Domain.Size())
+	}
+	return sum / float64(s.Arity())
+}
+
+// Representative is the representative tuple f(C) of a cluster: for every
+// attribute, the smallest interval (numeric) or least covering concept
+// (categorical) containing all member values, together with the member
+// transaction indices.
+type Representative struct {
+	Conds   []rules.Condition
+	Members []int
+}
+
+// Algorithm groups the given transaction indices of a relation into
+// clusters. Implementations must be deterministic for a fixed configuration.
+type Algorithm interface {
+	Cluster(rel *relation.Relation, indices []int) [][]int
+}
+
+// MakeRepresentative computes the representative tuple of the cluster
+// formed by the given member indices.
+func MakeRepresentative(rel *relation.Relation, members []int) Representative {
+	s := rel.Schema()
+	rep := Representative{
+		Conds:   make([]rules.Condition, s.Arity()),
+		Members: append([]int(nil), members...),
+	}
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		if a.Kind == relation.Categorical {
+			concepts := make([]ontology.Concept, len(members))
+			for j, m := range members {
+				concepts[j] = ontology.Concept(rel.Tuple(m)[i])
+			}
+			rep.Conds[i] = rules.ConceptCond(a.Ontology.LeastCover(concepts))
+			continue
+		}
+		lo, hi := rel.Tuple(members[0])[i], rel.Tuple(members[0])[i]
+		for _, m := range members[1:] {
+			v := rel.Tuple(m)[i]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rep.Conds[i] = rules.NumericCond(order.Interval{Lo: lo, Hi: hi})
+	}
+	return rep
+}
+
+// Representatives runs the algorithm over the indices and returns one
+// representative per cluster, ordered by each cluster's first member.
+func Representatives(alg Algorithm, rel *relation.Relation, indices []int) []Representative {
+	clusters := alg.Cluster(rel, indices)
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	out := make([]Representative, 0, len(clusters))
+	for _, c := range clusters {
+		out = append(out, MakeRepresentative(rel, c))
+	}
+	return out
+}
+
+// Leader is a deterministic single-pass clusterer: each tuple joins the
+// first cluster whose leader (first member) it is close to in *every*
+// attribute, otherwise it starts a new cluster. The per-attribute criterion
+// matches the conjunctive rule semantics: a cluster is only useful for rule
+// generalization if its representative is tight in each attribute.
+type Leader struct {
+	// NumericFrac is the per-attribute tolerance for numeric attributes as
+	// a fraction of the domain size; 0 means DefaultNumericFrac.
+	NumericFrac float64
+	// ConceptHops is the maximum ontological up-distance between the leader
+	// and member values of a categorical attribute; 0 means
+	// DefaultConceptHops (so sibling leaves, e.g. Gas Stations A and B,
+	// cluster together) and a negative value demands identical leaves
+	// (the ontology-free clustering used by RUDOLF-s).
+	ConceptHops int
+	// AttrFrac overrides NumericFrac for specific attributes. Use a value
+	// of 1 (the whole domain) for attributes that should never separate
+	// clusters — e.g. the day index of a schema whose attack windows recur
+	// daily, where the same pattern's frauds span many days.
+	AttrFrac map[int]float64
+}
+
+// Defaults for Leader: numeric values within 2% of the domain (about half an
+// hour for a time-of-day attribute) and categorical values at most one
+// ontology hop apart.
+const (
+	DefaultNumericFrac = 0.02
+	DefaultConceptHops = 1
+)
+
+// Cluster implements Algorithm.
+func (l Leader) Cluster(rel *relation.Relation, indices []int) [][]int {
+	frac := l.NumericFrac
+	if frac <= 0 {
+		frac = DefaultNumericFrac
+	}
+	hops := l.ConceptHops
+	if hops == 0 {
+		hops = DefaultConceptHops
+	} else if hops < 0 {
+		hops = 0
+	}
+	s := rel.Schema()
+	var clusters [][]int
+	var leaders []relation.Tuple
+	for _, idx := range indices {
+		t := rel.Tuple(idx)
+		placed := false
+		for ci, leader := range leaders {
+			if l.close(s, leader, t, frac, hops) {
+				clusters[ci] = append(clusters[ci], idx)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, []int{idx})
+			leaders = append(leaders, t)
+		}
+	}
+	return clusters
+}
+
+// close reports whether t is within the per-attribute tolerances of leader.
+func (l Leader) close(s *relation.Schema, leader, t relation.Tuple, frac float64, hops int) bool {
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		if a.Kind == relation.Categorical {
+			d, ok := a.Ontology.UpDistance(ontology.Concept(leader[i]), ontology.Concept(t[i]))
+			if !ok || d > hops {
+				return false
+			}
+			continue
+		}
+		f := frac
+		if override, ok := l.AttrFrac[i]; ok {
+			f = override
+		}
+		diff := leader[i] - t[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > f*float64(a.Domain.Size()) {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamingKMeans is a one-pass facility-location clusterer in the style of
+// the fast streaming k-means the paper cites: points either join the nearest
+// existing facility or open a new one with probability proportional to their
+// distance; when too many facilities open, the facility cost doubles and
+// facilities are re-clustered among themselves. A final pass assigns every
+// point to its nearest surviving facility.
+type StreamingKMeans struct {
+	// K is the target number of clusters; 0 lets the algorithm choose
+	// roughly sqrt(n).
+	K int
+	// Seed drives the probabilistic facility openings.
+	Seed int64
+}
+
+// Cluster implements Algorithm.
+func (km StreamingKMeans) Cluster(rel *relation.Relation, indices []int) [][]int {
+	if len(indices) == 0 {
+		return nil
+	}
+	s := rel.Schema()
+	k := km.K
+	if k <= 0 {
+		k = isqrt(len(indices))
+	}
+	maxFacilities := 4 * k
+	if maxFacilities < 8 {
+		maxFacilities = 8
+	}
+	rng := rand.New(rand.NewSource(km.Seed + 1))
+	f := 0.02 // initial facility cost
+	var facilities []int
+	for _, idx := range indices {
+		t := rel.Tuple(idx)
+		if len(facilities) == 0 {
+			facilities = append(facilities, idx)
+			continue
+		}
+		d := nearestDistance(s, rel, facilities, t)
+		if d/f > rng.Float64() {
+			facilities = append(facilities, idx)
+		}
+		if len(facilities) > maxFacilities {
+			f *= 2
+			facilities = mergeFacilities(s, rel, facilities, f, rng)
+		}
+	}
+	// Final assignment of every point to its nearest facility.
+	clusters := make([][]int, len(facilities))
+	for _, idx := range indices {
+		best, bestD := 0, TupleDistance(s, rel.Tuple(facilities[0]), rel.Tuple(idx))
+		for fi := 1; fi < len(facilities); fi++ {
+			if d := TupleDistance(s, rel.Tuple(facilities[fi]), rel.Tuple(idx)); d < bestD {
+				best, bestD = fi, d
+			}
+		}
+		clusters[best] = append(clusters[best], idx)
+	}
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func nearestDistance(s *relation.Schema, rel *relation.Relation, facilities []int, t relation.Tuple) float64 {
+	best := TupleDistance(s, rel.Tuple(facilities[0]), t)
+	for _, f := range facilities[1:] {
+		if d := TupleDistance(s, rel.Tuple(f), t); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// mergeFacilities re-runs the facility opening rule over the facilities
+// themselves at the increased cost, shrinking their number.
+func mergeFacilities(s *relation.Schema, rel *relation.Relation, facilities []int, f float64, rng *rand.Rand) []int {
+	merged := []int{facilities[0]}
+	for _, idx := range facilities[1:] {
+		d := nearestDistance(s, rel, merged, rel.Tuple(idx))
+		if d/f > rng.Float64() {
+			merged = append(merged, idx)
+		}
+	}
+	return merged
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

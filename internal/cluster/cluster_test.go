@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+func TestTupleDistanceBasics(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	// Distance to self is 0.
+	if d := TupleDistance(s, rel.Tuple(0), rel.Tuple(0)); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Symmetric-ish: numeric part symmetric; categorical up-distance is
+	// symmetric for sibling leaves.
+	d01 := TupleDistance(s, rel.Tuple(0), rel.Tuple(1))
+	d10 := TupleDistance(s, rel.Tuple(1), rel.Tuple(0))
+	if d01 != d10 {
+		t.Errorf("distance asymmetric for sibling tuples: %v vs %v", d01, d10)
+	}
+	// Tuples of the same attack burst are much closer than across bursts.
+	dSame := TupleDistance(s, rel.Tuple(5), rel.Tuple(6))
+	dAcross := TupleDistance(s, rel.Tuple(0), rel.Tuple(5))
+	if dSame >= dAcross {
+		t.Errorf("burst distance %v not below cross-pattern distance %v", dSame, dAcross)
+	}
+	if d01 < 0 || d01 > 1 {
+		t.Errorf("distance outside [0,1]: %v", d01)
+	}
+}
+
+// TestLeaderClustersPaperFrauds verifies that the Figure 2 frauds form the
+// three clusters of Example 4.4: {t1,t2}, {t4}, {t6,t7,t8}.
+func TestLeaderClustersPaperFrauds(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	frauds := rel.Indices(relation.Fraud)
+	clusters := Leader{}.Cluster(rel, frauds)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters (%v), want 3", len(clusters), clusters)
+	}
+	want := [][]int{{0, 1}, {3}, {5, 6, 7}}
+	for i, c := range clusters {
+		if len(c) != len(want[i]) {
+			t.Fatalf("cluster %d = %v, want %v", i, c, want[i])
+		}
+		for j := range c {
+			if c[j] != want[i][j] {
+				t.Fatalf("cluster %d = %v, want %v", i, c, want[i])
+			}
+		}
+	}
+}
+
+// TestRepresentativesExample44 pins the representative tuples of Example 4.4.
+func TestRepresentativesExample44(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	reps := Representatives(Leader{}, rel, rel.Indices(relation.Fraud))
+	if len(reps) != 3 {
+		t.Fatalf("got %d representatives, want 3", len(reps))
+	}
+	typeOnt, locOnt := s.Attr(2).Ontology, s.Attr(3).Ontology
+
+	// First: Time [18:02,18:03], Amount [106,107], Online no CCV, Online Store.
+	r := reps[0]
+	if !r.Conds[0].Iv.Equal(order.Interval{Lo: 18*60 + 2, Hi: 18*60 + 3}) {
+		t.Errorf("rep1 time = %v", r.Conds[0].Iv)
+	}
+	if !r.Conds[1].Iv.Equal(order.Interval{Lo: 106, Hi: 107}) {
+		t.Errorf("rep1 amount = %v", r.Conds[1].Iv)
+	}
+	if typeOnt.ConceptName(r.Conds[2].C) != "Online, no CCV" {
+		t.Errorf("rep1 type = %s", typeOnt.ConceptName(r.Conds[2].C))
+	}
+	if locOnt.ConceptName(r.Conds[3].C) != "Online Store" {
+		t.Errorf("rep1 location = %s", locOnt.ConceptName(r.Conds[3].C))
+	}
+	// Second: the singleton 19:08 transaction.
+	if !reps[1].Conds[0].Iv.Equal(order.Point(19*60 + 8)) {
+		t.Errorf("rep2 time = %v", reps[1].Conds[0].Iv)
+	}
+	// Third: Time [20:53,20:55], Amount [44,48], Offline without PIN, Gas Station B.
+	r = reps[2]
+	if !r.Conds[0].Iv.Equal(order.Interval{Lo: 20*60 + 53, Hi: 20*60 + 55}) {
+		t.Errorf("rep3 time = %v", r.Conds[0].Iv)
+	}
+	if !r.Conds[1].Iv.Equal(order.Interval{Lo: 44, Hi: 48}) {
+		t.Errorf("rep3 amount = %v", r.Conds[1].Iv)
+	}
+	if locOnt.ConceptName(r.Conds[3].C) != "Gas Station B" {
+		t.Errorf("rep3 location = %s", locOnt.ConceptName(r.Conds[3].C))
+	}
+}
+
+// TestRepresentativeMixedLocationsGeneralizes checks that a cluster spanning
+// Gas Stations A and B gets the concept "Gas Station" as its location.
+func TestRepresentativeMixedLocationsGeneralizes(t *testing.T) {
+	s := paperdata.Schema()
+	rel := relation.New(s)
+	locOnt := s.Attr(3).Ontology
+	typeOnt := s.Attr(2).Ontology
+	off := int64(typeOnt.MustLookup("Offline, without PIN"))
+	rel.MustAppend(relation.Tuple{100, 50, off, int64(locOnt.MustLookup("Gas Station A"))}, relation.Fraud, 0)
+	rel.MustAppend(relation.Tuple{101, 52, off, int64(locOnt.MustLookup("Gas Station B"))}, relation.Fraud, 0)
+	rep := MakeRepresentative(rel, []int{0, 1})
+	if locOnt.ConceptName(rep.Conds[3].C) != "Gas Station" {
+		t.Errorf("location cover = %s, want Gas Station", locOnt.ConceptName(rep.Conds[3].C))
+	}
+}
+
+// TestRepresentativeCapturesAllMembers is the defining property of a
+// representative: a rule built from its conditions captures every member.
+func TestRepresentativeCapturesAllMembers(t *testing.T) {
+	s := paperdata.Schema()
+	rel := randomRelation(s, 500, 3)
+	rng := rand.New(rand.NewSource(5))
+	all := make([]int, rel.Len())
+	for i := range all {
+		all[i] = i
+	}
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(8)
+		members := make([]int, 0, k)
+		seen := map[int]bool{}
+		for len(members) < k {
+			m := rng.Intn(rel.Len())
+			if !seen[m] {
+				seen[m] = true
+				members = append(members, m)
+			}
+		}
+		rep := MakeRepresentative(rel, members)
+		r := rules.RuleFromConditions(s, rep.Conds)
+		for _, m := range members {
+			if !r.Matches(s, rel.Tuple(m)) {
+				t.Fatalf("trial %d: representative does not capture member %d", trial, m)
+			}
+		}
+	}
+	_ = all
+}
+
+// TestRepresentativeMinimality: shrinking any numeric bound of the
+// representative loses a member.
+func TestRepresentativeMinimality(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	rep := MakeRepresentative(rel, []int{5, 6, 7})
+	for _, attr := range []int{0, 1} {
+		iv := rep.Conds[attr].Iv
+		if iv.Size() <= 1 {
+			continue
+		}
+		shrunkLo := rules.RuleFromConditions(s, rep.Conds)
+		shrunkLo.SetCond(attr, rules.NumericCond(order.Interval{Lo: iv.Lo + 1, Hi: iv.Hi}))
+		shrunkHi := rules.RuleFromConditions(s, rep.Conds)
+		shrunkHi.SetCond(attr, rules.NumericCond(order.Interval{Lo: iv.Lo, Hi: iv.Hi - 1}))
+		okLo, okHi := true, true
+		for _, m := range rep.Members {
+			if !shrunkLo.Matches(s, rel.Tuple(m)) {
+				okLo = false
+			}
+			if !shrunkHi.Matches(s, rel.Tuple(m)) {
+				okHi = false
+			}
+		}
+		if okLo || okHi {
+			t.Errorf("attr %d: representative interval %v is not tight", attr, iv)
+		}
+	}
+}
+
+func randomRelation(s *relation.Schema, n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := relation.New(s)
+	typeLeaves := s.Attr(2).Ontology.Leaves()
+	locLeaves := s.Attr(3).Ontology.Leaves()
+	for i := 0; i < n; i++ {
+		rel.MustAppend(relation.Tuple{
+			int64(rng.Intn(1440)),
+			int64(rng.Intn(2000)),
+			int64(typeLeaves[rng.Intn(len(typeLeaves))]),
+			int64(locLeaves[rng.Intn(len(locLeaves))]),
+		}, relation.Label(rng.Intn(3)), int16(rng.Intn(1001)))
+	}
+	return rel
+}
+
+// TestClusteringPartition: both algorithms produce a partition of the input
+// indices (every index in exactly one cluster).
+func TestClusteringPartition(t *testing.T) {
+	s := paperdata.Schema()
+	rel := randomRelation(s, 400, 9)
+	indices := rel.Indices(relation.Fraud)
+	for name, alg := range map[string]Algorithm{
+		"leader":    Leader{NumericFrac: 0.05},
+		"streaming": StreamingKMeans{K: 6, Seed: 1},
+	} {
+		clusters := alg.Cluster(rel, indices)
+		seen := map[int]int{}
+		total := 0
+		for _, c := range clusters {
+			if len(c) == 0 {
+				t.Errorf("%s: empty cluster", name)
+			}
+			for _, i := range c {
+				seen[i]++
+				total++
+			}
+		}
+		if total != len(indices) {
+			t.Errorf("%s: clustered %d of %d indices", name, total, len(indices))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Errorf("%s: index %d appears %d times", name, i, n)
+			}
+		}
+	}
+}
+
+func TestClusteringDeterminism(t *testing.T) {
+	s := paperdata.Schema()
+	rel := randomRelation(s, 300, 21)
+	indices := rel.Indices(relation.Unlabeled)
+	for name, alg := range map[string]Algorithm{
+		"leader":    Leader{},
+		"streaming": StreamingKMeans{K: 5, Seed: 77},
+	} {
+		a := alg.Cluster(rel, indices)
+		b := alg.Cluster(rel, indices)
+		if len(a) != len(b) {
+			t.Errorf("%s: nondeterministic cluster count", name)
+			continue
+		}
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Errorf("%s: nondeterministic cluster %d", name, i)
+			}
+		}
+	}
+}
+
+func TestStreamingKMeansEmptyAndSingle(t *testing.T) {
+	s := paperdata.Schema()
+	rel := randomRelation(s, 10, 2)
+	if got := (StreamingKMeans{}).Cluster(rel, nil); got != nil {
+		t.Errorf("clustering nothing = %v", got)
+	}
+	got := (StreamingKMeans{K: 3, Seed: 1}).Cluster(rel, []int{4})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 4 {
+		t.Errorf("singleton clustering = %v", got)
+	}
+}
+
+func TestStreamingKMeansRespectsTargetRoughly(t *testing.T) {
+	s := paperdata.Schema()
+	rel := randomRelation(s, 600, 31)
+	indices := make([]int, rel.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	clusters := (StreamingKMeans{K: 5, Seed: 3}).Cluster(rel, indices)
+	if len(clusters) == 0 || len(clusters) > 4*5 {
+		t.Errorf("cluster count %d far from target 5", len(clusters))
+	}
+}
+
+func TestLeaderZeroValueUsesDefaults(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	frauds := rel.Indices(relation.Fraud)
+	a := Leader{}.Cluster(rel, frauds)
+	b := Leader{NumericFrac: DefaultNumericFrac, ConceptHops: DefaultConceptHops}.Cluster(rel, frauds)
+	if len(a) != len(b) {
+		t.Error("zero-value Leader does not use the documented defaults")
+	}
+}
+
+func TestTupleDistanceCategoricalComponent(t *testing.T) {
+	// Single categorical attribute: distance equals normalized up-distance.
+	onto := ontology.PaperTypeOntology()
+	s := relation.MustSchema(relation.Attribute{Name: "type", Kind: relation.Categorical, Ontology: onto})
+	rel := relation.New(s)
+	a := rel.MustAppend(relation.Tuple{int64(onto.MustLookup("Online, with CCV"))}, relation.Unlabeled, 0)
+	b := rel.MustAppend(relation.Tuple{int64(onto.MustLookup("Offline, with PIN"))}, relation.Unlabeled, 0)
+	got := TupleDistance(s, rel.Tuple(a), rel.Tuple(b))
+	want := 1.0 / float64(onto.MaxDepth())
+	if got != want {
+		t.Errorf("distance = %v, want %v", got, want)
+	}
+}

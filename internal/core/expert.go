@@ -1,0 +1,123 @@
+// Package core implements the heart of RUDOLF: the rule generalization
+// algorithm (Algorithm 1), the rule specialization algorithm (Algorithm 2),
+// and the interactive refinement session that alternates them under the
+// guidance of a domain expert (Section 4 of the paper).
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// GenProposal is a proposed generalization of one rule so that it captures a
+// cluster's representative tuple (Algorithm 1, lines 9-10).
+type GenProposal struct {
+	Schema *relation.Schema
+	Rel    *relation.Relation
+	// RuleIndex is the index of the rule being generalized in the current
+	// rule set, or -1 when the proposal creates a new rule (line 18).
+	RuleIndex int
+	// Original is the rule before generalization (nil when RuleIndex is -1).
+	Original *rules.Rule
+	// Proposed is the minimal generalization capturing the representative.
+	Proposed *rules.Rule
+	// Changed lists the attributes whose condition was generalized.
+	Changed []int
+	// Rep is the cluster representative the proposal targets.
+	Rep cluster.Representative
+	// Score is the Equation 2 score that ranked this rule.
+	Score float64
+}
+
+// GenDecision is the expert's answer to a generalization proposal
+// (Algorithm 1, lines 11-16).
+type GenDecision struct {
+	// Accept adopts the proposal (possibly Edited).
+	Accept bool
+	// RevertAttrs lists attributes whose proposed modification is undesired;
+	// their conditions are restored from the original rule (line 15). Only
+	// consulted when Accept is false.
+	RevertAttrs []int
+	// Edited optionally replaces the proposal with the expert's own version
+	// (the "further generalizations" of line 16, e.g. rounding $106 down to
+	// $100 as Elena does in Example 4.4).
+	Edited *rules.Rule
+}
+
+// SplitProposal is a proposed split of one rule to exclude a legitimate
+// transaction (Algorithm 2, lines 5-10).
+type SplitProposal struct {
+	Schema *relation.Schema
+	Rel    *relation.Relation
+	// RuleIndex is the index of the rule being split.
+	RuleIndex int
+	// Original is the rule before the split.
+	Original *rules.Rule
+	// Attr is the attribute being split on.
+	Attr int
+	// Replacements are the rules that together replace Original: two for a
+	// numeric split around the legitimate value, one per cover concept for a
+	// categorical split. Empty when the split simply removes the rule.
+	Replacements []*rules.Rule
+	// LegitIndex is the index in Rel of the legitimate transaction to
+	// exclude.
+	LegitIndex int
+	// Benefit is the α/β/γ-weighted benefit that selected Attr.
+	Benefit float64
+}
+
+// SplitDecision is the expert's answer to a split proposal (Algorithm 2,
+// lines 10-14).
+type SplitDecision struct {
+	// Accept adopts the split; rejecting makes the algorithm try the next
+	// best attribute.
+	Accept bool
+	// Keep lists indices into Replacements to retain; nil keeps all of them.
+	// (Example 4.7: Elena eliminates one of the two proposed rules.)
+	Keep []int
+	// Edited optionally replaces the kept replacements with the expert's own
+	// versions (the "further modifications" of line 13).
+	Edited []*rules.Rule
+}
+
+// RoundStats summarizes the state after a full generalize+specialize round;
+// the expert uses it to decide whether to stop (step 3 of the general
+// algorithm: "exit if the domain expert is satisfied").
+type RoundStats struct {
+	Round             int
+	FraudTotal        int
+	FraudCaptured     int
+	LegitTotal        int
+	LegitCaptured     int
+	UnlabeledCaptured int
+	// Modifications is the cumulative modification count so far.
+	Modifications int
+}
+
+// Perfect reports whether the rules capture every fraudulent and no
+// legitimate transaction.
+func (st RoundStats) Perfect() bool {
+	return st.FraudCaptured == st.FraudTotal && st.LegitCaptured == 0
+}
+
+// Expert is the domain expert in the loop. Implementations range from the
+// interactive terminal expert to the simulated oracle and novice experts
+// used in the experiments, and the auto-accepting expert that realizes the
+// RUDOLF⁻ variant of Section 5.
+type Expert interface {
+	// ReviewGeneralization answers a generalization proposal.
+	ReviewGeneralization(p *GenProposal) GenDecision
+	// ReviewSplit answers a split proposal.
+	ReviewSplit(p *SplitProposal) SplitDecision
+	// Satisfied reports whether the expert wants to end the refinement loop
+	// after the given round.
+	Satisfied(st RoundStats) bool
+}
+
+// TimeTracker is implemented by experts that model the wall-clock time a
+// human would spend; the experiment harness uses it for the Figure 3(f)
+// timing results. Simulated seconds, never real sleeping.
+type TimeTracker interface {
+	SimulatedSeconds() float64
+}

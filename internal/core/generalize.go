@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Generalize runs Algorithm 1: cluster the fraudulent transactions, and for
+// each cluster's representative tuple interactively generalize the best
+// candidate rules until some rule captures it, falling back to creating a
+// representative-specific rule when every candidate is exhausted.
+func (s *Session) Generalize(rel *relation.Relation) {
+	schema := rel.Schema()
+	frauds := rel.Indices(relation.Fraud)
+	if len(frauds) == 0 {
+		return
+	}
+	reps := cluster.Representatives(s.opts.clusterer(), rel, frauds)
+	for _, rep := range reps {
+		s.generalizeForRep(rel, schema, rep)
+	}
+}
+
+// repHandled reports whether the cluster no longer needs work: either some
+// rule's conditions contain the whole representative pattern ("there exists
+// a rule r such that f(C) ∈ r(I)") or every member transaction is already
+// captured by the rule set. The second disjunct matters after
+// specialization: a split cuts single values out of a rule, so the rule no
+// longer contains the full representative even though every fraudulent
+// member stays captured — re-generalizing would just oscillate against the
+// split.
+func (s *Session) repHandled(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) bool {
+	for _, r := range s.ruleSet.Rules() {
+		if ruleContainsRep(schema, r, rep) {
+			return true
+		}
+	}
+	for _, m := range rep.Members {
+		if len(s.ruleSet.CapturingRulesAt(rel, m)) == 0 {
+			return false
+		}
+	}
+	return len(rep.Members) > 0
+}
+
+func ruleContainsRep(schema *relation.Schema, r *rules.Rule, rep cluster.Representative) bool {
+	for i := 0; i < schema.Arity(); i++ {
+		if !r.Cond(i).ContainsCond(schema.Attr(i), rep.Conds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// generalizeForRep runs the per-cluster loop of Algorithm 1 (lines 5-18).
+func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) {
+	topK := s.rankRules(rel, schema, rep)
+	for !s.repHandled(rel, schema, rep) {
+		if len(topK) == 0 {
+			// Line 18: create a rule selecting exactly the representative.
+			// The new rule is also shown to the expert, who may widen it
+			// with domain knowledge before it is added (the paper's experts
+			// refine every proposal; a brand-new attack pattern is exactly
+			// where their knowledge matters most).
+			s.addExactRule(rel, schema, rep)
+			return
+		}
+		cand := topK[0]
+		topK = topK[1:]
+		if cand.ruleIndex >= s.ruleSet.Len() {
+			continue // the rule set shrank since ranking
+		}
+		r := s.ruleSet.Rule(cand.ruleIndex)
+		gen, changed := rules.GeneralizeToCover(schema, r, rep.Conds)
+		if len(changed) == 0 {
+			return // already capturing (rule set changed since ranking)
+		}
+		if s.opts.NumericOnly && touchesCategorical(schema, changed) {
+			continue // RUDOLF-s cannot modify categorical conditions
+		}
+		proposal := &GenProposal{
+			Schema:    schema,
+			Rel:       rel,
+			RuleIndex: cand.ruleIndex,
+			Original:  r,
+			Proposed:  gen,
+			Changed:   changed,
+			Rep:       rep,
+			Score:     cand.score,
+		}
+		dec := s.expert.ReviewGeneralization(proposal)
+		result := s.resolveGenDecision(r, gen, changed, dec)
+		if s.opts.NumericOnly {
+			s.enforceNumericOnly(schema, result, r)
+		}
+		if result != nil && !result.Equal(schema, r) {
+			s.applyRuleEdit(schema, cand.ruleIndex, r, result)
+		}
+	}
+}
+
+// resolveGenDecision combines the proposal with the expert's decision
+// (Algorithm 1 lines 11-16): acceptance adopts the (possibly edited)
+// proposal; rejection reverts the undesired attribute modifications and then
+// applies any further expert generalizations.
+func (s *Session) resolveGenDecision(original, proposed *rules.Rule, changed []int, dec GenDecision) *rules.Rule {
+	if dec.Accept {
+		if dec.Edited != nil {
+			return dec.Edited
+		}
+		return proposed
+	}
+	result := proposed.Clone()
+	for _, a := range dec.RevertAttrs {
+		result.SetCond(a, original.Cond(a))
+	}
+	if dec.Edited != nil {
+		result = dec.Edited
+	}
+	return result
+}
+
+// applyRuleEdit installs the new version of a rule and logs one condition
+// refinement per attribute that actually changed.
+func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rules.Rule) {
+	s.ruleSet.Replace(idx, new)
+	for i := 0; i < schema.Arity(); i++ {
+		if old.Cond(i).Equal(schema.Attr(i), new.Cond(i)) {
+			continue
+		}
+		s.log.Append(Modification{
+			Kind:      cost.CondRefine,
+			RuleIndex: idx,
+			Attr:      i,
+			Cost:      s.opts.costModel().ModificationCost(cost.CondRefine, i),
+			Description: fmt.Sprintf("%s: %s -> %s", schema.Attr(i).Name,
+				condString(schema, i, old.Cond(i)), condString(schema, i, new.Cond(i))),
+		})
+	}
+}
+
+// addExactRule creates the representative-specific rule of line 18, after
+// offering it to the expert for widening (RuleIndex -1 marks a new rule).
+func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) {
+	r := rules.RuleFromConditions(schema, rep.Conds)
+	changed := make([]int, schema.Arity())
+	for i := range changed {
+		changed[i] = i
+	}
+	dec := s.expert.ReviewGeneralization(&GenProposal{
+		Schema:    schema,
+		Rel:       rel,
+		RuleIndex: -1,
+		Proposed:  r,
+		Changed:   changed,
+		Rep:       rep,
+	})
+	if dec.Accept && dec.Edited != nil && !dec.Edited.IsEmpty(schema) {
+		if s.opts.NumericOnly {
+			s.enforceNumericOnly(schema, dec.Edited, r)
+		}
+		r = dec.Edited
+	}
+	idx := s.ruleSet.Add(r)
+	s.log.Append(Modification{
+		Kind:        cost.RuleAdd,
+		RuleIndex:   idx,
+		Attr:        -1,
+		Cost:        s.opts.costModel().ModificationCost(cost.RuleAdd, -1),
+		Description: "new rule: " + r.Format(schema),
+	})
+}
+
+// rankedRule pairs a rule index with its Equation 2 score.
+type rankedRule struct {
+	ruleIndex int
+	score     float64
+}
+
+// rankRules computes Top-k(f(C)) of Algorithm 1 line 4: the k rules with the
+// lowest Equation 2 score for the representative.
+func (s *Session) rankRules(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) []rankedRule {
+	w := s.opts.weights()
+	ranked := make([]rankedRule, 0, s.ruleSet.Len())
+	for i, r := range s.ruleSet.Rules() {
+		sc, _ := cost.GeneralizationScore(schema, rel, r, rep.Conds, w)
+		ranked = append(ranked, rankedRule{ruleIndex: i, score: sc})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+	if k := s.opts.topK(); len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// enforceNumericOnly reverts any categorical condition of r that differs
+// from base: the RUDOLF-s variant has no ontology support and can neither
+// generalize nor accept edits on categorical attributes.
+func (s *Session) enforceNumericOnly(schema *relation.Schema, r, base *rules.Rule) {
+	if r == nil {
+		return
+	}
+	for i := 0; i < schema.Arity(); i++ {
+		if schema.Attr(i).Kind != relation.Categorical {
+			continue
+		}
+		if !r.Cond(i).Equal(schema.Attr(i), base.Cond(i)) {
+			r.SetCond(i, base.Cond(i))
+		}
+	}
+}
+
+func touchesCategorical(schema *relation.Schema, attrs []int) bool {
+	for _, a := range attrs {
+		if schema.Attr(a).Kind == relation.Categorical {
+			return true
+		}
+	}
+	return false
+}
+
+func condString(schema *relation.Schema, attr int, c rules.Condition) string {
+	a := schema.Attr(attr)
+	if a.Kind == relation.Categorical {
+		return a.Ontology.ConceptName(c.C)
+	}
+	return a.Format.FormatInterval(c.Iv)
+}

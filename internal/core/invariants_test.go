@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/expert"
+)
+
+// TestGeneralizeInvariant: after Algorithm 1 with any accepting expert,
+// every reported fraudulent transaction is captured — across random
+// datasets, fraud rates and initial rule sets.
+func TestGeneralizeInvariant(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		ds := datagen.Generate(datagen.Config{
+			Size: 1200, Seed: seed, FraudPct: 0.5 + float64(seed)*0.4,
+		})
+		sess := core.NewSession(datagen.InitialRules(ds, int(seed)*5, seed),
+			&expert.AutoAccept{}, core.Options{Clusterer: datagen.Clusterer()})
+		sess.Generalize(ds.Rel)
+		st := sess.Stats(ds.Rel)
+		if st.FraudCaptured != st.FraudTotal {
+			t.Errorf("seed %d: %d/%d frauds captured after Generalize",
+				seed, st.FraudCaptured, st.FraudTotal)
+		}
+	}
+}
+
+// TestSpecializeInvariant: after Algorithm 2, no verified legitimate
+// transaction is captured, regardless of expert decisions (the forced-split
+// fallback guarantees exclusion).
+func TestSpecializeInvariant(t *testing.T) {
+	rejectEverything := &stubRejectingExpert{}
+	for seed := int64(0); seed < 6; seed++ {
+		ds := datagen.Generate(datagen.Config{Size: 1200, Seed: seed + 50})
+		var exp core.Expert = &expert.AutoAccept{}
+		if seed%2 == 1 {
+			exp = rejectEverything
+		}
+		sess := core.NewSession(datagen.InitialRules(ds, 0, seed),
+			exp, core.Options{Clusterer: datagen.Clusterer()})
+		sess.Generalize(ds.Rel)
+		sess.Specialize(ds.Rel)
+		st := sess.Stats(ds.Rel)
+		if st.LegitCaptured != 0 {
+			t.Errorf("seed %d: %d legitimate still captured after Specialize",
+				seed, st.LegitCaptured)
+		}
+	}
+}
+
+// TestRefineIdempotentWhenPerfect: running Refine twice over unchanged data
+// adds no modifications the second time.
+func TestRefineIdempotentWhenPerfect(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Size: 1000, Seed: 3})
+	oracle := expert.NewOracle(ds.Truth)
+	sess := core.NewSession(datagen.InitialRules(ds, 0, 3), oracle,
+		core.Options{Clusterer: datagen.Clusterer()})
+	st1 := sess.Refine(ds.Rel)
+	if !st1.Perfect() {
+		t.Skipf("oracle session not perfect on seed 3: %+v", st1)
+	}
+	before := sess.Log().Len()
+	sess.Refine(ds.Rel)
+	if sess.Log().Len() != before {
+		t.Errorf("second Refine added %d modifications", sess.Log().Len()-before)
+	}
+}
+
+// TestPruneSubsumedPreservesSemantics: the post-specialize pruning never
+// changes Φ(I).
+func TestPruneSubsumedPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ds := datagen.Generate(datagen.Config{Size: 800, Seed: seed + 9})
+		sess := core.NewSession(datagen.InitialRules(ds, 20, seed),
+			&expert.AutoAccept{}, core.Options{Clusterer: datagen.Clusterer()})
+		sess.Generalize(ds.Rel)
+		// Capture semantics before and after a Specialize (which prunes).
+		sess.Specialize(ds.Rel)
+		capture := sess.Rules().Eval(ds.Rel)
+		// Re-evaluating after another prune-only pass must not change
+		// anything: Specialize with no captured legits is prune-only.
+		sess.Specialize(ds.Rel)
+		if !sess.Rules().Eval(ds.Rel).Equal(capture) {
+			t.Errorf("seed %d: pruning changed capture semantics", seed)
+		}
+	}
+}
+
+// stubRejectingExpert rejects every proposal (exercising the forced-split
+// and exhausted-top-k paths).
+type stubRejectingExpert struct{}
+
+func (*stubRejectingExpert) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	return core.GenDecision{Accept: false, RevertAttrs: p.Changed}
+}
+
+func (*stubRejectingExpert) ReviewSplit(*core.SplitProposal) core.SplitDecision {
+	return core.SplitDecision{Accept: false}
+}
+
+func (*stubRejectingExpert) Satisfied(core.RoundStats) bool { return true }
+
+// TestGeneralizeWithRejectingExpert: even an expert who rejects everything
+// cannot stop Algorithm 1 from capturing the frauds — line 18 adds exact
+// rules once the candidates are exhausted.
+func TestGeneralizeWithRejectingExpert(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Size: 1000, Seed: 23})
+	sess := core.NewSession(datagen.InitialRules(ds, 0, 23),
+		&stubRejectingExpert{}, core.Options{Clusterer: datagen.Clusterer()})
+	sess.Generalize(ds.Rel)
+	st := sess.Stats(ds.Rel)
+	if st.FraudCaptured != st.FraudTotal {
+		t.Errorf("rejecting expert blocked fraud capture: %d/%d",
+			st.FraudCaptured, st.FraudTotal)
+	}
+	// All capture must have come from added rules, not modified ones.
+	for _, m := range sess.Log().All() {
+		if m.Kind.String() == "condition-refinement" {
+			t.Errorf("rejecting expert still produced a condition refinement: %+v", m)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Options configures a refinement session. The zero value is usable: it
+// yields the paper's defaults (α = β = γ = 1, top-3 rule candidates, leader
+// clustering, unit modification costs).
+type Options struct {
+	// Weights are the α/β/γ coefficients of Definition 3.1. The zero value
+	// means cost.DefaultWeights().
+	Weights cost.Weights
+	// TopK is the number of candidate rules ranked per cluster in
+	// Algorithm 1 (line 4). 0 means DefaultTopK.
+	TopK int
+	// Clusterer groups fraudulent transactions; nil means cluster.Leader{}.
+	Clusterer cluster.Algorithm
+	// CostModel prices modifications; nil means cost.UnitModel{}.
+	CostModel cost.Model
+	// NumericOnly disables refinement of categorical attributes, realizing
+	// the RUDOLF-s variant of Section 5 (comparable to prior systems that
+	// refine only numerical attributes).
+	NumericOnly bool
+	// MaxRounds bounds the generalize/specialize loop of Refine. 0 means
+	// DefaultMaxRounds.
+	MaxRounds int
+}
+
+// DefaultTopK is the number of candidate rules considered per cluster.
+const DefaultTopK = 3
+
+// DefaultMaxRounds bounds the refinement loop when the expert never
+// declares itself satisfied.
+const DefaultMaxRounds = 8
+
+func (o Options) weights() cost.Weights {
+	if o.Weights == (cost.Weights{}) {
+		return cost.DefaultWeights()
+	}
+	return o.Weights
+}
+
+func (o Options) topK() int {
+	if o.TopK <= 0 {
+		return DefaultTopK
+	}
+	return o.TopK
+}
+
+func (o Options) clusterer() cluster.Algorithm {
+	if o.Clusterer == nil {
+		return cluster.Leader{}
+	}
+	return o.Clusterer
+}
+
+func (o Options) costModel() cost.Model {
+	if o.CostModel == nil {
+		return cost.UnitModel{}
+	}
+	return o.CostModel
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return DefaultMaxRounds
+	}
+	return o.MaxRounds
+}
+
+// Session drives interactive rule refinement: it owns the evolving rule set
+// and the modification log, consults the expert on every proposal, and is
+// re-invoked as new transactions arrive.
+type Session struct {
+	ruleSet *rules.Set
+	expert  Expert
+	opts    Options
+	log     Log
+	rounds  int
+}
+
+// NewSession starts a session over an existing rule set. The rule set is
+// cloned; the caller's copy is never modified.
+func NewSession(ruleSet *rules.Set, expert Expert, opts Options) *Session {
+	return &Session{ruleSet: ruleSet.Clone(), expert: expert, opts: opts}
+}
+
+// Rules returns the session's current rule set. Callers must treat it as
+// read-only; use Clone for a private copy.
+func (s *Session) Rules() *rules.Set { return s.ruleSet }
+
+// Log returns the session's modification log.
+func (s *Session) Log() *Log { return &s.log }
+
+// Stats computes the round statistics of the current rules over rel.
+func (s *Session) Stats(rel *relation.Relation) RoundStats {
+	capturedBy := s.ruleSet.Eval(rel)
+	st := RoundStats{Round: s.rounds, Modifications: s.log.Len()}
+	for i := 0; i < rel.Len(); i++ {
+		switch rel.Label(i) {
+		case relation.Fraud:
+			st.FraudTotal++
+			if capturedBy.Has(i) {
+				st.FraudCaptured++
+			}
+		case relation.Legitimate:
+			st.LegitTotal++
+			if capturedBy.Has(i) {
+				st.LegitCaptured++
+			}
+		default:
+			if capturedBy.Has(i) {
+				st.UnlabeledCaptured++
+			}
+		}
+	}
+	return st
+}
+
+// CaptureRemaining creates one transaction-specific rule per reported
+// fraudulent transaction the current rules still miss — the closing option
+// of the general algorithm in Section 4 ("the domain expert has a choice to
+// leave the result as-is or allow the algorithm to create
+// transaction-specific rules to capture each of the remaining
+// transactions"). It returns the number of rules added.
+func (s *Session) CaptureRemaining(rel *relation.Relation) int {
+	schema := rel.Schema()
+	added := 0
+	for _, f := range rel.Indices(relation.Fraud) {
+		if len(s.ruleSet.CapturingRulesAt(rel, f)) > 0 {
+			continue
+		}
+		t := rel.Tuple(f)
+		r := rules.NewRule(schema)
+		for i := 0; i < schema.Arity(); i++ {
+			if schema.Attr(i).Kind == relation.Categorical {
+				r.SetCond(i, rules.ConceptCond(ontology.Concept(t[i])))
+				continue
+			}
+			r.SetCond(i, rules.NumericCond(order.Point(t[i])))
+		}
+		idx := s.ruleSet.Add(r)
+		s.log.Append(Modification{
+			Kind:        cost.RuleAdd,
+			RuleIndex:   idx,
+			Attr:        -1,
+			Cost:        s.opts.costModel().ModificationCost(cost.RuleAdd, -1),
+			Description: "transaction-specific rule: " + r.Format(schema),
+		})
+		added++
+	}
+	return added
+}
+
+// Refine runs the general rule modification algorithm of Section 4 over the
+// relation (old and new transactions together): generalize to capture
+// fraudulent transactions, specialize to exclude legitimate ones, and repeat
+// until the expert is satisfied, the rules are stable, or MaxRounds passes
+// have run. It returns the statistics after the final round.
+func (s *Session) Refine(rel *relation.Relation) RoundStats {
+	var st RoundStats
+	for i := 0; i < s.opts.maxRounds(); i++ {
+		before := s.log.Len()
+		s.Generalize(rel)
+		s.Specialize(rel)
+		s.rounds++
+		st = s.Stats(rel)
+		if s.expert.Satisfied(st) || s.log.Len() == before {
+			break
+		}
+	}
+	return st
+}

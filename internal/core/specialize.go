@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cost"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Specialize runs Algorithm 2: for every legitimate transaction captured by
+// the rules, split each capturing rule on the attribute whose split has the
+// greatest benefit, interactively with the expert, until the transaction is
+// excluded. Afterwards, rules subsumed by other rules are pruned — splits
+// duplicate rules, and dropping a rule whose captures are a subset of
+// another's never changes Φ(I).
+func (s *Session) Specialize(rel *relation.Relation) {
+	schema := rel.Schema()
+	for _, l := range rel.Indices(relation.Legitimate) {
+		s.excludeLegit(rel, schema, l)
+	}
+	s.pruneSubsumed(schema)
+}
+
+// pruneSubsumed removes rules contained (condition-wise) in another rule.
+// Containment pruning is semantics-preserving, so it is not logged as a
+// modification.
+func (s *Session) pruneSubsumed(schema *relation.Schema) {
+	for i := 0; i < s.ruleSet.Len(); i++ {
+		for j := s.ruleSet.Len() - 1; j >= 0; j-- {
+			if i == j || i >= s.ruleSet.Len() || j >= s.ruleSet.Len() {
+				continue
+			}
+			if s.ruleSet.Rule(i).Contains(schema, s.ruleSet.Rule(j)) {
+				s.ruleSet.Remove(j)
+				if j < i {
+					i--
+				}
+			}
+		}
+	}
+}
+
+// excludeLegit adapts every rule capturing the legitimate tuple l so that it
+// is no longer captured (the outer loops of Algorithm 2).
+func (s *Session) excludeLegit(rel *relation.Relation, schema *relation.Schema, l int) {
+	// Rules change as we split, so re-discover capturing rules until none
+	// remain. Every iteration removes the processed rule and its machine-built
+	// replacements exclude l, so this terminates — unless an expert edit
+	// reintroduces a capturing rule, which the iteration bound cuts off.
+	maxIter := 2*s.ruleSet.Len() + 8
+	for iter := 0; iter < maxIter; iter++ {
+		capturing := s.ruleSet.CapturingRulesAt(rel, l)
+		if len(capturing) == 0 {
+			return
+		}
+		s.splitRule(rel, schema, capturing[0], l)
+	}
+}
+
+// splitCandidate is one possible split of a rule on one attribute.
+type splitCandidate struct {
+	attr         int
+	replacements []*rules.Rule
+	benefit      float64
+	// score is benefit minus the modification cost of the split. The paper
+	// sketches attribute selection under a fixed modification cost, but its
+	// own categorical splits "may duplicate r more than twice"; charging the
+	// real cost of the replacement rules keeps the selection aligned with
+	// the cost(M) − benefit objective of Definition 3.1 and stops broad DAG
+	// covers from exploding the rule set.
+	score float64
+}
+
+// splitRule runs the repeat-loop of Algorithm 2 for one rule: propose splits
+// in order of decreasing benefit until the expert accepts one; if every
+// attribute is rejected the best split is applied anyway, since the
+// legitimate transaction has to be excluded (the paper notes one of the
+// splits must be deemed correct).
+func (s *Session) splitRule(rel *relation.Relation, schema *relation.Schema, ruleIdx, l int) {
+	r := s.ruleSet.Rule(ruleIdx)
+	cands := s.splitCandidates(rel, schema, r, ruleIdx, l)
+	if len(cands) == 0 {
+		// No attribute can be split (the rule is exactly the legitimate
+		// tuple); the rule itself must go.
+		s.removeRule(schema, ruleIdx, "no attribute can exclude the legitimate tuple")
+		return
+	}
+	for i, cand := range cands {
+		proposal := &SplitProposal{
+			Schema:       schema,
+			Rel:          rel,
+			RuleIndex:    ruleIdx,
+			Original:     r,
+			Attr:         cand.attr,
+			Replacements: cand.replacements,
+			LegitIndex:   l,
+			Benefit:      cand.benefit,
+		}
+		dec := s.expert.ReviewSplit(proposal)
+		if dec.Accept || i == len(cands)-1 {
+			s.applySplit(schema, ruleIdx, cand, dec, !dec.Accept)
+			return
+		}
+	}
+}
+
+// splitCandidates enumerates the possible splits of rule r to exclude the
+// value of each attribute of tuple l, ordered by decreasing benefit
+// (Algorithm 2, line 5). Ties preserve attribute order, a deterministic
+// stand-in for the paper's random tie-break.
+func (s *Session) splitCandidates(rel *relation.Relation, schema *relation.Schema, r *rules.Rule, ruleIdx, l int) []splitCandidate {
+	lt := rel.Tuple(l)
+	captured := r.Captures(rel)
+	others := s.capturedByOthers(rel, ruleIdx)
+	var cands []splitCandidate
+	for attr := 0; attr < schema.Arity(); attr++ {
+		a := schema.Attr(attr)
+		if s.opts.NumericOnly && a.Kind == relation.Categorical {
+			continue
+		}
+		replacements, ok := splitOnAttr(schema, r, attr, lt[attr])
+		if !ok {
+			continue
+		}
+		removed := removedBySplit(rel, captured, attr, lt[attr])
+		benefit := cost.SplitBenefit(rel, removed, others, s.opts.weights())
+		splitCost := float64(len(replacements)) * s.opts.costModel().ModificationCost(cost.RuleSplit, attr)
+		cands = append(cands, splitCandidate{
+			attr:         attr,
+			replacements: replacements,
+			benefit:      benefit,
+			score:        benefit - splitCost,
+		})
+	}
+	// Sort by decreasing benefit-minus-cost, stable in attribute order.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	return cands
+}
+
+// SplitRuleOnAttr exposes the split construction of Algorithm 2 (see
+// splitOnAttr) for reuse by the fully-manual baseline, which narrows rules
+// the same way a session does but without expert interaction.
+func SplitRuleOnAttr(schema *relation.Schema, r *rules.Rule, attr int, v int64) ([]*rules.Rule, bool) {
+	return splitOnAttr(schema, r, attr, v)
+}
+
+// splitOnAttr builds the replacement rules for splitting r on attr to
+// exclude value v: the prev/succ interval split for numeric attributes
+// (lines 6-9), or one rule per concept of the greedy cover for categorical
+// attributes. ok is false when the attribute cannot exclude v (the
+// condition is a single point equal to v and nothing would remain — in that
+// case the caller may still drop the rule, which splitOnAttr reports as an
+// empty replacement list with ok true).
+func splitOnAttr(schema *relation.Schema, r *rules.Rule, attr int, v int64) ([]*rules.Rule, bool) {
+	a := schema.Attr(attr)
+	if a.Kind == relation.Categorical {
+		cover := a.Ontology.CoverExcluding(r.Cond(attr).C, ontology.Concept(v))
+		replacements := make([]*rules.Rule, 0, len(cover))
+		for _, c := range cover {
+			nr := r.Clone()
+			nr.SetCond(attr, rules.ConceptCond(c))
+			replacements = append(replacements, nr)
+		}
+		return replacements, true
+	}
+	left, right := r.Cond(attr).Iv.SplitAround(a.Domain, v)
+	var replacements []*rules.Rule
+	if !left.IsEmpty() {
+		replacements = append(replacements, r.Clone().SetCond(attr, rules.NumericCond(left)))
+	}
+	if !right.IsEmpty() {
+		replacements = append(replacements, r.Clone().SetCond(attr, rules.NumericCond(right)))
+	}
+	if len(replacements) == 1 && replacements[0].Equal(schema, r) {
+		return nil, false // v outside the condition: splitting changes nothing
+	}
+	return replacements, true
+}
+
+// removedBySplit returns the transactions captured by the rule whose attr
+// value matches the excluded value (numeric) or falls under the excluded
+// leaf (categorical) — exactly what the split stops capturing.
+func removedBySplit(rel *relation.Relation, captured *bitset.Set, attr int, v int64) *bitset.Set {
+	removed := bitset.New(rel.Len())
+	captured.ForEach(func(i int) {
+		if rel.Tuple(i)[attr] == v {
+			removed.Add(i)
+		}
+	})
+	return removed
+}
+
+// capturedByOthers returns the union of the captures of every rule except
+// the one at skipIdx, so benefits only count transactions whose capture
+// status actually changes.
+func (s *Session) capturedByOthers(rel *relation.Relation, skipIdx int) *bitset.Set {
+	out := bitset.New(rel.Len())
+	for i, r := range s.ruleSet.Rules() {
+		if i == skipIdx {
+			continue
+		}
+		out.UnionWith(r.Captures(rel))
+	}
+	return out
+}
+
+// applySplit installs the accepted (or forced) split: the kept replacement
+// rules are added and the original rule is removed (Algorithm 2 lines 12-16).
+func (s *Session) applySplit(schema *relation.Schema, ruleIdx int, cand splitCandidate, dec SplitDecision, forced bool) {
+	replacements := cand.replacements
+	if !forced {
+		if dec.Keep != nil {
+			kept := make([]*rules.Rule, 0, len(dec.Keep))
+			for _, k := range dec.Keep {
+				if k >= 0 && k < len(replacements) {
+					kept = append(kept, replacements[k])
+				}
+			}
+			replacements = kept
+		}
+		if dec.Edited != nil {
+			replacements = dec.Edited
+		}
+	}
+	original := s.ruleSet.Rule(ruleIdx)
+	s.ruleSet.Remove(ruleIdx)
+	for _, nr := range replacements {
+		if nr.IsEmpty(schema) {
+			continue
+		}
+		s.ruleSet.Add(nr)
+	}
+	s.log.Append(Modification{
+		Kind:      cost.RuleSplit,
+		RuleIndex: ruleIdx,
+		Attr:      cand.attr,
+		Cost:      s.opts.costModel().ModificationCost(cost.RuleSplit, cand.attr),
+		Forced:    forced,
+		Description: fmt.Sprintf("split %q on %s into %d rule(s)",
+			original.Format(schema), schema.Attr(cand.attr).Name, len(replacements)),
+	})
+}
+
+// removeRule deletes a rule outright and logs the removal.
+func (s *Session) removeRule(schema *relation.Schema, ruleIdx int, why string) {
+	r := s.ruleSet.Rule(ruleIdx)
+	s.ruleSet.Remove(ruleIdx)
+	s.log.Append(Modification{
+		Kind:        cost.RuleRemove,
+		RuleIndex:   ruleIdx,
+		Attr:        -1,
+		Cost:        s.opts.costModel().ModificationCost(cost.RuleRemove, -1),
+		Description: fmt.Sprintf("removed %q: %s", r.Format(schema), why),
+	})
+}

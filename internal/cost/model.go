@@ -1,0 +1,115 @@
+package cost
+
+// ModKind classifies rule modifications for costing and for the
+// modification-mix statistics reported in Section 5 of the paper (~75%
+// condition refinements, ~20% rule splits, ~5% rule additions).
+type ModKind uint8
+
+const (
+	// CondRefine is a change to one condition of an existing rule
+	// (generalization or specialization).
+	CondRefine ModKind = iota
+	// RuleSplit is the duplication of a rule into restricted copies by
+	// Algorithm 2.
+	RuleSplit
+	// RuleAdd is the creation of a new rule.
+	RuleAdd
+	// RuleRemove is the deletion of a rule.
+	RuleRemove
+)
+
+// String names the modification kind.
+func (k ModKind) String() string {
+	switch k {
+	case CondRefine:
+		return "condition-refinement"
+	case RuleSplit:
+		return "rule-split"
+	case RuleAdd:
+		return "rule-addition"
+	case RuleRemove:
+		return "rule-removal"
+	default:
+		return "unknown"
+	}
+}
+
+// Model assigns a cost to each rule modification. The paper's analysis uses
+// unit costs; its future-work section proposes per-attribute weighted costs,
+// which WeightedModel implements.
+type Model interface {
+	// ModificationCost returns the cost of a modification of the given kind
+	// touching the given attribute (attr is -1 for whole-rule operations).
+	ModificationCost(kind ModKind, attr int) float64
+}
+
+// UnitModel charges 1 for every modification, as assumed throughout the
+// paper's hardness proofs and examples.
+type UnitModel struct{}
+
+// ModificationCost implements Model.
+func (UnitModel) ModificationCost(ModKind, int) float64 { return 1 }
+
+// WeightedModel charges per-kind and per-attribute weights. It implements
+// the paper's future-work cost model: weights can be adjusted from expert
+// feedback so that attributes whose proposed changes experts keep rejecting
+// become more expensive to touch.
+type WeightedModel struct {
+	// KindWeight scales each modification kind; missing kinds default to 1.
+	KindWeight map[ModKind]float64
+	// AttrWeight scales modifications touching a given attribute; missing
+	// attributes default to 1.
+	AttrWeight map[int]float64
+}
+
+// NewWeightedModel returns a WeightedModel with all weights 1.
+func NewWeightedModel() *WeightedModel {
+	return &WeightedModel{
+		KindWeight: make(map[ModKind]float64),
+		AttrWeight: make(map[int]float64),
+	}
+}
+
+// ModificationCost implements Model.
+func (m *WeightedModel) ModificationCost(kind ModKind, attr int) float64 {
+	c := 1.0
+	if w, ok := m.KindWeight[kind]; ok {
+		c *= w
+	}
+	if attr >= 0 {
+		if w, ok := m.AttrWeight[attr]; ok {
+			c *= w
+		}
+	}
+	return c
+}
+
+// learning parameters for Feedback: multiplicative update, clamped so a
+// single attribute can neither become free nor prohibitively expensive.
+const (
+	feedbackStep  = 1.25
+	minAttrWeight = 0.25
+	maxAttrWeight = 8.0
+)
+
+// Feedback adjusts the attribute weight after an expert decision: rejected
+// proposals make the attribute more expensive to modify, accepted ones make
+// it cheaper. This is the dynamic adaptation sketched in Section 7.
+func (m *WeightedModel) Feedback(attr int, accepted bool) {
+	w, ok := m.AttrWeight[attr]
+	if !ok {
+		w = 1
+	}
+	if accepted {
+		w /= feedbackStep
+	} else {
+		w *= feedbackStep
+	}
+	if w < minAttrWeight {
+		w = minAttrWeight
+	}
+	if w > maxAttrWeight {
+		w = maxAttrWeight
+	}
+	m.AttrWeight[attr] = w
+}

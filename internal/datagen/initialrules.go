@@ -1,0 +1,98 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// InitialRules builds the FI's incumbent rule set: perturbed approximations
+// of the patterns that were already active at the start of the period, plus
+// a few spurious rules. Perturbations (clipped windows, raised amount
+// thresholds, narrowed concepts) reproduce the paper's starting condition —
+// incumbent rules that misclassify a substantial share (roughly 35-50%) of
+// the labeled transactions and must be both generalized and specialized.
+//
+// minRules pads the set with narrower per-leaf variants to reach FI-sized
+// rule counts (the paper's FIs run 10-130 rules); pass 0 for no padding.
+func InitialRules(ds *Dataset, minRules int, seed int64) *rules.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := ds.Schema
+	out := rules.NewSet()
+	for _, p := range ds.Patterns {
+		if p.StartDay != 0 {
+			continue // the FI has not seen drift patterns yet
+		}
+		r := perturb(rng, s, p.Rule)
+		// Only draw when thresholds are enabled, so the default configuration
+		// keeps the exact random stream (and rule sets) it always had.
+		if ds.Config.InitialRuleScoreRate > 0 && rng.Float64() < ds.Config.InitialRuleScoreRate {
+			// Low thresholds: the incumbent rules also lean on the ML score.
+			r.SetMinScore(int16(200 + 50*rng.Intn(5)))
+		}
+		out.Add(r)
+	}
+	// A few spurious rules from stale or over-eager analysis.
+	for i := 0; i < 2; i++ {
+		out.Add(randomPattern(rng, s, 0).Rule)
+	}
+	// Pad with narrow per-leaf variants of existing rules.
+	for v := 0; out.Len() < minRules; v++ {
+		base := out.Rule(v % out.Len())
+		narrowed := narrowOneConcept(rng, s, base)
+		out.Add(narrowed)
+	}
+	return out
+}
+
+// perturb distorts one pattern rule the way stale incumbent rules are
+// distorted: clipped time windows, raised amount thresholds, narrowed
+// concepts.
+func perturb(rng *rand.Rand, s *relation.Schema, r *rules.Rule) *rules.Rule {
+	out := r.Clone()
+	// Clip the time window: start 10-40 minutes late.
+	tw := out.Cond(AttrTime).Iv
+	shift := int64(10 + 5*rng.Intn(7))
+	lo := tw.Lo + shift
+	if lo > tw.Hi {
+		lo = tw.Hi
+	}
+	out.SetCond(AttrTime, rules.NumericCond(order.Interval{Lo: lo, Hi: tw.Hi}))
+	// Raise the amount threshold by 10-30% of the band.
+	am := out.Cond(AttrAmount).Iv
+	width := am.Size()
+	raise := int64(float64(width) * (0.1 + 0.2*rng.Float64()))
+	amLo := am.Lo + raise
+	if amLo > am.Hi {
+		amLo = am.Hi
+	}
+	out.SetCond(AttrAmount, rules.NumericCond(order.Interval{Lo: amLo, Hi: am.Hi}))
+	// Narrow one categorical concept to a child half the time.
+	if rng.Intn(2) == 0 {
+		out = narrowOneConcept(rng, s, out)
+	}
+	// Forget the day restriction: incumbent rules ran from day 0 anyway.
+	out.SetCond(AttrDay, rules.TrivialCond(s.Attr(AttrDay)))
+	return out
+}
+
+// narrowOneConcept returns a copy of r with one categorical condition
+// replaced by one of its children (if any).
+func narrowOneConcept(rng *rand.Rand, s *relation.Schema, r *rules.Rule) *rules.Rule {
+	out := r.Clone()
+	attrs := []int{AttrType, AttrLocation, AttrClient}
+	start := rng.Intn(len(attrs))
+	for k := 0; k < len(attrs); k++ {
+		attr := attrs[(start+k)%len(attrs)]
+		o := s.Attr(attr).Ontology
+		children := o.Children(out.Cond(attr).C)
+		if len(children) == 0 {
+			continue
+		}
+		out.SetCond(attr, rules.ConceptCond(children[rng.Intn(len(children))]))
+		return out
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Pattern is a planted attack: a conjunctive region of the transaction space
+// inside which the attacker operates, active from StartDay onward. Pattern
+// boundaries are "round" values (multiples of 5 minutes, $10, …) so that the
+// oracle expert's boundary rounding has a ground truth to round to.
+type Pattern struct {
+	// Rule is the region; its day condition is [StartDay, last day].
+	Rule *rules.Rule
+	// StartDay is the first day the attack is active (drift: new patterns
+	// appear mid-stream).
+	StartDay int
+	// Weight is the pattern's share when assigning fraudulent transactions
+	// among the patterns active on a given day.
+	Weight float64
+}
+
+// randomPattern synthesizes a pattern over the schema. Conditions:
+// a daily time window of 30-120 minutes, an amount threshold or band, a
+// transaction-type concept, a location concept (city, country, or
+// venue-kind), occasionally a client-type or new-account condition.
+func randomPattern(rng *rand.Rand, s *relation.Schema, startDay int) Pattern {
+	r := rules.NewRule(s)
+
+	days := s.Attr(AttrDay).Domain
+	r.SetCond(AttrDay, rules.NumericCond(order.Interval{Lo: int64(startDay), Hi: days.Max}))
+
+	winStart := int64(rng.Intn(276)) * 5 // 00:00 .. 22:55, multiple of 5
+	winLen := int64(30 + 5*rng.Intn(19)) // 30..120 minutes
+	winEnd := winStart + winLen
+	if winEnd > 1439 {
+		winEnd = 1439
+	}
+	r.SetCond(AttrTime, rules.NumericCond(order.Interval{Lo: winStart, Hi: winEnd}))
+
+	lo := int64(20+10*rng.Intn(29)) * 1 // $20..$300 in $10 steps
+	if rng.Intn(2) == 0 {
+		r.SetCond(AttrAmount, rules.NumericCond(order.Interval{Lo: lo, Hi: MaxAmount}))
+	} else {
+		hi := lo + int64(100+50*rng.Intn(18)) // band of $100..$950
+		if hi > MaxAmount {
+			hi = MaxAmount
+		}
+		r.SetCond(AttrAmount, rules.NumericCond(order.Interval{Lo: lo, Hi: hi}))
+	}
+
+	r.SetCond(AttrType, rules.ConceptCond(randomConcept(rng, s.Attr(AttrType).Ontology, 1)))
+	r.SetCond(AttrLocation, rules.ConceptCond(randomConcept(rng, s.Attr(AttrLocation).Ontology, 1)))
+
+	if rng.Intn(10) < 3 {
+		r.SetCond(AttrClient, rules.ConceptCond(randomConcept(rng, s.Attr(AttrClient).Ontology, 1)))
+	}
+	if rng.Intn(10) < 2 {
+		// Fresh accounts: few previous transactions.
+		r.SetCond(AttrPrevTxns, rules.NumericCond(order.Interval{Lo: 0, Hi: int64(5 + 5*rng.Intn(6))}))
+	}
+
+	return Pattern{Rule: r, StartDay: startDay, Weight: 0.5 + rng.Float64()}
+}
+
+// randomConcept picks a uniformly random non-⊤ concept of at least the given
+// depth (falling back to any non-⊤ concept).
+func randomConcept(rng *rand.Rand, o *ontology.Ontology, minDepth int) ontology.Concept {
+	for tries := 0; tries < 64; tries++ {
+		c := ontology.Concept(rng.Intn(o.Len()))
+		if c != o.Top() && o.Depth(c) >= minDepth {
+			return c
+		}
+	}
+	return ontology.Concept(1)
+}
+
+// sampleInPattern draws a tuple uniformly from the pattern's region, with
+// the day fixed.
+func sampleInPattern(rng *rand.Rand, s *relation.Schema, p Pattern, day int64) relation.Tuple {
+	t := make(relation.Tuple, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		c := p.Rule.Cond(i)
+		if i == AttrDay {
+			t[i] = day
+			continue
+		}
+		if a.Kind == relation.Categorical {
+			leaves := a.Ontology.LeavesUnder(c.C)
+			t[i] = int64(leaves[rng.Intn(len(leaves))])
+			continue
+		}
+		iv := c.Iv.Intersect(a.Domain.Full())
+		t[i] = iv.Lo + rng.Int63n(iv.Size())
+	}
+	return t
+}
+
+// sampleBackground draws a legitimate background transaction for the day:
+// amounts are skewed small (roughly exponential), times cover the day, other
+// attributes are uniform over their domains.
+func sampleBackground(rng *rand.Rand, s *relation.Schema, day int64) relation.Tuple {
+	t := make(relation.Tuple, s.Arity())
+	t[AttrDay] = day
+	t[AttrTime] = int64(rng.Intn(1440))
+	amount := int64(1 + rng.ExpFloat64()*80)
+	if amount > MaxAmount {
+		amount = MaxAmount
+	}
+	t[AttrAmount] = amount
+	for _, i := range []int{AttrType, AttrLocation, AttrClient} {
+		leaves := s.Attr(i).Ontology.Leaves()
+		t[i] = int64(leaves[rng.Intn(len(leaves))])
+	}
+	t[AttrPrevTxns] = int64(rng.Intn(MaxPrevTxns + 1))
+	return t
+}

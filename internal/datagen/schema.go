@@ -1,0 +1,56 @@
+package datagen
+
+import (
+	"repro/internal/cluster"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+)
+
+// Attribute indices of the synthetic FI schema, in order.
+const (
+	AttrDay      = 0 // day index within the observation period
+	AttrTime     = 1 // minute of day
+	AttrAmount   = 2 // whole currency units
+	AttrType     = 3 // transaction type (Figure 1 ontology)
+	AttrLocation = 4 // geographic/venue ontology
+	AttrClient   = 5 // client type ontology
+	AttrPrevTxns = 6 // number of previous transactions of the account
+)
+
+// Domain bounds of the numeric attributes.
+const (
+	MaxAmount   = 5000
+	MaxPrevTxns = 500
+)
+
+// Clusterer returns the leader clusterer configured for this schema: the
+// day index never separates clusters, because planted attack windows recur
+// daily and the same pattern's frauds span many days.
+func Clusterer() cluster.Leader {
+	return cluster.Leader{AttrFrac: map[int]float64{AttrDay: 1}}
+}
+
+// Schema returns the seven-attribute universal transaction relation used by
+// the generator: T(day, time, amount, type, location, client, prev_txns).
+// Splitting absolute time into a day index and a minute-of-day keeps daily
+// recurring attack windows (e.g. "around closing time") expressible as a
+// single interval condition, as in the paper's examples.
+func Schema(geo GeoConfig, days int) *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "day", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, int64(days-1)), Format: order.FormatPlain},
+		relation.Attribute{Name: "time", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1439), Format: order.FormatTimeOfDay},
+		relation.Attribute{Name: "amount", Kind: relation.Numeric,
+			Domain: order.NewDomain(1, MaxAmount), Format: order.FormatMoney},
+		relation.Attribute{Name: "type", Kind: relation.Categorical,
+			Ontology: TypeOntology()},
+		relation.Attribute{Name: "location", Kind: relation.Categorical,
+			Ontology: GeoOntology(geo)},
+		relation.Attribute{Name: "client", Kind: relation.Categorical,
+			Ontology: ClientOntology()},
+		relation.Attribute{Name: "prev_txns", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, MaxPrevTxns), Format: order.FormatPlain},
+	)
+}

@@ -1,0 +1,53 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// scorer simulates the company's ML risk model: scores in [0, 1000] drawn
+// from two overlapping Gaussians whose separation is controlled by a single
+// quality knob. The threshold baseline of Section 5 classifies on this
+// score, so its achievable error is governed directly by the separation.
+type scorer struct {
+	rng       *rand.Rand
+	fraudMean float64
+	legitMean float64
+	spread    float64
+}
+
+// newScorer maps separation ∈ [0,1] to mean distance: at 0 both classes
+// score identically; at 1 the means sit 6 spreads apart.
+func newScorer(rng *rand.Rand, separation float64) *scorer {
+	if separation < 0 {
+		separation = 0
+	}
+	if separation > 1 {
+		separation = 1
+	}
+	const spread = 140.0
+	mid := float64(relation.MaxScore) / 2
+	halfGap := separation * 3 * spread / 2
+	return &scorer{
+		rng:       rng,
+		fraudMean: mid + halfGap,
+		legitMean: mid - halfGap,
+		spread:    spread,
+	}
+}
+
+func (sc *scorer) score(fraud bool) int16 {
+	mean := sc.legitMean
+	if fraud {
+		mean = sc.fraudMean
+	}
+	v := mean + sc.rng.NormFloat64()*sc.spread
+	if v < 0 {
+		v = 0
+	}
+	if v > relation.MaxScore {
+		v = relation.MaxScore
+	}
+	return int16(v)
+}

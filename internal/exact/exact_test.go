@@ -1,0 +1,256 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// paperInstance is the worked example of Theorems 4.1/4.5:
+// U = {A1..A5}, S = {{A1,A2,A3}, {A2,A3,A4,A5}, {A4,A5}}, optimum 2.
+func paperInstance() HittingSet {
+	return HittingSet{N: 5, Sets: [][]int{{0, 1, 2}, {1, 2, 3, 4}, {3, 4}}}
+}
+
+func TestIsHit(t *testing.T) {
+	hs := paperInstance()
+	if !hs.IsHit([]int{1, 3}) {
+		t.Error("{A2,A4} should hit all sets (paper's minimum hitting set)")
+	}
+	if hs.IsHit([]int{0}) {
+		t.Error("{A1} misses two sets")
+	}
+	if !hs.IsHit([]int{0, 1, 2, 3, 4}) {
+		t.Error("the whole universe must hit")
+	}
+	if !(HittingSet{N: 3, Sets: nil}).IsHit(nil) {
+		t.Error("no sets: anything hits")
+	}
+}
+
+func TestGreedyHittingSetValid(t *testing.T) {
+	hs := paperInstance()
+	g := hs.Greedy()
+	if !hs.IsHit(g) {
+		t.Fatalf("greedy result %v is not a hitting set", g)
+	}
+}
+
+func TestExactHittingSetPaperExample(t *testing.T) {
+	hs := paperInstance()
+	e := hs.Exact()
+	if len(e) != 2 {
+		t.Fatalf("exact hitting set = %v, want size 2 (the paper's {A2,A4})", e)
+	}
+	if !hs.IsHit(e) {
+		t.Fatalf("exact result %v does not hit", e)
+	}
+}
+
+func TestExactEmptyAndSingleton(t *testing.T) {
+	if got := (HittingSet{N: 4, Sets: nil}).Exact(); len(got) != 0 {
+		t.Errorf("Exact on empty family = %v", got)
+	}
+	if got := (HittingSet{N: 4, Sets: [][]int{{2}}}).Exact(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Exact on singleton = %v", got)
+	}
+	// Empty subsets are ignored (vacuously hit, as they are unhittable).
+	if got := (HittingSet{N: 2, Sets: [][]int{{}, {1}}}).Exact(); len(got) != 1 {
+		t.Errorf("Exact with empty subset = %v", got)
+	}
+}
+
+func randomHittingSet(rng *rand.Rand) HittingSet {
+	n := 3 + rng.Intn(6)
+	m := 1 + rng.Intn(6)
+	hs := HittingSet{N: n}
+	for i := 0; i < m; i++ {
+		size := 1 + rng.Intn(n)
+		seen := map[int]bool{}
+		var set []int
+		for len(set) < size {
+			e := rng.Intn(n)
+			if !seen[e] {
+				seen[e] = true
+				set = append(set, e)
+			}
+		}
+		hs.Sets = append(hs.Sets, set)
+	}
+	return hs
+}
+
+// TestExactIsMinimalAndGreedyIsValid cross-checks Exact against brute force
+// and verifies Exact ≤ Greedy on random small instances.
+func TestExactIsMinimalAndGreedyIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		hs := randomHittingSet(rng)
+		e, g := hs.Exact(), hs.Greedy()
+		if !hs.IsHit(e) || !hs.IsHit(g) {
+			t.Fatalf("trial %d: invalid solutions e=%v g=%v", trial, e, g)
+		}
+		if len(e) > len(g) {
+			t.Fatalf("trial %d: exact %v larger than greedy %v", trial, e, g)
+		}
+		if min := bruteForceMin(hs); len(e) != min {
+			t.Fatalf("trial %d: exact size %d, brute force %d", trial, len(e), min)
+		}
+	}
+}
+
+// bruteForceMin enumerates all subsets (N ≤ ~10).
+func bruteForceMin(hs HittingSet) int {
+	best := hs.N + 1
+	for mask := 0; mask < 1<<hs.N; mask++ {
+		var h []int
+		for e := 0; e < hs.N; e++ {
+			if mask&(1<<e) != 0 {
+				h = append(h, e)
+			}
+		}
+		if len(h) < best && hs.IsHit(h) {
+			best = len(h)
+		}
+	}
+	return best
+}
+
+func TestSetCoverGreedyAndExact(t *testing.T) {
+	sc := SetCover{N: 5, Subsets: [][]int{{0, 1}, {2, 3}, {4}, {0, 1, 2, 3}, {3, 4}}}
+	g := sc.Greedy()
+	if !sc.Covers(g) {
+		t.Fatalf("greedy %v does not cover", g)
+	}
+	e := sc.Exact()
+	if !sc.Covers(e) || len(e) != 2 {
+		t.Fatalf("exact cover = %v, want size 2 ({0,1,2,3} + {4} or {3,4})", e)
+	}
+}
+
+func TestSetCoverInfeasible(t *testing.T) {
+	sc := SetCover{N: 3, Subsets: [][]int{{0, 1}}}
+	if got := sc.Exact(); got != nil {
+		t.Errorf("infeasible cover solved: %v", got)
+	}
+	if g := sc.Greedy(); sc.Covers(g) {
+		t.Error("greedy covered an uncoverable universe")
+	}
+}
+
+func TestSetCoverEmptyUniverse(t *testing.T) {
+	sc := SetCover{N: 0, Subsets: [][]int{{}}}
+	if got := sc.Exact(); len(got) != 0 {
+		t.Errorf("empty universe cover = %v", got)
+	}
+}
+
+func TestSetCoverExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		sc := SetCover{N: n}
+		for i := 0; i < m; i++ {
+			var set []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(2) == 0 {
+					set = append(set, e)
+				}
+			}
+			sc.Subsets = append(sc.Subsets, set)
+		}
+		e := sc.Exact()
+		best := -1
+		for mask := 0; mask < 1<<m; mask++ {
+			var chosen []int
+			for si := 0; si < m; si++ {
+				if mask&(1<<si) != 0 {
+					chosen = append(chosen, si)
+				}
+			}
+			if sc.Covers(chosen) && (best < 0 || len(chosen) < best) {
+				best = len(chosen)
+			}
+		}
+		if best < 0 {
+			if e != nil {
+				t.Fatalf("trial %d: infeasible but solved %v", trial, e)
+			}
+			continue
+		}
+		if len(e) != best {
+			t.Fatalf("trial %d: exact %d, brute force %d", trial, len(e), best)
+		}
+	}
+}
+
+// TestReductionGeneralizationPaperExample replays the worked example of
+// Theorem 4.1: the exact solution of the reduced instance is a minimum
+// hitting set of size 2.
+func TestReductionGeneralizationPaperExample(t *testing.T) {
+	hs := paperInstance()
+	gi := ReduceToGeneralization(hs)
+	if gi.Rel.Len() != 4 {
+		t.Fatalf("reduced relation has %d tuples, want 4", gi.Rel.Len())
+	}
+	// The characteristic tuple of s1 = {A1,A2,A3} is (0,0,0,1,1).
+	want := []int64{0, 0, 0, 1, 1}
+	for i, v := range want {
+		if gi.Rel.Tuple(0)[i] != v {
+			t.Fatalf("characteristic tuple = %v, want %v", gi.Rel.Tuple(0), want)
+		}
+	}
+	sol := gi.SolveGeneralizationExact()
+	if len(sol) != 2 {
+		t.Fatalf("exact generalization = %v, want 2 conditions", sol)
+	}
+	if !hs.IsHit(sol) {
+		t.Fatalf("extracted set %v is not a hitting set", sol)
+	}
+}
+
+// TestReductionSpecializationPaperExample replays Theorem 4.5's example: two
+// rules (a₂ = 0 and a₄ = 0 in 1-based terms) suffice.
+func TestReductionSpecializationPaperExample(t *testing.T) {
+	hs := paperInstance()
+	si := ReduceToSpecialization(hs)
+	if si.Rel.Count(1 /* relation.Fraud */) != 3 {
+		t.Fatalf("want 3 fraudulent characteristic tuples")
+	}
+	sol := si.SolveSpecializationExact()
+	if len(sol) != 2 {
+		t.Fatalf("exact specialization = %v, want 2 rules", sol)
+	}
+	if !hs.IsHit(sol) {
+		t.Fatalf("extracted set %v is not a hitting set", sol)
+	}
+}
+
+// TestReductionRoundTrip is the property at the heart of both proofs: for
+// random instances, the optimum of the reduced rule problem equals the
+// minimum hitting set size — in both directions.
+func TestReductionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		hs := randomHittingSet(rng)
+		opt := len(hs.Exact())
+
+		gi := ReduceToGeneralization(hs)
+		genSol := gi.SolveGeneralizationExact()
+		if genSol == nil || len(genSol) != opt {
+			t.Fatalf("trial %d: generalization optimum %v, hitting set optimum %d", trial, genSol, opt)
+		}
+		if !hs.IsHit(genSol) {
+			t.Fatalf("trial %d: generalization solution is not a hitting set", trial)
+		}
+
+		si := ReduceToSpecialization(hs)
+		specSol := si.SolveSpecializationExact()
+		if specSol == nil || len(specSol) != opt {
+			t.Fatalf("trial %d: specialization optimum %v, hitting set optimum %d", trial, specSol, opt)
+		}
+		if !hs.IsHit(specSol) {
+			t.Fatalf("trial %d: specialization solution is not a hitting set", trial)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package exact
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expert"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Gap quantifies the optimality gap of the PTIME heuristics on a reduced
+// instance. Both sides are measured the way the hardness proofs measure
+// cost — one unit per written condition: the optimum writes |H| conditions
+// (Theorem 4.1: |H| conditions in one rule; Theorem 4.5: one condition in
+// each of |H| rules), and the heuristic's cost is the total number of
+// non-trivial conditions in its final rule set. Heuristic ≥ Optimal always;
+// the ratio is the price of polynomial time that Theorems 4.1-4.6 say must
+// be paid in the worst case.
+type Gap struct {
+	Heuristic int
+	Optimal   int
+}
+
+// Ratio returns Heuristic/Optimal (1 when both are zero).
+func (g Gap) Ratio() float64 {
+	if g.Optimal == 0 {
+		if g.Heuristic == 0 {
+			return 1
+		}
+		return float64(g.Heuristic)
+	}
+	return float64(g.Heuristic) / float64(g.Optimal)
+}
+
+// GeneralizationGap runs Algorithm 1 (with the auto-accepting expert and the
+// unit cost model, the setting of the Theorem 4.1 proof) on the reduced
+// instance and compares its modification count against the exact optimum.
+func GeneralizationGap(hs HittingSet) Gap {
+	gi := ReduceToGeneralization(hs)
+	opt := gi.SolveGeneralizationExact()
+	// Φ starts empty, as in the Theorem 4.1 construction.
+	sess := core.NewSession(rules.NewSet(), &expert.AutoAccept{}, core.Options{
+		Weights: cost.Weights{Alpha: 2, Beta: 2, Gamma: 2}, // the proof's α=β=γ>1
+	})
+	sess.Generalize(gi.Rel)
+	return Gap{Heuristic: totalConditions(gi.Schema, sess.Rules()), Optimal: len(opt)}
+}
+
+// totalConditions counts the non-trivial conditions across a rule set.
+func totalConditions(schema *relation.Schema, rs *rules.Set) int {
+	n := 0
+	for _, r := range rs.Rules() {
+		for i := 0; i < schema.Arity(); i++ {
+			if !r.Cond(i).IsTrivial(schema.Attr(i)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SpecializationGap runs Algorithm 2 on the reduced instance of Theorem 4.5
+// and compares its modification count against the exact optimum.
+func SpecializationGap(hs HittingSet) Gap {
+	si := ReduceToSpecialization(hs)
+	opt := si.SolveSpecializationExact()
+	sess := core.NewSession(si.Rules, &expert.AutoAccept{}, core.Options{
+		Weights: cost.Weights{Alpha: 2, Beta: 2, Gamma: 2},
+	})
+	sess.Specialize(si.Rel)
+	return Gap{Heuristic: totalConditions(si.Schema, sess.Rules()), Optimal: len(opt)}
+}

@@ -1,0 +1,62 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGeneralizationGap: the heuristic always produces a valid solution
+// whose cost is at least the optimum; on these instances the gap stays
+// small but can exceed 1 (the hardness results guarantee it must sometimes).
+func TestGeneralizationGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sawGap := false
+	for trial := 0; trial < 25; trial++ {
+		hs := randomHittingSet(rng)
+		g := GeneralizationGap(hs)
+		if g.Optimal <= 0 {
+			t.Fatalf("trial %d: optimal = %d", trial, g.Optimal)
+		}
+		if g.Heuristic < 1 {
+			t.Fatalf("trial %d: heuristic made no modifications", trial)
+		}
+		if g.Ratio() < 1-1e-9 {
+			t.Fatalf("trial %d: heuristic %d beat the optimum %d", trial, g.Heuristic, g.Optimal)
+		}
+		if g.Ratio() > 1 {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Log("note: no instance exhibited a gap; heuristic matched the optimum everywhere")
+	}
+}
+
+// TestSpecializationGap: same for Algorithm 2 on the Theorem 4.5 instances.
+// The heuristic must end with every fraud captured and the legitimate tuple
+// excluded, at a cost no better than optimal.
+func TestSpecializationGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		hs := randomHittingSet(rng)
+		g := SpecializationGap(hs)
+		if g.Optimal <= 0 {
+			t.Fatalf("trial %d: optimal = %d", trial, g.Optimal)
+		}
+		if g.Heuristic < 1 {
+			t.Fatalf("trial %d: heuristic made no modifications", trial)
+		}
+	}
+}
+
+func TestGapRatio(t *testing.T) {
+	if (Gap{Heuristic: 4, Optimal: 2}).Ratio() != 2 {
+		t.Error("ratio wrong")
+	}
+	if (Gap{}).Ratio() != 1 {
+		t.Error("zero gap ratio should be 1")
+	}
+	if (Gap{Heuristic: 3}).Ratio() != 3 {
+		t.Error("zero-optimum ratio wrong")
+	}
+}

@@ -1,0 +1,152 @@
+// Package exact provides exact (exponential-time) and greedy solvers for
+// the combinatorial problems underlying the paper's NP-hardness results —
+// Minimum Hitting Set and Minimum Set Cover — together with executable
+// versions of the reductions of Theorems 4.1 and 4.5, which map hitting-set
+// instances to rule generalization and rule specialization instances. The
+// package exists to validate the reductions and to measure the optimality
+// gap of the PTIME heuristics on small instances.
+package exact
+
+import "sort"
+
+// HittingSet is an instance of the Minimum Hitting Set problem
+// (Definition 4.2): a universe {0, …, N-1} and a family of subsets, each a
+// list of element indices. A hitting set intersects every subset.
+type HittingSet struct {
+	N    int
+	Sets [][]int
+}
+
+// IsHit reports whether h (a set of element indices) hits every subset.
+func (hs HittingSet) IsHit(h []int) bool {
+	member := make(map[int]bool, len(h))
+	for _, e := range h {
+		member[e] = true
+	}
+	for _, set := range hs.Sets {
+		hit := false
+		for _, e := range set {
+			if member[e] {
+				hit = true
+				break
+			}
+		}
+		if !hit && len(set) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy returns a hitting set via the classical greedy heuristic: always
+// pick the element occurring in the most not-yet-hit subsets. The result is
+// within a ln(m) factor of optimal.
+func (hs HittingSet) Greedy() []int {
+	remaining := make([]bool, len(hs.Sets))
+	left := 0
+	for i, set := range hs.Sets {
+		if len(set) > 0 {
+			remaining[i] = true
+			left++
+		}
+	}
+	var out []int
+	for left > 0 {
+		count := make([]int, hs.N)
+		for i, set := range hs.Sets {
+			if !remaining[i] {
+				continue
+			}
+			for _, e := range set {
+				count[e]++
+			}
+		}
+		best := 0
+		for e := 1; e < hs.N; e++ {
+			if count[e] > count[best] {
+				best = e
+			}
+		}
+		if count[best] == 0 {
+			break // unhittable empty sets were excluded above; defensive
+		}
+		out = append(out, best)
+		for i, set := range hs.Sets {
+			if !remaining[i] {
+				continue
+			}
+			for _, e := range set {
+				if e == best {
+					remaining[i] = false
+					left--
+					break
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Exact returns a minimum hitting set by iterative-deepening search
+// branching on the elements of an unhit subset. Exponential in the optimum
+// size; intended for the small instances used in tests and gap measurements.
+func (hs HittingSet) Exact() []int {
+	nonEmpty := 0
+	for _, set := range hs.Sets {
+		if len(set) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	upper := len(hs.Greedy())
+	for k := 1; k <= upper; k++ {
+		if h := hs.search(nil, k); h != nil {
+			sort.Ints(h)
+			return h
+		}
+	}
+	return hs.Greedy() // unreachable: greedy is itself a valid hitting set
+}
+
+// search extends the partial hitting set chosen by at most k more elements.
+func (hs HittingSet) search(chosen []int, k int) []int {
+	// Find an unhit subset to branch on.
+	member := make(map[int]bool, len(chosen))
+	for _, e := range chosen {
+		member[e] = true
+	}
+	var branch []int
+	for _, set := range hs.Sets {
+		if len(set) == 0 {
+			continue
+		}
+		hit := false
+		for _, e := range set {
+			if member[e] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			branch = set
+			break
+		}
+	}
+	if branch == nil {
+		out := make([]int, len(chosen))
+		copy(out, chosen)
+		return out
+	}
+	if k == 0 {
+		return nil
+	}
+	for _, e := range branch {
+		if h := hs.search(append(chosen, e), k-1); h != nil {
+			return h
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// GeneralizationInstance is the rule-generalization instance produced by the
+// Theorem 4.1 reduction: a 0/1 relation with one unlabeled characteristic
+// tuple per subset and a single all-ones fraudulent tuple, starting from an
+// empty rule set.
+type GeneralizationInstance struct {
+	Schema *relation.Schema
+	Rel    *relation.Relation
+	// FraudIndex is the index of the all-ones fraudulent tuple.
+	FraudIndex int
+}
+
+// binarySchema builds the |U|-column 0/1 schema of the reductions.
+func binarySchema(n int) *relation.Schema {
+	attrs := make([]relation.Attribute, n)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{
+			Name:   fmt.Sprintf("a%d", i),
+			Kind:   relation.Numeric,
+			Domain: order.NewDomain(0, 1),
+			Format: order.FormatPlain,
+		}
+	}
+	return relation.MustSchema(attrs...)
+}
+
+// characteristicTuple places 0 in position i when element i belongs to the
+// subset, 1 otherwise — exactly the construction in the proof of
+// Theorem 4.1.
+func characteristicTuple(n int, subset []int) relation.Tuple {
+	t := make(relation.Tuple, n)
+	for i := range t {
+		t[i] = 1
+	}
+	for _, e := range subset {
+		t[e] = 0
+	}
+	return t
+}
+
+// ReduceToGeneralization maps a hitting-set instance to a rule
+// generalization instance per Theorem 4.1.
+func ReduceToGeneralization(hs HittingSet) GeneralizationInstance {
+	s := binarySchema(hs.N)
+	rel := relation.New(s)
+	for _, subset := range hs.Sets {
+		rel.MustAppend(characteristicTuple(hs.N, subset), relation.Unlabeled, 0)
+	}
+	ones := make(relation.Tuple, hs.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	fraudIdx := rel.MustAppend(ones, relation.Fraud, 0)
+	return GeneralizationInstance{Schema: s, Rel: rel, FraudIndex: fraudIdx}
+}
+
+// SolveGeneralizationExact finds a minimum set of attributes on which to add
+// the condition aᵢ = 1 so that the resulting single rule captures the
+// fraudulent tuple and no unlabeled tuple (unit costs, α = β = γ > 1: the
+// optimum of the reduced instance). The returned attribute set is a minimum
+// hitting set of the original instance.
+func (gi GeneralizationInstance) SolveGeneralizationExact() []int {
+	n := gi.Schema.Arity()
+	// The condition subsets ordered by size: iterative deepening over
+	// attribute subsets, checking exclusion of every unlabeled tuple.
+	for k := 0; k <= n; k++ {
+		if h := gi.searchConditions(nil, 0, k); h != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+func (gi GeneralizationInstance) searchConditions(chosen []int, next, k int) []int {
+	if gi.valid(chosen) {
+		out := make([]int, len(chosen))
+		copy(out, chosen)
+		return out
+	}
+	if k == 0 {
+		return nil
+	}
+	for a := next; a < gi.Schema.Arity(); a++ {
+		if h := gi.searchConditions(append(chosen, a), a+1, k-1); h != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+// valid reports whether the rule with conditions aᵢ = 1 for i ∈ chosen
+// captures the fraud tuple and no unlabeled tuple.
+func (gi GeneralizationInstance) valid(chosen []int) bool {
+	r := rules.NewRule(gi.Schema)
+	for _, a := range chosen {
+		r.SetCond(a, rules.NumericCond(order.Point(1)))
+	}
+	for i := 0; i < gi.Rel.Len(); i++ {
+		matches := r.Matches(gi.Schema, gi.Rel.Tuple(i))
+		if i == gi.FraudIndex {
+			if !matches {
+				return false
+			}
+			continue
+		}
+		if matches {
+			return false
+		}
+	}
+	return true
+}
+
+// SpecializationInstance is the rule-specialization instance of the
+// Theorem 4.5 reduction: the characteristic tuples are all fraudulent, a
+// single ⊤ rule captures everything, and the all-ones tuple is the
+// legitimate transaction to exclude.
+type SpecializationInstance struct {
+	Schema *relation.Schema
+	Rel    *relation.Relation
+	// LegitIndex is the index of the all-ones legitimate tuple.
+	LegitIndex int
+	// Rules is the initial rule set: the single ⊤ rule.
+	Rules *rules.Set
+}
+
+// ReduceToSpecialization maps a hitting-set instance to a rule
+// specialization instance per Theorem 4.5.
+func ReduceToSpecialization(hs HittingSet) SpecializationInstance {
+	s := binarySchema(hs.N)
+	rel := relation.New(s)
+	for _, subset := range hs.Sets {
+		rel.MustAppend(characteristicTuple(hs.N, subset), relation.Fraud, 0)
+	}
+	ones := make(relation.Tuple, hs.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	legitIdx := rel.MustAppend(ones, relation.Legitimate, 0)
+	return SpecializationInstance{
+		Schema:     s,
+		Rel:        rel,
+		LegitIndex: legitIdx,
+		Rules:      rules.NewSet(rules.NewRule(s)),
+	}
+}
+
+// SolveSpecializationExact finds a minimum set of attributes H such that the
+// rule family { aᵢ = 0 : i ∈ H } captures every fraudulent tuple and not the
+// legitimate tuple — the optimum of the reduced instance, and a minimum
+// hitting set of the original one (each rule is a copy of the ⊤ rule
+// specialized on one attribute, as in the proof).
+func (si SpecializationInstance) SolveSpecializationExact() []int {
+	n := si.Schema.Arity()
+	for k := 0; k <= n; k++ {
+		if h := si.searchRules(nil, 0, k); h != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+func (si SpecializationInstance) searchRules(chosen []int, next, k int) []int {
+	if si.valid(chosen) {
+		out := make([]int, len(chosen))
+		copy(out, chosen)
+		return out
+	}
+	if k == 0 {
+		return nil
+	}
+	for a := next; a < si.Schema.Arity(); a++ {
+		if h := si.searchRules(append(chosen, a), a+1, k-1); h != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+// valid reports whether the rules { aᵢ = 0 : i ∈ chosen } capture every
+// fraud and exclude the legitimate tuple. The legitimate all-ones tuple is
+// never captured by construction (every rule demands some aᵢ = 0).
+func (si SpecializationInstance) valid(chosen []int) bool {
+	if len(chosen) == 0 && si.Rel.Len() > 1 {
+		return false
+	}
+	set := rules.NewSet()
+	for _, a := range chosen {
+		set.Add(rules.NewRule(si.Schema).SetCond(a, rules.NumericCond(order.Point(0))))
+	}
+	captured := set.Eval(si.Rel)
+	for i := 0; i < si.Rel.Len(); i++ {
+		if i == si.LegitIndex {
+			if captured.Has(i) {
+				return false
+			}
+			continue
+		}
+		if !captured.Has(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// This file makes Theorems 4.3 and 4.6 executable: the fixed-schema
+// NP-hardness reductions from Minimum Set Cover. Both use a single unary
+// categorical attribute whose taxonomy is built from the set-cover instance
+// — ⊤ has one child concept per subset Sᵢ, and each universe element is a
+// leaf under every subset containing it (a DAG, like real ontologies).
+
+// FixedSchemaInstance is a reduced instance over the unary relation.
+type FixedSchemaInstance struct {
+	Schema *relation.Schema
+	Rel    *relation.Relation
+	// SetConcepts maps subset index → taxonomy concept.
+	SetConcepts []ontology.Concept
+	// ElementLeaves maps universe element → leaf concept.
+	ElementLeaves []ontology.Concept
+	// LegitIndex is the index of the fresh-valued legitimate tuple
+	// (specialization instances only; -1 otherwise).
+	LegitIndex int
+	// Rules is the initial rule set (empty for generalization; the single
+	// ⊤ rule for specialization).
+	Rules *rules.Set
+}
+
+// coverTaxonomy builds the taxonomy of a set-cover instance, optionally
+// with an extra fresh leaf directly under ⊤ (for Theorem 4.6's legitimate
+// tuple).
+func coverTaxonomy(sc SetCover, freshLeaf bool) (*ontology.Ontology, []ontology.Concept, []ontology.Concept, error) {
+	b := ontology.NewBuilder("taxonomy").Add("top")
+	for si, set := range sc.Subsets {
+		if len(set) == 0 {
+			// An empty subset would become a spurious leaf of the taxonomy
+			// (forcing covers to include it); it can never help a cover, so
+			// it is simply left out.
+			continue
+		}
+		b.Add(fmt.Sprintf("S%d", si), "top")
+	}
+	owners := make([][]string, sc.N)
+	for si, set := range sc.Subsets {
+		for _, e := range set {
+			owners[e] = append(owners[e], fmt.Sprintf("S%d", si))
+		}
+	}
+	for e := 0; e < sc.N; e++ {
+		if len(owners[e]) == 0 {
+			return nil, nil, nil, fmt.Errorf("exact: element %d is uncoverable", e)
+		}
+		b.Add(fmt.Sprintf("e%d", e), owners[e]...)
+	}
+	if freshLeaf {
+		b.Add("fresh", "top")
+	}
+	o, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sets := make([]ontology.Concept, len(sc.Subsets))
+	for si, set := range sc.Subsets {
+		if len(set) == 0 {
+			sets[si] = ontology.Invalid
+			continue
+		}
+		sets[si] = o.MustLookup(fmt.Sprintf("S%d", si))
+	}
+	leaves := make([]ontology.Concept, sc.N)
+	for e := 0; e < sc.N; e++ {
+		leaves[e] = o.MustLookup(fmt.Sprintf("e%d", e))
+	}
+	return o, sets, leaves, nil
+}
+
+// ReduceToFixedSchemaGeneralization maps a set-cover instance to the
+// Theorem 4.3 generalization instance: an initially empty unary relation and
+// rule set, and one new fraudulent transaction per universe element.
+func ReduceToFixedSchemaGeneralization(sc SetCover) (FixedSchemaInstance, error) {
+	o, sets, leaves, err := coverTaxonomy(sc, false)
+	if err != nil {
+		return FixedSchemaInstance{}, err
+	}
+	s := relation.MustSchema(relation.Attribute{Name: "a", Kind: relation.Categorical, Ontology: o})
+	rel := relation.New(s)
+	for e := 0; e < sc.N; e++ {
+		rel.MustAppend(relation.Tuple{int64(leaves[e])}, relation.Fraud, 0)
+	}
+	return FixedSchemaInstance{
+		Schema: s, Rel: rel,
+		SetConcepts: sets, ElementLeaves: leaves,
+		LegitIndex: -1, Rules: rules.NewSet(),
+	}, nil
+}
+
+// ReduceToFixedSchemaSpecialization maps a set-cover instance to the
+// Theorem 4.6 specialization instance: every universe element is an existing
+// fraudulent transaction captured by the single rule A ≤ ⊤, and the new
+// legitimate transaction carries a fresh value.
+func ReduceToFixedSchemaSpecialization(sc SetCover) (FixedSchemaInstance, error) {
+	o, sets, leaves, err := coverTaxonomy(sc, true)
+	if err != nil {
+		return FixedSchemaInstance{}, err
+	}
+	s := relation.MustSchema(relation.Attribute{Name: "a", Kind: relation.Categorical, Ontology: o})
+	rel := relation.New(s)
+	for e := 0; e < sc.N; e++ {
+		rel.MustAppend(relation.Tuple{int64(leaves[e])}, relation.Fraud, 0)
+	}
+	legit := rel.MustAppend(relation.Tuple{int64(o.MustLookup("fresh"))}, relation.Legitimate, 0)
+	return FixedSchemaInstance{
+		Schema: s, Rel: rel,
+		SetConcepts: sets, ElementLeaves: leaves,
+		LegitIndex: legit,
+		Rules:      rules.NewSet(rules.NewRule(s)),
+	}, nil
+}
+
+// SolveExact finds a minimum family of rules of the form A ≤ Sᵢ that
+// captures every fraudulent tuple while excluding the legitimate one (when
+// present) — the optimum of both fixed-schema instances, equal to the
+// minimum set cover ("each rule has the form A ≤ Sᵢ where each Sᵢ is part of
+// the solution to the instance of the minimum set cover problem"). The
+// condition A ≤ ⊤ is prohibited, as in the proofs.
+func (fi FixedSchemaInstance) SolveExact() []int {
+	sc := SetCover{N: len(fi.ElementLeaves)}
+	o := fi.Schema.Attr(0).Ontology
+	for _, c := range fi.SetConcepts {
+		var covered []int
+		if c != ontology.Invalid {
+			for e, leaf := range fi.ElementLeaves {
+				if o.Contains(c, leaf) {
+					covered = append(covered, e)
+				}
+			}
+		}
+		sc.Subsets = append(sc.Subsets, covered)
+	}
+	return sc.Exact()
+}
+
+// Valid reports whether the chosen set-concept indices form a valid rule
+// family: every fraud captured, the legitimate tuple (if any) excluded.
+func (fi FixedSchemaInstance) Valid(chosen []int) bool {
+	set := rules.NewSet()
+	for _, si := range chosen {
+		set.Add(rules.NewRule(fi.Schema).SetCond(0, rules.ConceptCond(fi.SetConcepts[si])))
+	}
+	captured := set.Eval(fi.Rel)
+	for i := 0; i < fi.Rel.Len(); i++ {
+		if i == fi.LegitIndex {
+			if captured.Has(i) {
+				return false
+			}
+			continue
+		}
+		if !captured.Has(i) {
+			return false
+		}
+	}
+	return true
+}

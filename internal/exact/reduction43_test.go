@@ -1,0 +1,135 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/expert"
+)
+
+func randomSetCover(rng *rand.Rand) SetCover {
+	n := 3 + rng.Intn(5)
+	m := 2 + rng.Intn(4)
+	sc := SetCover{N: n}
+	for i := 0; i < m; i++ {
+		var set []int
+		for e := 0; e < n; e++ {
+			if rng.Intn(2) == 0 {
+				set = append(set, e)
+			}
+		}
+		sc.Subsets = append(sc.Subsets, set)
+	}
+	// Guarantee coverability: one subset holding everything missing.
+	covered := make([]bool, n)
+	for _, set := range sc.Subsets {
+		for _, e := range set {
+			covered[e] = true
+		}
+	}
+	var missing []int
+	for e, c := range covered {
+		if !c {
+			missing = append(missing, e)
+		}
+	}
+	if len(missing) > 0 {
+		sc.Subsets = append(sc.Subsets, missing)
+	}
+	return sc
+}
+
+// TestFixedSchemaGeneralizationRoundTrip: Theorem 4.3 — the optimum of the
+// reduced rule instance equals the minimum set cover, both directions.
+func TestFixedSchemaGeneralizationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		sc := randomSetCover(rng)
+		opt := sc.Exact()
+		fi, err := ReduceToFixedSchemaGeneralization(sc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol := fi.SolveExact()
+		if len(sol) != len(opt) {
+			t.Fatalf("trial %d: rule optimum %d, set cover optimum %d", trial, len(sol), len(opt))
+		}
+		if !fi.Valid(sol) {
+			t.Fatalf("trial %d: exact solution invalid", trial)
+		}
+		if !sc.Covers(sol) {
+			t.Fatalf("trial %d: extracted family is not a set cover", trial)
+		}
+	}
+}
+
+// TestFixedSchemaSpecializationRoundTrip: Theorem 4.6 — same equivalence for
+// the specialization instance with the fresh-valued legitimate tuple.
+func TestFixedSchemaSpecializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		sc := randomSetCover(rng)
+		opt := sc.Exact()
+		fi, err := ReduceToFixedSchemaSpecialization(sc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sol := fi.SolveExact()
+		if len(sol) != len(opt) {
+			t.Fatalf("trial %d: rule optimum %d, set cover optimum %d", trial, len(sol), len(opt))
+		}
+		if !fi.Valid(sol) {
+			t.Fatalf("trial %d: exact solution invalid", trial)
+		}
+	}
+}
+
+// TestFixedSchemaUncoverable: an element no subset contains makes the
+// reduction fail loudly.
+func TestFixedSchemaUncoverable(t *testing.T) {
+	sc := SetCover{N: 3, Subsets: [][]int{{0, 1}}}
+	if _, err := ReduceToFixedSchemaGeneralization(sc); err == nil {
+		t.Error("uncoverable instance reduced")
+	}
+}
+
+// TestSpecializeHeuristicIsGreedyCover: running Algorithm 2 on the
+// Theorem 4.6 instance makes the categorical split compute exactly the
+// greedy set cover the paper describes ("our procedure adopts the greedy
+// heuristic where we greedily pick a concept ... that covers the most number
+// of uncovered concepts"). The heuristic must produce a valid family at
+// least as large as the optimum and no larger than the greedy bound.
+func TestSpecializeHeuristicIsGreedyCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		sc := randomSetCover(rng)
+		fi, err := ReduceToFixedSchemaSpecialization(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := core.NewSession(fi.Rules, &expert.AutoAccept{}, core.Options{
+			Weights: cost.Weights{Alpha: 2, Beta: 2, Gamma: 2},
+		})
+		sess.Specialize(fi.Rel)
+		// Every fraud captured, the legitimate tuple excluded.
+		st := sess.Stats(fi.Rel)
+		if st.FraudCaptured != st.FraudTotal || st.LegitCaptured != 0 {
+			t.Fatalf("trial %d: heuristic invalid: %+v\n%s", trial, st,
+				sess.Rules().Format(fi.Schema))
+		}
+		heur := sess.Rules().Len()
+		opt := len(fi.SolveExact())
+		if heur < opt {
+			t.Fatalf("trial %d: heuristic %d beat the optimum %d", trial, heur, opt)
+		}
+		// Trivial upper bound: one rule per element always suffices. (The
+		// greedy tie-break prefers specific concepts, so the family can be
+		// larger than the canonical greedy cover's but never than this.)
+		if heur > len(fi.ElementLeaves) {
+			t.Fatalf("trial %d: heuristic %d exceeds the per-element bound %d",
+				trial, heur, len(fi.ElementLeaves))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package exact
+
+import "sort"
+
+// SetCover is an instance of the Minimum Set Cover problem, used by the
+// fixed-schema hardness results (Theorems 4.3 and 4.6): a universe
+// {0, …, N-1} and candidate subsets; a cover is a family of subsets whose
+// union is the universe.
+type SetCover struct {
+	N       int
+	Subsets [][]int
+}
+
+// Covers reports whether the chosen subset indices cover the universe.
+func (sc SetCover) Covers(chosen []int) bool {
+	covered := make([]bool, sc.N)
+	for _, si := range chosen {
+		for _, e := range sc.Subsets[si] {
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// Greedy returns a cover via the classical greedy heuristic: always pick
+// the subset covering the most uncovered elements (the same strategy the
+// specialization algorithm uses for categorical covers).
+func (sc SetCover) Greedy() []int {
+	covered := make([]bool, sc.N)
+	left := sc.N
+	var out []int
+	for left > 0 {
+		best, bestGain := -1, 0
+		for si, set := range sc.Subsets {
+			gain := 0
+			for _, e := range set {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = si, gain
+			}
+		}
+		if best < 0 {
+			break // uncoverable
+		}
+		out = append(out, best)
+		for _, e := range sc.Subsets[best] {
+			if !covered[e] {
+				covered[e] = true
+				left--
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Exact returns a minimum cover by reduction to Exact hitting set on the
+// transposed incidence structure: each element must be "hit" by one of the
+// subsets containing it.
+func (sc SetCover) Exact() []int {
+	if sc.N == 0 {
+		return nil
+	}
+	transposed := HittingSet{N: len(sc.Subsets), Sets: make([][]int, sc.N)}
+	for si, set := range sc.Subsets {
+		for _, e := range set {
+			transposed.Sets[e] = append(transposed.Sets[e], si)
+		}
+	}
+	for _, owners := range transposed.Sets {
+		if len(owners) == 0 {
+			return nil // an element no subset covers: infeasible
+		}
+	}
+	return transposed.Exact()
+}

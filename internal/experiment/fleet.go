@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// FleetFI is one financial institute of the fleet study: its dataset
+// parameters (mirroring the paper's roster: sizes from small to large with
+// most FIs around the median, fraud rates 0.5-2.5%, rule sets of 10-130
+// rules growing with FI size) and RUDOLF's first-round results on it.
+type FleetFI struct {
+	ID           int
+	Size         int
+	FraudPct     float64
+	InitialRules int
+	// Results after the first refinement round:
+	Modifications int
+	ErrorPct      float64
+	MissedPct     float64
+	FalseAlarmPct float64
+}
+
+// Fleet reproduces the paper's 15-institute roster at the configured scale:
+// for each synthetic FI it runs one RUDOLF refinement round over the first
+// half and evaluates on the second, returning one row per FI. BaseSize
+// plays the role of the paper's ~500K median size; one FI gets ~20× it and
+// one ~0.2× (the paper's 100K-10M spread).
+func Fleet(setup Setup, institutes int, baseSize int) []FleetFI {
+	setup = setup.Defaults()
+	if institutes <= 0 {
+		institutes = 15
+	}
+	if baseSize <= 0 {
+		baseSize = setup.Data.Size
+	}
+	rng := rand.New(rand.NewSource(setup.Seed + 1000))
+	out := make([]FleetFI, 0, institutes)
+	for fi := 0; fi < institutes; fi++ {
+		size := baseSize
+		switch {
+		case fi == 0:
+			size = baseSize / 5 // the smallest FI
+		case fi == 1:
+			size = baseSize * 4 // the largest (scaled stand-in for 10M)
+		default:
+			size = baseSize/2 + rng.Intn(baseSize)
+		}
+		fraud := 0.5 + 2.0*rng.Float64()
+		// Rule counts grow with FI size, 10..130 with ~55 at the median.
+		ruleTarget := 10 + int(120*float64(size)/float64(baseSize*4))
+		if ruleTarget > 130 {
+			ruleTarget = 130
+		}
+
+		cfg := setup.Data
+		cfg.Size = size
+		cfg.FraudPct = fraud
+		cfg.Seed = setup.Data.Seed + int64(fi)*31
+		ds := datagen.Generate(cfg)
+
+		s := setup
+		s.MinRules = ruleTarget
+		s.Data = cfg
+		m := NewMethod(MethodRudolf, ds, s)
+		seen := ds.SplitIndex(s.SplitFrac)
+		cost := m.Refine(ds.Rel.Prefix(seen))
+		conf := metrics.Evaluate(m.Predict(ds.Rel), ds.TrueFraud, seen, ds.Rel.Len())
+		out = append(out, FleetFI{
+			ID:            fi + 1,
+			Size:          size,
+			FraudPct:      fraud,
+			InitialRules:  ruleTarget,
+			Modifications: cost.Modifications,
+			ErrorPct:      conf.BalancedErrorPct(),
+			MissedPct:     conf.MissedFraudPct(),
+			FalseAlarmPct: conf.FalseAlarmPct(),
+		})
+	}
+	return out
+}
+
+// RenderFleet prints the fleet table.
+func RenderFleet(w io.Writer, fleet []FleetFI) {
+	fmt.Fprintln(w, "Fleet study: one RUDOLF refinement round per synthetic FI")
+	fmt.Fprintf(w, "%3s  %8s  %7s  %6s  %5s  %7s  %8s  %7s\n",
+		"FI", "size", "fraud%", "rules", "mods", "err%", "missed%", "false+%")
+	for _, fi := range fleet {
+		fmt.Fprintf(w, "%3d  %8d  %7.2f  %6d  %5d  %7.2f  %8.2f  %7.2f\n",
+			fi.ID, fi.Size, fi.FraudPct, fi.InitialRules,
+			fi.Modifications, fi.ErrorPct, fi.MissedPct, fi.FalseAlarmPct)
+	}
+}

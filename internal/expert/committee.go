@@ -1,0 +1,103 @@
+package expert
+
+import (
+	"repro/internal/core"
+)
+
+// Committee aggregates several experts by majority vote — the paper ran its
+// experiments with 8 experts (and separately with 10 students) and averaged
+// their outcomes; a committee is the online version of that aggregation.
+//
+// Votes: a proposal is accepted when more than half the members accept.
+// Among accepting members who edited the proposal, the first member's edit
+// is adopted (a deterministic stand-in for discussion). Reverts are the
+// union of the rejecting members' reverts. The committee is satisfied when
+// a majority is.
+type Committee struct {
+	clock
+	Members []core.Expert
+}
+
+// NewCommittee returns a committee over the given members (at least one).
+func NewCommittee(members ...core.Expert) *Committee {
+	if len(members) == 0 {
+		panic("expert: committee needs at least one member")
+	}
+	return &Committee{Members: members}
+}
+
+// ReviewGeneralization implements core.Expert.
+func (c *Committee) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	accepts := 0
+	var firstEdit *core.GenDecision
+	revertSet := map[int]bool{}
+	for _, m := range c.Members {
+		d := m.ReviewGeneralization(p)
+		if d.Accept {
+			accepts++
+			if d.Edited != nil && firstEdit == nil {
+				firstEdit = &d
+			}
+			continue
+		}
+		for _, a := range d.RevertAttrs {
+			revertSet[a] = true
+		}
+	}
+	if accepts*2 > len(c.Members) {
+		out := core.GenDecision{Accept: true}
+		if firstEdit != nil {
+			out.Edited = firstEdit.Edited
+		}
+		return out
+	}
+	out := core.GenDecision{Accept: false}
+	for a := range revertSet {
+		out.RevertAttrs = append(out.RevertAttrs, a)
+	}
+	return out
+}
+
+// ReviewSplit implements core.Expert.
+func (c *Committee) ReviewSplit(p *core.SplitProposal) core.SplitDecision {
+	accepts := 0
+	var firstKeep []int
+	for _, m := range c.Members {
+		d := m.ReviewSplit(p)
+		if d.Accept {
+			accepts++
+			if d.Keep != nil && firstKeep == nil {
+				firstKeep = d.Keep
+			}
+		}
+	}
+	if accepts*2 > len(c.Members) {
+		return core.SplitDecision{Accept: true, Keep: firstKeep}
+	}
+	return core.SplitDecision{Accept: false}
+}
+
+// Satisfied implements core.Expert.
+func (c *Committee) Satisfied(st core.RoundStats) bool {
+	yes := 0
+	for _, m := range c.Members {
+		if m.Satisfied(st) {
+			yes++
+		}
+	}
+	return yes*2 > len(c.Members)
+}
+
+// SimulatedSeconds implements core.TimeTracker: the committee's time is the
+// slowest member's (members review in parallel, as in a panel).
+func (c *Committee) SimulatedSeconds() float64 {
+	var max float64
+	for _, m := range c.Members {
+		if tt, ok := m.(core.TimeTracker); ok {
+			if s := tt.SimulatedSeconds(); s > max {
+				max = s
+			}
+		}
+	}
+	return max
+}

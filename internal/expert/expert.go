@@ -1,0 +1,154 @@
+// Package expert provides the domain experts that sit in RUDOLF's loop: an
+// auto-accepting expert (the RUDOLF⁻ variant of Section 5), a simulated
+// oracle expert that knows the planted ground-truth attack patterns and
+// behaves like the paper's "Elena" (accepting pattern-consistent proposals,
+// rounding boundaries to the true pattern, rejecting stretches of unrelated
+// rules, trimming dead split branches), a novice expert that adds decision
+// noise to the oracle (the student volunteers of Section 5), a scripted
+// expert for deterministic tests, and an interactive terminal expert.
+//
+// Every expert tracks simulated interaction time (never real sleeping),
+// which the experiment harness uses for the Figure 3(f) timing results.
+package expert
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Timing configures the simulated seconds a human spends per interaction.
+type Timing struct {
+	PerGeneralization float64
+	PerSplit          float64
+}
+
+// DefaultExpertTiming reflects the paper's measurements for trained experts
+// working with RUDOLF (about 50 seconds per refinement round, a handful of
+// proposals per round).
+func DefaultExpertTiming() Timing { return Timing{PerGeneralization: 6, PerSplit: 8} }
+
+// DefaultNoviceTiming makes novices roughly twice as slow per interaction.
+func DefaultNoviceTiming() Timing { return Timing{PerGeneralization: 18, PerSplit: 22} }
+
+// clock accumulates simulated seconds; experts embed it.
+type clock struct {
+	seconds float64
+}
+
+func (c *clock) charge(s float64) { c.seconds += s }
+
+// SimulatedSeconds implements core.TimeTracker.
+func (c *clock) SimulatedSeconds() float64 { return c.seconds }
+
+// AutoAccept accepts every proposal unmodified, realizing RUDOLF⁻: the
+// system's suggestions applied without consulting an expert. It reports
+// satisfaction only when the rules are perfect on the current data, so the
+// refinement loop keeps iterating while it is making progress.
+type AutoAccept struct {
+	clock
+}
+
+// ReviewGeneralization implements core.Expert.
+func (a *AutoAccept) ReviewGeneralization(*core.GenProposal) core.GenDecision {
+	return core.GenDecision{Accept: true}
+}
+
+// ReviewSplit implements core.Expert.
+func (a *AutoAccept) ReviewSplit(*core.SplitProposal) core.SplitDecision {
+	return core.SplitDecision{Accept: true}
+}
+
+// Satisfied implements core.Expert.
+func (a *AutoAccept) Satisfied(st core.RoundStats) bool { return st.Perfect() }
+
+// Scripted replays canned decisions in order; when a queue runs dry it
+// accepts. It is intended for deterministic unit tests of the algorithms'
+// interaction handling.
+type Scripted struct {
+	clock
+	// Gen and Split are consumed front to back by the respective reviews.
+	Gen   []core.GenDecision
+	Split []core.SplitDecision
+	// SatisfiedAfter makes Satisfied return true once that many rounds have
+	// been observed; 0 means always satisfied.
+	SatisfiedAfter int
+
+	rounds int
+	// GenProposals and SplitProposals record what was reviewed.
+	GenProposals   []*core.GenProposal
+	SplitProposals []*core.SplitProposal
+}
+
+// ReviewGeneralization implements core.Expert.
+func (s *Scripted) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	s.GenProposals = append(s.GenProposals, p)
+	if len(s.Gen) == 0 {
+		return core.GenDecision{Accept: true}
+	}
+	d := s.Gen[0]
+	s.Gen = s.Gen[1:]
+	return d
+}
+
+// ReviewSplit implements core.Expert.
+func (s *Scripted) ReviewSplit(p *core.SplitProposal) core.SplitDecision {
+	s.SplitProposals = append(s.SplitProposals, p)
+	if len(s.Split) == 0 {
+		return core.SplitDecision{Accept: true}
+	}
+	d := s.Split[0]
+	s.Split = s.Split[1:]
+	return d
+}
+
+// Satisfied implements core.Expert.
+func (s *Scripted) Satisfied(core.RoundStats) bool {
+	s.rounds++
+	return s.rounds >= s.SatisfiedAfter
+}
+
+// regionsOverlap reports whether two rules select overlapping regions:
+// every numeric condition pair intersects and every categorical condition
+// pair shares at least one leaf.
+func regionsOverlap(s *relation.Schema, a, b *rules.Rule) bool {
+	for i := 0; i < s.Arity(); i++ {
+		at := s.Attr(i)
+		ca, cb := a.Cond(i), b.Cond(i)
+		if at.Kind == relation.Categorical {
+			if !conceptsShareLeaf(at, ca, cb) {
+				return false
+			}
+			continue
+		}
+		if !ca.Iv.Overlaps(cb.Iv) {
+			return false
+		}
+	}
+	return true
+}
+
+func conceptsShareLeaf(at relation.Attribute, a, b rules.Condition) bool {
+	o := at.Ontology
+	for _, l := range o.LeavesUnder(a.C) {
+		if o.Contains(b.C, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// condCover returns the most specific condition covering both inputs.
+func condCover(at relation.Attribute, a, b rules.Condition) rules.Condition {
+	if at.Kind == relation.Categorical {
+		if at.Ontology.Contains(a.C, b.C) {
+			return a
+		}
+		if at.Ontology.Contains(b.C, a.C) {
+			return b
+		}
+		g, _ := at.Ontology.MinimalGeneralization(a.C, b.C)
+		return rules.ConceptCond(g)
+	}
+	return rules.NumericCond(a.Iv.Cover(b.Iv))
+}

@@ -1,0 +1,129 @@
+package expert
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// Interactive is a terminal-driven expert: each proposal is printed to Out
+// and the decision is read from In. It powers the cmd/rudolf CLI and mirrors
+// the interaction surface of the original RUDOLF prototype: accept, reject,
+// revert selected attributes, or type a replacement rule.
+type Interactive struct {
+	in  *bufio.Scanner
+	out io.Writer
+}
+
+// NewInteractive returns an Interactive expert reading decisions from in
+// and writing prompts to out.
+func NewInteractive(in io.Reader, out io.Writer) *Interactive {
+	return &Interactive{in: bufio.NewScanner(in), out: out}
+}
+
+func (ie *Interactive) printf(format string, args ...any) {
+	fmt.Fprintf(ie.out, format, args...)
+}
+
+func (ie *Interactive) readLine() string {
+	if !ie.in.Scan() {
+		return ""
+	}
+	return strings.TrimSpace(ie.in.Text())
+}
+
+// ReviewGeneralization implements core.Expert.
+func (ie *Interactive) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	ie.printf("\n--- Generalization proposal (score %.1f) ---\n", p.Score)
+	ie.printf("cluster: %d fraudulent transaction(s), e.g. %s\n",
+		len(p.Rep.Members), p.Rel.FormatTuple(p.Rep.Members[0]))
+	if p.Original != nil {
+		ie.printf("rule:     %s\n", p.Original.Format(p.Schema))
+	}
+	ie.printf("proposed: %s\n", p.Proposed.Format(p.Schema))
+	for {
+		ie.printf("[a]ccept, [r]eject, [e]dit rule, re[v]ert attributes? ")
+		switch ans := strings.ToLower(ie.readLine()); ans {
+		case "a", "":
+			return core.GenDecision{Accept: true}
+		case "r":
+			return core.GenDecision{Accept: false, RevertAttrs: p.Changed}
+		case "e":
+			if r := ie.readRule(p); r != nil {
+				return core.GenDecision{Accept: true, Edited: r}
+			}
+		case "v":
+			return core.GenDecision{Accept: false, RevertAttrs: ie.readAttrs(p)}
+		default:
+			ie.printf("unrecognized answer %q\n", ans)
+		}
+	}
+}
+
+func (ie *Interactive) readRule(p *core.GenProposal) *rules.Rule {
+	ie.printf("enter rule: ")
+	text := ie.readLine()
+	r, err := rules.Parse(p.Schema, text)
+	if err != nil {
+		ie.printf("parse error: %v\n", err)
+		return nil
+	}
+	return r
+}
+
+func (ie *Interactive) readAttrs(p *core.GenProposal) []int {
+	ie.printf("attribute names to revert (space-separated): ")
+	var out []int
+	for _, name := range strings.Fields(ie.readLine()) {
+		if i, ok := p.Schema.Index(name); ok {
+			out = append(out, i)
+		} else {
+			ie.printf("unknown attribute %q ignored\n", name)
+		}
+	}
+	return out
+}
+
+// ReviewSplit implements core.Expert.
+func (ie *Interactive) ReviewSplit(p *core.SplitProposal) core.SplitDecision {
+	ie.printf("\n--- Split proposal (benefit %.1f) ---\n", p.Benefit)
+	ie.printf("to exclude: %s\n", p.Rel.FormatTuple(p.LegitIndex))
+	ie.printf("rule:       %s\n", p.Original.Format(p.Schema))
+	ie.printf("split on:   %s\n", p.Schema.Attr(p.Attr).Name)
+	for i, r := range p.Replacements {
+		ie.printf("  %d) %s\n", i+1, r.Format(p.Schema))
+	}
+	for {
+		ie.printf("[a]ccept all, [r]eject (try another attribute), [k]eep subset? ")
+		switch ans := strings.ToLower(ie.readLine()); ans {
+		case "a", "":
+			return core.SplitDecision{Accept: true}
+		case "r":
+			return core.SplitDecision{Accept: false}
+		case "k":
+			ie.printf("rule numbers to keep (space-separated): ")
+			var keep []int
+			for _, f := range strings.Fields(ie.readLine()) {
+				if n, err := strconv.Atoi(f); err == nil && n >= 1 && n <= len(p.Replacements) {
+					keep = append(keep, n-1)
+				}
+			}
+			return core.SplitDecision{Accept: true, Keep: keep}
+		default:
+			ie.printf("unrecognized answer %q\n", ans)
+		}
+	}
+}
+
+// Satisfied implements core.Expert.
+func (ie *Interactive) Satisfied(st core.RoundStats) bool {
+	ie.printf("\nround %d: %d/%d frauds captured, %d legitimate captured, %d unlabeled captured, %d modifications\n",
+		st.Round, st.FraudCaptured, st.FraudTotal, st.LegitCaptured, st.UnlabeledCaptured, st.Modifications)
+	ie.printf("satisfied? [y/n] ")
+	return strings.ToLower(ie.readLine()) != "n"
+}

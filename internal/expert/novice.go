@@ -1,0 +1,91 @@
+package expert
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Novice simulates the student volunteers of Section 5: it follows the
+// oracle's reasoning but with decision noise — sometimes it fails to apply
+// the domain-knowledge rounding (accepting the system's minimal change
+// as-is), sometimes it wrongly rejects a good proposal, and sometimes it
+// fails to trim dead split branches. Interactions are also slower.
+type Novice struct {
+	clock
+	// Inner is the expert being imitated (normally an Oracle).
+	Inner core.Expert
+	// NoRoundProb is the probability of accepting a proposal without the
+	// inner expert's edit.
+	NoRoundProb float64
+	// WrongRejectProb is the probability of rejecting a proposal the inner
+	// expert would accept.
+	WrongRejectProb float64
+	// Timing is the simulated interaction time; zero means
+	// DefaultNoviceTiming.
+	Timing Timing
+
+	rng *rand.Rand
+}
+
+// NewNovice wraps the inner expert with the default noise levels
+// (calibrated so novice-assisted quality lands ~5% behind the experts, as
+// reported in Section 5) and a deterministic noise source.
+func NewNovice(inner core.Expert, seed int64) *Novice {
+	return &Novice{
+		Inner:           inner,
+		NoRoundProb:     0.35,
+		WrongRejectProb: 0.10,
+		Timing:          DefaultNoviceTiming(),
+		rng:             rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (n *Novice) timing() Timing {
+	if n.Timing == (Timing{}) {
+		return DefaultNoviceTiming()
+	}
+	return n.Timing
+}
+
+func (n *Novice) random() *rand.Rand {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(1))
+	}
+	return n.rng
+}
+
+// ReviewGeneralization implements core.Expert.
+func (n *Novice) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	n.charge(n.timing().PerGeneralization)
+	dec := n.Inner.ReviewGeneralization(p)
+	rng := n.random()
+	if dec.Accept && rng.Float64() < n.WrongRejectProb {
+		return core.GenDecision{Accept: false, RevertAttrs: p.Changed}
+	}
+	if dec.Accept && dec.Edited != nil && rng.Float64() < n.NoRoundProb {
+		dec.Edited = nil // missed the domain-knowledge rounding
+	}
+	return dec
+}
+
+// ReviewSplit implements core.Expert.
+func (n *Novice) ReviewSplit(p *core.SplitProposal) core.SplitDecision {
+	n.charge(n.timing().PerSplit)
+	dec := n.Inner.ReviewSplit(p)
+	if dec.Accept && dec.Keep != nil && n.random().Float64() < n.NoRoundProb {
+		dec.Keep = nil // failed to trim dead branches
+	}
+	return dec
+}
+
+// Satisfied implements core.Expert: novices lack the trained eye for
+// residual misses and declare themselves done once the rules look mostly
+// right (≥90% of reported frauds captured, few legitimate captures), which
+// is where their ~5% quality gap against the experts comes from.
+func (n *Novice) Satisfied(st core.RoundStats) bool {
+	if n.Inner.Satisfied(st) {
+		return true
+	}
+	return st.FraudCaptured*10 >= st.FraudTotal*9 && st.LegitCaptured <= st.LegitTotal/10
+}

@@ -1,0 +1,163 @@
+package expert
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Oracle simulates a trained domain expert who knows the true attack
+// patterns behind the frauds (in the experiments these are the planted
+// patterns of the synthetic datasets; in the paper they are the experts'
+// domain knowledge). Its behaviour mirrors Elena's in Examples 4.4 and 4.7:
+//
+//   - A generalization of a rule that is semantically "about" the same
+//     attack (its region overlaps the true pattern) is accepted, and its
+//     boundaries are rounded out to the true pattern's boundaries — the
+//     paper's "Amt ≥ 106 → Amt ≥ 100" rounding.
+//   - A generalization that would stretch an unrelated rule across the data
+//     space is rejected outright (all modifications undesired), steering
+//     Algorithm 1 to the next candidate or to a fresh rule.
+//   - A split is accepted only if it loses no currently-known fraud; the
+//     expert also trims replacement branches that neither capture a fraud
+//     nor overlap a true pattern (as Elena discards one branch in
+//     Example 4.7).
+type Oracle struct {
+	clock
+	// Truth holds one rule per true attack pattern.
+	Truth *rules.Set
+	// Timing is the simulated interaction time; zero means
+	// DefaultExpertTiming.
+	Timing Timing
+}
+
+// NewOracle returns an Oracle over the given ground-truth pattern rules.
+func NewOracle(truth *rules.Set) *Oracle {
+	return &Oracle{Truth: truth, Timing: DefaultExpertTiming()}
+}
+
+func (o *Oracle) timing() Timing {
+	if o.Timing == (Timing{}) {
+		return DefaultExpertTiming()
+	}
+	return o.Timing
+}
+
+// ReviewGeneralization implements core.Expert.
+func (o *Oracle) ReviewGeneralization(p *core.GenProposal) core.GenDecision {
+	o.charge(o.timing().PerGeneralization)
+	pattern := o.patternForMembers(p.Schema, p.Rel, p.Rep.Members)
+	if pattern == nil {
+		// Frauds with no recognizable pattern: trust the system's minimal
+		// change.
+		return core.GenDecision{Accept: true}
+	}
+	if p.Original != nil && !regionsOverlap(p.Schema, p.Original, pattern) {
+		// The base rule is about a different attack; stretching it across
+		// the space would be wrong. Reject everything.
+		return core.GenDecision{Accept: false, RevertAttrs: p.Changed}
+	}
+	// Accept, rounding the conditions out to the true pattern's boundaries:
+	// the expert recognizes the ongoing attack and writes its real region,
+	// never narrowing below the proposal (the representative must stay
+	// captured even if the pattern is unexpectedly narrower). For a new rule
+	// (Original nil, the line-18 fallback) this replaces the overfit
+	// transaction-specific rule by the attack's region — the paper's point
+	// that expert knowledge detects the pattern "often even before it is
+	// manifested in the transactions themselves".
+	edited := p.Proposed.Clone()
+	for attr := 0; attr < p.Schema.Arity(); attr++ {
+		at := p.Schema.Attr(attr)
+		c := condCover(at, pattern.Cond(attr), p.Proposed.Cond(attr))
+		if p.Original != nil {
+			c = condCover(at, c, p.Original.Cond(attr))
+		}
+		edited.SetCond(attr, c)
+	}
+	if edited.Equal(p.Schema, p.Proposed) {
+		return core.GenDecision{Accept: true}
+	}
+	return core.GenDecision{Accept: true, Edited: edited}
+}
+
+// ReviewSplit implements core.Expert.
+func (o *Oracle) ReviewSplit(p *core.SplitProposal) core.SplitDecision {
+	o.charge(o.timing().PerSplit)
+	// Count the frauds the split would lose.
+	originalCap := p.Original.Captures(p.Rel)
+	lost := 0
+	originalCap.ForEach(func(i int) {
+		if p.Rel.Label(i) != relation.Fraud {
+			return
+		}
+		for _, r := range p.Replacements {
+			if r.Matches(p.Schema, p.Rel.Tuple(i)) {
+				return
+			}
+		}
+		lost++
+	})
+	if lost > 0 {
+		return core.SplitDecision{Accept: false}
+	}
+	// Trim branches that neither capture a known fraud nor overlap a true
+	// pattern; they only widen the rule set.
+	var keep []int
+	for ri, r := range p.Replacements {
+		if o.branchWorthKeeping(p, r) {
+			keep = append(keep, ri)
+		}
+	}
+	if len(keep) == len(p.Replacements) {
+		return core.SplitDecision{Accept: true}
+	}
+	return core.SplitDecision{Accept: true, Keep: keep}
+}
+
+func (o *Oracle) branchWorthKeeping(p *core.SplitProposal, r *rules.Rule) bool {
+	cap := r.Captures(p.Rel)
+	found := false
+	cap.ForEach(func(i int) {
+		if p.Rel.Label(i) == relation.Fraud {
+			found = true
+		}
+	})
+	if found {
+		return true
+	}
+	for _, pat := range o.Truth.Rules() {
+		if regionsOverlap(p.Schema, r, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfied implements core.Expert: the oracle stops once the rules are
+// perfect on the data seen so far.
+func (o *Oracle) Satisfied(st core.RoundStats) bool { return st.Perfect() }
+
+// patternForMembers returns the truth rule matching the most cluster
+// members (at least half), or nil if no pattern stands out.
+func (o *Oracle) patternForMembers(s *relation.Schema, rel *relation.Relation, members []int) *rules.Rule {
+	if o.Truth == nil || len(members) == 0 {
+		return nil
+	}
+	var best *rules.Rule
+	bestN := 0
+	for _, pat := range o.Truth.Rules() {
+		n := 0
+		for _, m := range members {
+			if pat.Matches(s, rel.Tuple(m)) {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = pat, n
+		}
+	}
+	if bestN*2 < len(members) {
+		return nil
+	}
+	return best
+}

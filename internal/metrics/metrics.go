@@ -1,0 +1,114 @@
+// Package metrics implements the prediction-quality measurements of
+// Section 5: given predicted fraud flags and ground truth over a window of
+// future transactions, it computes the confusion counts, the per-class
+// percentages the paper reports ("the percentage out of all fraudulent
+// (resp. legitimate) transactions that it identifies (resp. wrongly
+// classifies as fraudulent)"), and the balanced misclassification percentage
+// used as the single error number in the figures.
+package metrics
+
+import "repro/internal/bitset"
+
+// Confusion holds the four confusion-matrix counts over a set of
+// transactions (classes: fraud vs legitimate ground truth).
+type Confusion struct {
+	TP int // fraud predicted fraud
+	FP int // legitimate predicted fraud
+	FN int // fraud predicted legitimate
+	TN int // legitimate predicted legitimate
+}
+
+// Evaluate compares predicted fraud flags to ground truth over tuples
+// [lo, hi) of a relation, where predicted holds indices relative to the same
+// relation the truth slice describes.
+func Evaluate(predicted *bitset.Set, trueFraud []bool, lo, hi int) Confusion {
+	var c Confusion
+	if hi > len(trueFraud) {
+		hi = len(trueFraud)
+	}
+	for i := lo; i < hi; i++ {
+		p := predicted.Has(i)
+		switch {
+		case trueFraud[i] && p:
+			c.TP++
+		case trueFraud[i] && !p:
+			c.FN++
+		case !trueFraud[i] && p:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// MissedFraudPct is the percentage of fraudulent transactions the rules
+// fail to identify (100 − recall).
+func (c Confusion) MissedFraudPct() float64 {
+	f := c.TP + c.FN
+	if f == 0 {
+		return 0
+	}
+	return 100 * float64(c.FN) / float64(f)
+}
+
+// FalseAlarmPct is the percentage of legitimate transactions wrongly
+// classified as fraudulent.
+func (c Confusion) FalseAlarmPct() float64 {
+	l := c.FP + c.TN
+	if l == 0 {
+		return 0
+	}
+	return 100 * float64(c.FP) / float64(l)
+}
+
+// BalancedErrorPct is the mean of the two per-class error percentages — the
+// single "percentage of misclassified transactions" number plotted in the
+// figures. Balancing keeps the 0.5-2.5% fraud base rate from drowning the
+// missed-fraud signal in the legitimate majority.
+func (c Confusion) BalancedErrorPct() float64 {
+	return (c.MissedFraudPct() + c.FalseAlarmPct()) / 2
+}
+
+// RawErrorPct is the unweighted percentage of misclassified transactions.
+func (c Confusion) RawErrorPct() float64 {
+	total := c.TP + c.FP + c.FN + c.TN
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(c.FN+c.FP) / float64(total)
+}
+
+// Precision is TP / (TP + FP), in [0, 1]; 1 when nothing was predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN), in [0, 1]; 1 when there are no frauds.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates another confusion matrix into c.
+func (c Confusion) Add(other Confusion) Confusion {
+	c.TP += other.TP
+	c.FP += other.FP
+	c.FN += other.FN
+	c.TN += other.TN
+	return c
+}

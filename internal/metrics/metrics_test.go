@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func confusionFixture() (pred *bitset.Set, truth []bool) {
+	// 10 tuples: frauds at 0,1,2; predictions at 0,1,5.
+	truth = []bool{true, true, true, false, false, false, false, false, false, false}
+	pred = bitset.New(len(truth))
+	pred.Add(0)
+	pred.Add(1)
+	pred.Add(5)
+	return pred, truth
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	pred, truth := confusionFixture()
+	c := Evaluate(pred, truth, 0, len(truth))
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 6 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+func TestEvaluateWindow(t *testing.T) {
+	pred, truth := confusionFixture()
+	c := Evaluate(pred, truth, 2, 6)
+	// Window covers tuples 2..5: fraud 2 (missed), legits 3,4,5 (5 flagged).
+	if c.TP != 0 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("windowed confusion = %+v", c)
+	}
+	// Out-of-range hi is clamped.
+	c2 := Evaluate(pred, truth, 0, 99)
+	if c2 != Evaluate(pred, truth, 0, len(truth)) {
+		t.Error("hi clamp wrong")
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	pred, truth := confusionFixture()
+	c := Evaluate(pred, truth, 0, len(truth))
+	if got := c.MissedFraudPct(); math.Abs(got-100.0/3) > 1e-9 {
+		t.Errorf("MissedFraudPct = %v", got)
+	}
+	if got := c.FalseAlarmPct(); math.Abs(got-100.0/7) > 1e-9 {
+		t.Errorf("FalseAlarmPct = %v", got)
+	}
+	wantBal := (100.0/3 + 100.0/7) / 2
+	if got := c.BalancedErrorPct(); math.Abs(got-wantBal) > 1e-9 {
+		t.Errorf("BalancedErrorPct = %v, want %v", got, wantBal)
+	}
+	if got := c.RawErrorPct(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("RawErrorPct = %v, want 20", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := Confusion{TP: 2, FP: 1, FN: 1, TN: 6}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	var c Confusion
+	if c.MissedFraudPct() != 0 || c.FalseAlarmPct() != 0 || c.RawErrorPct() != 0 {
+		t.Error("empty confusion should be all-zero percentages")
+	}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty confusion precision/recall should be 1")
+	}
+	zero := Confusion{FN: 1, FP: 1}
+	if zero.F1() != 0 {
+		t.Error("F1 of all-wrong should be 0")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	b := Confusion{TP: 10, FP: 20, FN: 30, TN: 40}
+	got := a.Add(b)
+	if got != (Confusion{TP: 11, FP: 22, FN: 33, TN: 44}) {
+		t.Errorf("Add = %+v", got)
+	}
+	// Value semantics: a unchanged.
+	if a.TP != 1 {
+		t.Error("Add mutated the receiver")
+	}
+}

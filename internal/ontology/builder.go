@@ -1,0 +1,134 @@
+package ontology
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Builder assembles an Ontology. The first concept added is the greatest
+// element ⊤; every later concept must name at least one already-added
+// parent, which guarantees the result is a DAG with a single root.
+type Builder struct {
+	name  string
+	nodes []node
+	names map[string]Concept
+	err   error
+}
+
+// NewBuilder returns a Builder for an ontology with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, names: make(map[string]Concept)}
+}
+
+// Add declares a concept under the given parents and returns the builder for
+// chaining. Errors (duplicate names, unknown parents, missing root) are
+// deferred to Build.
+func (b *Builder) Add(name string, parents ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.names[name]; dup {
+		b.err = fmt.Errorf("ontology %s: duplicate concept %q", b.name, name)
+		return b
+	}
+	if len(b.nodes) == 0 && len(parents) > 0 {
+		b.err = fmt.Errorf("ontology %s: first concept %q must be the root (no parents)", b.name, name)
+		return b
+	}
+	if len(b.nodes) > 0 && len(parents) == 0 {
+		b.err = fmt.Errorf("ontology %s: concept %q needs at least one parent", b.name, name)
+		return b
+	}
+	id := Concept(len(b.nodes))
+	n := node{name: name}
+	for _, p := range parents {
+		pid, ok := b.names[p]
+		if !ok {
+			b.err = fmt.Errorf("ontology %s: concept %q has unknown parent %q", b.name, name, p)
+			return b
+		}
+		n.parents = append(n.parents, pid)
+		b.nodes[pid].children = append(b.nodes[pid].children, id)
+	}
+	b.nodes = append(b.nodes, n)
+	b.names[name] = id
+	return b
+}
+
+// Build finalizes the ontology, computing leaf sets and depths.
+func (b *Builder) Build() (*Ontology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("ontology %s: empty", b.name)
+	}
+	o := &Ontology{
+		name:      b.name,
+		nodes:     b.nodes,
+		byName:    b.names,
+		top:       0,
+		leafIndex: make(map[Concept]int),
+	}
+	for id := range o.nodes {
+		if len(o.nodes[id].children) == 0 {
+			o.leafIndex[Concept(id)] = len(o.leaves)
+			o.leaves = append(o.leaves, Concept(id))
+		}
+	}
+	// Children always have larger ids than their parents (enforced by Add),
+	// so a single reverse pass accumulates leaf sets bottom-up and a single
+	// forward pass computes shortest depths top-down.
+	for id := len(o.nodes) - 1; id >= 0; id-- {
+		n := &o.nodes[id]
+		n.leaves = bitset.New(len(o.leaves))
+		if len(n.children) == 0 {
+			n.leaves.Add(o.leafIndex[Concept(id)])
+			continue
+		}
+		for _, c := range n.children {
+			n.leaves.UnionWith(o.nodes[c].leaves)
+		}
+	}
+	for id := 1; id < len(o.nodes); id++ {
+		n := &o.nodes[id]
+		n.depth = int(^uint(0) >> 1)
+		for _, p := range n.parents {
+			if d := o.nodes[p].depth + 1; d < n.depth {
+				n.depth = d
+			}
+		}
+		if n.depth > o.maxDepth {
+			o.maxDepth = n.depth
+		}
+	}
+	return o, nil
+}
+
+// MustBuild is Build for statically known-good ontologies; it panics on error.
+func (b *Builder) MustBuild() *Ontology {
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// PaperTypeOntology returns the transaction-type hierarchy of Figure 1 of
+// the paper, including the cross-cutting "With code"/"No code" concepts
+// implied by Example 4.7 (rule "Type ≤ No code") and by the published
+// ontological distances of Section 4.1.
+func PaperTypeOntology() *Ontology {
+	return NewBuilder("type").
+		Add("Any").
+		Add("Online", "Any").
+		Add("Offline", "Any").
+		Add("With code", "Any").
+		Add("No code", "Any").
+		Add("Online, with CCV", "Online", "With code").
+		Add("Online, no CCV", "Online", "No code").
+		Add("Offline, with PIN", "Offline", "With code").
+		Add("Offline, without PIN", "Offline", "No code").
+		MustBuild()
+}

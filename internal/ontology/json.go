@@ -1,0 +1,47 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonOntology is the serialized form: concepts in insertion order (parents
+// always precede children, which Builder guarantees and requires).
+type jsonOntology struct {
+	Name     string        `json:"name"`
+	Concepts []jsonConcept `json:"concepts"`
+}
+
+type jsonConcept struct {
+	Name    string   `json:"name"`
+	Parents []string `json:"parents,omitempty"`
+}
+
+// MarshalJSON serializes the ontology so it can be rebuilt with
+// UnmarshalJSON: the concept list preserves builder order.
+func (o *Ontology) MarshalJSON() ([]byte, error) {
+	out := jsonOntology{Name: o.name, Concepts: make([]jsonConcept, len(o.nodes))}
+	for id, n := range o.nodes {
+		jc := jsonConcept{Name: n.name}
+		for _, p := range n.parents {
+			jc.Parents = append(jc.Parents, o.nodes[p].name)
+		}
+		out.Concepts[id] = jc
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalOntology parses the JSON form produced by MarshalJSON.
+// (*Ontology).UnmarshalJSON is deliberately not provided: ontologies are
+// immutable, so deserialization constructs a fresh value.
+func UnmarshalOntology(data []byte) (*Ontology, error) {
+	var in jsonOntology
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("ontology: %w", err)
+	}
+	b := NewBuilder(in.Name)
+	for _, c := range in.Concepts {
+		b.Add(c.Name, c.Parents...)
+	}
+	return b.Build()
+}

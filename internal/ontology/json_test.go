@@ -1,0 +1,51 @@
+package ontology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestOntologyJSONRoundTrip(t *testing.T) {
+	orig := PaperTypeOntology()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalOntology(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\njson: %s", err, data)
+	}
+	if got.Name() != orig.Name() || got.Len() != orig.Len() {
+		t.Fatalf("shape differs: %q/%d vs %q/%d", got.Name(), got.Len(), orig.Name(), orig.Len())
+	}
+	// Every containment relation survives, including the DAG cross-links.
+	for a := 0; a < orig.Len(); a++ {
+		for b := 0; b < orig.Len(); b++ {
+			ca, cb := Concept(a), Concept(b)
+			ga := got.MustLookup(orig.ConceptName(ca))
+			gb := got.MustLookup(orig.ConceptName(cb))
+			if orig.Contains(ca, cb) != got.Contains(ga, gb) {
+				t.Fatalf("containment of (%s, %s) differs after round trip",
+					orig.ConceptName(ca), orig.ConceptName(cb))
+			}
+		}
+	}
+	// Distances survive too (the "With code" cross-cutting link).
+	d1, _ := got.UpDistance(got.MustLookup("Online, with CCV"), got.MustLookup("Offline, with PIN"))
+	if d1 != 1 {
+		t.Errorf("cross-cutting distance = %d after round trip, want 1", d1)
+	}
+}
+
+func TestUnmarshalOntologyErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"garbage":        "{",
+		"empty":          `{"name":"x","concepts":[]}`,
+		"unknown parent": `{"name":"x","concepts":[{"name":"r"},{"name":"c","parents":["ghost"]}]}`,
+		"two roots":      `{"name":"x","concepts":[{"name":"r"},{"name":"r2"}]}`,
+	} {
+		if _, err := UnmarshalOntology([]byte(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}

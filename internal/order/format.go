@@ -1,0 +1,93 @@
+package order
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format describes how the discretized values of a numeric domain are
+// rendered and parsed. It exists so that rules and transactions print in the
+// units the paper uses (clock times such as 18:05, dollar amounts such as
+// $110) while the engine works on plain int64 values.
+type Format int
+
+const (
+	// FormatPlain renders values as decimal integers.
+	FormatPlain Format = iota
+	// FormatTimeOfDay renders values as HH:MM within a single day
+	// (v is minutes since midnight, modulo taken for multi-day domains).
+	FormatTimeOfDay
+	// FormatMinutes renders values as D+HH:MM where D is the day index.
+	// v is minutes since the start of the observation period.
+	FormatMinutes
+	// FormatMoney renders values as $N (whole currency units).
+	FormatMoney
+)
+
+const minutesPerDay = 24 * 60
+
+// FormatValue renders v according to the format.
+func (f Format) FormatValue(v Value) string {
+	switch f {
+	case FormatTimeOfDay:
+		m := ((v % minutesPerDay) + minutesPerDay) % minutesPerDay
+		return fmt.Sprintf("%02d:%02d", m/60, m%60)
+	case FormatMinutes:
+		day := v / minutesPerDay
+		m := v % minutesPerDay
+		if day == 0 {
+			return fmt.Sprintf("%02d:%02d", m/60, m%60)
+		}
+		return fmt.Sprintf("%d+%02d:%02d", day, m/60, m%60)
+	case FormatMoney:
+		return "$" + strconv.FormatInt(v, 10)
+	default:
+		return strconv.FormatInt(v, 10)
+	}
+}
+
+// ParseValue parses the textual form produced by FormatValue. Plain decimal
+// integers are accepted by every format so that machine-generated data files
+// remain format-agnostic.
+func (f Format) ParseValue(s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseInt(strings.TrimPrefix(s, "$"), 10, 64); err == nil {
+		return v, nil
+	}
+	switch f {
+	case FormatTimeOfDay, FormatMinutes:
+		var day int64
+		rest := s
+		if i := strings.IndexByte(s, '+'); i >= 0 {
+			d, err := strconv.ParseInt(s[:i], 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("order: bad day prefix in %q", s)
+			}
+			day, rest = d, s[i+1:]
+		}
+		hh, mm, ok := strings.Cut(rest, ":")
+		if !ok {
+			return 0, fmt.Errorf("order: bad time value %q", s)
+		}
+		h, err1 := strconv.ParseInt(hh, 10, 64)
+		m, err2 := strconv.ParseInt(mm, 10, 64)
+		if err1 != nil || err2 != nil || h < 0 || h > 23 || m < 0 || m > 59 {
+			return 0, fmt.Errorf("order: bad time value %q", s)
+		}
+		return day*minutesPerDay + h*60 + m, nil
+	default:
+		return 0, fmt.Errorf("order: bad numeric value %q", s)
+	}
+}
+
+// FormatInterval renders an interval using the format of its endpoints.
+func (f Format) FormatInterval(iv Interval) string {
+	if iv.IsEmpty() {
+		return "⊥"
+	}
+	if iv.Lo == iv.Hi {
+		return f.FormatValue(iv.Lo)
+	}
+	return "[" + f.FormatValue(iv.Lo) + "," + f.FormatValue(iv.Hi) + "]"
+}

@@ -1,0 +1,90 @@
+// Package paperdata provides the running example of the paper as executable
+// fixtures: the transaction-type ontology of Figure 1, a location ontology
+// containing the named places, the four-attribute schema, the existing rule
+// set of Figure 1, and the new-day transaction relation of Figure 2. It is
+// used by tests across packages and by the paperexample program.
+package paperdata
+
+import (
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// LocationOntology returns a small geographic ontology with the locations
+// appearing in Figure 2 (Gas Stations A and B under "Gas Station"; Online
+// Store and Supermarket under "Retail").
+func LocationOntology() *ontology.Ontology {
+	return ontology.NewBuilder("location").
+		Add("World").
+		Add("Gas Station", "World").
+		Add("Retail", "World").
+		Add("Gas Station A", "Gas Station").
+		Add("Gas Station B", "Gas Station").
+		Add("Online Store", "Retail").
+		Add("Supermarket", "Retail").
+		MustBuild()
+}
+
+// Schema returns the four-attribute schema T(time, amount, type, location)
+// of Example 2.1. Time is minutes within a day; amounts are whole dollars.
+func Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "time", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1439), Format: order.FormatTimeOfDay},
+		relation.Attribute{Name: "amount", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 100000), Format: order.FormatMoney},
+		relation.Attribute{Name: "type", Kind: relation.Categorical,
+			Ontology: ontology.PaperTypeOntology()},
+		relation.Attribute{Name: "location", Kind: relation.Categorical,
+			Ontology: LocationOntology()},
+	)
+}
+
+// Transactions returns the Figure 2 relation over the given schema (obtain
+// one from Schema): the ten transactions of the current day, with the six
+// reported frauds labeled.
+func Transactions(s *relation.Schema) *relation.Relation {
+	typeOnt := s.Attr(s.MustIndex("type")).Ontology
+	locOnt := s.Attr(s.MustIndex("location")).Ontology
+	rel := relation.New(s)
+	add := func(h, m, amt int64, typ, loc string, lab relation.Label) {
+		rel.MustAppend(relation.Tuple{
+			h*60 + m, amt,
+			int64(typeOnt.MustLookup(typ)),
+			int64(locOnt.MustLookup(loc)),
+		}, lab, 500)
+	}
+	add(18, 2, 107, "Online, no CCV", "Online Store", relation.Fraud)
+	add(18, 3, 106, "Online, no CCV", "Online Store", relation.Fraud)
+	add(18, 4, 112, "Online, with CCV", "Online Store", relation.Unlabeled)
+	add(19, 8, 114, "Online, no CCV", "Online Store", relation.Fraud)
+	add(19, 10, 117, "Online, with CCV", "Online Store", relation.Unlabeled)
+	add(20, 53, 46, "Offline, without PIN", "Gas Station B", relation.Fraud)
+	add(20, 54, 48, "Offline, without PIN", "Gas Station B", relation.Fraud)
+	add(20, 55, 44, "Offline, without PIN", "Gas Station B", relation.Fraud)
+	add(20, 58, 47, "Offline, with PIN", "Supermarket", relation.Unlabeled)
+	add(21, 1, 49, "Offline, with PIN", "Gas Station A", relation.Unlabeled)
+	return rel
+}
+
+// ExistingRules returns the Figure 1 rule set. Rule 2's window ends at 19:00
+// ("the last few minutes of 6pm"): Example 2.2 requires it to capture
+// nothing, and Example 4.4's distance of 53 = |18:55 − 18:02| pins its start.
+func ExistingRules(s *relation.Schema) *rules.Set {
+	return rules.NewSet(
+		rules.MustParse(s, "time in [18:00,18:05] && amount >= $110"),
+		rules.MustParse(s, "time in [18:55,19:00] && amount >= $110"),
+		rules.MustParse(s, `time in [20:45,21:15] && amount >= $40 && location = "Gas Station A"`),
+	)
+}
+
+// LegitimateFollowUp returns the Figure 2 relation with the three unlabeled
+// transactions of Example 4.7 (l1, l2, l3) re-labeled as verified legitimate,
+// as happens before the specialization phase of the running example.
+func LegitimateFollowUp(rel *relation.Relation) {
+	rel.SetLabel(2, relation.Legitimate) // 18:04 $112 Online, with CCV
+	rel.SetLabel(4, relation.Legitimate) // 19:10 $117 Online, with CCV
+	rel.SetLabel(9, relation.Legitimate) // 21:01 $49 Offline, with PIN at Gas Station A
+}

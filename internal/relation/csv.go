@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation in CSV form: a header row with the attribute
+// names followed by "label" and "score", then one row per transaction with
+// values rendered by the schema's formats.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, r.schema.Arity()+2)
+	for i := 0; i < r.schema.Arity(); i++ {
+		header = append(header, r.schema.Attr(i).Name)
+	}
+	header = append(header, "label", "score")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		for a := range t {
+			row[a] = r.schema.FormatValue(a, t[a])
+		}
+		row[len(t)] = r.Label(i).String()
+		row[len(t)+1] = strconv.Itoa(int(r.Score(i)))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation previously written by WriteCSV (or hand-written
+// in the same layout) against the given schema. The header's attribute names
+// must match the schema in order.
+func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.Arity() + 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	for i := 0; i < schema.Arity(); i++ {
+		if header[i] != schema.Attr(i).Name {
+			return nil, fmt.Errorf("relation: CSV column %d is %q, schema expects %q",
+				i, header[i], schema.Attr(i).Name)
+		}
+	}
+	if header[schema.Arity()] != "label" || header[schema.Arity()+1] != "score" {
+		return nil, fmt.Errorf("relation: CSV must end with label,score columns")
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		t := make(Tuple, schema.Arity())
+		for a := 0; a < schema.Arity(); a++ {
+			v, err := schema.ParseValue(a, rec[a])
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+			}
+			t[a] = v
+		}
+		label, err := parseLabel(rec[schema.Arity()])
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		score, err := strconv.Atoi(rec[schema.Arity()+1])
+		if err != nil || score < 0 || score > MaxScore {
+			return nil, fmt.Errorf("relation: CSV line %d: bad score %q", line, rec[schema.Arity()+1])
+		}
+		if _, err := rel.Append(t, label, int16(score)); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+func parseLabel(s string) (Label, error) {
+	switch s {
+	case "":
+		return Unlabeled, nil
+	case "FRAUD":
+		return Fraud, nil
+	case "LEGITIMATE":
+		return Legitimate, nil
+	default:
+		return Unlabeled, fmt.Errorf("bad label %q", s)
+	}
+}

@@ -1,0 +1,119 @@
+// Package relation implements the universal transaction relation of the
+// paper: a time-ordered table of transactions over a fixed schema of numeric
+// and categorical attributes, each tuple carrying a ground-truth label
+// (fraudulent, legitimate, or unlabeled) and a machine-learning risk score
+// in [0, 1000].
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+)
+
+// Kind distinguishes numeric (totally ordered) from categorical
+// (ontology-valued) attributes.
+type Kind uint8
+
+const (
+	// Numeric attributes take values in a bounded discrete domain.
+	Numeric Kind = iota
+	// Categorical attributes take leaf concepts of an ontology as values.
+	Categorical
+)
+
+// Attribute describes one column of the transaction relation.
+type Attribute struct {
+	Name string
+	Kind Kind
+	// Domain and Format apply to numeric attributes.
+	Domain order.Domain
+	Format order.Format
+	// Ontology applies to categorical attributes.
+	Ontology *ontology.Ontology
+}
+
+// Schema is an ordered list of attributes. Schemas are immutable after
+// construction.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be unique; categorical attributes must carry an ontology.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: attribute %d has no name", i)
+		}
+		if a.Name == "score" || a.Name == "label" {
+			// "score" is the risk-score threshold pseudo-attribute of the
+			// rule language and both names are CSV header columns.
+			return nil, fmt.Errorf("relation: attribute name %q is reserved", a.Name)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a.Name)
+		}
+		if a.Kind == Categorical && a.Ontology == nil {
+			return nil, fmt.Errorf("relation: categorical attribute %q has no ontology", a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known-good schemas.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// MustIndex is Index for names known to exist; it panics otherwise.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown attribute %q", name))
+	}
+	return i
+}
+
+// FormatValue renders the value of attribute i for display.
+func (s *Schema) FormatValue(i int, v int64) string {
+	a := s.attrs[i]
+	if a.Kind == Categorical {
+		return a.Ontology.ConceptName(ontology.Concept(v))
+	}
+	return a.Format.FormatValue(v)
+}
+
+// ParseValue parses the textual form of a value of attribute i. Categorical
+// values are concept names; numeric values use the attribute's format.
+func (s *Schema) ParseValue(i int, text string) (int64, error) {
+	a := s.attrs[i]
+	if a.Kind == Categorical {
+		c, ok := a.Ontology.Lookup(text)
+		if !ok {
+			return 0, fmt.Errorf("relation: attribute %q: unknown concept %q", a.Name, text)
+		}
+		return int64(c), nil
+	}
+	return a.Format.ParseValue(text)
+}

@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+)
+
+// The JSON schema format makes datasets self-describing: cmd/datagen writes
+// a schema file next to the transaction CSV and cmd/rudolf can load both,
+// so custom schemas work without recompiling.
+
+type jsonSchema struct {
+	Attributes []jsonAttribute `json:"attributes"`
+}
+
+type jsonAttribute struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "numeric" or "categorical"
+	// Numeric attributes:
+	Min    *int64 `json:"min,omitempty"`
+	Max    *int64 `json:"max,omitempty"`
+	Format string `json:"format,omitempty"` // plain, time-of-day, minutes, money
+	// Categorical attributes:
+	Ontology json.RawMessage `json:"ontology,omitempty"`
+}
+
+var formatNames = map[order.Format]string{
+	order.FormatPlain:     "plain",
+	order.FormatTimeOfDay: "time-of-day",
+	order.FormatMinutes:   "minutes",
+	order.FormatMoney:     "money",
+}
+
+func formatByName(name string) (order.Format, error) {
+	for f, n := range formatNames {
+		if n == name {
+			return f, nil
+		}
+	}
+	if name == "" {
+		return order.FormatPlain, nil
+	}
+	return 0, fmt.Errorf("relation: unknown format %q", name)
+}
+
+// WriteJSON serializes the schema (ontologies included).
+func (s *Schema) WriteJSON(w io.Writer) error {
+	out := jsonSchema{Attributes: make([]jsonAttribute, 0, s.Arity())}
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		ja := jsonAttribute{Name: a.Name}
+		if a.Kind == Categorical {
+			ja.Kind = "categorical"
+			raw, err := json.Marshal(a.Ontology)
+			if err != nil {
+				return fmt.Errorf("relation: marshaling ontology of %q: %w", a.Name, err)
+			}
+			ja.Ontology = raw
+		} else {
+			ja.Kind = "numeric"
+			min, max := a.Domain.Min, a.Domain.Max
+			ja.Min, ja.Max = &min, &max
+			ja.Format = formatNames[a.Format]
+		}
+		out.Attributes = append(out.Attributes, ja)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSchemaJSON parses a schema previously written by WriteJSON.
+func ReadSchemaJSON(r io.Reader) (*Schema, error) {
+	var in jsonSchema
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("relation: reading schema JSON: %w", err)
+	}
+	attrs := make([]Attribute, 0, len(in.Attributes))
+	for _, ja := range in.Attributes {
+		switch ja.Kind {
+		case "categorical":
+			if len(ja.Ontology) == 0 {
+				return nil, fmt.Errorf("relation: categorical attribute %q has no ontology", ja.Name)
+			}
+			o, err := ontology.UnmarshalOntology(ja.Ontology)
+			if err != nil {
+				return nil, fmt.Errorf("relation: attribute %q: %w", ja.Name, err)
+			}
+			attrs = append(attrs, Attribute{Name: ja.Name, Kind: Categorical, Ontology: o})
+		case "numeric":
+			if ja.Min == nil || ja.Max == nil {
+				return nil, fmt.Errorf("relation: numeric attribute %q needs min and max", ja.Name)
+			}
+			if *ja.Min > *ja.Max {
+				return nil, fmt.Errorf("relation: numeric attribute %q has inverted bounds", ja.Name)
+			}
+			f, err := formatByName(ja.Format)
+			if err != nil {
+				return nil, fmt.Errorf("relation: attribute %q: %w", ja.Name, err)
+			}
+			attrs = append(attrs, Attribute{
+				Name: ja.Name, Kind: Numeric,
+				Domain: order.NewDomain(*ja.Min, *ja.Max), Format: f,
+			})
+		default:
+			return nil, fmt.Errorf("relation: attribute %q has unknown kind %q", ja.Name, ja.Kind)
+		}
+	}
+	return NewSchema(attrs...)
+}

@@ -1,0 +1,74 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchemaJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadSchemaJSON: %v\njson:\n%s", err, buf.String())
+	}
+	if got.Arity() != s.Arity() {
+		t.Fatalf("arity %d, want %d", got.Arity(), s.Arity())
+	}
+	for i := 0; i < s.Arity(); i++ {
+		a, b := s.Attr(i), got.Attr(i)
+		if a.Name != b.Name || a.Kind != b.Kind {
+			t.Errorf("attr %d: %+v vs %+v", i, a.Name, b.Name)
+		}
+		if a.Kind == Numeric {
+			if a.Domain != b.Domain || a.Format != b.Format {
+				t.Errorf("attr %d numeric config differs", i)
+			}
+			continue
+		}
+		if a.Ontology.Len() != b.Ontology.Len() {
+			t.Errorf("attr %d ontology size %d vs %d", i, a.Ontology.Len(), b.Ontology.Len())
+		}
+		// Containment relations survive the round trip.
+		for _, la := range a.Ontology.Leaves() {
+			name := a.Ontology.ConceptName(la)
+			lb, ok := b.Ontology.Lookup(name)
+			if !ok {
+				t.Fatalf("leaf %q lost in round trip", name)
+			}
+			if !b.Ontology.IsLeaf(lb) {
+				t.Errorf("leaf %q no longer a leaf", name)
+			}
+		}
+	}
+	// A relation written against the original parses against the round-trip.
+	rel := New(s)
+	rel.MustAppend(Tuple{60, 42, leaf(t, s, 2, "Gas Station B")}, Fraud, 700)
+	var csv strings.Builder
+	if err := rel.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(got, strings.NewReader(csv.String())); err != nil {
+		t.Errorf("CSV against round-trip schema: %v", err)
+	}
+}
+
+func TestReadSchemaJSONErrors(t *testing.T) {
+	for name, text := range map[string]string{
+		"garbage":         "{",
+		"unknown kind":    `{"attributes":[{"name":"a","kind":"weird"}]}`,
+		"numeric no min":  `{"attributes":[{"name":"a","kind":"numeric","max":5}]}`,
+		"inverted bounds": `{"attributes":[{"name":"a","kind":"numeric","min":9,"max":5}]}`,
+		"bad format":      `{"attributes":[{"name":"a","kind":"numeric","min":0,"max":5,"format":"roman"}]}`,
+		"cat no ontology": `{"attributes":[{"name":"a","kind":"categorical"}]}`,
+		"bad ontology":    `{"attributes":[{"name":"a","kind":"categorical","ontology":{"name":"x","concepts":[{"name":"r","parents":["ghost"]}]}}]}`,
+		"reserved name":   `{"attributes":[{"name":"score","kind":"numeric","min":0,"max":5}]}`,
+	} {
+		if _, err := ReadSchemaJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// CondExplanation reports how one condition of a rule relates to one
+// transaction: the condition's text, the transaction's value, and whether
+// the value satisfies it.
+type CondExplanation struct {
+	Attr      int
+	Condition string
+	Value     string
+	Satisfied bool
+}
+
+// Explanation explains one rule's verdict on one transaction, condition by
+// condition (trivial conditions are omitted — they always hold).
+type Explanation struct {
+	RuleIndex int
+	Rule      string
+	Captured  bool
+	// Conditions holds one entry per non-trivial condition, plus the score
+	// threshold when the rule has one.
+	Conditions []CondExplanation
+}
+
+// Explain reports, for every rule in the set, whether it captures
+// transaction i of rel and which conditions held or failed — the "why was
+// this flagged?" view an analyst needs when triaging alerts.
+func Explain(rs *Set, rel *relation.Relation, i int) []Explanation {
+	s := rel.Schema()
+	t := rel.Tuple(i)
+	out := make([]Explanation, 0, rs.Len())
+	for ri, r := range rs.Rules() {
+		e := Explanation{RuleIndex: ri, Rule: r.Format(s), Captured: true}
+		for a := 0; a < s.Arity(); a++ {
+			attr := s.Attr(a)
+			c := r.Cond(a)
+			if c.IsTrivial(attr) {
+				continue
+			}
+			ce := CondExplanation{
+				Attr:      a,
+				Condition: formatCond(attr, c),
+				Value:     s.FormatValue(a, t[a]),
+				Satisfied: c.Admits(attr, t[a]),
+			}
+			if !ce.Satisfied {
+				e.Captured = false
+			}
+			e.Conditions = append(e.Conditions, ce)
+		}
+		if r.MinScore() > 0 {
+			ce := CondExplanation{
+				Attr:      -1,
+				Condition: fmt.Sprintf("score >= %d", r.MinScore()),
+				Value:     fmt.Sprintf("%d", rel.Score(i)),
+				Satisfied: rel.Score(i) >= r.MinScore(),
+			}
+			if !ce.Satisfied {
+				e.Captured = false
+			}
+			e.Conditions = append(e.Conditions, ce)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// String renders the explanation for human reading.
+func (e Explanation) String() string {
+	var b strings.Builder
+	verdict := "captures"
+	if !e.Captured {
+		verdict = "does not capture"
+	}
+	fmt.Fprintf(&b, "rule %d %s the transaction: %s\n", e.RuleIndex+1, verdict, e.Rule)
+	for _, c := range e.Conditions {
+		mark := "✓"
+		if !c.Satisfied {
+			mark = "✗"
+		}
+		fmt.Fprintf(&b, "  %s %-40s (value %s)\n", mark, c.Condition, c.Value)
+	}
+	return b.String()
+}

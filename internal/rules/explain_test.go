@@ -1,0 +1,75 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainAgainstFigure2(t *testing.T) {
+	f := newFixture(t)
+	// Tuple 2 (18:04, $112) is captured by rule 1 only.
+	exps := Explain(f.rules, f.rel, 2)
+	if len(exps) != 3 {
+		t.Fatalf("want 3 explanations, got %d", len(exps))
+	}
+	if !exps[0].Captured {
+		t.Error("rule 1 should capture tuple 2")
+	}
+	for _, c := range exps[0].Conditions {
+		if !c.Satisfied {
+			t.Errorf("rule 1 condition %q unsatisfied for a captured tuple", c.Condition)
+		}
+	}
+	// Rule 2 fails on time only.
+	if exps[1].Captured {
+		t.Error("rule 2 should not capture tuple 2")
+	}
+	var failed []string
+	for _, c := range exps[1].Conditions {
+		if !c.Satisfied {
+			failed = append(failed, c.Condition)
+		}
+	}
+	if len(failed) != 1 || !strings.Contains(failed[0], "time") {
+		t.Errorf("rule 2 failing conditions = %v, want only the time window", failed)
+	}
+	// Rule 3 fails on time and location.
+	if exps[2].Captured {
+		t.Error("rule 3 should not capture tuple 2")
+	}
+}
+
+func TestExplainAgreesWithCapture(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < f.rel.Len(); i++ {
+		exps := Explain(f.rules, f.rel, i)
+		capturing := map[int]bool{}
+		for _, ri := range f.rules.CapturingRulesAt(f.rel, i) {
+			capturing[ri] = true
+		}
+		for _, e := range exps {
+			if e.Captured != capturing[e.RuleIndex] {
+				t.Fatalf("tuple %d rule %d: Explain says %v, capture says %v",
+					i, e.RuleIndex, e.Captured, capturing[e.RuleIndex])
+			}
+		}
+	}
+}
+
+func TestExplainScoreThreshold(t *testing.T) {
+	f := newFixture(t)
+	rs := NewSet(MustParse(f.schema, "amount >= $40 && score >= 600"))
+	exps := Explain(rs, f.rel, 0) // fixture scores are 500
+	if exps[0].Captured {
+		t.Error("score threshold should block capture")
+	}
+	last := exps[0].Conditions[len(exps[0].Conditions)-1]
+	if last.Attr != -1 || last.Satisfied || !strings.Contains(last.Condition, "score") {
+		t.Errorf("score condition explanation = %+v", last)
+	}
+	// Rendered form mentions the verdict and the failing mark.
+	text := exps[0].String()
+	if !strings.Contains(text, "does not capture") || !strings.Contains(text, "✗") {
+		t.Errorf("rendered explanation = %q", text)
+	}
+}

@@ -1,0 +1,216 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+)
+
+// Format renders the rule in the paper's style with ASCII operators,
+// omitting trivial conditions: e.g.
+//
+//	time in [18:00,18:05] && amount >= 110 && location <= "Gas Station"
+//
+// A rule whose conditions are all trivial renders as "true"; a rule with an
+// empty condition renders as "false".
+func (r *Rule) Format(s *relation.Schema) string {
+	var parts []string
+	for i, c := range r.conds {
+		a := s.Attr(i)
+		if c.IsEmpty(a) {
+			return "false"
+		}
+		if c.IsTrivial(a) {
+			continue
+		}
+		parts = append(parts, formatCond(a, c))
+	}
+	if r.minScore > 0 {
+		parts = append(parts, fmt.Sprintf("score >= %d", r.minScore))
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " && ")
+}
+
+func formatCond(a relation.Attribute, c Condition) string {
+	if a.Kind == relation.Categorical {
+		if a.Ontology.IsLeaf(c.C) {
+			return fmt.Sprintf("%s = %q", a.Name, a.Ontology.ConceptName(c.C))
+		}
+		return fmt.Sprintf("%s <= %q", a.Name, a.Ontology.ConceptName(c.C))
+	}
+	iv, d, f := c.Iv, a.Domain, a.Format
+	switch {
+	case iv.Lo == iv.Hi:
+		return fmt.Sprintf("%s = %s", a.Name, f.FormatValue(iv.Lo))
+	case iv.Lo == d.Min:
+		return fmt.Sprintf("%s <= %s", a.Name, f.FormatValue(iv.Hi))
+	case iv.Hi == d.Max:
+		return fmt.Sprintf("%s >= %s", a.Name, f.FormatValue(iv.Lo))
+	default:
+		return fmt.Sprintf("%s in [%s,%s]", a.Name, f.FormatValue(iv.Lo), f.FormatValue(iv.Hi))
+	}
+}
+
+// Parse parses the textual rule form produced by Format. The grammar is a
+// conjunction of conditions joined by "&&"; each condition is one of
+//
+//	attr in [lo,hi]          (numeric)
+//	attr = v | attr < v | attr <= v | attr > v | attr >= v
+//	attr <= "Concept"        (categorical; quotes optional)
+//	attr = "Leaf"            (categorical; quotes optional)
+//
+// The literal "true" denotes the trivial rule. At most one condition per
+// attribute is allowed, mirroring the paper's rule language.
+func Parse(s *relation.Schema, text string) (*Rule, error) {
+	r := NewRule(s)
+	text = strings.TrimSpace(text)
+	if text == "" || text == "true" {
+		return r, nil
+	}
+	seen := make(map[int]bool)
+	seenScore := false
+	for _, part := range strings.Split(text, "&&") {
+		part = strings.TrimSpace(part)
+		if th, ok, err := parseScoreCond(part); err != nil {
+			return nil, err
+		} else if ok {
+			if seenScore {
+				return nil, fmt.Errorf("rules: multiple score conditions")
+			}
+			seenScore = true
+			r.SetMinScore(th)
+			continue
+		}
+		attr, c, err := parseCond(s, part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[attr] {
+			return nil, fmt.Errorf("rules: multiple conditions on attribute %q", s.Attr(attr).Name)
+		}
+		seen[attr] = true
+		r.SetCond(attr, c)
+	}
+	return r, nil
+}
+
+// MustParse is Parse for rule literals in tests and generators.
+func MustParse(s *relation.Schema, text string) *Rule {
+	r, err := Parse(s, text)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parseCond(s *relation.Schema, text string) (int, Condition, error) {
+	name, rest, op, err := splitCond(text)
+	if err != nil {
+		return 0, Condition{}, err
+	}
+	attr, ok := s.Index(name)
+	if !ok {
+		return 0, Condition{}, fmt.Errorf("rules: unknown attribute %q in %q", name, text)
+	}
+	a := s.Attr(attr)
+	if a.Kind == relation.Categorical {
+		cname := strings.Trim(rest, `"`)
+		c, ok := a.Ontology.Lookup(cname)
+		if !ok {
+			return 0, Condition{}, fmt.Errorf("rules: unknown concept %q for attribute %q", cname, name)
+		}
+		switch op {
+		case "=", "<=":
+			return attr, ConceptCond(c), nil
+		default:
+			return 0, Condition{}, fmt.Errorf("rules: operator %q not valid for categorical attribute %q", op, name)
+		}
+	}
+	d, f := a.Domain, a.Format
+	if op == "in" {
+		body := strings.TrimSpace(rest)
+		if !strings.HasPrefix(body, "[") || !strings.HasSuffix(body, "]") {
+			return 0, Condition{}, fmt.Errorf("rules: malformed interval in %q", text)
+		}
+		lohi := strings.SplitN(body[1:len(body)-1], ",", 2)
+		if len(lohi) != 2 {
+			return 0, Condition{}, fmt.Errorf("rules: malformed interval in %q", text)
+		}
+		lo, err1 := f.ParseValue(strings.TrimSpace(lohi[0]))
+		hi, err2 := f.ParseValue(strings.TrimSpace(lohi[1]))
+		if err1 != nil || err2 != nil || lo > hi {
+			return 0, Condition{}, fmt.Errorf("rules: bad interval bounds in %q", text)
+		}
+		return attr, NumericCond(order.Interval{Lo: lo, Hi: hi}), nil
+	}
+	v, err := f.ParseValue(rest)
+	if err != nil {
+		return 0, Condition{}, fmt.Errorf("rules: bad value in %q: %v", text, err)
+	}
+	var iv order.Interval
+	switch op {
+	case "=":
+		iv = order.Point(v)
+	case "<=":
+		iv = order.Interval{Lo: d.Min, Hi: v}
+	case "<":
+		iv = order.Interval{Lo: d.Min, Hi: v - 1}
+	case ">=":
+		iv = order.Interval{Lo: v, Hi: d.Max}
+	case ">":
+		iv = order.Interval{Lo: v + 1, Hi: d.Max}
+	default:
+		return 0, Condition{}, fmt.Errorf("rules: unknown operator %q in %q", op, text)
+	}
+	return attr, NumericCond(iv), nil
+}
+
+// parseScoreCond recognizes the reserved risk-score threshold condition
+// "score >= N" (ok reports whether the condition addresses the score).
+func parseScoreCond(text string) (int16, bool, error) {
+	name, rest, op, err := splitCond(text)
+	if err != nil || name != "score" {
+		return 0, false, nil
+	}
+	if op != ">=" {
+		return 0, false, fmt.Errorf("rules: score conditions must use >=, got %q", text)
+	}
+	v, err := strconv.ParseInt(rest, 10, 16)
+	if err != nil || v < 0 || v > int64(relation.MaxScore) {
+		return 0, false, fmt.Errorf("rules: bad score threshold in %q", text)
+	}
+	return int16(v), true, nil
+}
+
+// splitCond splits "attr op rest" returning the attribute name, the operand
+// text and the operator.
+func splitCond(text string) (name, rest, op string, err error) {
+	for _, candidate := range []string{"<=", ">=", "<", ">", "=", " in "} {
+		if i := strings.Index(text, candidate); i > 0 {
+			name = strings.TrimSpace(text[:i])
+			rest = strings.TrimSpace(text[i+len(candidate):])
+			op = strings.TrimSpace(candidate)
+			if name == "" || rest == "" {
+				return "", "", "", fmt.Errorf("rules: malformed condition %q", text)
+			}
+			return name, rest, op, nil
+		}
+	}
+	return "", "", "", fmt.Errorf("rules: no operator found in condition %q", text)
+}
+
+// FormatSet renders every rule in the set, one per line, numbered like the
+// paper's figures.
+func (rs *Set) Format(s *relation.Schema) string {
+	var b strings.Builder
+	for i, r := range rs.rules {
+		fmt.Fprintf(&b, "%d) %s\n", i+1, r.Format(s))
+	}
+	return b.String()
+}

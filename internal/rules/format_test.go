@@ -1,0 +1,140 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/order"
+)
+
+func TestFormatStyles(t *testing.T) {
+	s := paperSchema()
+	for _, tc := range []struct {
+		rule string
+		want string
+	}{
+		{"time in [18:00,18:05] && amount >= $110", "time in [18:00,18:05] && amount >= $110"},
+		{"amount <= $50", "amount <= $50"},
+		{"amount = $42", "amount = $42"},
+		{`location <= "Gas Station"`, `location <= "Gas Station"`},
+		{`location = "Gas Station A"`, `location = "Gas Station A"`},
+		{"true", "true"},
+		{"", "true"},
+	} {
+		r := MustParse(s, tc.rule)
+		if got := r.Format(s); got != tc.want {
+			t.Errorf("Format(%q) = %q, want %q", tc.rule, got, tc.want)
+		}
+	}
+}
+
+func TestFormatEmptyRule(t *testing.T) {
+	s := paperSchema()
+	r := NewRule(s).SetCond(1, NumericCond(order.Empty()))
+	if got := r.Format(s); got != "false" {
+		t.Errorf("Format(empty) = %q, want false", got)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	s := paperSchema()
+	amount := s.MustIndex("amount")
+	for _, tc := range []struct {
+		text string
+		want order.Interval
+	}{
+		{"amount = $50", order.Point(50)},
+		{"amount <= $50", order.Interval{Lo: 0, Hi: 50}},
+		{"amount < $50", order.Interval{Lo: 0, Hi: 49}},
+		{"amount >= $50", order.Interval{Lo: 50, Hi: 100000}},
+		{"amount > $50", order.Interval{Lo: 51, Hi: 100000}},
+		{"amount in [$10,$20]", order.Interval{Lo: 10, Hi: 20}},
+	} {
+		r, err := Parse(s, tc.text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.text, err)
+			continue
+		}
+		if got := r.Cond(amount).Iv; !got.Equal(tc.want) {
+			t.Errorf("Parse(%q) interval = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	s := paperSchema()
+	r, err := Parse(s, `time in [20:45,21:15] && amount >= $40 && location <= "Gas Station" && type <= "Offline"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Arity(); i++ {
+		if r.Cond(i).IsTrivial(s.Attr(i)) {
+			t.Errorf("condition on %s unexpectedly trivial", s.Attr(i).Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := paperSchema()
+	for name, text := range map[string]string{
+		"unknown attr":          "ghost = 5",
+		"unknown concept":       `location = "Mars"`,
+		"bad op on categorical": `location >= "Gas Station"`,
+		"bad interval":          "amount in [5",
+		"interval one bound":    "amount in [5]",
+		"inverted interval":     "amount in [$20,$10]",
+		"bad value":             "amount = x7",
+		"no operator":           "amount",
+		"duplicate attribute":   "amount = $5 && amount = $6",
+		"empty condition":       "amount = $5 && ",
+	} {
+		if _, err := Parse(s, text); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, text)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	s := paperSchema()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad rule")
+		}
+	}()
+	MustParse(s, "ghost = 1")
+}
+
+// TestParseFormatRoundTrip verifies Format output re-parses to an equal rule.
+func TestParseFormatRoundTrip(t *testing.T) {
+	s := paperSchema()
+	for _, text := range []string{
+		"time in [18:00,18:05] && amount >= $110",
+		"time in [18:55,19:15] && amount >= $110",
+		`time in [20:45,21:15] && amount >= $40 && location = "Gas Station A"`,
+		`type <= "Online" && location <= "Retail"`,
+		"amount = $7",
+		"true",
+	} {
+		r := MustParse(s, text)
+		r2, err := Parse(s, r.Format(s))
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", r.Format(s), err)
+			continue
+		}
+		if !r.Equal(s, r2) {
+			t.Errorf("round trip of %q: got %q", text, r2.Format(s))
+		}
+	}
+}
+
+func TestSetFormat(t *testing.T) {
+	s := paperSchema()
+	rs := NewSet(
+		MustParse(s, "amount >= $110"),
+		MustParse(s, `location <= "Gas Station"`),
+	)
+	got := rs.Format(s)
+	if !strings.Contains(got, "1) amount >= $110") || !strings.Contains(got, `2) location <= "Gas Station"`) {
+		t.Errorf("Set.Format = %q", got)
+	}
+}

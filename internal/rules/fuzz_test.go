@@ -1,0 +1,43 @@
+package rules
+
+import (
+	"testing"
+)
+
+// FuzzParseRule feeds arbitrary text to the rule parser: it must never
+// panic, and whatever parses must survive a Format → Parse round trip
+// unchanged (the parser and printer agree on the language).
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"true",
+		"",
+		"time in [18:00,18:05] && amount >= $110",
+		`time in [20:45,21:15] && amount >= $40 && location = "Gas Station A"`,
+		`type <= "Online" && score >= 700`,
+		"amount = $5 && amount = $6",
+		"amount in [$20,$10]",
+		"ghost = 1",
+		"score >= 1001",
+		"time in [18:00",
+		"&&&&",
+		"amount >= ",
+		`location <= "`,
+	} {
+		f.Add(seed)
+	}
+	s := paperSchema()
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := Parse(s, text)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		printed := r.Format(s)
+		r2, err := Parse(s, printed)
+		if err != nil {
+			t.Fatalf("Format output %q does not re-parse: %v (input %q)", printed, err, text)
+		}
+		if !r.Equal(s, r2) {
+			t.Fatalf("round trip changed the rule: %q -> %q", printed, r2.Format(s))
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package rules
+
+import (
+	"repro/internal/relation"
+)
+
+// GeneralizeToCover returns the smallest generalization r' of r such that r'
+// admits, attribute by attribute, every value admitted by target (line 9 of
+// Algorithm 1: "construct the smallest generalization of r to r' so that
+// f(C) ∈ r'(I)"). Numeric conditions are extended to the covering interval;
+// categorical conditions are walked up the ontology along the shortest
+// parent chain to the most specific concept containing the target.
+//
+// The second result lists the attributes whose condition actually changed.
+// r is not modified.
+func GeneralizeToCover(s *relation.Schema, r *Rule, target []Condition) (*Rule, []int) {
+	out := r.Clone()
+	var changed []int
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		cur, want := r.Cond(i), target[i]
+		if cur.ContainsCond(a, want) {
+			continue
+		}
+		if a.Kind == relation.Categorical {
+			g, _ := a.Ontology.MinimalGeneralization(cur.C, want.C)
+			out.SetCond(i, ConceptCond(g))
+		} else {
+			out.SetCond(i, NumericCond(cur.Iv.Extend(want.Iv)))
+		}
+		changed = append(changed, i)
+	}
+	return out, changed
+}
+
+// RuleFromConditions returns a rule whose conditions are exactly the given
+// pattern (used by Algorithm 1 line 18 to create a rule selecting exactly a
+// representative tuple when no existing rule can be generalized).
+func RuleFromConditions(s *relation.Schema, conds []Condition) *Rule {
+	r := NewRule(s)
+	for i, c := range conds {
+		r.SetCond(i, c)
+	}
+	return r
+}

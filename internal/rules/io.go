@@ -1,0 +1,45 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// WriteSet writes the rule set in its textual form, one rule per line, as
+// produced by Rule.Format. Lines starting with '#' are comments.
+func WriteSet(w io.Writer, s *relation.Schema, rs *Set) error {
+	for _, r := range rs.Rules() {
+		if _, err := fmt.Fprintln(w, r.Format(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSet parses a rule set previously written by WriteSet: one rule per
+// line, blank lines and '#' comments ignored.
+func ReadSet(rd io.Reader, s *relation.Schema) (*Set, error) {
+	out := NewSet()
+	scanner := bufio.NewScanner(rd)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		r, err := Parse(s, text)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", line, err)
+		}
+		out.Add(r)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package rules
+
+import (
+	"repro/internal/relation"
+)
+
+// Normalize tidies a rule set without changing its semantics: rules whose
+// conditions (and score thresholds) are contained in another rule are
+// dropped, and pairs of rules that differ only in one numeric attribute
+// with adjacent intervals are merged back into one rule. Sessions produce
+// such pairs naturally — Algorithm 2 splits a rule around a legitimate
+// value, and if later refinement widens one side back to the excluded
+// value's neighborhood the two fragments become mergeable. It returns the
+// number of rules removed.
+func Normalize(s *relation.Schema, rs *Set) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		// Drop subsumed rules.
+		for i := 0; i < rs.Len() && !changed; i++ {
+			for j := 0; j < rs.Len(); j++ {
+				if i == j {
+					continue
+				}
+				if rs.Rule(i).Contains(s, rs.Rule(j)) {
+					rs.Remove(j)
+					removed++
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+		// Merge adjacent numeric fragments.
+		for i := 0; i < rs.Len() && !changed; i++ {
+			for j := i + 1; j < rs.Len(); j++ {
+				if merged, ok := mergeAdjacent(s, rs.Rule(i), rs.Rule(j)); ok {
+					rs.Replace(i, merged)
+					rs.Remove(j)
+					removed++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// mergeAdjacent merges two rules that are identical except for one numeric
+// attribute whose intervals are adjacent or overlapping.
+func mergeAdjacent(s *relation.Schema, a, b *Rule) (*Rule, bool) {
+	if a.MinScore() != b.MinScore() {
+		return nil, false
+	}
+	diff := -1
+	for i := 0; i < s.Arity(); i++ {
+		if a.Cond(i).Equal(s.Attr(i), b.Cond(i)) {
+			continue
+		}
+		if diff >= 0 {
+			return nil, false // more than one differing attribute
+		}
+		diff = i
+	}
+	if diff < 0 {
+		// Identical rules: "merge" is dropping one.
+		return a.Clone(), true
+	}
+	attr := s.Attr(diff)
+	if attr.Kind == relation.Categorical {
+		return nil, false
+	}
+	ia, ib := a.Cond(diff).Iv, b.Cond(diff).Iv
+	if ia.Lo > ib.Lo {
+		ia, ib = ib, ia
+	}
+	// Adjacent or overlapping: the union is a single interval.
+	if ib.Lo > ia.Hi+1 {
+		return nil, false
+	}
+	merged := a.Clone()
+	merged.SetCond(diff, NumericCond(ia.Cover(ib)))
+	return merged, true
+}

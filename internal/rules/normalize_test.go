@@ -1,0 +1,119 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+)
+
+func TestNormalizeMergesAdjacentFragments(t *testing.T) {
+	s := paperSchema()
+	rs := NewSet(
+		MustParse(s, "time in [18:00,18:03] && amount >= $100"),
+		MustParse(s, "time in [18:04,18:10] && amount >= $100"),
+	)
+	if got := Normalize(s, rs); got != 1 {
+		t.Fatalf("removed %d rules, want 1", got)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rule count = %d", rs.Len())
+	}
+	want := order.Interval{Lo: 18 * 60, Hi: 18*60 + 10}
+	if !rs.Rule(0).Cond(0).Iv.Equal(want) {
+		t.Errorf("merged interval = %v, want %v", rs.Rule(0).Cond(0).Iv, want)
+	}
+}
+
+func TestNormalizeKeepsIntentionalGaps(t *testing.T) {
+	s := paperSchema()
+	// The Algorithm 2 split around 18:04: the gap must survive.
+	rs := NewSet(
+		MustParse(s, "time in [18:00,18:03] && amount >= $100"),
+		MustParse(s, "time = 18:05 && amount >= $100"),
+	)
+	if got := Normalize(s, rs); got != 0 {
+		t.Fatalf("removed %d rules from a gapped pair", got)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("rule count = %d", rs.Len())
+	}
+}
+
+func TestNormalizeDropsSubsumedAndDuplicates(t *testing.T) {
+	s := paperSchema()
+	rs := NewSet(
+		MustParse(s, "amount >= $100"),
+		MustParse(s, "amount >= $200"),                              // subsumed
+		MustParse(s, "amount >= $100"),                              // duplicate
+		MustParse(s, `amount >= $500 && location <= "Gas Station"`), // subsumed
+	)
+	removed := Normalize(s, rs)
+	if rs.Len() != 1 || removed != 3 {
+		t.Fatalf("len=%d removed=%d, want 1 rule after normalization", rs.Len(), removed)
+	}
+}
+
+func TestNormalizeRespectsScoreThresholds(t *testing.T) {
+	s := paperSchema()
+	rs := NewSet(
+		MustParse(s, "time in [18:00,18:03] && score >= 700"),
+		MustParse(s, "time in [18:04,18:10] && score >= 800"),
+	)
+	if got := Normalize(s, rs); got != 0 {
+		t.Fatalf("merged rules with different thresholds (removed %d)", got)
+	}
+	// A lower-threshold superset subsumes a higher-threshold one.
+	rs2 := NewSet(
+		MustParse(s, "time in [18:00,18:10] && score >= 500"),
+		MustParse(s, "time in [18:02,18:05] && score >= 700"),
+	)
+	if got := Normalize(s, rs2); got != 1 || rs2.Len() != 1 {
+		t.Fatalf("threshold-aware subsumption wrong: removed %d", got)
+	}
+}
+
+func TestNormalizeCategoricalNotMerged(t *testing.T) {
+	s := paperSchema()
+	rs := NewSet(
+		MustParse(s, `location = "Gas Station A" && amount >= $40`),
+		MustParse(s, `location = "Gas Station B" && amount >= $40`),
+	)
+	if got := Normalize(s, rs); got != 0 {
+		t.Fatalf("merged sibling categorical rules (removed %d): lifting to the parent concept would widen semantics", got)
+	}
+}
+
+// TestNormalizePreservesSemantics: Φ(I) is identical before and after, on
+// random rule sets over random data.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	s := paperSchema()
+	rng := rand.New(rand.NewSource(91))
+	typeLeaves := s.Attr(2).Ontology.Leaves()
+	locLeaves := s.Attr(3).Ontology.Leaves()
+	for trial := 0; trial < 30; trial++ {
+		rel := relation.New(s)
+		for i := 0; i < 200; i++ {
+			rel.MustAppend(relation.Tuple{
+				int64(rng.Intn(1440)), int64(rng.Intn(500)),
+				int64(typeLeaves[rng.Intn(len(typeLeaves))]),
+				int64(locLeaves[rng.Intn(len(locLeaves))]),
+			}, relation.Unlabeled, int16(rng.Intn(1001)))
+		}
+		rs := NewSet()
+		for k := 0; k < 2+rng.Intn(6); k++ {
+			lo := int64(rng.Intn(1200))
+			r := NewRule(s).SetCond(0, NumericCond(order.Interval{Lo: lo, Hi: lo + int64(rng.Intn(200))}))
+			if rng.Intn(2) == 0 {
+				r.SetCond(1, NumericCond(order.Interval{Lo: int64(rng.Intn(300)), Hi: 500}))
+			}
+			rs.Add(r)
+		}
+		before := rs.Eval(rel)
+		Normalize(s, rs)
+		if !rs.Eval(rel).Equal(before) {
+			t.Fatalf("trial %d: normalization changed semantics", trial)
+		}
+	}
+}

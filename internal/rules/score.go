@@ -1,0 +1,65 @@
+package rules
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/relation"
+)
+
+// The paper notes that "in practice each rule also includes some threshold
+// condition on the score" (the ML risk score in [0, 1000]) alongside the
+// semantic conditions its examples focus on. Rules here carry an optional
+// minimum-score threshold: a transaction is captured only if it satisfies
+// every attribute condition AND its risk score reaches the threshold.
+// Thresholds are part of a rule's identity (copied by Clone, compared by
+// Equal, printed and parsed as "score >= N") but are never touched by the
+// refinement algorithms, matching the paper's treatment of them as static
+// side conditions.
+
+// MinScore returns the rule's risk-score threshold (0 = none).
+func (r *Rule) MinScore() int16 { return r.minScore }
+
+// SetMinScore sets the risk-score threshold and returns the rule for
+// chaining. Values are clamped to [0, relation.MaxScore].
+func (r *Rule) SetMinScore(s int16) *Rule {
+	if s < 0 {
+		s = 0
+	}
+	if s > relation.MaxScore {
+		s = relation.MaxScore
+	}
+	r.minScore = s
+	return r
+}
+
+// MatchesAt reports whether transaction i of rel satisfies the rule,
+// including the score threshold. Matches (tuple-only) ignores the
+// threshold; use MatchesAt whenever the transaction's score is available.
+func (r *Rule) MatchesAt(rel *relation.Relation, i int) bool {
+	if rel.Score(i) < r.minScore {
+		return false
+	}
+	return r.Matches(rel.Schema(), rel.Tuple(i))
+}
+
+// CapturingRulesAt returns the indices of the rules capturing transaction i
+// of rel, score threshold included — the score-aware form of CapturingRules.
+func (rs *Set) CapturingRulesAt(rel *relation.Relation, i int) []int {
+	var out []int
+	for ri, r := range rs.rules {
+		if r.MatchesAt(rel, i) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// capturesInto adds to out every transaction of rel the rule captures
+// (conditions and score threshold).
+func (r *Rule) capturesInto(rel *relation.Relation, out *bitset.Set) {
+	s := rel.Schema()
+	for i := 0; i < rel.Len(); i++ {
+		if rel.Score(i) >= r.minScore && r.Matches(s, rel.Tuple(i)) {
+			out.Add(i)
+		}
+	}
+}

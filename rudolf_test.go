@@ -1,0 +1,205 @@
+package rudolf_test
+
+import (
+	"strings"
+	"testing"
+
+	rudolf "repro"
+)
+
+// buildSchema assembles the paper's four-attribute schema through the public
+// API only.
+func buildSchema(t *testing.T) *rudolf.Schema {
+	t.Helper()
+	loc := rudolf.NewOntology("location").
+		Add("World").
+		Add("Gas Station", "World").
+		Add("Gas Station A", "Gas Station").
+		Add("Gas Station B", "Gas Station").
+		Add("Online Store", "World").
+		MustBuild()
+	s, err := rudolf.NewSchema(
+		rudolf.Attribute{Name: "time", Kind: rudolf.Numeric,
+			Domain: rudolf.NewDomain(0, 1439), Format: rudolf.FormatTimeOfDay},
+		rudolf.Attribute{Name: "amount", Kind: rudolf.Numeric,
+			Domain: rudolf.NewDomain(0, 100000), Format: rudolf.FormatMoney},
+		rudolf.Attribute{Name: "type", Kind: rudolf.Categorical,
+			Ontology: rudolf.PaperTypeOntology()},
+		rudolf.Attribute{Name: "location", Kind: rudolf.Categorical,
+			Ontology: loc},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPublicAPISession runs a complete refinement session against the
+// public API: load transactions, parse rules, refine with the auto expert,
+// and check that the frauds end up captured.
+func TestPublicAPISession(t *testing.T) {
+	s := buildSchema(t)
+	rel := rudolf.NewRelation(s)
+	typeOnt := s.Attr(2).Ontology
+	locOnt := s.Attr(3).Ontology
+	add := func(h, m, amt int64, typ, loc string, lab rudolf.Label) {
+		_, err := rel.Append(rudolf.Tuple{
+			h*60 + m, amt,
+			int64(typeOnt.MustLookup(typ)),
+			int64(locOnt.MustLookup(loc)),
+		}, lab, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(18, 2, 107, "Online, no CCV", "Online Store", rudolf.Fraud)
+	add(18, 3, 106, "Online, no CCV", "Online Store", rudolf.Fraud)
+	add(18, 4, 112, "Online, with CCV", "Online Store", rudolf.Legitimate)
+	add(20, 53, 46, "Offline, without PIN", "Gas Station B", rudolf.Fraud)
+	add(21, 1, 49, "Offline, with PIN", "Gas Station A", rudolf.Unlabeled)
+
+	rs, err := rudolf.ParseRules(s,
+		"time in [18:00,18:05] && amount >= $110",
+		`time in [20:45,21:15] && amount >= $40 && location = "Gas Station A"`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := rudolf.NewSession(rs, rudolf.NewAutoAcceptExpert(), rudolf.Options{})
+	stats := sess.Refine(rel)
+	if stats.FraudCaptured != stats.FraudTotal {
+		t.Fatalf("frauds captured %d/%d\n%s",
+			stats.FraudCaptured, stats.FraudTotal, sess.Rules().Format(s))
+	}
+	if stats.LegitCaptured != 0 {
+		t.Fatalf("legitimate still captured\n%s", sess.Rules().Format(s))
+	}
+	// The caller's rule set is untouched.
+	if rs.Len() != 2 {
+		t.Error("session mutated the input rule set")
+	}
+}
+
+func TestPublicAPIRuleIO(t *testing.T) {
+	s := buildSchema(t)
+	rs, err := rudolf.ParseRules(s,
+		"amount >= $100",
+		`location <= "Gas Station" && time in [20:00,21:00]`,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rudolf.WriteRules(&buf, s, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rudolf.ReadRules(strings.NewReader("# comment\n\n"+buf.String()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != rs.Len() {
+		t.Fatalf("round trip %d rules, want %d", got.Len(), rs.Len())
+	}
+	for i := 0; i < rs.Len(); i++ {
+		if !got.Rule(i).Equal(s, rs.Rule(i)) {
+			t.Errorf("rule %d differs after round trip", i)
+		}
+	}
+	if _, err := rudolf.ReadRules(strings.NewReader("nonsense"), s); err == nil {
+		t.Error("bad rule file accepted")
+	}
+}
+
+func TestPublicAPIDatasetAndOracle(t *testing.T) {
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: 1500, Seed: 4})
+	if ds.Rel.Len() != 1500 {
+		t.Fatalf("dataset size = %d", ds.Rel.Len())
+	}
+	initial := rudolf.InitialRules(ds, 0, 4)
+	sess := rudolf.NewSession(initial, rudolf.NewOracleExpert(ds.Truth),
+		rudolf.Options{Clusterer: rudolf.DatasetClusterer()})
+	stats := sess.Refine(ds.Rel)
+	if stats.FraudCaptured != stats.FraudTotal {
+		t.Errorf("oracle session missed frauds: %d/%d", stats.FraudCaptured, stats.FraudTotal)
+	}
+	if sess.Log().Len() == 0 {
+		t.Error("no modifications logged")
+	}
+}
+
+func TestPublicAPICSVRoundTrip(t *testing.T) {
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: 200, Seed: 9})
+	var buf strings.Builder
+	if err := ds.Rel.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rudolf.ReadCSV(ds.Schema, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Rel.Len() {
+		t.Fatalf("CSV round trip %d rows, want %d", got.Len(), ds.Rel.Len())
+	}
+}
+
+func TestPublicAPINoviceAndInteractive(t *testing.T) {
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: 800, Seed: 5})
+	novice := rudolf.NewNoviceExpert(rudolf.NewOracleExpert(ds.Truth), 1)
+	sess := rudolf.NewSession(rudolf.InitialRules(ds, 0, 5), novice,
+		rudolf.Options{Clusterer: rudolf.DatasetClusterer()})
+	sess.Refine(ds.Rel)
+
+	// Interactive expert over a canned stdin that accepts everything and is
+	// always satisfied.
+	in := strings.NewReader(strings.Repeat("a\n", 500) + strings.Repeat("y\n", 50))
+	var out strings.Builder
+	ie := rudolf.NewInteractiveExpert(in, &out)
+	sess2 := rudolf.NewSession(rudolf.InitialRules(ds, 0, 5), ie,
+		rudolf.Options{Clusterer: rudolf.DatasetClusterer(), MaxRounds: 1})
+	sess2.Refine(ds.Rel.Prefix(400))
+	if out.Len() == 0 {
+		t.Error("interactive expert produced no prompts")
+	}
+}
+
+// TestLargeScaleSmoke exercises the full pipeline at a size closer to the
+// paper's smallest FI. Skipped under -short.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke test skipped in short mode")
+	}
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: 50000, FraudPct: 1.0, Seed: 99})
+	sess := rudolf.NewSession(rudolf.InitialRules(ds, 55, 99),
+		rudolf.NewOracleExpert(ds.Truth),
+		rudolf.Options{Clusterer: rudolf.DatasetClusterer()})
+	stats := sess.Refine(ds.Rel.Prefix(25000))
+	if stats.FraudCaptured != stats.FraudTotal {
+		t.Errorf("large-scale refine missed frauds: %d/%d", stats.FraudCaptured, stats.FraudTotal)
+	}
+	// Compiled evaluation over the full 50K stays fast and agrees with the
+	// reference evaluator.
+	ev := rudolf.CompileRules(ds.Schema, sess.Rules())
+	if !ev.Eval(ds.Rel).Equal(sess.Rules().Eval(ds.Rel)) {
+		t.Error("compiled and reference evaluation disagree at scale")
+	}
+}
+
+// TestPreviewEdit: the what-if deltas match Definition 3.1 on the running
+// example.
+func TestPreviewEdit(t *testing.T) {
+	s := buildSchema(t)
+	rel := rudolf.NewRelation(s)
+	loc := s.Attr(3).Ontology
+	typ := s.Attr(2).Ontology
+	rel.MustAppend(rudolf.Tuple{1082, 107, int64(typ.MustLookup("Online, no CCV")),
+		int64(loc.MustLookup("Online Store"))}, rudolf.Fraud, 500)
+	rel.MustAppend(rudolf.Tuple{1084, 112, int64(typ.MustLookup("Online, with CCV")),
+		int64(loc.MustLookup("Online Store"))}, rudolf.Legitimate, 500)
+
+	old, _ := rudolf.ParseRules(s, "amount >= $110")
+	new, _ := rudolf.ParseRules(s, "amount >= $100 && type = \"Online, no CCV\"")
+	dF, dL, dR := rudolf.PreviewEdit(old, new, rel)
+	if dF != 1 || dL != 1 || dR != 0 {
+		t.Errorf("PreviewEdit = (%d,%d,%d), want (1,1,0): one more fraud captured, one legit released", dF, dL, dR)
+	}
+}
