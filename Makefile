@@ -1,0 +1,38 @@
+# RUDOLF reproduction — CI entry points.
+#
+#   make build   compile every package and command
+#   make test    run the full test suite
+#   make race    run the test suite under the race detector (the differential
+#                tests double as the proof that the 64-aligned chunk-parallel
+#                evaluators are race-free; see DESIGN.md §8)
+#   make vet     static analysis
+#   make bench   run the benchmark suite once (no test re-run)
+#   make check   build + vet + test + race — the full CI gate
+
+GO      ?= go
+PKGS    ?= ./...
+BENCH   ?= .
+
+.PHONY: all build test race vet bench check clean
+
+all: check
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem $(PKGS)
+
+check: build vet test race
+
+clean:
+	$(GO) clean -testcache

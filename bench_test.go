@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	rudolf "repro"
+	"repro/internal/capture"
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/datagen"
@@ -341,6 +342,44 @@ func BenchmarkCompiledEvalLarge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Eval(ds.Rel)
 	}
+}
+
+// BenchmarkIncrementalCapture measures the tentpole's hot path: one rule
+// edit per round with the incremental capture cache — recompile and
+// re-evaluate only the touched rule, then re-read the union. Compare with
+// BenchmarkCaptureFullRescan, which pays a full interpreted Φ(I) rescan for
+// the same edit (what every Stats/repHandled/splitCandidates call inside a
+// refinement round used to cost).
+func BenchmarkIncrementalCapture(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 20000, Seed: 1})
+	rs := datagen.InitialRules(ds, 55, 1)
+	c := capture.New()
+	c.Bind(ds.Rel, rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := i % rs.Len()
+		nr := rs.Rule(ri).Clone().SetMinScore(int16(i % 2))
+		rs.Replace(ri, nr)
+		c.RuleReplaced(ri, nr)
+		c.Union()
+	}
+	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
+}
+
+// BenchmarkCaptureFullRescan is the pre-cache baseline for the same edit
+// sequence: every edit invalidates everything and Φ(I) is recomputed by the
+// interpreted Set.Eval.
+func BenchmarkCaptureFullRescan(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 20000, Seed: 1})
+	rs := datagen.InitialRules(ds, 55, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri := i % rs.Len()
+		nr := rs.Rule(ri).Clone().SetMinScore(int16(i % 2))
+		rs.Replace(ri, nr)
+		rs.Eval(ds.Rel)
+	}
+	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
 }
 
 // BenchmarkFleet runs the 15-FI roster study (scaled) and reports the

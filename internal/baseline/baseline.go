@@ -9,6 +9,7 @@ package baseline
 import (
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/rules"
 )
@@ -43,8 +44,11 @@ func (NoChange) Name() string { return "No Change" }
 // Refine implements Method (it never changes anything).
 func (NoChange) Refine(*relation.Relation) RoundCost { return RoundCost{} }
 
-// Predict implements Method.
-func (n NoChange) Predict(rel *relation.Relation) *bitset.Set { return n.Rules.Eval(rel) }
+// Predict implements Method, classifying with the compiled parallel
+// evaluator (the rules never change, so only the relation varies per call).
+func (n NoChange) Predict(rel *relation.Relation) *bitset.Set {
+	return index.Compile(rel.Schema(), n.Rules).Eval(rel)
+}
 
 // Rudolf adapts a core.Session + expert pair to the Method interface. With
 // an oracle expert it is RUDOLF; with expert.AutoAccept it is RUDOLF⁻; with
@@ -84,7 +88,10 @@ func (r *Rudolf) Refine(rel *relation.Relation) RoundCost {
 	return cost
 }
 
-// Predict implements Method.
+// Predict implements Method via the session's compiled parallel evaluator —
+// the experiment protocol re-classifies the full relation after every
+// refinement round, which is exactly the large-batch path the compiled
+// evaluator exists for.
 func (r *Rudolf) Predict(rel *relation.Relation) *bitset.Set {
-	return r.session.Rules().Eval(rel)
+	return r.session.EvalOn(rel)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/rules"
 )
@@ -117,7 +118,10 @@ func (m *Manual) Refine(rel *relation.Relation) RoundCost {
 
 	// Pass 1: write rules for uncaptured reported frauds, cluster by
 	// cluster, most recent incidents first (as an analyst works a queue).
-	captured := m.Rules.Eval(rel)
+	// Even the manual expert's tooling evaluates rules compiled and in
+	// parallel — the paper's FIs run batch evaluation regardless of who
+	// maintains the rules.
+	captured := index.Compile(s, m.Rules).Eval(rel)
 	var uncaptured []int
 	for _, i := range rel.Indices(relation.Fraud) {
 		if !captured.Has(i) {
@@ -254,5 +258,7 @@ func nontrivialConds(s *relation.Schema, r *rules.Rule) int {
 	return n
 }
 
-// Predict implements Method.
-func (m *Manual) Predict(rel *relation.Relation) *bitset.Set { return m.Rules.Eval(rel) }
+// Predict implements Method via the compiled parallel evaluator.
+func (m *Manual) Predict(rel *relation.Relation) *bitset.Set {
+	return index.Compile(rel.Schema(), m.Rules).Eval(rel)
+}

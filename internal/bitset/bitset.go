@@ -80,6 +80,15 @@ func (s *Set) IntersectWith(other *Set) {
 	}
 }
 
+// SymmetricDifferenceWith replaces s by s △ other: the elements in exactly
+// one of the two sets. Used to enumerate only the transactions whose capture
+// status changed between two rule-set versions.
+func (s *Set) SymmetricDifferenceWith(other *Set) {
+	for i := range other.words {
+		s.words[i] ^= other.words[i]
+	}
+}
+
 // SubtractWith removes every element of other from s.
 func (s *Set) SubtractWith(other *Set) {
 	for i := range other.words {

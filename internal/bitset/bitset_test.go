@@ -157,3 +157,59 @@ func TestInclusionExclusion(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSymmetricDifference pins the word-level XOR used by the cost deltas to
+// enumerate only the transactions whose capture status changed.
+func TestSymmetricDifference(t *testing.T) {
+	a, b := New(300), New(300)
+	for _, i := range []int{0, 63, 64, 200} {
+		a.Add(i)
+	}
+	for _, i := range []int{63, 64, 128, 299} {
+		b.Add(i)
+	}
+	d := a.Clone()
+	d.SymmetricDifferenceWith(b)
+	want := []int{0, 128, 200, 299}
+	got := d.Elems(nil)
+	if len(got) != len(want) {
+		t.Fatalf("A △ B = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A △ B = %v, want %v", got, want)
+		}
+	}
+	// Self-difference is empty, and the other operand is untouched.
+	d.SymmetricDifferenceWith(d)
+	if !d.IsEmpty() {
+		t.Error("A △ A not empty")
+	}
+	if b.Count() != 4 {
+		t.Error("operand mutated")
+	}
+}
+
+// Property: i ∈ A △ B ⇔ (i ∈ A) xor (i ∈ B), via the identity
+// A △ B = (A ∪ B) \ (A ∩ B).
+func TestSymmetricDifferenceProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		d := a.Clone()
+		d.SymmetricDifferenceWith(b)
+		u, i := a.Clone(), a.Clone()
+		u.UnionWith(b)
+		i.IntersectWith(b)
+		u.SubtractWith(i)
+		return d.Equal(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package capture maintains Φ(I) — the set of transactions captured by a
+// rule set — incrementally across rule edits. The refinement loop of the
+// paper re-evaluates the full rule set over the transaction log after every
+// modification (Section 5's production setting runs 100K-10M transactions
+// per institute), but a single refinement step touches exactly one rule:
+// a generalization replaces it, a split removes it and adds replacements,
+// line 18 adds a fresh rule. Re-scanning every rule against every
+// transaction for each such step is the dominant cost of a refinement round.
+//
+// The Cache keeps one compiled-rule capture bitset per rule plus their lazy
+// running union. Binding to a (relation, rule set) pair does one parallel
+// chunk-evaluated pass (see index.Evaluator); afterwards each edit
+// recompiles and re-evaluates only the touched rule and refreshes the union
+// with word-level ORs. The cache is always observationally equal to
+// rules.Set.Eval over the bound relation — capture_test.go proves this
+// differentially over randomized edit sequences.
+//
+// Invalidation model: the cache is bound to a relation snapshot (pointer +
+// length). Stats, capture queries and rule edits against the bound relation
+// are incremental; touching a different relation (or detecting a rule-set
+// length drift from an unnotified mutation) triggers a full rebind.
+package capture
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// Cache is an incrementally-maintained capture index of a rule set over one
+// relation. The zero value (and New) is unbound: Bind it before querying.
+// A Cache is not safe for concurrent mutation; the parallel work happens
+// inside each call.
+type Cache struct {
+	rel    *relation.Relation
+	relLen int
+	ev     *index.Evaluator
+	// bits[i] is the capture set of rule i over rel, maintained in lockstep
+	// with the bound rule set's indices.
+	bits []*bitset.Set
+	// union caches the running Φ(I); unionOK marks it current. Additions
+	// update it in place (union only grows); replacements and removals
+	// invalidate it, and Union rebuilds it from the per-rule bitsets with
+	// word-level ORs (no relation re-scan).
+	union   *bitset.Set
+	unionOK bool
+	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// New returns an unbound cache.
+func New() *Cache { return &Cache{} }
+
+// Bound reports whether the cache currently mirrors rel. Identity is the
+// relation pointer plus its length: labels may change between rounds (they
+// do not affect captures), but appended transactions do.
+func (c *Cache) Bound(rel *relation.Relation) bool {
+	return rel != nil && c.rel == rel && c.relLen == rel.Len()
+}
+
+// Len returns the number of rules tracked.
+func (c *Cache) Len() int { return len(c.bits) }
+
+// Rel returns the bound relation (nil when unbound).
+func (c *Cache) Rel() *relation.Relation { return c.rel }
+
+// Invalidate unbinds the cache; the next Bind rebuilds it from scratch.
+// Callers that mutated the rule set without notifying the cache must call
+// this (Session's mutation helpers do it automatically on drift).
+func (c *Cache) Invalidate() {
+	c.rel = nil
+	c.relLen = 0
+	c.ev = nil
+	c.bits = nil
+	c.union = nil
+	c.unionOK = false
+}
+
+// Bind (re)builds the cache for the rule set over rel: one compile plus one
+// chunk-parallel pass producing every per-rule capture bitset.
+func (c *Cache) Bind(rel *relation.Relation, rs *rules.Set) {
+	c.rel = rel
+	c.relLen = rel.Len()
+	c.ev = index.Compile(rel.Schema(), rs)
+	c.ev.Workers = c.Workers
+	c.bits = c.ev.EvalPerRule(rel)
+	c.union = nil
+	c.unionOK = false
+}
+
+// RuleAdded appends rule r (which the caller just appended to the rule set):
+// it is compiled and evaluated alone. The running union is updated in place
+// when current, since an addition can only grow Φ(I).
+func (c *Cache) RuleAdded(r *rules.Rule) {
+	if c.rel == nil {
+		return
+	}
+	ri := c.ev.Add(r)
+	b := c.ev.EvalRule(ri, c.rel)
+	c.bits = append(c.bits, b)
+	if c.unionOK {
+		c.union.UnionWith(b)
+	}
+}
+
+// RuleReplaced recompiles and re-evaluates only rule i, which the caller
+// just replaced in the rule set.
+func (c *Cache) RuleReplaced(i int, r *rules.Rule) {
+	if c.rel == nil {
+		return
+	}
+	c.ev.Replace(i, r)
+	c.bits[i] = c.ev.EvalRule(i, c.rel)
+	c.union = nil
+	c.unionOK = false
+}
+
+// RuleRemoved drops rule i's bitset, mirroring rules.Set.Remove.
+func (c *Cache) RuleRemoved(i int) {
+	if c.rel == nil {
+		return
+	}
+	c.ev.Remove(i)
+	c.bits = append(c.bits[:i], c.bits[i+1:]...)
+	c.union = nil
+	c.unionOK = false
+}
+
+// Union returns Φ(I) over the bound relation — always equal to
+// rules.Set.Eval(rel) for the mirrored rule set. The returned set is owned
+// by the cache and valid until the next mutation; callers must treat it as
+// read-only (Clone for a private copy).
+func (c *Cache) Union() *bitset.Set {
+	if !c.unionOK {
+		u := bitset.New(c.relLen)
+		for _, b := range c.bits {
+			u.UnionWith(b)
+		}
+		c.union = u
+		c.unionOK = true
+	}
+	return c.union
+}
+
+// UnionExcept returns the union of every rule's captures except rule skip —
+// the "covered by others" set of Algorithm 2's split-benefit computation.
+// The returned set is freshly allocated.
+func (c *Cache) UnionExcept(skip int) *bitset.Set {
+	out := bitset.New(c.relLen)
+	for i, b := range c.bits {
+		if i == skip {
+			continue
+		}
+		out.UnionWith(b)
+	}
+	return out
+}
+
+// RuleCaptures returns the capture set of rule i. Owned by the cache;
+// callers must treat it as read-only.
+func (c *Cache) RuleCaptures(i int) *bitset.Set { return c.bits[i] }
+
+// Captured reports whether transaction i is captured by any rule.
+func (c *Cache) Captured(i int) bool { return c.Union().Has(i) }
+
+// CapturingRulesAt returns the indices of the rules capturing transaction i
+// (the Ω_l set of Algorithm 2), read off the per-rule bitsets in O(rules)
+// bit probes instead of O(rules × arity) condition checks.
+func (c *Cache) CapturingRulesAt(i int) []int {
+	var out []int
+	for ri, b := range c.bits {
+		if b.Has(i) {
+			out = append(out, ri)
+		}
+	}
+	return out
+}

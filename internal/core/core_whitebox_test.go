@@ -57,6 +57,32 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 }
 
+// TestOptionsWeightsSet is the regression test for the silent weight
+// substitution: weights() used to treat "all three coefficients are zero" as
+// "unconfigured" and replace them with the defaults, so an experimenter
+// explicitly studying α = β = γ = 0 (pure-distance ranking) silently ran the
+// default ranking instead. WeightsSet marks the weights as deliberate.
+func TestOptionsWeightsSet(t *testing.T) {
+	// Explicit all-zero weights are honored verbatim.
+	o := Options{WeightsSet: true}
+	if got := o.weights(); got != (cost.Weights{}) {
+		t.Errorf("explicit zero weights replaced by %+v", got)
+	}
+	// The zero-value Options stays usable: defaults still apply.
+	if got := (Options{}).weights(); got != cost.DefaultWeights() {
+		t.Errorf("zero-value Options weights = %+v, want defaults", got)
+	}
+	// WeightsSet also pins partial weights that would otherwise be taken
+	// verbatim anyway — setting the flag must never change their meaning.
+	w := cost.Weights{Beta: 3}
+	if got := (Options{Weights: w, WeightsSet: true}).weights(); got != w {
+		t.Errorf("flagged partial weights = %+v, want %+v", got, w)
+	}
+	if got := (Options{Weights: w}).weights(); got != w {
+		t.Errorf("unflagged partial weights = %+v, want %+v", got, w)
+	}
+}
+
 func TestResolveGenDecision(t *testing.T) {
 	s := paperdata.Schema()
 	original := rules.MustParse(s, "amount >= $110 && time in [18:00,18:05]")
@@ -101,7 +127,7 @@ func TestRankRulesOrderAndTopK(t *testing.T) {
 	if len(ranked) != 2 {
 		t.Fatalf("topK not applied: %d", len(ranked))
 	}
-	if ranked[0].ruleIndex != 0 || ranked[1].ruleIndex != 1 {
+	if sess.ruleSet.IndexOf(ranked[0].rule) != 0 || sess.ruleSet.IndexOf(ranked[1].rule) != 1 {
 		t.Errorf("ranking = %+v, want rules 0 then 1 (Example 4.4)", ranked)
 	}
 	if ranked[0].score != 2 || ranked[1].score != 56 {
@@ -354,6 +380,90 @@ func TestSplitCandidateOrdering(t *testing.T) {
 	}
 	if last.benefit != 1-2 {
 		t.Errorf("location benefit = %v, want -1 (one legit excluded, two frauds lost)", last.benefit)
+	}
+}
+
+// TestGeneralizeSurvivesMidLoopRemoval is the regression test for the stale
+// ruleIndex family: candidates used to carry the index they had at ranking
+// time, so any removal between ranking and application shifted the indices
+// and the expert's decision was applied to the wrong rule (or panicked out of
+// range). Here the rule set shrinks *during* the expert review — the exact
+// window the fix re-resolves over — and the edit must still land on the rule
+// the expert actually reviewed.
+func TestGeneralizeSurvivesMidLoopRemoval(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	decoy := rules.MustParse(s, "time in [01:00,01:10] && amount >= $5000")
+	target := rules.MustParse(s, "time in [18:00,18:04] && amount >= $107")
+	rs := rules.NewSet(decoy, target) // best-ranked rule sits at index 1
+
+	var sess *Session
+	removed := false
+	e := &stubExpert{gen: func(p *GenProposal) GenDecision {
+		if !removed && p.RuleIndex >= 0 {
+			// Mid-review, another actor (a concurrent prune, a split, an
+			// expert deletion) removes the decoy: every later index shifts.
+			// The session clones the caller's rules, so find the decoy as
+			// "the session rule that is not under review".
+			for i, r := range sess.ruleSet.Rules() {
+				if r != p.Original {
+					sess.setRemove(i)
+					removed = true
+					break
+				}
+			}
+		}
+		return GenDecision{Accept: true}
+	}}
+	sess = NewSession(rs, e, Options{})
+	reps := cluster.Representatives(cluster.Leader{}, rel, rel.Indices(relation.Fraud))
+	sess.generalizeForRep(rel, s, reps[0]) // 18:02/18:03 cluster
+
+	if !removed {
+		t.Fatal("test harness never removed the decoy")
+	}
+	if got := sess.ruleSet.Len(); got != 1 {
+		t.Fatalf("rule set has %d rules, want 1 (decoy removed, target edited in place)", got)
+	}
+	final := sess.ruleSet.Rule(0)
+	if !ruleContainsRep(s, final, reps[0]) {
+		t.Errorf("edit did not land on the reviewed rule: %s", final.Format(s))
+	}
+}
+
+// TestGeneralizeDiscardsDecisionForVanishedRule covers the other side of the
+// stale-index window: the rule under review itself disappears during the
+// review. The accepted decision must be discarded (there is nothing to apply
+// it to) and the algorithm must fall through to line 18's exact rule instead
+// of touching whatever rule inherited the index.
+func TestGeneralizeDiscardsDecisionForVanishedRule(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	target := rules.MustParse(s, "time in [18:00,18:04] && amount >= $107")
+	rs := rules.NewSet(target)
+
+	var sess *Session
+	e := &stubExpert{gen: func(p *GenProposal) GenDecision {
+		if p.RuleIndex >= 0 {
+			if ti := sess.ruleSet.IndexOf(p.Original); ti >= 0 {
+				sess.setRemove(ti) // the reviewed rule vanishes mid-review
+			}
+		}
+		return GenDecision{Accept: true}
+	}}
+	sess = NewSession(rs, e, Options{TopK: 1})
+	reps := cluster.Representatives(cluster.Leader{}, rel, rel.Indices(relation.Fraud))
+	sess.generalizeForRep(rel, s, reps[0])
+
+	if got := sess.ruleSet.Len(); got != 1 {
+		t.Fatalf("rule set has %d rules, want 1 (the line-18 exact rule)", got)
+	}
+	if !ruleContainsRep(s, sess.ruleSet.Rule(0), reps[0]) {
+		t.Errorf("fallback rule does not cover the representative: %s",
+			sess.ruleSet.Rule(0).Format(s))
+	}
+	if got := sess.Log().CountByKind()[cost.RuleAdd]; got != 1 {
+		t.Errorf("logged %d rule additions, want exactly 1", got)
 	}
 }
 

@@ -40,8 +40,9 @@ func (s *Session) repHandled(rel *relation.Relation, schema *relation.Schema, re
 			return true
 		}
 	}
+	cache := s.captureFor(rel)
 	for _, m := range rep.Members {
-		if len(s.ruleSet.CapturingRulesAt(rel, m)) == 0 {
+		if !cache.Captured(m) {
 			return false
 		}
 	}
@@ -72,10 +73,16 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 		}
 		cand := topK[0]
 		topK = topK[1:]
-		if cand.ruleIndex >= s.ruleSet.Len() {
-			continue // the rule set shrank since ranking
+		// Candidates are tracked by rule identity, not by the index they had
+		// when ranked: a mid-loop removal (a split, a prune, an expert
+		// mutation) shifts every later index, and a stale index would
+		// silently apply the expert's decision to the wrong rule. IndexOf
+		// revalidates the candidate against the current set.
+		r := cand.rule
+		idx := s.ruleSet.IndexOf(r)
+		if idx < 0 {
+			continue // the ranked rule was removed since ranking
 		}
-		r := s.ruleSet.Rule(cand.ruleIndex)
 		gen, changed := rules.GeneralizeToCover(schema, r, rep.Conds)
 		if len(changed) == 0 {
 			return // already capturing (rule set changed since ranking)
@@ -86,7 +93,7 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 		proposal := &GenProposal{
 			Schema:    schema,
 			Rel:       rel,
-			RuleIndex: cand.ruleIndex,
+			RuleIndex: idx,
 			Original:  r,
 			Proposed:  gen,
 			Changed:   changed,
@@ -99,7 +106,11 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 			s.enforceNumericOnly(schema, result, r)
 		}
 		if result != nil && !result.Equal(schema, r) {
-			s.applyRuleEdit(schema, cand.ruleIndex, r, result)
+			// Re-resolve after the expert interaction: reviewing is exactly
+			// the window in which the set can shrink under the candidate.
+			if idx = s.ruleSet.IndexOf(r); idx >= 0 {
+				s.applyRuleEdit(schema, idx, r, result)
+			}
 		}
 	}
 }
@@ -128,7 +139,7 @@ func (s *Session) resolveGenDecision(original, proposed *rules.Rule, changed []i
 // applyRuleEdit installs the new version of a rule and logs one condition
 // refinement per attribute that actually changed.
 func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rules.Rule) {
-	s.ruleSet.Replace(idx, new)
+	s.setReplace(idx, new)
 	for i := 0; i < schema.Arity(); i++ {
 		if old.Cond(i).Equal(schema.Attr(i), new.Cond(i)) {
 			continue
@@ -166,7 +177,7 @@ func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, 
 		}
 		r = dec.Edited
 	}
-	idx := s.ruleSet.Add(r)
+	idx := s.setAdd(r)
 	s.log.Append(Modification{
 		Kind:        cost.RuleAdd,
 		RuleIndex:   idx,
@@ -176,20 +187,24 @@ func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, 
 	})
 }
 
-// rankedRule pairs a rule index with its Equation 2 score.
+// rankedRule pairs a rule (tracked by identity, since indices shift under
+// mid-loop removals) with its Equation 2 score.
 type rankedRule struct {
-	ruleIndex int
-	score     float64
+	rule  *rules.Rule
+	score float64
 }
 
 // rankRules computes Top-k(f(C)) of Algorithm 1 line 4: the k rules with the
-// lowest Equation 2 score for the representative.
+// lowest Equation 2 score for the representative. The current capture set of
+// each rule is read off the incremental cache, so scoring costs one scan for
+// the hypothetical generalization only.
 func (s *Session) rankRules(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) []rankedRule {
 	w := s.opts.weights()
+	cache := s.captureFor(rel)
 	ranked := make([]rankedRule, 0, s.ruleSet.Len())
 	for i, r := range s.ruleSet.Rules() {
-		sc, _ := cost.GeneralizationScore(schema, rel, r, rep.Conds, w)
-		ranked = append(ranked, rankedRule{ruleIndex: i, score: sc})
+		sc, _ := cost.GeneralizationScoreCached(schema, rel, r, cache.RuleCaptures(i), rep.Conds, w)
+		ranked = append(ranked, rankedRule{rule: r, score: sc})
 	}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
 	if k := s.opts.topK(); len(ranked) > k {

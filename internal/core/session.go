@@ -1,8 +1,11 @@
 package core
 
 import (
+	"repro/internal/bitset"
+	"repro/internal/capture"
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/index"
 	"repro/internal/ontology"
 	"repro/internal/order"
 	"repro/internal/relation"
@@ -14,8 +17,15 @@ import (
 // clustering, unit modification costs).
 type Options struct {
 	// Weights are the α/β/γ coefficients of Definition 3.1. The zero value
-	// means cost.DefaultWeights().
+	// means cost.DefaultWeights() unless WeightsSet is true.
 	Weights cost.Weights
+	// WeightsSet marks Weights as explicitly configured, so that an all-zero
+	// Weights value is honored verbatim instead of being replaced by the
+	// paper defaults. Degenerate-weight regimes (e.g. a γ-only study sets
+	// α = β = 0, or all-zero to ignore benefits entirely) are legitimate
+	// configurations that the zero-value-means-default convention alone
+	// cannot express.
+	WeightsSet bool
 	// TopK is the number of candidate rules ranked per cluster in
 	// Algorithm 1 (line 4). 0 means DefaultTopK.
 	TopK int
@@ -40,6 +50,9 @@ const DefaultTopK = 3
 const DefaultMaxRounds = 8
 
 func (o Options) weights() cost.Weights {
+	if o.WeightsSet {
+		return o.Weights
+	}
 	if o.Weights == (cost.Weights{}) {
 		return cost.DefaultWeights()
 	}
@@ -83,6 +96,12 @@ type Session struct {
 	opts    Options
 	log     Log
 	rounds  int
+	// cache is the incremental capture cache over the relation the session
+	// is currently refining: per-rule compiled capture bitsets plus their
+	// running union, updated per rule edit instead of re-scanned per query.
+	// All rule-set mutations must go through setAdd/setReplace/setRemove so
+	// the cache stays equal to ruleSet.Eval(rel).
+	cache *capture.Cache
 }
 
 // NewSession starts a session over an existing rule set. The rule set is
@@ -98,9 +117,72 @@ func (s *Session) Rules() *rules.Set { return s.ruleSet }
 // Log returns the session's modification log.
 func (s *Session) Log() *Log { return &s.log }
 
+// captureFor returns the session's incremental capture cache bound to rel,
+// (re)building it when the relation changed since the last query or when the
+// cache drifted from the rule set (which can only happen if a caller mutated
+// the set behind the session's back). Binding costs one compiled parallel
+// pass; every query and per-rule edit afterwards is incremental.
+func (s *Session) captureFor(rel *relation.Relation) *capture.Cache {
+	if s.cache == nil {
+		s.cache = capture.New()
+	}
+	if !s.cache.Bound(rel) || s.cache.Len() != s.ruleSet.Len() {
+		s.cache.Bind(rel, s.ruleSet)
+	}
+	return s.cache
+}
+
+// setAdd appends a rule to the session's rule set and keeps the capture
+// cache in lockstep: only the new rule is compiled and evaluated.
+func (s *Session) setAdd(r *rules.Rule) int {
+	idx := s.ruleSet.Add(r)
+	if s.cache != nil {
+		if s.cache.Len() == idx {
+			s.cache.RuleAdded(r)
+		} else {
+			s.cache.Invalidate()
+		}
+	}
+	return idx
+}
+
+// setReplace swaps the rule at idx, re-evaluating only that rule's captures.
+func (s *Session) setReplace(idx int, r *rules.Rule) {
+	s.ruleSet.Replace(idx, r)
+	if s.cache != nil {
+		if s.cache.Len() == s.ruleSet.Len() && idx < s.cache.Len() {
+			s.cache.RuleReplaced(idx, r)
+		} else {
+			s.cache.Invalidate()
+		}
+	}
+}
+
+// setRemove deletes the rule at idx, dropping its cached captures.
+func (s *Session) setRemove(idx int) {
+	s.ruleSet.Remove(idx)
+	if s.cache != nil {
+		if s.cache.Len() == s.ruleSet.Len()+1 && idx <= s.ruleSet.Len() {
+			s.cache.RuleRemoved(idx)
+		} else {
+			s.cache.Invalidate()
+		}
+	}
+}
+
+// EvalOn evaluates the session's current rules over an arbitrary relation
+// with the compiled parallel evaluator — the batch-classification path for
+// Predict-style callers scoring a future window. Unlike the capture cache it
+// keeps no state, so it suits one-shot evaluation of relations the session
+// is not refining.
+func (s *Session) EvalOn(rel *relation.Relation) *bitset.Set {
+	ev := index.Compile(rel.Schema(), s.ruleSet)
+	return ev.Eval(rel)
+}
+
 // Stats computes the round statistics of the current rules over rel.
 func (s *Session) Stats(rel *relation.Relation) RoundStats {
-	capturedBy := s.ruleSet.Eval(rel)
+	capturedBy := s.captureFor(rel).Union()
 	st := RoundStats{Round: s.rounds, Modifications: s.log.Len()}
 	for i := 0; i < rel.Len(); i++ {
 		switch rel.Label(i) {
@@ -131,9 +213,10 @@ func (s *Session) Stats(rel *relation.Relation) RoundStats {
 // transactions"). It returns the number of rules added.
 func (s *Session) CaptureRemaining(rel *relation.Relation) int {
 	schema := rel.Schema()
+	cache := s.captureFor(rel)
 	added := 0
 	for _, f := range rel.Indices(relation.Fraud) {
-		if len(s.ruleSet.CapturingRulesAt(rel, f)) > 0 {
+		if cache.Captured(f) {
 			continue
 		}
 		t := rel.Tuple(f)
@@ -145,7 +228,7 @@ func (s *Session) CaptureRemaining(rel *relation.Relation) int {
 			}
 			r.SetCond(i, rules.NumericCond(order.Point(t[i])))
 		}
-		idx := s.ruleSet.Add(r)
+		idx := s.setAdd(r)
 		s.log.Append(Modification{
 			Kind:        cost.RuleAdd,
 			RuleIndex:   idx,

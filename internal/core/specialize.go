@@ -34,7 +34,7 @@ func (s *Session) pruneSubsumed(schema *relation.Schema) {
 				continue
 			}
 			if s.ruleSet.Rule(i).Contains(schema, s.ruleSet.Rule(j)) {
-				s.ruleSet.Remove(j)
+				s.setRemove(j)
 				if j < i {
 					i--
 				}
@@ -52,7 +52,7 @@ func (s *Session) excludeLegit(rel *relation.Relation, schema *relation.Schema, 
 	// reintroduces a capturing rule, which the iteration bound cuts off.
 	maxIter := 2*s.ruleSet.Len() + 8
 	for iter := 0; iter < maxIter; iter++ {
-		capturing := s.ruleSet.CapturingRulesAt(rel, l)
+		capturing := s.captureFor(rel).CapturingRulesAt(l)
 		if len(capturing) == 0 {
 			return
 		}
@@ -101,7 +101,7 @@ func (s *Session) splitRule(rel *relation.Relation, schema *relation.Schema, rul
 		}
 		dec := s.expert.ReviewSplit(proposal)
 		if dec.Accept || i == len(cands)-1 {
-			s.applySplit(schema, ruleIdx, cand, dec, !dec.Accept)
+			s.applySplit(schema, r, cand, dec, !dec.Accept)
 			return
 		}
 	}
@@ -113,8 +113,9 @@ func (s *Session) splitRule(rel *relation.Relation, schema *relation.Schema, rul
 // stand-in for the paper's random tie-break.
 func (s *Session) splitCandidates(rel *relation.Relation, schema *relation.Schema, r *rules.Rule, ruleIdx, l int) []splitCandidate {
 	lt := rel.Tuple(l)
-	captured := r.Captures(rel)
-	others := s.capturedByOthers(rel, ruleIdx)
+	cache := s.captureFor(rel)
+	captured := cache.RuleCaptures(ruleIdx)
+	others := cache.UnionExcept(ruleIdx)
 	var cands []splitCandidate
 	for attr := 0; attr < schema.Arity(); attr++ {
 		a := schema.Attr(attr)
@@ -197,23 +198,12 @@ func removedBySplit(rel *relation.Relation, captured *bitset.Set, attr int, v in
 	return removed
 }
 
-// capturedByOthers returns the union of the captures of every rule except
-// the one at skipIdx, so benefits only count transactions whose capture
-// status actually changes.
-func (s *Session) capturedByOthers(rel *relation.Relation, skipIdx int) *bitset.Set {
-	out := bitset.New(rel.Len())
-	for i, r := range s.ruleSet.Rules() {
-		if i == skipIdx {
-			continue
-		}
-		out.UnionWith(r.Captures(rel))
-	}
-	return out
-}
-
 // applySplit installs the accepted (or forced) split: the kept replacement
-// rules are added and the original rule is removed (Algorithm 2 lines 12-16).
-func (s *Session) applySplit(schema *relation.Schema, ruleIdx int, cand splitCandidate, dec SplitDecision, forced bool) {
+// rules are added and the original rule is removed (Algorithm 2 lines
+// 12-16). The original is tracked by identity and re-resolved after the
+// expert review — the same stale-index family as Algorithm 1's candidates:
+// indices can shift while the expert deliberates.
+func (s *Session) applySplit(schema *relation.Schema, original *rules.Rule, cand splitCandidate, dec SplitDecision, forced bool) {
 	replacements := cand.replacements
 	if !forced {
 		if dec.Keep != nil {
@@ -229,13 +219,16 @@ func (s *Session) applySplit(schema *relation.Schema, ruleIdx int, cand splitCan
 			replacements = dec.Edited
 		}
 	}
-	original := s.ruleSet.Rule(ruleIdx)
-	s.ruleSet.Remove(ruleIdx)
+	ruleIdx := s.ruleSet.IndexOf(original)
+	if ruleIdx < 0 {
+		return // the rule vanished during review; nothing to split
+	}
+	s.setRemove(ruleIdx)
 	for _, nr := range replacements {
 		if nr.IsEmpty(schema) {
 			continue
 		}
-		s.ruleSet.Add(nr)
+		s.setAdd(nr)
 	}
 	s.log.Append(Modification{
 		Kind:      cost.RuleSplit,
@@ -251,7 +244,7 @@ func (s *Session) applySplit(schema *relation.Schema, ruleIdx int, cand splitCan
 // removeRule deletes a rule outright and logs the removal.
 func (s *Session) removeRule(schema *relation.Schema, ruleIdx int, why string) {
 	r := s.ruleSet.Rule(ruleIdx)
-	s.ruleSet.Remove(ruleIdx)
+	s.setRemove(ruleIdx)
 	s.log.Append(Modification{
 		Kind:        cost.RuleRemove,
 		RuleIndex:   ruleIdx,

@@ -95,13 +95,15 @@ func DeltasForRuleSwap(old, new *rules.Rule, rel *relation.Relation) (dF, dL, dR
 }
 
 func deltasFromSets(oldCap, newCap *bitset.Set, rel *relation.Relation) (dF, dL, dR int) {
-	for i := 0; i < rel.Len(); i++ {
-		o, n := oldCap.Has(i), newCap.Has(i)
-		if o == n {
-			continue
-		}
+	// Walk only the symmetric difference: a rule edit is local, so the two
+	// capture sets typically differ in a handful of transactions out of the
+	// whole relation, and the word-level XOR skips identical stretches 64
+	// transactions at a time.
+	diff := oldCap.Clone()
+	diff.SymmetricDifferenceWith(newCap)
+	diff.ForEach(func(i int) {
 		inc := 1
-		if !n {
+		if !newCap.Has(i) {
 			inc = -1
 		}
 		switch rel.Label(i) {
@@ -112,7 +114,7 @@ func deltasFromSets(oldCap, newCap *bitset.Set, rel *relation.Relation) (dF, dL,
 		default:
 			dR -= inc
 		}
-	}
+	})
 	return dF, dL, dR
 }
 
@@ -124,13 +126,25 @@ func deltasFromSets(oldCap, newCap *bitset.Set, rel *relation.Relation) (dF, dL,
 // recompute it.
 func GeneralizationScore(s *relation.Schema, rel *relation.Relation,
 	r *rules.Rule, target []rules.Condition, w Weights) (float64, *rules.Rule) {
+	return GeneralizationScoreCached(s, rel, r, nil, target, w)
+}
+
+// GeneralizationScoreCached is GeneralizationScore with the rule's current
+// capture set supplied by the caller — typically read off an incremental
+// capture cache — which saves one full-relation scan per ranked rule in the
+// top-k loop of Algorithm 1. A nil oldCap falls back to evaluating r.
+func GeneralizationScoreCached(s *relation.Schema, rel *relation.Relation,
+	r *rules.Rule, oldCap *bitset.Set, target []rules.Condition, w Weights) (float64, *rules.Rule) {
 	gen, changed := rules.GeneralizeToCover(s, r, target)
 	dist := RuleDistance(s, r, target)
 	if len(changed) == 0 {
 		// Already capturing: distance 0, and no behaviour change.
 		return 0, gen
 	}
-	dF, dL, dR := DeltasForRuleSwap(r, gen, rel)
+	if oldCap == nil {
+		oldCap = r.Captures(rel)
+	}
+	dF, dL, dR := deltasFromSets(oldCap, gen.Captures(rel), rel)
 	return dist - w.Benefit(dF, dL, dR), gen
 }
 

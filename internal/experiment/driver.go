@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"sync"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -118,34 +120,53 @@ type RoundResult struct {
 // on the prefix seen so far (split + r·hop) and is evaluated on everything
 // after it — the paper's prediction-quality protocol. It returns the
 // per-round results per method, in the order given.
+//
+// Methods run on parallel goroutines: each method owns its session, expert
+// and RNG state (seeded from setup), and only reads the shared dataset, so
+// the per-method round sequences are identical to a sequential run.
 func Run(ds *datagen.Dataset, setup Setup, ids ...MethodID) map[MethodID][]RoundResult {
 	setup = setup.Defaults()
-	out := make(map[MethodID][]RoundResult, len(ids))
 	n := ds.Rel.Len()
 	hop := int(float64(n) * setup.HopFrac)
 	if hop < 1 {
 		hop = 1
 	}
-	for _, id := range ids {
-		m := NewMethod(id, ds, setup)
-		var results []RoundResult
-		mods, secs := 0, 0.0
-		for round, seen := 0, ds.SplitIndex(setup.SplitFrac); seen < n; round, seen = round+1, seen+hop {
-			cost := m.Refine(ds.Rel.Prefix(seen))
-			mods += cost.Modifications
-			secs += cost.ExpertSeconds
-			pred := m.Predict(ds.Rel)
-			conf := metrics.Evaluate(pred, ds.TrueFraud, seen, n)
-			results = append(results, RoundResult{
-				Round:          round + 1,
-				SeenFrac:       float64(seen) / float64(n),
-				CumulativeMods: mods,
-				CumulativeSecs: secs,
-				Confusion:      conf,
-				ErrorPct:       conf.BalancedErrorPct(),
-			})
-		}
-		out[id] = results
+	results := make([][]RoundResult, len(ids))
+	var wg sync.WaitGroup
+	for mi, id := range ids {
+		wg.Add(1)
+		go func(mi int, id MethodID) {
+			defer wg.Done()
+			results[mi] = runMethod(ds, setup, id, n, hop)
+		}(mi, id)
+	}
+	wg.Wait()
+	out := make(map[MethodID][]RoundResult, len(ids))
+	for mi, id := range ids {
+		out[id] = results[mi]
 	}
 	return out
+}
+
+// runMethod drives one method through every refinement round.
+func runMethod(ds *datagen.Dataset, setup Setup, id MethodID, n, hop int) []RoundResult {
+	m := NewMethod(id, ds, setup)
+	var results []RoundResult
+	mods, secs := 0, 0.0
+	for round, seen := 0, ds.SplitIndex(setup.SplitFrac); seen < n; round, seen = round+1, seen+hop {
+		cost := m.Refine(ds.Rel.Prefix(seen))
+		mods += cost.Modifications
+		secs += cost.ExpertSeconds
+		pred := m.Predict(ds.Rel)
+		conf := metrics.Evaluate(pred, ds.TrueFraud, seen, n)
+		results = append(results, RoundResult{
+			Round:          round + 1,
+			SeenFrac:       float64(seen) / float64(n),
+			CumulativeMods: mods,
+			CumulativeSecs: secs,
+			Confusion:      conf,
+			ErrorPct:       conf.BalancedErrorPct(),
+		})
+	}
+	return results
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/datagen"
 	"repro/internal/metrics"
@@ -30,6 +31,10 @@ type FleetFI struct {
 // half and evaluates on the second, returning one row per FI. BaseSize
 // plays the role of the paper's ~500K median size; one FI gets ~20× it and
 // one ~0.2× (the paper's 100K-10M spread).
+//
+// The institutes are fully independent (the paper's FIs do not share data),
+// so each runs on its own goroutine with its own RNG seeded from the FI id —
+// the row for FI k is identical whatever the scheduling or roster size.
 func Fleet(setup Setup, institutes int, baseSize int) []FleetFI {
 	setup = setup.Defaults()
 	if institutes <= 0 {
@@ -38,50 +43,65 @@ func Fleet(setup Setup, institutes int, baseSize int) []FleetFI {
 	if baseSize <= 0 {
 		baseSize = setup.Data.Size
 	}
-	rng := rand.New(rand.NewSource(setup.Seed + 1000))
-	out := make([]FleetFI, 0, institutes)
+	out := make([]FleetFI, institutes)
+	var wg sync.WaitGroup
 	for fi := 0; fi < institutes; fi++ {
-		size := baseSize
-		switch {
-		case fi == 0:
-			size = baseSize / 5 // the smallest FI
-		case fi == 1:
-			size = baseSize * 4 // the largest (scaled stand-in for 10M)
-		default:
-			size = baseSize/2 + rng.Intn(baseSize)
-		}
-		fraud := 0.5 + 2.0*rng.Float64()
-		// Rule counts grow with FI size, 10..130 with ~55 at the median.
-		ruleTarget := 10 + int(120*float64(size)/float64(baseSize*4))
-		if ruleTarget > 130 {
-			ruleTarget = 130
-		}
-
-		cfg := setup.Data
-		cfg.Size = size
-		cfg.FraudPct = fraud
-		cfg.Seed = setup.Data.Seed + int64(fi)*31
-		ds := datagen.Generate(cfg)
-
-		s := setup
-		s.MinRules = ruleTarget
-		s.Data = cfg
-		m := NewMethod(MethodRudolf, ds, s)
-		seen := ds.SplitIndex(s.SplitFrac)
-		cost := m.Refine(ds.Rel.Prefix(seen))
-		conf := metrics.Evaluate(m.Predict(ds.Rel), ds.TrueFraud, seen, ds.Rel.Len())
-		out = append(out, FleetFI{
-			ID:            fi + 1,
-			Size:          size,
-			FraudPct:      fraud,
-			InitialRules:  ruleTarget,
-			Modifications: cost.Modifications,
-			ErrorPct:      conf.BalancedErrorPct(),
-			MissedPct:     conf.MissedFraudPct(),
-			FalseAlarmPct: conf.FalseAlarmPct(),
-		})
+		wg.Add(1)
+		go func(fi int) {
+			defer wg.Done()
+			out[fi] = runFleetFI(setup, fi, baseSize)
+		}(fi)
 	}
+	wg.Wait()
 	return out
+}
+
+// runFleetFI draws one institute's parameters from a per-FI RNG and runs its
+// first refinement round.
+func runFleetFI(setup Setup, fi, baseSize int) FleetFI {
+	// A per-FI source (salted with a large prime so consecutive FIs do not
+	// ride correlated low bits) keeps each institute deterministic under
+	// parallel execution.
+	rng := rand.New(rand.NewSource(setup.Seed + 1000 + 7919*int64(fi)))
+	size := baseSize
+	switch {
+	case fi == 0:
+		size = baseSize / 5 // the smallest FI
+	case fi == 1:
+		size = baseSize * 4 // the largest (scaled stand-in for 10M)
+	default:
+		size = baseSize/2 + rng.Intn(baseSize)
+	}
+	fraud := 0.5 + 2.0*rng.Float64()
+	// Rule counts grow with FI size, 10..130 with ~55 at the median.
+	ruleTarget := 10 + int(120*float64(size)/float64(baseSize*4))
+	if ruleTarget > 130 {
+		ruleTarget = 130
+	}
+
+	cfg := setup.Data
+	cfg.Size = size
+	cfg.FraudPct = fraud
+	cfg.Seed = setup.Data.Seed + int64(fi)*31
+	ds := datagen.Generate(cfg)
+
+	s := setup
+	s.MinRules = ruleTarget
+	s.Data = cfg
+	m := NewMethod(MethodRudolf, ds, s)
+	seen := ds.SplitIndex(s.SplitFrac)
+	cost := m.Refine(ds.Rel.Prefix(seen))
+	conf := metrics.Evaluate(m.Predict(ds.Rel), ds.TrueFraud, seen, ds.Rel.Len())
+	return FleetFI{
+		ID:            fi + 1,
+		Size:          size,
+		FraudPct:      fraud,
+		InitialRules:  ruleTarget,
+		Modifications: cost.Modifications,
+		ErrorPct:      conf.BalancedErrorPct(),
+		MissedPct:     conf.MissedFraudPct(),
+		FalseAlarmPct: conf.FalseAlarmPct(),
+	}
 }
 
 // RenderFleet prints the fleet table.

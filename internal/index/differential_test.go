@@ -1,0 +1,105 @@
+package index_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/testutil"
+)
+
+// TestEvaluatorDifferential is the property test of the compiled evaluator:
+// across many random seeds — covering empty rule sets, empty relations,
+// empty/trivial/point conditions, tiny domains, multi-parent ontologies and
+// minScore edges — index.Compile(s, rs).Eval(rel) must return exactly the
+// same bitset as the interpreted rules.Set.Eval(rel), and the per-rule paths
+// (EvalRule, EvalPerRule) must agree with Rule.Captures. Run it under -race:
+// the chunked evaluators write bitset words from many goroutines and this
+// test is the proof the 64-aligned chunking keeps them disjoint.
+func TestEvaluatorDifferential(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			s := testutil.RandomSchema(rng)
+			rel := testutil.RandomRelation(rng, s, rng.Intn(300)) // 0..299 tuples
+			rs := testutil.RandomRuleSet(rng, s, rng.Intn(8))     // 0..7 rules
+
+			want := rs.Eval(rel)
+			ev := index.Compile(s, rs)
+			if got := ev.Eval(rel); !got.Equal(want) {
+				t.Fatalf("Eval: compiled evaluator disagrees with Set.Eval\nrules:\n%s", rs.Format(s))
+			}
+
+			per := ev.EvalPerRule(rel)
+			if len(per) != rs.Len() {
+				t.Fatalf("EvalPerRule returned %d bitsets for %d rules", len(per), rs.Len())
+			}
+			for i := 0; i < rs.Len(); i++ {
+				wantRule := rs.Rule(i).Captures(rel)
+				if !per[i].Equal(wantRule) {
+					t.Fatalf("EvalPerRule[%d] disagrees with Rule.Captures\nrule: %s",
+						i, rs.Rule(i).Format(s))
+				}
+				if got := ev.EvalRule(i, rel); !got.Equal(wantRule) {
+					t.Fatalf("EvalRule(%d) disagrees with Rule.Captures\nrule: %s",
+						i, rs.Rule(i).Format(s))
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorMutationDifferential exercises the evaluator's in-place
+// mutation ops (Add/Replace/Remove) against a mirrored rules.Set: after every
+// edit the recompiled state must still evaluate identically.
+func TestEvaluatorMutationDifferential(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		s := testutil.RandomSchema(rng)
+		rel := testutil.RandomRelation(rng, s, 50+rng.Intn(150))
+		rs := testutil.RandomRuleSet(rng, s, 1+rng.Intn(5))
+		ev := index.Compile(s, rs)
+
+		for step := 0; step < 20; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 || rs.Len() == 0: // add
+				r := testutil.RandomRule(rng, s)
+				rs.Add(r)
+				ev.Add(r)
+			case op == 1: // replace
+				i := rng.Intn(rs.Len())
+				r := testutil.RandomRule(rng, s)
+				rs.Replace(i, r)
+				ev.Replace(i, r)
+			default: // remove
+				i := rng.Intn(rs.Len())
+				rs.Remove(i)
+				ev.Remove(i)
+			}
+			if got, want := ev.Eval(rel), rs.Eval(rel); !got.Equal(want) {
+				t.Fatalf("seed %d step %d: evaluator diverged from Set.Eval after edit", seed, step)
+			}
+		}
+	}
+}
+
+// FuzzEvaluatorEval drives the same differential property from the fuzzer's
+// seed corpus (and any discovered inputs): every int64 is a complete random
+// instance.
+func FuzzEvaluatorEval(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 1234, -99} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		s := testutil.RandomSchema(rng)
+		rel := testutil.RandomRelation(rng, s, rng.Intn(200))
+		rs := testutil.RandomRuleSet(rng, s, rng.Intn(6))
+		if got, want := index.Compile(s, rs).Eval(rel), rs.Eval(rel); !got.Equal(want) {
+			t.Fatalf("compiled evaluator disagrees with Set.Eval for seed %d", seed)
+		}
+	})
+}

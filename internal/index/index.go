@@ -7,7 +7,11 @@
 // by estimated selectivity so the cheapest rejections come first — and
 // evaluates chunks of the relation on parallel workers.
 //
-// The evaluator is a snapshot: compile it after the rule set changes.
+// The evaluator starts as a snapshot — compile it after the rule set changes
+// — but it also supports incremental maintenance: Add, Replace and Remove
+// mirror the corresponding rules.Set mutations so a caller (notably the
+// capture.Cache) can recompile only the one rule an edit touched instead of
+// re-snapshotting the whole set.
 package index
 
 import (
@@ -90,17 +94,23 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 			out.empty = true
 			return out
 		}
-		cc := compiledCond{attr: i}
+		// Selectivity defaults to 1.0 ("admits everything"): a zero-leaf
+		// ontology or zero-size domain would otherwise divide by zero and
+		// the resulting NaN/Inf poisons the sort.SliceStable ordering below
+		// (NaN compares false both ways, so cheap rejections stop coming
+		// first — and with NaNs the order depends on the input permutation).
+		cc := compiledCond{attr: i, selectivity: 1}
 		if a.Kind == relation.Categorical {
 			cc.isCat = true
 			cc.leaves = a.Ontology.LeafSet(c.C)
-			total := len(a.Ontology.Leaves())
-			if total > 0 {
+			if total := len(a.Ontology.Leaves()); total > 0 {
 				cc.selectivity = float64(cc.leaves.Count()) / float64(total)
 			}
 		} else {
 			cc.lo, cc.hi = c.Iv.Lo, c.Iv.Hi
-			cc.selectivity = float64(c.Iv.Size()) / float64(a.Domain.Size())
+			if size := a.Domain.Size(); size > 0 {
+				cc.selectivity = float64(c.Iv.Size()) / float64(size)
+			}
 		}
 		out.conds = append(out.conds, cc)
 	}
@@ -112,6 +122,25 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 
 // RuleCount returns the number of compiled rules.
 func (e *Evaluator) RuleCount() int { return len(e.rules) }
+
+// Add compiles rule r and appends it, returning its index — the mirror of
+// rules.Set.Add for callers maintaining the evaluator incrementally.
+func (e *Evaluator) Add(r *rules.Rule) int {
+	e.rules = append(e.rules, e.compileRule(r))
+	return len(e.rules) - 1
+}
+
+// Replace recompiles only the rule at index ri — the mirror of
+// rules.Set.Replace.
+func (e *Evaluator) Replace(ri int, r *rules.Rule) {
+	e.rules[ri] = e.compileRule(r)
+}
+
+// Remove deletes the compiled rule at ri, preserving the order of the rest —
+// the mirror of rules.Set.Remove.
+func (e *Evaluator) Remove(ri int) {
+	e.rules = append(e.rules[:ri], e.rules[ri+1:]...)
+}
 
 // matches reports whether transaction i satisfies the compiled rule.
 func (e *Evaluator) matches(cr *compiledRule, rel *relation.Relation, i int) bool {
@@ -136,18 +165,15 @@ func (e *Evaluator) matches(cr *compiledRule, rel *relation.Relation, i int) boo
 	return true
 }
 
-// Eval returns the set of transactions captured by any rule, equal to
-// rules.Set.Eval on the snapshotted rule set but evaluated with compiled
-// conditions on parallel workers.
-func (e *Evaluator) Eval(rel *relation.Relation) *bitset.Set {
-	out := bitset.New(rel.Len())
+// parallelChunks splits [0, n) into 64-aligned chunks and runs fn over them
+// on parallel workers. The 64-alignment means no two workers ever touch the
+// same word of a *bitset.Set indexed by transaction, so chunk bodies may
+// write per-transaction bits without synchronization.
+func (e *Evaluator) parallelChunks(n int, fn func(lo, hi int)) {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	n := rel.Len()
-	// Chunks are multiples of 64 transactions so no two workers touch the
-	// same output word.
 	const align = 64
 	chunk := (n/workers + align) / align * align
 	if chunk < align {
@@ -162,17 +188,65 @@ func (e *Evaluator) Eval(rel *relation.Relation) *bitset.Set {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				for ri := range e.rules {
-					if e.matches(&e.rules[ri], rel, i) {
-						out.Add(i)
-						break
-					}
-				}
-			}
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// Eval returns the set of transactions captured by any rule, equal to
+// rules.Set.Eval on the snapshotted rule set but evaluated with compiled
+// conditions on parallel workers.
+func (e *Evaluator) Eval(rel *relation.Relation) *bitset.Set {
+	out := bitset.New(rel.Len())
+	e.parallelChunks(rel.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ri := range e.rules {
+				if e.matches(&e.rules[ri], rel, i) {
+					out.Add(i)
+					break
+				}
+			}
+		}
+	})
+	return out
+}
+
+// EvalRule evaluates only the compiled rule at ri over the relation,
+// returning its capture set — the incremental-recompute primitive of the
+// capture cache (one rule changed, so only one bitset must be refreshed).
+func (e *Evaluator) EvalRule(ri int, rel *relation.Relation) *bitset.Set {
+	out := bitset.New(rel.Len())
+	cr := &e.rules[ri]
+	e.parallelChunks(rel.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if e.matches(cr, rel, i) {
+				out.Add(i)
+			}
+		}
+	})
+	return out
+}
+
+// EvalPerRule returns one capture bitset per compiled rule, computed in a
+// single chunk-parallel pass over the relation (cheaper than RuleCount
+// separate EvalRule scans: each tuple is loaded once and tested against
+// every rule while hot). Chunks are 64-aligned, so workers write disjoint
+// words of every per-rule bitset.
+func (e *Evaluator) EvalPerRule(rel *relation.Relation) []*bitset.Set {
+	out := make([]*bitset.Set, len(e.rules))
+	for ri := range out {
+		out[ri] = bitset.New(rel.Len())
+	}
+	e.parallelChunks(rel.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ri := range e.rules {
+				if e.matches(&e.rules[ri], rel, i) {
+					out[ri].Add(i)
+				}
+			}
+		}
+	})
 	return out
 }
 

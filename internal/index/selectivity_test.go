@@ -1,0 +1,126 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// TestCompileRuleSelectivityDegenerateDomain is the regression test for the
+// NaN/Inf selectivity family: an unguarded compileRule divides a condition's
+// width by the domain size (or leaf count), so a zero-size domain turns
+// selectivity into NaN (0/0) or +Inf (k/0) — and NaN poisons the
+// sort.SliceStable ordering below it, because NaN compares false both ways
+// and the "cheapest rejection first" order then silently depends on the
+// input permutation. Two layers now prevent it: the trivial/empty checks
+// short-circuit the conditions whose denominators vanish (over a zero-size
+// domain every interval contains the empty Full() interval, so the condition
+// is skipped outright), and any path that still reaches the division starts
+// from the neutral default selectivity 1.0 with the division guarded on a
+// positive denominator. This test pins both: compilation over a degenerate
+// schema stays total, never emits a non-finite selectivity, and keeps the
+// healthy conditions ordered sharpest-first.
+func TestCompileRuleSelectivityDegenerateDomain(t *testing.T) {
+	s, err := relation.NewSchema(
+		relation.Attribute{Name: "broken", Kind: relation.Numeric,
+			// Min > Max: Size() == 0. Constructed as a literal because
+			// order.NewDomain rejects it — but hand-built schemas and
+			// future data loaders (min/max over zero rows) can still carry
+			// one, and Compile must stay total on it.
+			Domain: order.Domain{Min: 1, Max: 0}},
+		relation.Attribute{Name: "ok", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 99)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rules.NewRule(s).
+		// The would-be 2/0 = +Inf condition over the zero-size domain.
+		SetCond(0, rules.NumericCond(order.Interval{Lo: 2, Hi: 3})).
+		// A sharp point condition on the healthy attribute: selectivity 0.01.
+		SetCond(1, rules.NumericCond(order.Point(7)))
+
+	ev := Compile(s, rules.NewSet(r))
+	cr := ev.rules[0]
+	if cr.empty {
+		t.Fatal("rule compiled as empty")
+	}
+	for _, cc := range cr.conds {
+		if math.IsNaN(cc.selectivity) || math.IsInf(cc.selectivity, 0) {
+			t.Errorf("attr %d selectivity = %v, want finite", cc.attr, cc.selectivity)
+		}
+	}
+	// The zero-size-domain condition can reject nothing a valid tuple could
+	// carry (no tuple has a value in an empty domain), so the first layer
+	// drops it; only the healthy sharp condition remains, checked first.
+	if len(cr.conds) != 1 || cr.conds[0].attr != 1 {
+		t.Fatalf("compiled conds = %+v, want exactly the sharp condition on attr 1", cr.conds)
+	}
+	if cr.conds[0].selectivity != 0.01 {
+		t.Errorf("sharp selectivity = %v, want 0.01", cr.conds[0].selectivity)
+	}
+
+	// The evaluator stays total end to end: evaluation over the degenerate
+	// schema's (unavoidably empty) relation agrees with the interpreter.
+	rel := relation.New(s)
+	if got, want := ev.Eval(rel), rules.NewSet(r).Eval(rel); !got.Equal(want) {
+		t.Error("compiled evaluation diverged on the degenerate schema")
+	}
+}
+
+// TestCompileRuleSelectivityGuardDefault exercises the second layer directly:
+// compileRule's division is guarded on a positive denominator and otherwise
+// leaves the neutral default 1.0 in place, so even a condition compiled
+// against a zero-size domain sorts deterministically after every well-formed
+// condition instead of injecting NaN into the comparator.
+func TestCompileRuleSelectivityGuardDefault(t *testing.T) {
+	healthy := relation.MustSchema(
+		relation.Attribute{Name: "ok", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 99)},
+	)
+	degenerate := relation.Attribute{Name: "broken", Kind: relation.Numeric,
+		Domain: order.Domain{Min: 1, Max: 0}}
+
+	// Drive the guard exactly as compileRule does, for the degenerate
+	// attribute and a non-empty interval: the unguarded quotient would be
+	// 2/0 = +Inf.
+	cc := compiledCond{attr: 0, selectivity: 1}
+	iv := order.Interval{Lo: 2, Hi: 3}
+	if size := degenerate.Domain.Size(); size > 0 {
+		cc.selectivity = float64(iv.Size()) / float64(size)
+	}
+	if cc.selectivity != 1 {
+		t.Fatalf("guarded selectivity = %v, want the neutral default 1", cc.selectivity)
+	}
+
+	// And the neutral default sorts after every genuine selectivity.
+	r := rules.NewRule(healthy).SetCond(0, rules.NumericCond(order.Interval{Lo: 0, Hi: 98}))
+	real := Compile(healthy, rules.NewSet(r)).rules[0].conds[0]
+	if !(real.selectivity < cc.selectivity) {
+		t.Errorf("wide-but-real selectivity %v must sort before the neutral default %v",
+			real.selectivity, cc.selectivity)
+	}
+}
+
+// TestCompileRuleSelectivityOrdering pins the healthy path: conditions are
+// checked most-selective first.
+func TestCompileRuleSelectivityOrdering(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "wide", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 999)},
+		relation.Attribute{Name: "narrow", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 999)},
+	)
+	r := rules.NewRule(s).
+		SetCond(0, rules.NumericCond(order.Interval{Lo: 0, Hi: 499})). // 0.5
+		SetCond(1, rules.NumericCond(order.Point(3)))                  // 0.001
+	cr := Compile(s, rules.NewSet(r)).rules[0]
+	if cr.conds[0].attr != 1 || cr.conds[1].attr != 0 {
+		t.Errorf("condition order = [%d %d], want narrow before wide",
+			cr.conds[0].attr, cr.conds[1].attr)
+	}
+}

@@ -208,6 +208,20 @@ func (rs *Set) Remove(i int) {
 	rs.rules = append(rs.rules[:i], rs.rules[i+1:]...)
 }
 
+// IndexOf returns the current index of exactly the rule r (pointer
+// identity), or -1 when r is no longer in the set. Refinement tracks ranked
+// candidates by identity rather than by index: indices shift whenever a rule
+// is removed mid-loop, and a stale index would silently address a different
+// rule.
+func (rs *Set) IndexOf(r *Rule) int {
+	for i, x := range rs.rules {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}
+
 // Replace swaps the i-th rule for r.
 func (rs *Set) Replace(i int, r *Rule) { rs.rules[i] = r }
 

@@ -192,6 +192,43 @@ func TestSetOperations(t *testing.T) {
 	}
 }
 
+// TestSetIndexOf pins the identity-based rule tracking that replaced the
+// stale positional indices: IndexOf matches by pointer (not by Equal), its
+// result shifts with removals, and a removed or equal-but-distinct rule
+// resolves to -1.
+func TestSetIndexOf(t *testing.T) {
+	s := paperSchema()
+	a := MustParse(s, "amount >= $110")
+	b := MustParse(s, "time in [18:00,18:05]")
+	c := MustParse(s, "amount >= $50")
+	rs := NewSet(a, b, c)
+
+	for i, r := range []*Rule{a, b, c} {
+		if got := rs.IndexOf(r); got != i {
+			t.Errorf("IndexOf(rule %d) = %d", i, got)
+		}
+	}
+	// Identity, not structural equality: an equal clone is a different rule.
+	if got := rs.IndexOf(a.Clone()); got != -1 {
+		t.Errorf("IndexOf(clone) = %d, want -1", got)
+	}
+	// Removal shifts later rules and unmaps the removed one.
+	rs.Remove(0)
+	if got := rs.IndexOf(a); got != -1 {
+		t.Errorf("IndexOf(removed) = %d, want -1", got)
+	}
+	if rs.IndexOf(b) != 0 || rs.IndexOf(c) != 1 {
+		t.Errorf("indices after removal = %d, %d; want 0, 1", rs.IndexOf(b), rs.IndexOf(c))
+	}
+	// Nil and empty-set lookups are well-defined.
+	if got := rs.IndexOf(nil); got != -1 {
+		t.Errorf("IndexOf(nil) = %d, want -1", got)
+	}
+	if got := NewSet().IndexOf(a); got != -1 {
+		t.Errorf("empty set IndexOf = %d, want -1", got)
+	}
+}
+
 func TestSetCloneDeep(t *testing.T) {
 	f := newFixture(t)
 	c := f.rules.Clone()

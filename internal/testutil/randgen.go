@@ -1,0 +1,145 @@
+// Package testutil generates randomized schemas, relations and rule sets
+// for differential and property-based tests. The generators deliberately
+// cover the adversarial corners the refinement machinery must survive:
+// empty conditions, trivial conditions, single-point intervals, deep random
+// ontology DAGs with multi-parent concepts, minScore thresholds at both
+// edges, and empty relations. Production code must not import this package.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ontology"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// RandomOntology builds a random DAG ontology with the given number of
+// concepts beyond the root. Each concept gets 1-2 random parents among the
+// already-added concepts, so multi-inheritance (the paper's "With code"
+// cross-cutting concepts) occurs regularly.
+func RandomOntology(rng *rand.Rand, name string, extra int) *ontology.Ontology {
+	b := ontology.NewBuilder(name)
+	b.Add(name + "-root")
+	names := []string{name + "-root"}
+	for i := 0; i < extra; i++ {
+		n := fmt.Sprintf("%s-%d", name, i)
+		parents := []string{names[rng.Intn(len(names))]}
+		if len(names) > 1 && rng.Intn(3) == 0 {
+			p2 := names[rng.Intn(len(names))]
+			if p2 != parents[0] {
+				parents = append(parents, p2)
+			}
+		}
+		b.Add(n, parents...)
+		names = append(names, n)
+	}
+	return b.MustBuild()
+}
+
+// RandomSchema builds a schema of 1-4 attributes mixing numeric domains
+// (including tiny ones where point conditions and splits hit the walls) and
+// categorical attributes over random ontologies.
+func RandomSchema(rng *rand.Rand) *relation.Schema {
+	arity := 1 + rng.Intn(4)
+	attrs := make([]relation.Attribute, 0, arity)
+	for i := 0; i < arity; i++ {
+		if rng.Intn(2) == 0 {
+			lo := int64(rng.Intn(10))
+			hi := lo + int64(rng.Intn(50)) // size 1..50 domains
+			attrs = append(attrs, relation.Attribute{
+				Name:   fmt.Sprintf("num%d", i),
+				Kind:   relation.Numeric,
+				Domain: order.NewDomain(lo, hi),
+			})
+			continue
+		}
+		attrs = append(attrs, relation.Attribute{
+			Name:     fmt.Sprintf("cat%d", i),
+			Kind:     relation.Categorical,
+			Ontology: RandomOntology(rng, fmt.Sprintf("o%d", i), 2+rng.Intn(10)),
+		})
+	}
+	return relation.MustSchema(attrs...)
+}
+
+// RandomRelation fills a relation with n random transactions: uniform
+// domain values and leaf concepts, random labels, and risk scores biased
+// toward the 0 and MaxScore edges so minScore thresholds get exercised.
+func RandomRelation(rng *rand.Rand, s *relation.Schema, n int) *relation.Relation {
+	rel := relation.New(s)
+	labels := []relation.Label{relation.Unlabeled, relation.Fraud, relation.Legitimate}
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, s.Arity())
+		for a := 0; a < s.Arity(); a++ {
+			attr := s.Attr(a)
+			if attr.Kind == relation.Categorical {
+				leaves := attr.Ontology.Leaves()
+				t[a] = int64(leaves[rng.Intn(len(leaves))])
+				continue
+			}
+			t[a] = attr.Domain.Min + rng.Int63n(attr.Domain.Size())
+		}
+		var score int16
+		switch rng.Intn(4) {
+		case 0:
+			score = 0
+		case 1:
+			score = relation.MaxScore
+		default:
+			score = int16(rng.Intn(relation.MaxScore + 1))
+		}
+		rel.MustAppend(t, labels[rng.Intn(len(labels))], score)
+	}
+	return rel
+}
+
+// RandomRule builds a random rule: per attribute a trivial, empty, point,
+// or random-interval/concept condition, plus an occasional minScore
+// threshold (including the boundary values 1 and MaxScore).
+func RandomRule(rng *rand.Rand, s *relation.Schema) *rules.Rule {
+	r := rules.NewRule(s)
+	for a := 0; a < s.Arity(); a++ {
+		attr := s.Attr(a)
+		switch rng.Intn(5) {
+		case 0:
+			// Keep the trivial condition.
+		case 1:
+			// Empty condition: the rule can never match.
+			if attr.Kind == relation.Categorical {
+				r.SetCond(a, rules.ConceptCond(ontology.Invalid))
+			} else {
+				r.SetCond(a, rules.NumericCond(order.Interval{Lo: 1, Hi: 0}))
+			}
+		default:
+			if attr.Kind == relation.Categorical {
+				c := ontology.Concept(rng.Intn(attr.Ontology.Len()))
+				r.SetCond(a, rules.ConceptCond(c))
+				continue
+			}
+			lo := attr.Domain.Min + rng.Int63n(attr.Domain.Size())
+			hi := lo + rng.Int63n(attr.Domain.Max-lo+1)
+			r.SetCond(a, rules.NumericCond(order.Interval{Lo: lo, Hi: hi}))
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		r.SetMinScore(1)
+	case 1:
+		r.SetMinScore(relation.MaxScore)
+	case 2:
+		r.SetMinScore(int16(rng.Intn(relation.MaxScore + 1)))
+	}
+	return r
+}
+
+// RandomRuleSet builds a rule set of n random rules (n may be 0).
+func RandomRuleSet(rng *rand.Rand, s *relation.Schema, n int) *rules.Set {
+	out := rules.NewSet()
+	for i := 0; i < n; i++ {
+		out.Add(RandomRule(rng, s))
+	}
+	return out
+}

@@ -33,6 +33,7 @@ package rudolf
 import (
 	"io"
 
+	"repro/internal/capture"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -299,3 +300,16 @@ func ReadHistoryJSON(r io.Reader, s *Schema) (*History, error) { return history.
 // runs conditions in selectivity order on parallel workers — use it instead
 // of RuleSet.Eval when classifying large relations repeatedly.
 func CompileRules(s *Schema, rs *RuleSet) *Evaluator { return index.Compile(s, rs) }
+
+// CaptureCache maintains Φ(I) — the captured-transaction set — incrementally
+// across rule edits: one compiled capture bitset per rule plus their running
+// union, so editing one rule re-evaluates only that rule instead of
+// re-scanning the whole set. Sessions use one internally for every Stats and
+// capture query of the refinement loop; rule-management UIs evaluating edit
+// previews over large transaction logs can Bind their own.
+type CaptureCache = capture.Cache
+
+// NewCaptureCache returns an unbound incremental capture cache; Bind it to a
+// relation and rule set before querying, and notify it (RuleAdded,
+// RuleReplaced, RuleRemoved) of every rule-set mutation.
+func NewCaptureCache() *CaptureCache { return capture.New() }
