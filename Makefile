@@ -1,21 +1,28 @@
 # RUDOLF reproduction — CI entry points.
 #
-#   make build   compile every package and command
-#   make test    run the full test suite
-#   make race    run the test suite under the race detector (the differential
-#                tests double as the proof that the 64-aligned chunk-parallel
-#                evaluators are race-free; see DESIGN.md §8)
-#   make vet     static analysis
-#   make bench   run the benchmark suite once (no test re-run)
-#   make check   build + vet + test + race — the full CI gate
+#   make build    compile every package and command
+#   make test     run the full test suite
+#   make race     run the test suite under the race detector (the differential
+#                 tests double as the proof that the 64-aligned chunk-parallel
+#                 evaluators are race-free, and the serve hot-swap test that
+#                 rule publishes never tear; see DESIGN.md §8-9)
+#   make vet      static analysis
+#   make bench    run the benchmark suite once (no test re-run)
+#   make serve    run the online scoring daemon (cmd/rudolfd) on :8080
+#   make loadgen  drive traffic at a running daemon and report p50/p99
+#   make smoke    boot rudolfd on a random port, score a generated batch,
+#                 swap rules, and assert /metrics moved (scripts/smoke.sh)
+#   make check    build + vet + test + race
+#   make ci       the full CI gate: check + smoke
 
 GO      ?= go
 PKGS    ?= ./...
 BENCH   ?= .
+ADDR    ?= 127.0.0.1:8080
 
-.PHONY: all build test race vet bench check clean
+.PHONY: all build test race vet bench serve loadgen smoke check ci clean
 
-all: check
+all: ci
 
 build:
 	$(GO) build $(PKGS)
@@ -32,7 +39,18 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem $(PKGS)
 
+serve:
+	$(GO) run ./cmd/rudolfd -addr $(ADDR)
+
+loadgen:
+	$(GO) run ./cmd/loadgen -url http://$(ADDR)
+
+smoke:
+	GO=$(GO) bash scripts/smoke.sh
+
 check: build vet test race
+
+ci: check smoke
 
 clean:
 	$(GO) clean -testcache

@@ -11,6 +11,11 @@
 package rudolf_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	rudolf "repro"
@@ -394,4 +399,65 @@ func BenchmarkFleet(b *testing.B) {
 		sum += fi.ErrorPct
 	}
 	b.ReportMetric(sum/float64(len(fleet)), "fleet_mean_errpct")
+}
+
+// BenchmarkServeScore measures end-to-end serving latency of the online
+// scoring daemon (internal/serve): HTTP round trip + JSON decode + schema
+// validation + compiled evaluation against a 50-rule set, for a single
+// transaction and for a batch of 64 — the perf trajectory of the serving
+// layer itself, alongside the evaluator-internal benches above.
+func BenchmarkServeScore(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 2000, Seed: 1})
+	ruleSet := datagen.InitialRules(ds, 50, 1)
+	srv, err := rudolf.NewServer(rudolf.ServerConfig{Schema: ds.Schema, Rules: ruleSet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Real tuples from the generated dataset, rendered in the wire form.
+	mkBody := func(n int) []byte {
+		txs := make([]map[string]any, n)
+		for i := range txs {
+			t := ds.Rel.Tuple(i % ds.Rel.Len())
+			attrs := make(map[string]any, ds.Schema.Arity())
+			for a := 0; a < ds.Schema.Arity(); a++ {
+				attrs[ds.Schema.Attr(a).Name] = ds.Schema.FormatValue(a, t[a])
+			}
+			txs[i] = map[string]any{"attrs": attrs, "score": ds.Rel.Score(i % ds.Rel.Len())}
+		}
+		raw, err := json.Marshal(map[string]any{"transactions": txs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"single", 1}, {"batch64", 64}} {
+		b.Run(bc.name, func(b *testing.B) {
+			body := mkBody(bc.n)
+			client := ts.Client()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bc.n)*float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
 }

@@ -1,0 +1,257 @@
+// Command loadgen is the traffic generator for cmd/rudolfd: it fetches the
+// daemon's schema, synthesizes random transaction batches, hammers /score
+// from concurrent workers for a fixed duration, and then reports throughput
+// plus the p50/p99 scoring latency scraped back off /metrics — the same
+// numbers a production dashboard would watch.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-duration 10s] [-concurrency 8]
+//	        [-batch 64] [-seed 1] [-smoke]
+//
+// With -smoke it additionally exercises the control plane after the load
+// phase — swaps the rules (POST /rules) and asserts that /metrics moved
+// (transactions scored, version bumped) — exiting non-zero on any failure,
+// which is what `make smoke` runs in CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ontology"
+	"repro/internal/relation"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		baseURL     = flag.String("url", "http://127.0.0.1:8080", "rudolfd base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		batch       = flag.Int("batch", 64, "transactions per /score request")
+		seed        = flag.Int64("seed", 1, "traffic generation seed")
+		smoke       = flag.Bool("smoke", false, "after the load phase, swap rules and assert /metrics moved")
+	)
+	flag.Parse()
+	url := strings.TrimRight(*baseURL, "/")
+
+	schema, err := fetchSchema(url)
+	if err != nil {
+		fatal(err)
+	}
+	startRules, startVersion, err := fetchRules(url)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loadgen: target %s, schema arity %d, rules version %d (%d rules)\n",
+		url, schema.Arity(), startVersion, len(startRules))
+
+	// Pre-generate distinct request bodies so the hot loop only does I/O.
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		bodies[i] = scoreBody(rng, schema, *batch)
+	}
+
+	var (
+		txScored atomic.Int64
+		requests atomic.Int64
+		errs     atomic.Int64
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := w; time.Now().Before(deadline); i++ {
+				body := bodies[i%len(bodies)]
+				resp, err := client.Post(url+"/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				requests.Add(1)
+				txScored.Add(int64(*batch))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	page, err := fetchMetrics(url)
+	if err != nil {
+		fatal(err)
+	}
+	rate := float64(txScored.Load()) / elapsed.Seconds()
+	fmt.Printf("loadgen: %d requests, %d tx in %v -> %.0f tx/s (%d errors)\n",
+		requests.Load(), txScored.Load(), elapsed.Round(time.Millisecond), rate, errs.Load())
+	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_latency_seconds"); err == nil {
+		fmt.Printf("loadgen: per-tx latency from /metrics: p50 %s, p99 %s (%d observations)\n",
+			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)), h.Total)
+	}
+	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_batch_latency_seconds"); err == nil {
+		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s\n",
+			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)))
+	}
+
+	if !*smoke {
+		return
+	}
+	if err := runSmoke(url, page, startRules, startVersion, txScored.Load(), errs.Load()); err != nil {
+		fatal(fmt.Errorf("smoke: %w", err))
+	}
+	fmt.Println("loadgen: smoke ok")
+}
+
+// runSmoke is the control-plane assertion pass behind `make smoke`: the load
+// phase must have scored traffic, a rules swap must bump the published
+// version, and /metrics must reflect both.
+func runSmoke(url, page string, startRules []string, startVersion int, scored, errCount int64) error {
+	if scored == 0 {
+		return fmt.Errorf("no transactions scored during the load phase")
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d scoring requests failed", errCount)
+	}
+	if v, ok := telemetry.ScrapeValue(page, "rudolf_score_tx_total"); !ok || int64(v) < scored {
+		return fmt.Errorf("rudolf_score_tx_total = %v (ok=%v), want >= %d", v, ok, scored)
+	}
+
+	// Swap: republish the same rules; the version must bump even so (every
+	// publish is a new history version).
+	raw, err := json.Marshal(map[string]any{"rules": startRules, "comment": "loadgen smoke swap"})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/rules", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /rules: %d %s", resp.StatusCode, body)
+	}
+	_, afterVersion, err := fetchRules(url)
+	if err != nil {
+		return err
+	}
+	if afterVersion <= startVersion {
+		return fmt.Errorf("version did not bump on swap: %d -> %d", startVersion, afterVersion)
+	}
+
+	// The metrics page must have moved with the swap.
+	page2, err := fetchMetrics(url)
+	if err != nil {
+		return err
+	}
+	if v, ok := telemetry.ScrapeValue(page2, "rudolf_rules_version"); !ok || int(v) != afterVersion {
+		return fmt.Errorf("rudolf_rules_version = %v (ok=%v), want %d", v, ok, afterVersion)
+	}
+	swapsBefore, _ := telemetry.ScrapeValue(page, "rudolf_rule_swaps_total")
+	swapsAfter, ok := telemetry.ScrapeValue(page2, "rudolf_rule_swaps_total")
+	if !ok || swapsAfter <= swapsBefore {
+		return fmt.Errorf("rudolf_rule_swaps_total did not move: %v -> %v", swapsBefore, swapsAfter)
+	}
+	return nil
+}
+
+// scoreBody builds one random /score batch against the schema: numeric
+// attributes draw uniformly from their domain, categorical ones pick a
+// random ontology leaf, risk scores spread over [0, 1000].
+func scoreBody(rng *rand.Rand, schema *relation.Schema, batch int) []byte {
+	txs := make([]map[string]any, batch)
+	for i := range txs {
+		attrs := make(map[string]any, schema.Arity())
+		for a := 0; a < schema.Arity(); a++ {
+			attr := schema.Attr(a)
+			if attr.Kind == relation.Categorical {
+				leaves := attr.Ontology.Leaves()
+				c := leaves[rng.Intn(len(leaves))]
+				attrs[attr.Name] = attr.Ontology.ConceptName(ontology.Concept(c))
+				continue
+			}
+			v := attr.Domain.Min + rng.Int63n(attr.Domain.Max-attr.Domain.Min+1)
+			attrs[attr.Name] = v
+		}
+		txs[i] = map[string]any{"attrs": attrs, "score": rng.Intn(relation.MaxScore + 1)}
+	}
+	raw, err := json.Marshal(map[string]any{"transactions": txs})
+	if err != nil {
+		panic(err) // generated values always marshal
+	}
+	return raw
+}
+
+func fetchSchema(url string) (*relation.Schema, error) {
+	resp, err := http.Get(url + "/schema")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /schema: %d", resp.StatusCode)
+	}
+	return relation.ReadSchemaJSON(resp.Body)
+}
+
+func fetchRules(url string) (rules []string, version int, err error) {
+	resp, err := http.Get(url + "/rules")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("GET /rules: %d", resp.StatusCode)
+	}
+	var out struct {
+		Version int      `json:"version"`
+		Rules   []string `json:"rules"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, err
+	}
+	return out.Rules, out.Version, nil
+}
+
+func fetchMetrics(url string) (string, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

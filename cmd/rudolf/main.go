@@ -17,6 +17,7 @@ import (
 	"os"
 
 	rudolf "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -34,51 +35,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: *size, Seed: *seed})
-	schema := ds.Schema
-	rel := ds.Rel
-	if *schemaPath != "" {
-		f, err := os.Open(*schemaPath)
-		if err != nil {
-			fatal(err)
-		}
-		schema, err = rudolf.ReadSchemaJSON(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	}
-	if *dataPath != "" {
-		f, err := os.Open(*dataPath)
-		if err != nil {
-			fatal(err)
-		}
-		rel, err = rudolf.ReadCSV(schema, f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	}
-
-	if *schemaPath != "" && (*dataPath == "" || *rulesPath == "") {
-		fatal(fmt.Errorf("-schema requires -data and -rules (the synthetic dataset has its own schema)"))
-	}
-
-	var ruleSet *rudolf.RuleSet
-	if *rulesPath != "" {
-		f, err := os.Open(*rulesPath)
-		if err != nil {
-			fatal(err)
-		}
-		ruleSet, err = rudolf.ReadRules(f, schema)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		ruleSet = rudolf.InitialRules(ds, 0, *seed)
-	}
-
+	// Validate the expert choice before any (possibly expensive) dataset
+	// loading or generation: an unknown value exits non-zero with a usage
+	// hint instead of burying the mistake under a generated session.
 	var exp rudolf.Expert
 	switch *expertKind {
 	case "interactive":
@@ -86,7 +45,42 @@ func main() {
 	case "auto":
 		exp = rudolf.NewAutoAcceptExpert()
 	default:
-		fatal(fmt.Errorf("unknown expert %q", *expertKind))
+		fmt.Fprintf(os.Stderr, "rudolf: unknown expert %q (valid values: interactive, auto)\n\n", *expertKind)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *schemaPath != "" && (*dataPath == "" || *rulesPath == "") {
+		fatal(fmt.Errorf("-schema requires -data and -rules (the synthetic dataset has its own schema)"))
+	}
+
+	ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: *size, Seed: *seed})
+	schema := ds.Schema
+	rel := ds.Rel
+	if *schemaPath != "" {
+		s, err := cli.LoadSchema(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		schema = s
+	}
+	if *dataPath != "" {
+		r, err := cli.LoadRelation(*dataPath, schema)
+		if err != nil {
+			fatal(err)
+		}
+		rel = r
+	}
+
+	var ruleSet *rudolf.RuleSet
+	if *rulesPath != "" {
+		rs, err := cli.LoadRules(*rulesPath, schema)
+		if err != nil {
+			fatal(err)
+		}
+		ruleSet = rs
+	} else {
+		ruleSet = rudolf.InitialRules(ds, 0, *seed)
 	}
 
 	fmt.Printf("starting rules:\n%s\n", ruleSet.Format(schema))
@@ -104,14 +98,7 @@ func main() {
 	fmt.Printf("\nrefined rules:\n%s", sess.Rules().Format(schema))
 
 	if *rulesOut != "" {
-		f, err := os.Create(*rulesOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := rudolf.WriteRules(f, schema, sess.Rules()); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := cli.SaveRules(*rulesOut, schema, sess.Rules()); err != nil {
 			fatal(err)
 		}
 	}
@@ -139,29 +126,19 @@ func main() {
 // appendHistory loads (or creates) the JSON history at path and commits the
 // session's starting and refined rule sets.
 func appendHistory(path string, schema *rudolf.Schema, initial *rudolf.RuleSet, sess *rudolf.Session) error {
-	hist := rudolf.NewHistory(schema)
-	if f, err := os.Open(path); err == nil {
-		loaded, err2 := rudolf.ReadHistoryJSON(f, schema)
-		f.Close()
-		if err2 != nil {
-			return err2
-		}
-		hist = loaded
+	hist, err := cli.LoadOrNewHistory(path, schema)
+	if err != nil {
+		return err
 	}
 	if hist.Len() == 0 {
 		hist.Commit(initial, nil, "session start")
 	}
 	hist.Commit(sess.Rules(), sess.Log().All(), "refined by cmd/rudolf")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := hist.WriteJSON(f); err != nil {
+	if err := cli.SaveHistory(path, hist); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "history now has %d versions -> %s\n", hist.Len(), path)
-	return f.Close()
+	return nil
 }
 
 // writeFlagged evaluates the rules with the compiled evaluator and writes

@@ -1,0 +1,126 @@
+// Command rudolfd is the online scoring daemon: it serves the current rule
+// set against live transaction traffic over HTTP, ingests fraud/legit
+// feedback, refines its rules in place, and hot-swaps every published
+// version atomically. See DESIGN.md §9 for the serving architecture.
+//
+// Usage:
+//
+//	rudolfd [-addr 127.0.0.1:8080] [-schema schema.json -rules rules.txt]
+//	        [-history history.json] [-workers N] [-max-batch N] [-drain 10s]
+//
+// Without -schema, the daemon boots on the synthetic financial-institute
+// schema with the generated incumbent rule set (-size, -seed), which is the
+// zero-config path cmd/loadgen and `make smoke` exercise.
+//
+// Endpoints: POST /score, GET+POST /rules, POST /feedback, POST /refine,
+// GET /stats, GET /schema, GET /healthz, GET /readyz, GET /metrics.
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
+// requests finish, and -history (when set) is written back.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rudolf "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		schemaPath = flag.String("schema", "", "schema JSON (empty: the built-in synthetic FI schema)")
+		rulesPath  = flag.String("rules", "", "rule file (empty: the FI's generated incumbent rules)")
+		histPath   = flag.String("history", "", "JSON rule history to continue and persist on shutdown")
+		size       = flag.Int("size", 2000, "synthetic dataset size (when -schema is empty)")
+		seed       = flag.Int64("seed", 1, "synthetic dataset seed")
+		workers    = flag.Int("workers", 0, "concurrent scoring evaluations (0: 2x GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 0, "max transactions per request (0: default)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	cfg := rudolf.ServerConfig{Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain}
+
+	if *schemaPath != "" {
+		if *rulesPath == "" {
+			fatal(fmt.Errorf("-schema requires -rules (the synthetic dataset brings its own incumbent rules)"))
+		}
+		schema, err := cli.LoadSchema(*schemaPath)
+		if err != nil {
+			fatal(err)
+		}
+		ruleSet, err := cli.LoadRules(*rulesPath, schema)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Schema, cfg.Rules = schema, ruleSet
+	} else {
+		ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: *size, Seed: *seed})
+		cfg.Schema = ds.Schema
+		if *rulesPath != "" {
+			ruleSet, err := cli.LoadRules(*rulesPath, ds.Schema)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Rules = ruleSet
+		} else {
+			cfg.Rules = rudolf.InitialRules(ds, 0, *seed)
+		}
+		// The synthetic FI schema has a day attribute that must not
+		// separate clusters during /refine.
+		cfg.Refine.Clusterer = rudolf.DatasetClusterer()
+	}
+
+	if *histPath != "" {
+		hist, err := cli.LoadOrNewHistory(*histPath, cfg.Schema)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.History = hist
+	}
+
+	srv, err := rudolf.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("rudolfd: listening on %s (rules version %d, %d rules)\n",
+		bound, srv.Version(), srv.Rules().Len())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		fatal(err)
+	}
+	fmt.Println("rudolfd: drained")
+
+	if *histPath != "" {
+		if err := cli.SaveHistory(*histPath, srv.History()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rudolfd: history with %d versions -> %s\n", srv.History().Len(), *histPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rudolfd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Package cli holds the file-loading helpers shared by the command-line
+// programs (cmd/rudolf, cmd/rudolfd): the open/parse/close dance for schema
+// JSON, rule files, transaction CSVs and rule histories, with the file path
+// attached to every error.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/history"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+// load opens path and hands the file to parse, closing it afterwards and
+// wrapping any error with the path.
+func load(path string, parse func(f *os.File) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := parse(f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSchema reads a schema (with its ontologies) from a JSON file written
+// by Schema.WriteJSON.
+func LoadSchema(path string) (*relation.Schema, error) {
+	var s *relation.Schema
+	err := load(path, func(f *os.File) (err error) {
+		s, err = relation.ReadSchemaJSON(f)
+		return err
+	})
+	return s, err
+}
+
+// LoadRules reads a rule file (one rule per line, '#' comments) against the
+// schema.
+func LoadRules(path string, s *relation.Schema) (*rules.Set, error) {
+	var rs *rules.Set
+	err := load(path, func(f *os.File) (err error) {
+		rs, err = rules.ReadSet(f, s)
+		return err
+	})
+	return rs, err
+}
+
+// LoadRelation reads a transaction CSV (as written by Relation.WriteCSV)
+// against the schema.
+func LoadRelation(path string, s *relation.Schema) (*relation.Relation, error) {
+	var rel *relation.Relation
+	err := load(path, func(f *os.File) (err error) {
+		rel, err = relation.ReadCSV(s, f)
+		return err
+	})
+	return rel, err
+}
+
+// LoadOrNewHistory reads a JSON rule history, returning an empty store when
+// the file does not exist yet.
+func LoadOrNewHistory(path string, s *relation.Schema) (*history.Store, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return history.NewStore(s), nil
+	}
+	var st *history.Store
+	err := load(path, func(f *os.File) (err error) {
+		st, err = history.ReadJSON(f, s)
+		return err
+	})
+	return st, err
+}
+
+// SaveHistory writes the history as JSON to path.
+func SaveHistory(path string, st *history.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// SaveRules writes the rule set, one rule per line, to path.
+func SaveRules(path string, s *relation.Schema, rs *rules.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rules.WriteSet(f, s, rs); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

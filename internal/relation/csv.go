@@ -38,23 +38,22 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a relation previously written by WriteCSV (or hand-written
 // in the same layout) against the given schema. The header's attribute names
-// must match the schema in order.
+// must match the schema in order, followed by the label and score columns.
+//
+// The reader is hardened for untrusted input (it sits behind HTTP uploads in
+// the serving daemon): duplicate and unknown header columns are rejected by
+// name, and every error pinpoints the offending line and column.
 func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
 	cr := csv.NewReader(rd)
-	cr.FieldsPerRecord = schema.Arity() + 2
+	cr.FieldsPerRecord = -1 // column counts are checked by hand for better errors
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
-	for i := 0; i < schema.Arity(); i++ {
-		if header[i] != schema.Attr(i).Name {
-			return nil, fmt.Errorf("relation: CSV column %d is %q, schema expects %q",
-				i, header[i], schema.Attr(i).Name)
-		}
+	if err := checkHeader(schema, header); err != nil {
+		return nil, err
 	}
-	if header[schema.Arity()] != "label" || header[schema.Arity()+1] != "score" {
-		return nil, fmt.Errorf("relation: CSV must end with label,score columns")
-	}
+	want := schema.Arity() + 2
 	rel := New(schema)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -64,27 +63,76 @@ func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
 		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("relation: CSV line %d: %d columns, want %d", line, len(rec), want)
+		}
 		t := make(Tuple, schema.Arity())
 		for a := 0; a < schema.Arity(); a++ {
 			v, err := schema.ParseValue(a, rec[a])
 			if err != nil {
-				return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+				return nil, fmt.Errorf("relation: CSV line %d, column %d (%s): %w",
+					line, a+1, schema.Attr(a).Name, err)
 			}
 			t[a] = v
 		}
 		label, err := parseLabel(rec[schema.Arity()])
 		if err != nil {
-			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+			return nil, fmt.Errorf("relation: CSV line %d, column %d (label): %w",
+				line, schema.Arity()+1, err)
 		}
 		score, err := strconv.Atoi(rec[schema.Arity()+1])
 		if err != nil || score < 0 || score > MaxScore {
-			return nil, fmt.Errorf("relation: CSV line %d: bad score %q", line, rec[schema.Arity()+1])
+			return nil, fmt.Errorf("relation: CSV line %d, column %d (score): bad score %q (want an integer in [0,%d])",
+				line, schema.Arity()+2, rec[schema.Arity()+1], MaxScore)
 		}
 		if _, err := rel.Append(t, label, int16(score)); err != nil {
 			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
 		}
 	}
 	return rel, nil
+}
+
+// checkHeader validates the header row: the schema's attribute names in
+// order, then label and score. Errors name the offending column (1-based)
+// and distinguish duplicates, unknown names, and misplaced known names.
+func checkHeader(schema *Schema, header []string) error {
+	expected := make([]string, 0, schema.Arity()+2)
+	for i := 0; i < schema.Arity(); i++ {
+		expected = append(expected, schema.Attr(i).Name)
+	}
+	expected = append(expected, "label", "score")
+
+	known := make(map[string]bool, len(expected))
+	for _, name := range expected {
+		known[name] = true
+	}
+	seen := make(map[string]int, len(header))
+	for i, name := range header {
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("relation: CSV header line 1, column %d: duplicate column %q (already at column %d)",
+				i+1, name, prev)
+		}
+		seen[name] = i + 1
+		if !known[name] {
+			return fmt.Errorf("relation: CSV header line 1, column %d: unknown column %q (schema has no such attribute)",
+				i+1, name)
+		}
+	}
+	if len(header) != len(expected) {
+		for _, name := range expected {
+			if _, ok := seen[name]; !ok {
+				return fmt.Errorf("relation: CSV header line 1: missing column %q (%d columns, want %d)",
+					name, len(header), len(expected))
+			}
+		}
+	}
+	for i, name := range header {
+		if name != expected[i] {
+			return fmt.Errorf("relation: CSV header line 1, column %d: %q out of order, schema expects %q",
+				i+1, name, expected[i])
+		}
+	}
+	return nil
 }
 
 func parseLabel(s string) (Label, error) {

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/order"
+)
+
+// The readers sit behind untrusted HTTP uploads in the serving daemon:
+// these tests pin the hardened error paths — duplicate/unknown/misordered
+// header columns, per-column error positions, and schema-JSON strictness.
+
+func hardSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Attribute{Name: "amount", Kind: Numeric, Domain: order.NewDomain(0, 1000)},
+		Attribute{Name: "hour", Kind: Numeric, Domain: order.NewDomain(0, 23)},
+	)
+}
+
+func TestReadCSVHeaderHardening(t *testing.T) {
+	s := hardSchema(t)
+	cases := []struct {
+		name   string
+		csv    string
+		expect []string // substrings the error must contain
+	}{
+		{
+			"duplicate column",
+			"amount,amount,label,score\n",
+			[]string{"column 2", `duplicate column "amount"`, "column 1"},
+		},
+		{
+			"duplicate label column",
+			"amount,hour,label,label\n",
+			[]string{"column 4", `duplicate column "label"`},
+		},
+		{
+			"unknown column",
+			"amount,riskiness,label,score\n",
+			[]string{"column 2", `unknown column "riskiness"`},
+		},
+		{
+			"out of order",
+			"hour,amount,label,score\n",
+			[]string{"column 1", "out of order", `"amount"`},
+		},
+		{
+			"missing column",
+			"amount,label,score\n",
+			[]string{`missing column "hour"`},
+		},
+		{
+			"missing label/score",
+			"amount,hour\n",
+			[]string{`missing column "label"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(s, strings.NewReader(tc.csv))
+			if err == nil {
+				t.Fatalf("no error for header %q", strings.TrimSpace(tc.csv))
+			}
+			for _, want := range tc.expect {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestReadCSVValueErrorsNameLineAndColumn(t *testing.T) {
+	s := hardSchema(t)
+	header := "amount,hour,label,score\n"
+
+	cases := []struct {
+		name   string
+		row    string
+		expect []string
+	}{
+		{"bad value", "12,nope,,5\n", []string{"line 2", "column 2", "hour"}},
+		{"bad label", "12,3,MAYBE,5\n", []string{"line 2", "column 3", "label", `"MAYBE"`}},
+		{"bad score", "12,3,,many\n", []string{"line 2", "column 4", "score", `"many"`}},
+		{"score out of range", "12,3,,5000\n", []string{"line 2", "column 4", `"5000"`}},
+		{"short row", "12,3,\n", []string{"line 2", "3 columns, want 4"}},
+		{"long row", "12,3,,5,extra\n", []string{"line 2", "5 columns, want 4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(s, strings.NewReader(header+tc.row))
+			if err == nil {
+				t.Fatalf("no error for row %q", strings.TrimSpace(tc.row))
+			}
+			for _, want := range tc.expect {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+
+	// Errors on a later line report that line.
+	_, err := ReadCSV(s, strings.NewReader(header+"12,3,,5\n12,99,,5\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("late error = %v, want line 3", err)
+	}
+
+	// A valid file still parses.
+	rel, err := ReadCSV(s, strings.NewReader(header+"12,3,FRAUD,5\n7,0,,1000\n"))
+	if err != nil {
+		t.Fatalf("valid CSV rejected: %v", err)
+	}
+	if rel.Len() != 2 || rel.Label(0) != Fraud {
+		t.Fatalf("parsed %d rows, label %v", rel.Len(), rel.Label(0))
+	}
+}
+
+func TestReadSchemaJSONHardening(t *testing.T) {
+	cases := []struct {
+		name   string
+		json   string
+		expect []string
+	}{
+		{
+			"unknown field",
+			`{"attributes":[{"name":"a","kind":"numeric","min":0,"max":9,"formt":"money"}]}`,
+			[]string{"unknown field", `"formt"`},
+		},
+		{
+			"duplicate attribute",
+			`{"attributes":[
+				{"name":"a","kind":"numeric","min":0,"max":9},
+				{"name":"b","kind":"numeric","min":0,"max":9},
+				{"name":"a","kind":"numeric","min":0,"max":9}]}`,
+			[]string{"attribute 3", `duplicate name "a"`, "attribute 1"},
+		},
+		{
+			"unnamed attribute",
+			`{"attributes":[{"kind":"numeric","min":0,"max":9}]}`,
+			[]string{"attribute 1", "no name"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSchemaJSON(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			for _, want := range tc.expect {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+
+	// A schema written by WriteJSON still round-trips under the strict
+	// decoder.
+	s := hardSchema(t)
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchemaJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round-trip rejected: %v", err)
+	}
+	if got.Arity() != s.Arity() {
+		t.Fatalf("round-trip arity %d, want %d", got.Arity(), s.Arity())
+	}
+}

@@ -74,10 +74,29 @@ func (s *Schema) WriteJSON(w io.Writer) error {
 }
 
 // ReadSchemaJSON parses a schema previously written by WriteJSON.
+//
+// The reader is hardened for untrusted input (it sits behind HTTP uploads
+// in the serving daemon): unknown JSON fields are rejected rather than
+// silently dropped — a misspelled "formt" would otherwise quietly fall back
+// to the default format — duplicate attribute names are reported with both
+// positions, and every error names the offending attribute.
 func ReadSchemaJSON(r io.Reader) (*Schema, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	var in jsonSchema
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("relation: reading schema JSON: %w", err)
+	}
+	byName := make(map[string]int, len(in.Attributes))
+	for i, ja := range in.Attributes {
+		if ja.Name == "" {
+			return nil, fmt.Errorf("relation: schema JSON attribute %d has no name", i+1)
+		}
+		if prev, dup := byName[ja.Name]; dup {
+			return nil, fmt.Errorf("relation: schema JSON attribute %d: duplicate name %q (already attribute %d)",
+				i+1, ja.Name, prev)
+		}
+		byName[ja.Name] = i + 1
 	}
 	attrs := make([]Attribute, 0, len(in.Attributes))
 	for _, ja := range in.Attributes {

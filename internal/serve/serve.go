@@ -1,0 +1,708 @@
+// Package serve is the online scoring service: a stdlib-only net/http
+// daemon that evaluates the current rule set against live transaction
+// traffic, ingests analyst feedback, and refines its rules in place.
+//
+// The paper's RUDOLF refines rules offline, but its premise is that the
+// refined set is then deployed against live card traffic — financial
+// institutes run rule systems as high-throughput online scorers whose rules
+// are hot-swapped as analysts iterate. This package is that deployment
+// layer over the repository's evaluation core:
+//
+//   - The published rule set lives behind an atomic pointer as a
+//     ruleState (rule set + compiled index.Evaluator + version). Scoring
+//     requests load the pointer exactly once, so every response is
+//     consistent with exactly one version; swaps compile off to the side
+//     and publish with a single atomic store (no torn reads, no locks on
+//     the hot path — serve_test.go hammers this under -race).
+//   - Versions are committed to an internal/history store: every
+//     POST /rules swap and every /refine round is a durable, diffable
+//     rule-set version, mirroring the FI change histories of the paper.
+//   - Feedback (fraud/legit verdicts, plus unlabeled context traffic)
+//     appends to a server-side relation watched by an incremental
+//     capture.Cache, so POST /refine runs a refinement session in place
+//     and atomically publishes the result.
+//   - A bounded worker pool (semaphore) caps concurrent scoring
+//     evaluations; inside a slot, batches reuse the chunk-parallel
+//     compiled evaluator.
+//   - Production plumbing: per-endpoint timeouts, max body bytes,
+//     /healthz, /readyz (flips to 503 while draining), graceful drain,
+//     and /metrics in Prometheus text format via internal/telemetry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/expert"
+	"repro/internal/history"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/rules"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a Server. Schema is required; everything else has
+// serving-grade defaults.
+type Config struct {
+	// Schema of the transaction relation the daemon scores.
+	Schema *relation.Schema
+	// Rules is the initial rule set (may be empty; swap one in later).
+	Rules *rules.Set
+	// History receives every published version; nil means a fresh store.
+	History *history.Store
+	// Workers bounds concurrently evaluating scoring requests (the worker
+	// pool). 0 means 2×GOMAXPROCS slots.
+	Workers int
+	// MaxBatch caps transactions per /score or /feedback request.
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps request bodies. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// ScoreTimeout, SwapTimeout, FeedbackTimeout and RefineTimeout bound
+	// the respective endpoints (0 means the package defaults).
+	ScoreTimeout    time.Duration
+	SwapTimeout     time.Duration
+	FeedbackTimeout time.Duration
+	RefineTimeout   time.Duration
+	// DrainTimeout bounds the graceful shutdown in Serve.
+	DrainTimeout time.Duration
+	// Refine configures the sessions run by POST /refine.
+	Refine core.Options
+	// Expert reviews /refine proposals; nil means the auto-accepting
+	// expert (the paper's unattended RUDOLF⁻ mode — a serving daemon has
+	// no terminal to put an analyst on).
+	Expert core.Expert
+	// Registry receives the daemon's metrics; nil means a fresh registry.
+	Registry *telemetry.Registry
+}
+
+// Defaults for the zero Config values.
+const (
+	DefaultMaxBatch     = 4096
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultScoreTimeout = 5 * time.Second
+	DefaultSwapTimeout  = 10 * time.Second
+	DefaultRefine       = 120 * time.Second
+	DefaultDrain        = 10 * time.Second
+)
+
+// ruleState is one published version: the rule set, its compiled evaluator
+// and the history version id. Immutable once published — swaps build a new
+// state and atomically replace the pointer.
+type ruleState struct {
+	version int
+	set     *rules.Set
+	ev      *index.Evaluator
+	texts   []string
+}
+
+// Server is the scoring daemon. Create with New, mount via Handler, run
+// with Serve (or any http.Server).
+type Server struct {
+	cfg    Config
+	schema *relation.Schema
+
+	state atomic.Pointer[ruleState]
+
+	// mu serializes control-plane state: rule swaps, history commits,
+	// feedback appends, the capture cache and refinement. The scoring data
+	// plane never takes it.
+	mu       sync.Mutex
+	hist     *history.Store
+	feedback *relation.Relation
+	cache    *capture.Cache
+
+	draining atomic.Bool
+
+	sem chan struct{}
+
+	reg *telemetry.Registry
+	// hot-path metrics, resolved once.
+	mScoreTx   *telemetry.Counter
+	mScoreLat  *telemetry.Histogram
+	mBatchLat  *telemetry.Histogram
+	mInflight  *telemetry.Gauge
+	mVersion   *telemetry.Gauge
+	mRuleCount *telemetry.Gauge
+	mSwaps     *telemetry.Counter
+	mRefines   *telemetry.Counter
+	mCacheHit  *telemetry.Counter
+	mCacheMiss *telemetry.Counter
+}
+
+// New builds a Server and publishes version 1 from cfg.Rules.
+func New(cfg Config) (*Server, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("serve: Config.Schema is required")
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = rules.NewSet()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * maxProcs()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.ScoreTimeout <= 0 {
+		cfg.ScoreTimeout = DefaultScoreTimeout
+	}
+	if cfg.SwapTimeout <= 0 {
+		cfg.SwapTimeout = DefaultSwapTimeout
+	}
+	if cfg.FeedbackTimeout <= 0 {
+		cfg.FeedbackTimeout = DefaultSwapTimeout
+	}
+	if cfg.RefineTimeout <= 0 {
+		cfg.RefineTimeout = DefaultRefine
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrain
+	}
+	if cfg.Expert == nil {
+		// The auto-accepting expert: a serving daemon has no terminal to
+		// put an analyst on, so /refine defaults to the paper's unattended
+		// RUDOLF⁻ mode.
+		cfg.Expert = &expert.AutoAccept{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	hist := cfg.History
+	if hist == nil {
+		hist = history.NewStore(cfg.Schema)
+	}
+	s := &Server{
+		cfg:      cfg,
+		schema:   cfg.Schema,
+		hist:     hist,
+		feedback: relation.New(cfg.Schema),
+		cache:    capture.New(),
+		sem:      make(chan struct{}, cfg.Workers),
+		reg:      cfg.Registry,
+	}
+	s.initMetrics()
+	s.mu.Lock()
+	s.publishLocked(cfg.Rules.Clone(), nil, "initial rules")
+	s.mu.Unlock()
+	return s, nil
+}
+
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+func (s *Server) initMetrics() {
+	r := s.reg
+	r.Help("rudolf_http_requests_total", "HTTP requests served, by path and status code.")
+	r.Help("rudolf_score_tx_total", "Transactions scored.")
+	r.Help("rudolf_score_latency_seconds", "Per-transaction scoring latency (request latency / batch size).")
+	r.Help("rudolf_score_batch_latency_seconds", "Whole-request scoring latency.")
+	r.Help("rudolf_score_inflight", "Scoring requests currently holding a worker slot.")
+	r.Help("rudolf_rules_version", "Published rule-set version (history id).")
+	r.Help("rudolf_rules_count", "Rules in the published set.")
+	r.Help("rudolf_rule_swaps_total", "Rule-set publishes (swaps + refines + initial).")
+	r.Help("rudolf_refines_total", "Completed /refine rounds.")
+	r.Help("rudolf_feedback_tx_total", "Feedback transactions ingested, by label.")
+	r.Help("rudolf_capture_cache_hits_total", "Capture-cache queries answered incrementally.")
+	r.Help("rudolf_capture_cache_misses_total", "Capture-cache queries that forced a full rebind.")
+	s.mScoreTx = r.Counter("rudolf_score_tx_total")
+	s.mScoreLat = r.Histogram("rudolf_score_latency_seconds", nil)
+	s.mBatchLat = r.Histogram("rudolf_score_batch_latency_seconds", nil)
+	s.mInflight = r.Gauge("rudolf_score_inflight")
+	s.mVersion = r.Gauge("rudolf_rules_version")
+	s.mRuleCount = r.Gauge("rudolf_rules_count")
+	s.mSwaps = r.Counter("rudolf_rule_swaps_total")
+	s.mRefines = r.Counter("rudolf_refines_total")
+	s.mCacheHit = r.Counter("rudolf_capture_cache_hits_total")
+	s.mCacheMiss = r.Counter("rudolf_capture_cache_misses_total")
+}
+
+// publishLocked compiles rs, commits it to history and atomically publishes
+// the new state. Callers hold s.mu.
+func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment string) *ruleState {
+	ev := index.Compile(s.schema, rs)
+	v := s.hist.Commit(rs, mods, comment)
+	st := &ruleState{version: v.ID, set: rs, ev: ev, texts: v.Rules}
+	s.state.Store(st)
+	// The capture cache mirrors the published rules over the feedback
+	// relation; a publish invalidates it wholesale (rule count may match
+	// across a swap, so length-drift detection is not enough).
+	s.cache.Invalidate()
+	s.mVersion.Set(int64(st.version))
+	s.mRuleCount.Set(int64(rs.Len()))
+	s.mSwaps.Inc()
+	return st
+}
+
+// captureLocked returns the capture cache bound to the feedback relation
+// and the published rules, counting hits (incremental) vs misses (rebind).
+// Callers hold s.mu.
+func (s *Server) captureLocked(st *ruleState) *capture.Cache {
+	if s.cache.Bound(s.feedback) && s.cache.Len() == st.set.Len() {
+		s.mCacheHit.Inc()
+	} else {
+		s.mCacheMiss.Inc()
+		s.cache.Bind(s.feedback, st.set)
+	}
+	return s.cache
+}
+
+// Version returns the currently published rules version.
+func (s *Server) Version() int { return s.state.Load().version }
+
+// Rules returns the currently published rule set (read-only).
+func (s *Server) Rules() *rules.Set { return s.state.Load().set }
+
+// History returns the server's version store.
+func (s *Server) History() *history.Store { return s.hist }
+
+// Registry returns the server's telemetry registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// SetDraining flips readiness: a draining server answers /readyz with 503
+// so load balancers stop routing to it, while in-flight and late requests
+// still complete.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/score", s.instrument("/score", s.timeout(http.HandlerFunc(s.handleScore), s.cfg.ScoreTimeout)))
+	mux.Handle("/rules", s.instrument("/rules", s.timeout(http.HandlerFunc(s.handleRules), s.cfg.SwapTimeout)))
+	mux.Handle("/feedback", s.instrument("/feedback", s.timeout(http.HandlerFunc(s.handleFeedback), s.cfg.FeedbackTimeout)))
+	mux.Handle("/refine", s.instrument("/refine", s.timeout(http.HandlerFunc(s.handleRefine), s.cfg.RefineTimeout)))
+	mux.Handle("/stats", s.instrument("/stats", http.HandlerFunc(s.handleStats)))
+	mux.Handle("/schema", s.instrument("/schema", http.HandlerFunc(s.handleSchema)))
+	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
+	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
+	mux.Handle("/metrics", s.reg.Handler())
+	return mux
+}
+
+// Serve runs the daemon on ln until ctx is canceled, then drains: readiness
+// flips first, then the listener closes and in-flight requests get
+// DrainTimeout to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.SetDraining(true)
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	<-errc // hs.Serve returned http.ErrServerClosed
+	return nil
+}
+
+// timeout wraps h with http.TimeoutHandler unless d <= 0.
+func (s *Server) timeout(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.TimeoutHandler(h, d, `{"error":"request timed out"}`)
+}
+
+// statusWriter records the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument applies the body limit and counts the request by path and
+// status code.
+func (s *Server) instrument(path string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.reg.Counter(fmt.Sprintf(`rudolf_http_requests_total{path=%q,code="%d"}`, path, sw.code)).Inc()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// buildRelation parses and validates a wire batch into a relation, honoring
+// labels when forFeedback is set.
+func (s *Server) buildRelation(txs []txIn, forFeedback bool) (*relation.Relation, []relation.Label, error) {
+	rel := relation.New(s.schema)
+	labels := make([]relation.Label, 0, len(txs))
+	for i, tx := range txs {
+		t, err := parseTuple(s.schema, tx.Attrs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+		lab := relation.Unlabeled
+		if forFeedback {
+			lab, err = parseWireLabel(tx.Label)
+			if err != nil {
+				return nil, nil, fmt.Errorf("transaction %d: %w", i, err)
+			}
+			if tx.Label == "" {
+				return nil, nil, fmt.Errorf("transaction %d: missing label (want fraud, legit or unlabeled)", i)
+			}
+		}
+		if _, err := rel.Append(t, lab, tx.Score); err != nil {
+			return nil, nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+		labels = append(labels, lab)
+	}
+	return rel, labels, nil
+}
+
+// acquire takes a worker-pool slot, respecting request cancellation.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.mInflight.Add(1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.mInflight.Add(-1)
+}
+
+// handleScore evaluates a batch against exactly one published version.
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req scoreRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	txs := req.Transactions
+	if txs == nil && req.Attrs != nil {
+		txs = []txIn{{Attrs: req.Attrs, Score: req.Score}}
+	}
+	if len(txs) == 0 {
+		httpError(w, http.StatusBadRequest, "no transactions")
+		return
+	}
+	if len(txs) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds max %d", len(txs), s.cfg.MaxBatch)
+		return
+	}
+	rel, _, err := s.buildRelation(txs, false)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.acquire(r.Context()) {
+		httpError(w, http.StatusServiceUnavailable, "canceled while queued for a worker slot")
+		return
+	}
+	start := time.Now()
+	st := s.state.Load() // exactly one version per response
+	captured := st.ev.Eval(rel)
+	elapsed := time.Since(start).Seconds()
+	s.release()
+
+	resp := scoreResponse{Version: st.version, Count: rel.Len(), Flagged: make([]bool, rel.Len())}
+	for i := 0; i < rel.Len(); i++ {
+		if captured.Has(i) {
+			resp.Flagged[i] = true
+			resp.Matched++
+		}
+	}
+	s.mScoreTx.Add(uint64(rel.Len()))
+	s.mBatchLat.Observe(elapsed)
+	s.mScoreLat.Observe(elapsed / float64(rel.Len()))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRules serves the published rules (GET) and hot-swaps a new set
+// (POST): parse + compile off to the side, then one atomic publish.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st := s.state.Load()
+		writeJSON(w, http.StatusOK, rulesResponse{Version: st.version, Count: len(st.texts), Rules: st.texts})
+	case http.MethodPost:
+		texts, comment, err := readRulesBody(r)
+		if err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, "%v", err)
+			return
+		}
+		rs := rules.NewSet()
+		for i, text := range texts {
+			rule, err := rules.Parse(s.schema, text)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "rule %d: %v", i+1, err)
+				return
+			}
+			rs.Add(rule)
+		}
+		s.mu.Lock()
+		st := s.publishLocked(rs, nil, comment)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, rulesResponse{Version: st.version, Count: len(st.texts)})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// readRulesBody accepts either the JSON swap request or a text/plain rule
+// file (one rule per line, '#' comments), so `curl --data-binary
+// @rules.txt` works.
+func readRulesBody(r *http.Request) (texts []string, comment string, err error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, _ := mime.ParseMediaType(ct); mt == "" || mt == "application/json" {
+		var req rulesSwapRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, "", fmt.Errorf("bad JSON: %w", err)
+		}
+		if req.Comment == "" {
+			req.Comment = "POST /rules"
+		}
+		return req.Rules, req.Comment, nil
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		texts = append(texts, line)
+	}
+	return texts, "POST /rules", nil
+}
+
+// handleFeedback appends labeled transactions to the server-side relation
+// and reports which of them the current rules already capture.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req feedbackRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Transactions) == 0 {
+		httpError(w, http.StatusBadRequest, "no transactions")
+		return
+	}
+	if len(req.Transactions) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds max %d", len(req.Transactions), s.cfg.MaxBatch)
+		return
+	}
+	// Validate the whole batch before touching server state: feedback is
+	// all-or-nothing.
+	batch, labels, err := s.buildRelation(req.Transactions, true)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	base := s.feedback.Len()
+	for i := 0; i < batch.Len(); i++ {
+		s.feedback.MustAppend(batch.Tuple(i), batch.Label(i), batch.Score(i))
+	}
+	st := s.state.Load()
+	cache := s.captureLocked(st)
+	resp := feedbackResponse{
+		Version:  st.version,
+		Added:    batch.Len(),
+		Total:    s.feedback.Len(),
+		Captured: make([]bool, batch.Len()),
+	}
+	for i := range resp.Captured {
+		resp.Captured[i] = cache.Captured(base + i)
+	}
+	s.mu.Unlock()
+	for _, lab := range labels {
+		name := "unlabeled"
+		switch lab {
+		case relation.Fraud:
+			name = "fraud"
+		case relation.Legitimate:
+			name = "legit"
+		}
+		s.reg.Counter(fmt.Sprintf(`rudolf_feedback_tx_total{label=%q}`, name)).Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRefine runs a refinement session over the accumulated feedback and
+// atomically publishes the refined rules.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req refineRequest
+	if r.ContentLength != 0 {
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.feedback.Len() == 0 {
+		httpError(w, http.StatusConflict, "no feedback ingested yet")
+		return
+	}
+	old := s.state.Load()
+	opts := s.cfg.Refine
+	if req.MaxRounds > 0 {
+		opts.MaxRounds = req.MaxRounds
+	}
+	sess := core.NewSession(old.set, s.cfg.Expert, opts)
+	stats := sess.Refine(s.feedback)
+	comment := req.Comment
+	if comment == "" {
+		comment = fmt.Sprintf("POST /refine over %d feedback transactions", s.feedback.Len())
+	}
+	st := s.publishLocked(sess.Rules().Clone(), sess.Log().All(), comment)
+	s.mRefines.Inc()
+	writeJSON(w, http.StatusOK, refineResponse{
+		OldVersion:        old.version,
+		Version:           st.version,
+		Rules:             st.set.Len(),
+		Modifications:     stats.Modifications,
+		FraudTotal:        stats.FraudTotal,
+		FraudCaptured:     stats.FraudCaptured,
+		LegitTotal:        stats.LegitTotal,
+		LegitCaptured:     stats.LegitCaptured,
+		UnlabeledCaptured: stats.UnlabeledCaptured,
+	})
+}
+
+// handleStats reports the published rules' performance over the feedback
+// relation, read off the incremental capture cache.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state.Load()
+	resp := statsResponse{Version: st.version, Rules: st.set.Len(), Feedback: s.feedback.Len()}
+	if s.feedback.Len() > 0 {
+		cache := s.captureLocked(st)
+		union := cache.Union()
+		for i := 0; i < s.feedback.Len(); i++ {
+			switch s.feedback.Label(i) {
+			case relation.Fraud:
+				resp.Fraud++
+				if union.Has(i) {
+					resp.FraudCaptured++
+				}
+			case relation.Legitimate:
+				resp.Legit++
+				if union.Has(i) {
+					resp.LegitCaptured++
+				}
+			default:
+				resp.Unlabeled++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSchema serves the schema JSON so clients (cmd/loadgen) can
+// self-configure.
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.schema.WriteJSON(w); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

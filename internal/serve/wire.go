@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// The wire format of the scoring daemon. Transactions travel as JSON
+// objects keyed by attribute name; values are either the textual form the
+// schema formats/parses (`"18:02"`, `"$120"`, `"Gas Station A"`) or raw
+// numbers (domain values for numeric attributes, leaf concept ids for
+// categorical ones). Everything is validated against the schema before it
+// reaches the evaluator, so malformed uploads are rejected with a 400 and a
+// field-precise error instead of poisoning server state.
+
+// txIn is one transaction on the wire.
+type txIn struct {
+	Attrs map[string]json.RawMessage `json:"attrs"`
+	Score int16                      `json:"score"`
+	// Label is only honored by /feedback: "fraud", "legit"/"legitimate",
+	// or "unlabeled" (context transactions for the γ term).
+	Label string `json:"label,omitempty"`
+}
+
+// scoreRequest is the /score body: a batch, or the single-transaction
+// shorthand with attrs/score inline.
+type scoreRequest struct {
+	Transactions []txIn                     `json:"transactions"`
+	Attrs        map[string]json.RawMessage `json:"attrs,omitempty"`
+	Score        int16                      `json:"score,omitempty"`
+}
+
+// scoreResponse reports one verdict per transaction, all evaluated against
+// exactly one published rules version.
+type scoreResponse struct {
+	Version int    `json:"version"`
+	Count   int    `json:"count"`
+	Matched int    `json:"matched"`
+	Flagged []bool `json:"flagged"`
+}
+
+type feedbackRequest struct {
+	Transactions []txIn `json:"transactions"`
+}
+
+type feedbackResponse struct {
+	Version int `json:"version"`
+	Added   int `json:"added"`
+	// Total is the size of the server-side feedback relation after the
+	// append.
+	Total int `json:"total"`
+	// Captured reports, per added transaction, whether the current rules
+	// already capture it (read off the incremental capture cache).
+	Captured []bool `json:"captured"`
+}
+
+type rulesResponse struct {
+	Version int      `json:"version"`
+	Count   int      `json:"count"`
+	Rules   []string `json:"rules,omitempty"`
+}
+
+type rulesSwapRequest struct {
+	Rules   []string `json:"rules"`
+	Comment string   `json:"comment,omitempty"`
+}
+
+type refineRequest struct {
+	MaxRounds int    `json:"max_rounds,omitempty"`
+	Comment   string `json:"comment,omitempty"`
+}
+
+type refineResponse struct {
+	OldVersion        int `json:"old_version"`
+	Version           int `json:"version"`
+	Rules             int `json:"rules"`
+	Modifications     int `json:"modifications"`
+	FraudTotal        int `json:"fraud_total"`
+	FraudCaptured     int `json:"fraud_captured"`
+	LegitTotal        int `json:"legit_total"`
+	LegitCaptured     int `json:"legit_captured"`
+	UnlabeledCaptured int `json:"unlabeled_captured"`
+}
+
+type statsResponse struct {
+	Version       int `json:"version"`
+	Rules         int `json:"rules"`
+	Feedback      int `json:"feedback"`
+	Fraud         int `json:"fraud"`
+	FraudCaptured int `json:"fraud_captured"`
+	Legit         int `json:"legit"`
+	LegitCaptured int `json:"legit_captured"`
+	Unlabeled     int `json:"unlabeled"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseLabel maps the wire label names onto relation labels.
+func parseWireLabel(s string) (relation.Label, error) {
+	switch s {
+	case "fraud", "FRAUD":
+		return relation.Fraud, nil
+	case "legit", "legitimate", "LEGITIMATE":
+		return relation.Legitimate, nil
+	case "unlabeled", "":
+		return relation.Unlabeled, nil
+	default:
+		return relation.Unlabeled, fmt.Errorf("unknown label %q (want fraud, legit or unlabeled)", s)
+	}
+}
+
+// parseTuple validates and converts one wire transaction into a schema
+// tuple. Every schema attribute must be present; unknown attribute names are
+// rejected by name so clients learn exactly which field is wrong.
+func parseTuple(schema *relation.Schema, attrs map[string]json.RawMessage) (relation.Tuple, error) {
+	t := make(relation.Tuple, schema.Arity())
+	for i := 0; i < schema.Arity(); i++ {
+		a := schema.Attr(i)
+		raw, ok := attrs[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("missing attribute %q", a.Name)
+		}
+		v, err := parseValue(schema, i, raw)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", a.Name, err)
+		}
+		t[i] = v
+	}
+	if len(attrs) > schema.Arity() {
+		for _, name := range sortedKeys(attrs) {
+			if _, ok := schema.Index(name); !ok {
+				return nil, fmt.Errorf("unknown attribute %q", name)
+			}
+		}
+	}
+	return t, nil
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parseValue converts one attribute value: JSON strings go through the
+// schema's textual parser, JSON numbers are raw domain values / concept ids.
+func parseValue(schema *relation.Schema, attr int, raw json.RawMessage) (int64, error) {
+	if len(raw) > 0 && raw[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return 0, err
+		}
+		return schema.ParseValue(attr, s)
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return 0, fmt.Errorf("want a string or integer: %w", err)
+	}
+	return n, nil
+}

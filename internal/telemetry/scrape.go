@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapedHistogram is one histogram family read back from a Prometheus
+// text-format page — the consumer side of Registry.WriteTo, used by
+// cmd/loadgen to compute latency percentiles from the daemon's /metrics.
+type ScrapedHistogram struct {
+	Uppers []float64 // finite bucket upper bounds, ascending
+	Cum    []uint64  // cumulative counts aligned with Uppers
+	Total  uint64    // the +Inf bucket (== _count)
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile of the scraped histogram.
+func (s ScrapedHistogram) Quantile(q float64) float64 {
+	return QuantileFromBuckets(s.Uppers, s.Cum, s.Total, q)
+}
+
+// ScrapeValue returns the value of the series with the given name (exact
+// match, including any label set) from a text-format page.
+func ScrapeValue(page, series string) (float64, bool) {
+	sc := bufio.NewScanner(strings.NewReader(page))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := splitSeries(line)
+		if !ok || name != series {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// ScrapeHistogram extracts the histogram with the given base name from a
+// text-format page written by Registry.WriteTo (or any Prometheus exporter
+// using one series per bucket and no extra labels beyond le).
+func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
+	var out ScrapedHistogram
+	type bucket struct {
+		le  float64
+		inf bool
+		n   uint64
+	}
+	var buckets []bucket
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := splitSeries(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, base+"_bucket{") && strings.HasSuffix(name, "}"):
+			labels := name[len(base+"_bucket{") : len(name)-1]
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				continue
+			}
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return out, fmt.Errorf("telemetry: bad bucket count %q: %w", val, err)
+			}
+			if le == "+Inf" {
+				buckets = append(buckets, bucket{inf: true, n: n})
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return out, fmt.Errorf("telemetry: bad le %q: %w", le, err)
+			}
+			buckets = append(buckets, bucket{le: f, n: n})
+		case name == base+"_sum":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return out, fmt.Errorf("telemetry: bad sum %q: %w", val, err)
+			}
+			out.Sum = f
+		case name == base+"_count":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return out, fmt.Errorf("telemetry: bad count %q: %w", val, err)
+			}
+			out.Total = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	sort.SliceStable(buckets, func(i, j int) bool {
+		if buckets[i].inf != buckets[j].inf {
+			return !buckets[i].inf
+		}
+		return buckets[i].le < buckets[j].le
+	})
+	for _, b := range buckets {
+		if b.inf {
+			if out.Total == 0 {
+				out.Total = b.n
+			}
+			continue
+		}
+		out.Uppers = append(out.Uppers, b.le)
+		out.Cum = append(out.Cum, b.n)
+	}
+	if len(out.Uppers) == 0 {
+		return out, fmt.Errorf("telemetry: no histogram %q in page", base)
+	}
+	return out, nil
+}
+
+// splitSeries splits "name{labels} value" / "name value" into name and value.
+func splitSeries(line string) (name, value string, ok bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+// labelValue extracts the value of one label from `k="v",k2="v2"`.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || strings.TrimSpace(kv[0]) != key {
+			continue
+		}
+		v := strings.TrimSpace(kv[1])
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		return v, true
+	}
+	return "", false
+}

@@ -1,0 +1,363 @@
+// Package telemetry is a tiny, dependency-free metrics registry for the
+// online scoring service: counters, gauges and fixed-bucket histograms with
+// atomic updates, rendered in the Prometheus text exposition format by an
+// http.Handler. It is deliberately minimal — no labels machinery beyond
+// literal label suffixes in series names, no runtime re-bucketing — because
+// the serving daemon (internal/serve) needs exactly four things: request and
+// transaction counters, the published rules version, score-latency
+// percentiles, and the capture-cache hit rate, all readable by a scrape or
+// by cmd/loadgen's report.
+//
+// Series names may carry a literal label set, e.g.
+//
+//	reg.Counter(`rudolf_http_requests_total{path="/score",code="200"}`)
+//
+// Series with the same base name (the part before '{') share one # HELP/
+// # TYPE header, matching what Prometheus expects of labeled families.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (an int64: versions, sizes,
+// in-flight counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (use a negative delta to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative-on-render buckets.
+// Observations, sums and counts are all atomics, so concurrent Observe calls
+// never lock.
+type Histogram struct {
+	uppers  []float64 // bucket upper bounds, ascending; +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefBuckets are the default latency buckets (seconds): 10µs … 10s,
+// roughly ×2.5 per step.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1, 1, 2.5, 5, 10,
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	us := append([]float64(nil), uppers...)
+	sort.Float64s(us)
+	return &Histogram{uppers: us, buckets: make([]atomic.Uint64, len(us)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with uppers plus the
+// +Inf total.
+func (h *Histogram) snapshot() (cum []uint64, total uint64) {
+	cum = make([]uint64, len(h.uppers))
+	var run uint64
+	for i := range h.uppers {
+		run += h.buckets[i].Load()
+		cum[i] = run
+	}
+	total = run + h.buckets[len(h.uppers)].Load()
+	return cum, total
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts with
+// linear interpolation inside the containing bucket — the same estimate
+// Prometheus's histogram_quantile computes. It returns 0 with no
+// observations; observations beyond the last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total := h.snapshot()
+	return QuantileFromBuckets(h.uppers, cum, total, q)
+}
+
+// QuantileFromBuckets is the bucket-interpolation quantile estimate over
+// cumulative counts cum (aligned with uppers) and the overall total
+// (including the +Inf bucket). Exported so cmd/loadgen can compute p50/p99
+// from a scraped /metrics page with the same arithmetic the server uses.
+func QuantileFromBuckets(uppers []float64, cum []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(uppers) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lo := 0.0
+			var below uint64
+			if i > 0 {
+				lo = uppers[i-1]
+				below = cum[i-1]
+			}
+			in := c - below
+			if in == 0 {
+				return uppers[i]
+			}
+			return lo + (uppers[i]-lo)*(rank-float64(below))/float64(in)
+		}
+	}
+	return uppers[len(uppers)-1] // rank lies in the +Inf bucket: clamp
+}
+
+// metric is one registered series.
+type metric struct {
+	name string // full series name, possibly with {labels}
+	base string // name before '{'
+	help string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+func (m *metric) kind() string {
+	switch {
+	case m.c != nil:
+		return "counter"
+	case m.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds named series and renders them in the Prometheus text
+// format. Get-or-create lookups lock briefly; metric updates are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	series  map[string]*metric
+	ordered []*metric // creation order for stable-ish rendering
+	help    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*metric), help: make(map[string]string)}
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Help sets the # HELP text for a base metric name (call once, before or
+// after creating series of that family).
+func (r *Registry) Help(base, text string) {
+	r.mu.Lock()
+	r.help[base] = text
+	r.mu.Unlock()
+}
+
+func (r *Registry) lookup(name string) (*metric, bool) {
+	m, ok := r.series[name]
+	return m, ok
+}
+
+// Counter returns the counter series with the given name, creating it on
+// first use. It panics if the name is already registered as another kind.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		if m.c == nil {
+			panic(fmt.Sprintf("telemetry: %q is a %s, not a counter", name, m.kind()))
+		}
+		return m.c
+	}
+	m := &metric{name: name, base: baseName(name), c: &Counter{}}
+	r.series[name] = m
+	r.ordered = append(r.ordered, m)
+	return m.c
+}
+
+// Gauge returns the gauge series with the given name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		if m.g == nil {
+			panic(fmt.Sprintf("telemetry: %q is a %s, not a gauge", name, m.kind()))
+		}
+		return m.g
+	}
+	m := &metric{name: name, base: baseName(name), g: &Gauge{}}
+	r.series[name] = m
+	r.ordered = append(r.ordered, m)
+	return m.g
+}
+
+// Histogram returns the histogram series with the given name and upper
+// bounds (DefBuckets when uppers is nil), creating it on first use.
+func (r *Registry) Histogram(name string, uppers []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		if m.h == nil {
+			panic(fmt.Sprintf("telemetry: %q is a %s, not a histogram", name, m.kind()))
+		}
+		return m.h
+	}
+	if uppers == nil {
+		uppers = DefBuckets
+	}
+	m := &metric{name: name, base: baseName(name), h: newHistogram(uppers)}
+	r.series[name] = m
+	r.ordered = append(r.ordered, m)
+	return m.h
+}
+
+// labelJoin splices an extra label (le="...") into a series name that may
+// already carry labels.
+func labelJoin(name, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + extra + "}"
+	}
+	return name + "{" + extra + "}"
+}
+
+// suffixed appends a suffix to the base part of a possibly-labeled name:
+// suffixed(`h{a="b"}`, "_sum") = `h_sum{a="b"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTo renders every registered series in the Prometheus text exposition
+// format. Families are ordered by base name; series within a family keep
+// creation order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].base < ms[j].base })
+
+	var n int64
+	pr := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	lastBase := ""
+	for _, m := range ms {
+		if m.base != lastBase {
+			lastBase = m.base
+			if h := help[m.base]; h != "" {
+				if err := pr("# HELP %s %s\n", m.base, h); err != nil {
+					return n, err
+				}
+			}
+			if err := pr("# TYPE %s %s\n", m.base, m.kind()); err != nil {
+				return n, err
+			}
+		}
+		switch {
+		case m.c != nil:
+			if err := pr("%s %d\n", m.name, m.c.Value()); err != nil {
+				return n, err
+			}
+		case m.g != nil:
+			if err := pr("%s %d\n", m.name, m.g.Value()); err != nil {
+				return n, err
+			}
+		case m.h != nil:
+			cum, total := m.h.snapshot()
+			for i, up := range m.h.uppers {
+				le := fmt.Sprintf(`le="%s"`, formatFloat(up))
+				if err := pr("%s %d\n", labelJoin(suffixed(m.name, "_bucket"), le), cum[i]); err != nil {
+					return n, err
+				}
+			}
+			if err := pr("%s %d\n", labelJoin(suffixed(m.name, "_bucket"), `le="+Inf"`), total); err != nil {
+				return n, err
+			}
+			if err := pr("%s %s\n", suffixed(m.name, "_sum"), formatFloat(m.h.Sum())); err != nil {
+				return n, err
+			}
+			if err := pr("%s %d\n", suffixed(m.name, "_count"), total); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// text-format page.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w) //nolint:errcheck // client gone: nothing to do
+	})
+}

@@ -31,7 +31,9 @@
 package rudolf
 
 import (
+	"context"
 	"io"
+	"net"
 
 	"repro/internal/capture"
 	"repro/internal/cluster"
@@ -45,6 +47,8 @@ import (
 	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // Data model types.
@@ -313,3 +317,40 @@ type CaptureCache = capture.Cache
 // relation and rule set before querying, and notify it (RuleAdded,
 // RuleReplaced, RuleRemoved) of every rule-set mutation.
 func NewCaptureCache() *CaptureCache { return capture.New() }
+
+// Online serving types (see internal/serve and cmd/rudolfd).
+type (
+	// Server is the online scoring daemon: an atomically hot-swappable
+	// compiled rule set behind HTTP endpoints for scoring, rule swaps,
+	// feedback ingestion, in-place refinement and telemetry.
+	Server = serve.Server
+	// ServerConfig parameterizes a Server; only Schema is required.
+	ServerConfig = serve.Config
+	// TelemetryRegistry collects counters, gauges and histograms served in
+	// Prometheus text format on the daemon's /metrics endpoint.
+	TelemetryRegistry = telemetry.Registry
+)
+
+// NewServer builds a scoring daemon and publishes cfg.Rules as version 1.
+// Mount its Handler on any http.Server, or use Serve for the full lifecycle
+// (listen, serve, graceful drain).
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// Serve runs a scoring daemon on addr until ctx is canceled, then drains
+// gracefully: readiness flips to 503, in-flight requests finish (bounded by
+// cfg.DrainTimeout), and the listener closes.
+func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ctx, ln)
+}
+
+// NewTelemetryRegistry returns an empty metrics registry, for embedders that
+// want the daemon's metrics merged into their own exposition page.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
