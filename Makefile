@@ -11,16 +11,23 @@
 #   make serve    run the online scoring daemon (cmd/rudolfd) on :8080
 #   make loadgen  drive traffic at a running daemon and report p50/p99
 #   make smoke    boot rudolfd on a random port, score a generated batch,
-#                 swap rules, and assert /metrics moved (scripts/smoke.sh)
-#   make check    build + vet + test + race
-#   make ci       the full CI gate: check + smoke
+#                 swap rules, refine on labeled feedback, and assert /metrics
+#                 and /trace moved (scripts/smoke.sh)
+#   make trace-demo  boot rudolfd, drive load + one refinement, dump GET
+#                 /trace and validate the Chrome trace with scripts/checktrace
+#                 (set TRACE_OUT=path to keep the trace file)
+#   make trace-check explicit go vet + race pass over the tracer and its
+#                 heaviest concurrent consumer (internal/trace, internal/serve)
+#   make check    build + vet + test + race + trace-check
+#   make ci       the full CI gate: check + smoke + trace-demo
 
-GO      ?= go
-PKGS    ?= ./...
-BENCH   ?= .
-ADDR    ?= 127.0.0.1:8080
+GO        ?= go
+PKGS      ?= ./...
+BENCH     ?= .
+ADDR      ?= 127.0.0.1:8080
+TRACE_OUT ?=
 
-.PHONY: all build test race vet bench serve loadgen smoke check ci clean
+.PHONY: all build test race vet bench serve loadgen smoke trace-demo trace-check check ci clean
 
 all: ci
 
@@ -48,9 +55,16 @@ loadgen:
 smoke:
 	GO=$(GO) bash scripts/smoke.sh
 
-check: build vet test race
+trace-demo:
+	GO=$(GO) TRACE_OUT=$(TRACE_OUT) bash scripts/trace-demo.sh
 
-ci: check smoke
+trace-check:
+	$(GO) vet ./internal/trace/... ./internal/serve/...
+	$(GO) test -race ./internal/trace/... ./internal/serve/...
+
+check: build vet test race trace-check
+
+ci: check smoke trace-demo
 
 clean:
 	$(GO) clean -testcache

@@ -299,6 +299,36 @@ func BenchmarkFullOracleSession(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead quantifies what the span instrumentation threaded
+// through the refinement hot path costs. The "nil" sub-benchmark runs a full
+// oracle session with no tracer (the production default for library use) —
+// it must match BenchmarkFullOracleSession within noise and report zero
+// allocations attributable to tracing, because every span call on a nil
+// tracer returns the zero Span and no-ops. The "enabled" sub-benchmark runs
+// the same session with a live ring-buffer tracer; the delta is the real
+// cost of recording every round, phase, expert query and modification
+// (reported in DESIGN.md §10).
+func BenchmarkTraceOverhead(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 2000, Seed: 2})
+	run := func(b *testing.B, tr *rudolf.Tracer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sess := rudolf.NewSession(rudolf.InitialRules(ds, 0, 2),
+				rudolf.NewOracleExpert(ds.Truth),
+				rudolf.Options{Clusterer: rudolf.DatasetClusterer(), Tracer: tr})
+			sess.Refine(ds.Rel)
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		tr := rudolf.NewTracer(1 << 15)
+		run(b, tr)
+		if tr.Len() == 0 {
+			b.Fatal("enabled tracer recorded no spans")
+		}
+	})
+}
+
 // BenchmarkExactHittingSet measures the exact solver on a 16-element
 // instance (the machinery behind the Theorem 4.1/4.5 validations).
 func BenchmarkExactHittingSet(b *testing.B) {

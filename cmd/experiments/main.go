@@ -7,27 +7,35 @@
 //	experiments              # everything
 //	experiments -fig 3b      # one figure: 3a 3b 3c 3d 3e 3f mix novice hops latency rudolfs ablations
 //	experiments -size 10000 -repeats 5 -seed 3
+//	experiments -traces traces/   # also write a Chrome trace per figure run
+//
+// With -traces DIR every figure run records its refinement sessions (rounds,
+// expert queries, capture rebinds) into DIR/<fig>.json, a Chrome trace_event
+// file loadable in ui.perfetto.dev — the timeline behind the printed table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/experiment"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment to run")
-		report  = flag.String("report", "", "write a markdown paper-vs-measured report to this path and exit")
-		size    = flag.Int("size", 5000, "dataset size")
-		repeats = flag.Int("repeats", 3, "datasets to average over")
-		seed    = flag.Int64("seed", 0, "base random seed")
+		fig       = flag.String("fig", "all", "which experiment to run")
+		report    = flag.String("report", "", "write a markdown paper-vs-measured report to this path and exit")
+		size      = flag.Int("size", 5000, "dataset size")
+		repeats   = flag.Int("repeats", 3, "datasets to average over")
+		seed      = flag.Int64("seed", 0, "base random seed")
+		tracesDir = flag.String("traces", "", "write a Chrome trace per figure run to this directory")
 	)
 	flag.Parse()
 
@@ -36,32 +44,64 @@ func main() {
 		Repeats: *repeats,
 		Seed:    *seed,
 	}
+	if *tracesDir != "" {
+		if err := os.MkdirAll(*tracesDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 
-	runners := map[string]func(){
-		"3a": func() { experiment.Fig3a(setup).Render(os.Stdout) },
-		"3b": func() { experiment.Fig3b(setup).Render(os.Stdout) },
-		"3c": func() {
+	runners := map[string]func(experiment.Setup){
+		"3a": func(s experiment.Setup) { experiment.Fig3a(s).Render(os.Stdout) },
+		"3b": func(s experiment.Setup) { experiment.Fig3b(s).Render(os.Stdout) },
+		"3c": func(s experiment.Setup) {
 			sizes := []int{*size / 5, *size / 2, *size, *size * 2}
-			experiment.Fig3c(setup, sizes).Render(os.Stdout)
+			experiment.Fig3c(s, sizes).Render(os.Stdout)
 		},
-		"3d": func() {
-			experiment.Fig3d(setup, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
+		"3d": func(s experiment.Setup) {
+			experiment.Fig3d(s, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
 		},
-		"3e": func() {
-			experiment.Fig3e(setup, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
+		"3e": func(s experiment.Setup) {
+			experiment.Fig3e(s, []float64{0.5, 1.0, 1.5, 2.5}).Render(os.Stdout)
 		},
-		"3f":     func() { renderFig3f(setup) },
-		"mix":    func() { renderMix(setup) },
-		"novice": func() { renderNovice(setup) },
-		"hops":   func() { experiment.HopSweep(setup, []float64{10, 15, 20}).Render(os.Stdout) },
-		"latency": func() {
-			fmt.Printf("proposal latency: %v (paper: at most one second)\n", experiment.ProposalLatency(setup))
+		"3f":     renderFig3f,
+		"mix":    renderMix,
+		"novice": renderNovice,
+		"hops": func(s experiment.Setup) {
+			experiment.HopSweep(s, []float64{10, 15, 20}).Render(os.Stdout)
 		},
-		"rudolfs":   func() { renderRudolfS(setup) },
-		"fleet":     func() { experiment.RenderFleet(os.Stdout, experiment.Fleet(setup, 15, *size)) },
-		"ablations": func() { renderAblations(setup) },
+		"latency": func(s experiment.Setup) {
+			fmt.Printf("proposal latency: %v (paper: at most one second)\n", experiment.ProposalLatency(s))
+		},
+		"rudolfs": renderRudolfS,
+		"fleet": func(s experiment.Setup) {
+			experiment.RenderFleet(os.Stdout, experiment.Fleet(s, 15, *size))
+		},
+		"ablations": renderAblations,
 	}
 	order := []string{"3a", "3b", "3c", "3d", "3e", "3f", "mix", "novice", "hops", "latency", "rudolfs", "fleet", "ablations"}
+
+	// runFig runs one figure, recording (and dumping) a trace when -traces is
+	// set: each figure gets its own tracer so traces/<fig>.json is exactly
+	// that figure's refinement timeline.
+	runFig := func(id string, fn func(experiment.Setup)) {
+		s := setup
+		var tr *trace.Tracer
+		if *tracesDir != "" {
+			tr = trace.New(trace.Options{Capacity: 1 << 16})
+			s.Tracer = tr
+		}
+		fn(s)
+		if tr != nil {
+			path := filepath.Join(*tracesDir, id+".json")
+			if err := writeTrace(path, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: trace written to %s (%d spans, %d dropped)\n",
+				path, tr.Len(), tr.Dropped())
+		}
+	}
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -81,17 +121,31 @@ func main() {
 	if *fig == "all" {
 		for _, id := range order {
 			fmt.Printf("\n===== %s =====\n", id)
-			runners[id]()
+			runFig(id, runners[id])
 		}
 		return
 	}
-	run, ok := runners[strings.ToLower(*fig)]
+	id := strings.ToLower(*fig)
+	run, ok := runners[id]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (choose from %s, all)\n",
 			*fig, strings.Join(order, " "))
 		os.Exit(2)
 	}
-	run()
+	runFig(id, run)
+}
+
+// writeTrace dumps one figure's tracer as a Chrome trace_event JSON file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTo(f, tr); err != nil {
+		f.Close() //nolint:errcheck // write error takes precedence
+		return err
+	}
+	return f.Close()
 }
 
 func renderFig3f(setup experiment.Setup) {

@@ -2,7 +2,9 @@
 // daemon's schema, synthesizes random transaction batches, hammers /score
 // from concurrent workers for a fixed duration, and then reports throughput
 // plus the p50/p99 scoring latency scraped back off /metrics — the same
-// numbers a production dashboard would watch.
+// numbers a production dashboard would watch. Every scoring response's
+// request_id is decoded, and the slowest observed request is reported with
+// its id so it can be looked up in the daemon's GET /trace output.
 //
 // Usage:
 //
@@ -10,9 +12,11 @@
 //	        [-batch 64] [-seed 1] [-smoke]
 //
 // With -smoke it additionally exercises the control plane after the load
-// phase — swaps the rules (POST /rules) and asserts that /metrics moved
-// (transactions scored, version bumped) — exiting non-zero on any failure,
-// which is what `make smoke` runs in CI.
+// phase — swaps the rules (POST /rules), pushes a labeled feedback batch,
+// runs a /refine, and asserts that /metrics moved (transactions scored,
+// version bumped, refinement rounds observed) and that GET /trace returns
+// well-formed trace JSON — exiting non-zero on any failure, which is what
+// `make smoke` runs in CI.
 package main
 
 import (
@@ -71,6 +75,7 @@ func main() {
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
+	worst := make([]slowest, *concurrency)
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -79,24 +84,41 @@ func main() {
 			client := &http.Client{Timeout: 30 * time.Second}
 			for i := w; time.Now().Before(deadline); i++ {
 				body := bodies[i%len(bodies)]
+				t0 := time.Now()
 				resp, err := client.Post(url+"/score", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				raw, readErr := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				took := time.Since(t0)
+				if readErr != nil || resp.StatusCode != http.StatusOK {
 					errs.Add(1)
 					continue
 				}
 				requests.Add(1)
 				txScored.Add(int64(*batch))
+				if took > worst[w].latency {
+					var out struct {
+						RequestID string `json:"request_id"`
+					}
+					json.Unmarshal(raw, &out) //nolint:errcheck // best-effort id decode
+					worst[w] = slowest{latency: took, requestID: out.RequestID}
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Merge each worker's slowest observation into the overall worst request.
+	var worstReq slowest
+	for _, s := range worst {
+		if s.latency > worstReq.latency {
+			worstReq = s
+		}
+	}
 
 	page, err := fetchMetrics(url)
 	if err != nil {
@@ -113,25 +135,43 @@ func main() {
 		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s\n",
 			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)))
 	}
+	if worstReq.requestID != "" {
+		fmt.Printf("loadgen: slowest request %s took %s (look it up under GET /trace)\n",
+			worstReq.requestID, worstReq.latency.Round(time.Microsecond))
+	}
 
 	if !*smoke {
 		return
 	}
-	if err := runSmoke(url, page, startRules, startVersion, txScored.Load(), errs.Load()); err != nil {
+	if err := runSmoke(url, page, rng, schema, startRules, startVersion, txScored.Load(), errs.Load(), worstReq); err != nil {
 		fatal(fmt.Errorf("smoke: %w", err))
 	}
 	fmt.Println("loadgen: smoke ok")
 }
 
+// slowest tracks the worst-latency scoring request one worker observed,
+// keyed by the request id the daemon echoed back — the handle an operator
+// uses to find the matching span in GET /trace.
+type slowest struct {
+	latency   time.Duration
+	requestID string
+}
+
 // runSmoke is the control-plane assertion pass behind `make smoke`: the load
 // phase must have scored traffic, a rules swap must bump the published
-// version, and /metrics must reflect both.
-func runSmoke(url, page string, startRules []string, startVersion int, scored, errCount int64) error {
+// version, a feedback-driven /refine must register on the new refinement
+// metrics series, GET /trace must return well-formed trace JSON containing
+// the refine request's span, and /metrics must reflect all of it.
+func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
+	startRules []string, startVersion int, scored, errCount int64, worstReq slowest) error {
 	if scored == 0 {
 		return fmt.Errorf("no transactions scored during the load phase")
 	}
 	if errCount > 0 {
 		return fmt.Errorf("%d scoring requests failed", errCount)
+	}
+	if worstReq.requestID == "" {
+		return fmt.Errorf("no request_id decoded from any scoring response")
 	}
 	if v, ok := telemetry.ScrapeValue(page, "rudolf_score_tx_total"); !ok || int64(v) < scored {
 		return fmt.Errorf("rudolf_score_tx_total = %v (ok=%v), want >= %d", v, ok, scored)
@@ -173,7 +213,123 @@ func runSmoke(url, page string, startRules []string, startVersion int, scored, e
 	if !ok || swapsAfter <= swapsBefore {
 		return fmt.Errorf("rudolf_rule_swaps_total did not move: %v -> %v", swapsBefore, swapsAfter)
 	}
+
+	// Refinement pass: push a labeled feedback batch and run one /refine, then
+	// assert the refinement observability series and the trace both saw it.
+	resp, err = http.Post(url+"/feedback", "application/json", bytes.NewReader(feedbackBody(rng, schema, 32)))
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /feedback: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(url+"/refine", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /refine: %d %s", resp.StatusCode, body)
+	}
+	var refined struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &refined); err != nil || refined.RequestID == "" {
+		return fmt.Errorf("POST /refine carries no request_id (body %s): %v", body, err)
+	}
+
+	page3, err := fetchMetrics(url)
+	if err != nil {
+		return err
+	}
+	h, err := telemetry.ScrapeHistogram(strings.NewReader(page3), "rudolf_refine_round_duration_seconds")
+	if err != nil {
+		return fmt.Errorf("scraping rudolf_refine_round_duration_seconds: %w", err)
+	}
+	if h.Total == 0 {
+		return fmt.Errorf("rudolf_refine_round_duration_seconds observed no rounds after /refine")
+	}
+	for _, series := range []string{
+		`rudolf_expert_queries_total{kind="generalization"}`,
+		`rudolf_expert_queries_total{kind="split"}`,
+		`rudolf_capture_cache_hits_total{caller="serve"}`,
+		`rudolf_capture_cache_misses_total{caller="refine"}`,
+	} {
+		if !strings.Contains(page3, series) {
+			return fmt.Errorf("/metrics missing refinement series %s", series)
+		}
+	}
+
+	// The trace endpoint must return well-formed Chrome trace JSON whose
+	// events include the refine request's span, correlated by request id.
+	resp, err = http.Get(url + "/trace")
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /trace: %d %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("GET /trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("GET /trace returned no events")
+	}
+	refineSeen := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "request.refine" && ev.Args["id"] == refined.RequestID {
+			refineSeen = true
+			break
+		}
+	}
+	if !refineSeen {
+		return fmt.Errorf("trace has no request.refine span with id %s", refined.RequestID)
+	}
+	fmt.Printf("loadgen: smoke refine %s: %d refinement rounds traced, %d trace events\n",
+		refined.RequestID, h.Total, len(doc.TraceEvents))
 	return nil
+}
+
+// feedbackBody builds one labeled /feedback batch: random transactions like
+// scoreBody's, with fraud/legit/unlabeled labels round-robined so the next
+// /refine has both frauds to chase and legitimates to protect.
+func feedbackBody(rng *rand.Rand, schema *relation.Schema, n int) []byte {
+	labels := []string{"fraud", "legit", "unlabeled"}
+	txs := make([]map[string]any, n)
+	for i := range txs {
+		attrs := make(map[string]any, schema.Arity())
+		for a := 0; a < schema.Arity(); a++ {
+			attr := schema.Attr(a)
+			if attr.Kind == relation.Categorical {
+				leaves := attr.Ontology.Leaves()
+				c := leaves[rng.Intn(len(leaves))]
+				attrs[attr.Name] = attr.Ontology.ConceptName(ontology.Concept(c))
+				continue
+			}
+			attrs[attr.Name] = attr.Domain.Min + rng.Int63n(attr.Domain.Max-attr.Domain.Min+1)
+		}
+		txs[i] = map[string]any{
+			"attrs": attrs,
+			"score": rng.Intn(relation.MaxScore + 1),
+			"label": labels[i%len(labels)],
+		}
+	}
+	raw, err := json.Marshal(map[string]any{"transactions": txs})
+	if err != nil {
+		panic(err) // generated values always marshal
+	}
+	return raw
 }
 
 // scoreBody builds one random /score batch against the schema: numeric

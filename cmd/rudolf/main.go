@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	rudolf "repro"
@@ -32,8 +33,17 @@ func main() {
 		classify   = flag.String("classify", "", "write the transactions flagged by the refined rules to this CSV path")
 		historyOut = flag.String("history", "", "append the refined version to this JSON rule history")
 		explain    = flag.Int("explain", -1, "explain the refined rules' verdict on this transaction index and exit")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace of the refinement session to this path")
 	)
 	flag.Parse()
+
+	logger, err := cli.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	// Validate the expert choice before any (possibly expensive) dataset
 	// loading or generation: an unknown value exits non-zero with a usage
@@ -90,8 +100,19 @@ func main() {
 		// separate clusters; custom schemas use the default clusterer.
 		opts.Clusterer = rudolf.DatasetClusterer()
 	}
+	var tracer *rudolf.Tracer
+	if *traceOut != "" {
+		tracer = rudolf.NewTracer(0)
+		opts.Tracer = tracer
+	}
 	sess := rudolf.NewSession(ruleSet, exp, opts)
 	stats := sess.Refine(rel)
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		logger.Info("session trace written", "path", *traceOut, "spans", tracer.Len())
+	}
 	fmt.Printf("\nfinal: %d/%d frauds captured, %d legitimate captured, %d unlabeled captured, %d modifications\n",
 		stats.FraudCaptured, stats.FraudTotal, stats.LegitCaptured,
 		stats.UnlabeledCaptured, stats.Modifications)
@@ -123,6 +144,20 @@ func main() {
 	}
 }
 
+// writeTrace dumps the session tracer as a Chrome trace_event JSON file
+// loadable in chrome://tracing or ui.perfetto.dev.
+func writeTrace(path string, tracer *rudolf.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rudolf.WriteChromeTrace(f, tracer); err != nil {
+		f.Close() //nolint:errcheck // write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
 // appendHistory loads (or creates) the JSON history at path and commits the
 // session's starting and refined rule sets.
 func appendHistory(path string, schema *rudolf.Schema, initial *rudolf.RuleSet, sess *rudolf.Session) error {
@@ -137,7 +172,7 @@ func appendHistory(path string, schema *rudolf.Schema, initial *rudolf.RuleSet, 
 	if err := cli.SaveHistory(path, hist); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "history now has %d versions -> %s\n", hist.Len(), path)
+	slog.Info("history updated", "versions", hist.Len(), "path", path)
 	return nil
 }
 
@@ -165,7 +200,7 @@ func writeFlagged(path string, schema *rudolf.Schema, rel *rudolf.Relation, rs *
 	if err := flagged.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "flagged %d of %d transactions -> %s\n", flagged.Len(), rel.Len(), path)
+	slog.Info("flagged transactions written", "flagged", flagged.Len(), "total", rel.Len(), "path", path)
 	return f.Close()
 }
 

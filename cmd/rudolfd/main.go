@@ -7,22 +7,30 @@
 //
 //	rudolfd [-addr 127.0.0.1:8080] [-schema schema.json -rules rules.txt]
 //	        [-history history.json] [-workers N] [-max-batch N] [-drain 10s]
+//	        [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
+//	        [-trace-capacity N]
 //
 // Without -schema, the daemon boots on the synthetic financial-institute
 // schema with the generated incumbent rule set (-size, -seed), which is the
 // zero-config path cmd/loadgen and `make smoke` exercise.
 //
 // Endpoints: POST /score, GET+POST /rules, POST /feedback, POST /refine,
-// GET /stats, GET /schema, GET /healthz, GET /readyz, GET /metrics.
-// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, in-flight
-// requests finish, and -history (when set) is written back.
+// GET /stats, GET /schema, GET /trace, GET /healthz, GET /readyz,
+// GET /metrics. -debug-addr opens a second, loopback-only listener exposing
+// net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
+// can never be reached through the service's ingress. SIGINT/SIGTERM drains
+// gracefully: /readyz flips to 503, in-flight requests finish, and -history
+// (when set) is written back.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,10 +52,23 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent scoring evaluations (0: 2x GOMAXPROCS)")
 		maxBatch   = flag.Int("max-batch", 0, "max transactions per request (0: default)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty: disabled)")
+		traceCap   = flag.Int("trace-capacity", 0, "span ring-buffer capacity served by GET /trace (0: default)")
 	)
 	flag.Parse()
 
-	cfg := rudolf.ServerConfig{Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain}
+	logger, err := cli.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
+	cfg := rudolf.ServerConfig{
+		Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain,
+		Logger: logger, TraceCapacity: *traceCap,
+	}
 
 	if *schemaPath != "" {
 		if *rulesPath == "" {
@@ -97,12 +118,19 @@ func main() {
 		fatal(err)
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("rudolfd: listening on %s (rules version %d, %d rules)\n",
-		bound, srv.Version(), srv.Rules().Len())
+	logger.Info("listening", "addr", bound, "version", srv.Version(), "rules", srv.Rules().Len())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *debugAddr != "" {
+		stopDebug, err := startDebugServer(*debugAddr, logger)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopDebug()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,14 +138,39 @@ func main() {
 	if err := srv.Serve(ctx, ln); err != nil {
 		fatal(err)
 	}
-	fmt.Println("rudolfd: drained")
+	logger.Info("drained")
 
 	if *histPath != "" {
 		if err := cli.SaveHistory(*histPath, srv.History()); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rudolfd: history with %d versions -> %s\n", srv.History().Len(), *histPath)
+		logger.Info("history saved", "versions", srv.History().Len(), "path", *histPath)
 	}
+}
+
+// startDebugServer exposes net/http/pprof on its own listener, so profiling
+// endpoints never share a port with the scoring traffic. The default
+// http.DefaultServeMux is deliberately avoided: only the pprof routes are
+// mounted, nothing else can leak onto the debug port.
+func startDebugServer(addr string, logger *slog.Logger) (stop func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	logger.Info("pprof debug server listening", "addr", ln.Addr().String())
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug server", "err", err)
+		}
+	}()
+	return func() { hs.Close() }, nil //nolint:errcheck // best-effort teardown
 }
 
 func fatal(err error) {

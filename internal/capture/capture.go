@@ -22,10 +22,13 @@
 package capture
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bitset"
 	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 // Cache is an incrementally-maintained capture index of a rule set over one
@@ -47,6 +50,25 @@ type Cache struct {
 	unionOK bool
 	// Workers bounds evaluation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Tracer, when non-nil, receives a "capture.bind" span per full rebind
+	// and a "capture.invalidate" instant per wholesale invalidation —
+	// exactly the expensive events a hit-ratio investigation needs. Nil
+	// (the default) is free.
+	Tracer *trace.Tracer
+
+	// Operational counters (atomic, readable while another goroutine owns
+	// the cache): Ensure hits, full rebinds, and explicit invalidations.
+	hits        atomic.Uint64
+	rebinds     atomic.Uint64
+	invalidates atomic.Uint64
+}
+
+// Stats reports the cache's lifetime hit/rebind/invalidate counters: Ensure
+// calls answered incrementally, Ensure calls that forced a full Bind, and
+// explicit Invalidate calls. The serving daemon exports these per caller as
+// rudolf_capture_cache_* metrics.
+func (c *Cache) Stats() (hits, rebinds, invalidates uint64) {
+	return c.hits.Load(), c.rebinds.Load(), c.invalidates.Load()
 }
 
 // New returns an unbound cache.
@@ -69,6 +91,8 @@ func (c *Cache) Rel() *relation.Relation { return c.rel }
 // Callers that mutated the rule set without notifying the cache must call
 // this (Session's mutation helpers do it automatically on drift).
 func (c *Cache) Invalidate() {
+	c.invalidates.Add(1)
+	c.Tracer.Instant("capture.invalidate")
 	c.rel = nil
 	c.relLen = 0
 	c.ev = nil
@@ -80,13 +104,30 @@ func (c *Cache) Invalidate() {
 // Bind (re)builds the cache for the rule set over rel: one compile plus one
 // chunk-parallel pass producing every per-rule capture bitset.
 func (c *Cache) Bind(rel *relation.Relation, rs *rules.Set) {
+	sp := c.Tracer.Start("capture.bind")
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(rs.Len()))
 	c.rel = rel
 	c.relLen = rel.Len()
-	c.ev = index.Compile(rel.Schema(), rs)
+	c.ev = index.CompileUnder(sp, rel.Schema(), rs)
 	c.ev.Workers = c.Workers
-	c.bits = c.ev.EvalPerRule(rel)
+	c.bits = c.ev.EvalPerRuleUnder(sp, rel)
 	c.union = nil
 	c.unionOK = false
+	sp.End()
+}
+
+// Ensure makes the cache mirror (rel, rs), rebinding only when it has
+// drifted — the shared check-then-bind idiom of Session.captureFor and the
+// serving daemon. It reports whether a full rebind (a miss) was needed and
+// maintains the hit/rebind counters read by Stats.
+func (c *Cache) Ensure(rel *relation.Relation, rs *rules.Set) (rebound bool) {
+	if c.Bound(rel) && c.Len() == rs.Len() {
+		c.hits.Add(1)
+		return false
+	}
+	c.rebinds.Add(1)
+	c.Bind(rel, rs)
+	return true
 }
 
 // RuleAdded appends rule r (which the caller just appended to the rule set):

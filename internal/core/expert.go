@@ -28,6 +28,12 @@ type GenProposal struct {
 	Rep cluster.Representative
 	// Score is the Equation 2 score that ranked this rule.
 	Score float64
+	// DF, DL, DR are the Definition 3.1 deltas of the minimal generalization
+	// as evaluated at ranking time (on the rule in isolation, Example 4.4):
+	// frauds gained, legitimate captures avoided (negative when the widening
+	// captures more) and unlabeled captures avoided. All zero for new-rule
+	// proposals (RuleIndex -1), which are not ranked.
+	DF, DL, DR int
 }
 
 // GenDecision is the expert's answer to a generalization proposal

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 // Generalize runs Algorithm 1: cluster the fraudulent transactions, and for
@@ -20,7 +21,10 @@ func (s *Session) Generalize(rel *relation.Relation) {
 	if len(frauds) == 0 {
 		return
 	}
+	sp, done := s.startPhase("refine.generalize")
+	defer done()
 	reps := cluster.Representatives(s.opts.clusterer(), rel, frauds)
+	sp.Int("frauds", int64(len(frauds))).Int("clusters", int64(len(reps)))
 	for _, rep := range reps {
 		s.generalizeForRep(rel, schema, rep)
 	}
@@ -99,8 +103,11 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 			Changed:   changed,
 			Rep:       rep,
 			Score:     cand.score,
+			DF:        cand.dF,
+			DL:        cand.dL,
+			DR:        cand.dR,
 		}
-		dec := s.expert.ReviewGeneralization(proposal)
+		dec := s.reviewGeneralization(proposal)
 		result := s.resolveGenDecision(r, gen, changed, dec)
 		if s.opts.NumericOnly {
 			s.enforceNumericOnly(schema, result, r)
@@ -136,6 +143,20 @@ func (s *Session) resolveGenDecision(original, proposed *rules.Rule, changed []i
 	return result
 }
 
+// reviewGeneralization consults the expert on a generalization proposal,
+// wrapping the (potentially human-paced) interaction in an
+// "expert.review_generalization" span that records which rule was shown, its
+// Equation 2 score and Definition 3.1 deltas, and whether the expert accepted.
+func (s *Session) reviewGeneralization(p *GenProposal) GenDecision {
+	sp := trace.StartUnder(s.opts.Tracer, s.cur, "expert.review_generalization")
+	sp.Int("rule", int64(p.RuleIndex)).Float("score", p.Score).
+		Int("dF", int64(p.DF)).Int("dL", int64(p.DL)).Int("dR", int64(p.DR))
+	dec := s.expert.ReviewGeneralization(p)
+	sp.Bool("accept", dec.Accept)
+	sp.End()
+	return dec
+}
+
 // applyRuleEdit installs the new version of a rule and logs one condition
 // refinement per attribute that actually changed.
 func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rules.Rule) {
@@ -144,7 +165,7 @@ func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rule
 		if old.Cond(i).Equal(schema.Attr(i), new.Cond(i)) {
 			continue
 		}
-		s.log.Append(Modification{
+		s.logMod(Modification{
 			Kind:      cost.CondRefine,
 			RuleIndex: idx,
 			Attr:      i,
@@ -163,7 +184,7 @@ func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, 
 	for i := range changed {
 		changed[i] = i
 	}
-	dec := s.expert.ReviewGeneralization(&GenProposal{
+	dec := s.reviewGeneralization(&GenProposal{
 		Schema:    schema,
 		Rel:       rel,
 		RuleIndex: -1,
@@ -178,7 +199,7 @@ func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, 
 		r = dec.Edited
 	}
 	idx := s.setAdd(r)
-	s.log.Append(Modification{
+	s.logMod(Modification{
 		Kind:        cost.RuleAdd,
 		RuleIndex:   idx,
 		Attr:        -1,
@@ -188,10 +209,13 @@ func (s *Session) addExactRule(rel *relation.Relation, schema *relation.Schema, 
 }
 
 // rankedRule pairs a rule (tracked by identity, since indices shift under
-// mid-loop removals) with its Equation 2 score.
+// mid-loop removals) with its Equation 2 score and the Definition 3.1 deltas
+// of its minimal generalization, kept so the proposal (and its trace span)
+// can report them without re-scanning the relation.
 type rankedRule struct {
-	rule  *rules.Rule
-	score float64
+	rule       *rules.Rule
+	score      float64
+	dF, dL, dR int
 }
 
 // rankRules computes Top-k(f(C)) of Algorithm 1 line 4: the k rules with the
@@ -199,17 +223,20 @@ type rankedRule struct {
 // each rule is read off the incremental cache, so scoring costs one scan for
 // the hypothetical generalization only.
 func (s *Session) rankRules(rel *relation.Relation, schema *relation.Schema, rep cluster.Representative) []rankedRule {
+	sp, done := s.startPhase("generalize.rank")
+	defer done()
 	w := s.opts.weights()
 	cache := s.captureFor(rel)
 	ranked := make([]rankedRule, 0, s.ruleSet.Len())
 	for i, r := range s.ruleSet.Rules() {
-		sc, _ := cost.GeneralizationScoreCached(schema, rel, r, cache.RuleCaptures(i), rep.Conds, w)
-		ranked = append(ranked, rankedRule{rule: r, score: sc})
+		sc, _, dF, dL, dR := cost.GeneralizationScoreDetail(schema, rel, r, cache.RuleCaptures(i), rep.Conds, w)
+		ranked = append(ranked, rankedRule{rule: r, score: sc, dF: dF, dL: dL, dR: dR})
 	}
 	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
 	if k := s.opts.topK(); len(ranked) > k {
 		ranked = ranked[:k]
 	}
+	sp.Int("rules", int64(s.ruleSet.Len())).Int("top_k", int64(len(ranked)))
 	return ranked
 }
 

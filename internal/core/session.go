@@ -10,6 +10,7 @@ import (
 	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 // Options configures a refinement session. The zero value is usable: it
@@ -40,6 +41,16 @@ type Options struct {
 	// MaxRounds bounds the generalize/specialize loop of Refine. 0 means
 	// DefaultMaxRounds.
 	MaxRounds int
+	// Tracer, when non-nil, receives spans for every refinement round, phase
+	// (generalize/specialize/stats), expert query and applied modification.
+	// Nil (the default) is free: the span helpers are nil-safe no-ops with
+	// zero allocations (see trace.BenchmarkNilTracer).
+	Tracer *trace.Tracer
+	// TraceParent, when live, becomes the parent of the session's spans, so a
+	// caller holding its own span (e.g. the serving daemon's per-request
+	// span) sees the refinement nested under it. The zero Span makes session
+	// spans roots on their own track.
+	TraceParent trace.Span
 }
 
 // DefaultTopK is the number of candidate rules considered per cluster.
@@ -102,12 +113,46 @@ type Session struct {
 	// All rule-set mutations must go through setAdd/setReplace/setRemove so
 	// the cache stays equal to ruleSet.Eval(rel).
 	cache *capture.Cache
+	// cur is the innermost live span of the session's trace (the zero Span
+	// when untraced). Sessions are single-threaded, so a plain field with
+	// save/restore in startPhase suffices for correct nesting.
+	cur trace.Span
 }
 
 // NewSession starts a session over an existing rule set. The rule set is
 // cloned; the caller's copy is never modified.
 func NewSession(ruleSet *rules.Set, expert Expert, opts Options) *Session {
-	return &Session{ruleSet: ruleSet.Clone(), expert: expert, opts: opts}
+	return &Session{ruleSet: ruleSet.Clone(), expert: expert, opts: opts, cur: opts.TraceParent}
+}
+
+// startPhase opens a span under the session's current span and makes it
+// current. The returned func ends it and restores the previous current span;
+// callers must invoke it (defer-style) when the phase completes. With a nil
+// tracer both the span and the closure are free.
+func (s *Session) startPhase(name string) (trace.Span, func()) {
+	prev := s.cur
+	sp := trace.StartUnder(s.opts.Tracer, prev, name)
+	s.cur = sp
+	return sp, func() {
+		sp.End()
+		s.cur = prev
+	}
+}
+
+// logMod appends a modification to the session log and mirrors it as a
+// "mod.<kind>" span under the current phase, carrying the rule index,
+// attribute, cost and whether the expert was overridden. Every log append in
+// the session goes through here so the trace and the log of Section 4's
+// "modification log" stay in one-to-one correspondence. The log contents are
+// identical to an untraced run (TestTracedSessionIsByteIdentical).
+func (s *Session) logMod(m Modification) {
+	s.log.Append(m)
+	sp := s.cur.Child("mod." + m.Kind.String())
+	sp.Int("rule", int64(m.RuleIndex)).Int("attr", int64(m.Attr)).Float("cost", m.Cost)
+	if m.Forced {
+		sp.Bool("forced", true)
+	}
+	sp.End()
 }
 
 // Rules returns the session's current rule set. Callers must treat it as
@@ -125,11 +170,20 @@ func (s *Session) Log() *Log { return &s.log }
 func (s *Session) captureFor(rel *relation.Relation) *capture.Cache {
 	if s.cache == nil {
 		s.cache = capture.New()
+		s.cache.Tracer = s.opts.Tracer
 	}
-	if !s.cache.Bound(rel) || s.cache.Len() != s.ruleSet.Len() {
-		s.cache.Bind(rel, s.ruleSet)
-	}
+	s.cache.Ensure(rel, s.ruleSet)
 	return s.cache
+}
+
+// CaptureStats reports the session capture cache's lifetime hit, rebind and
+// invalidate counters (zero before the first capture query). The serving
+// daemon exports them as rudolf_capture_cache_*{caller="refine"} metrics.
+func (s *Session) CaptureStats() (hits, rebinds, invalidates uint64) {
+	if s.cache == nil {
+		return 0, 0, 0
+	}
+	return s.cache.Stats()
 }
 
 // setAdd appends a rule to the session's rule set and keeps the capture
@@ -176,12 +230,16 @@ func (s *Session) setRemove(idx int) {
 // keeps no state, so it suits one-shot evaluation of relations the session
 // is not refining.
 func (s *Session) EvalOn(rel *relation.Relation) *bitset.Set {
-	ev := index.Compile(rel.Schema(), s.ruleSet)
-	return ev.Eval(rel)
+	sp, done := s.startPhase("session.eval_on")
+	defer done()
+	ev := index.CompileUnder(sp, rel.Schema(), s.ruleSet)
+	return ev.EvalUnder(sp, rel)
 }
 
 // Stats computes the round statistics of the current rules over rel.
 func (s *Session) Stats(rel *relation.Relation) RoundStats {
+	sp, done := s.startPhase("refine.stats")
+	defer done()
 	capturedBy := s.captureFor(rel).Union()
 	st := RoundStats{Round: s.rounds, Modifications: s.log.Len()}
 	for i := 0; i < rel.Len(); i++ {
@@ -202,6 +260,8 @@ func (s *Session) Stats(rel *relation.Relation) RoundStats {
 			}
 		}
 	}
+	sp.Int("fraud_captured", int64(st.FraudCaptured)).Int("legit_captured", int64(st.LegitCaptured)).
+		Int("unlabeled_captured", int64(st.UnlabeledCaptured))
 	return st
 }
 
@@ -229,7 +289,7 @@ func (s *Session) CaptureRemaining(rel *relation.Relation) int {
 			r.SetCond(i, rules.NumericCond(order.Point(t[i])))
 		}
 		idx := s.setAdd(r)
-		s.log.Append(Modification{
+		s.logMod(Modification{
 			Kind:        cost.RuleAdd,
 			RuleIndex:   idx,
 			Attr:        -1,
@@ -247,16 +307,26 @@ func (s *Session) CaptureRemaining(rel *relation.Relation) int {
 // until the expert is satisfied, the rules are stable, or MaxRounds passes
 // have run. It returns the statistics after the final round.
 func (s *Session) Refine(rel *relation.Relation) RoundStats {
+	root, done := s.startPhase("session.refine")
+	root.Int("rows", int64(rel.Len())).Int("rules", int64(s.ruleSet.Len()))
+	defer done()
 	var st RoundStats
 	for i := 0; i < s.opts.maxRounds(); i++ {
+		sp, endRound := s.startPhase("refine.round")
+		sp.Int("round", int64(s.rounds))
 		before := s.log.Len()
 		s.Generalize(rel)
 		s.Specialize(rel)
 		s.rounds++
 		st = s.Stats(rel)
+		sp.Int("mods", int64(s.log.Len()-before)).
+			Int("fraud_captured", int64(st.FraudCaptured)).
+			Int("legit_captured", int64(st.LegitCaptured))
+		endRound()
 		if s.expert.Satisfied(st) || s.log.Len() == before {
 			break
 		}
 	}
+	root.Int("rounds", int64(st.Round)).Int("mods_total", int64(s.log.Len()))
 	return st
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 // Specialize runs Algorithm 2: for every legitimate transaction captured by
@@ -18,7 +19,11 @@ import (
 // another's never changes Φ(I).
 func (s *Session) Specialize(rel *relation.Relation) {
 	schema := rel.Schema()
-	for _, l := range rel.Indices(relation.Legitimate) {
+	legit := rel.Indices(relation.Legitimate)
+	sp, done := s.startPhase("refine.specialize")
+	defer done()
+	sp.Int("legitimate", int64(len(legit)))
+	for _, l := range legit {
 		s.excludeLegit(rel, schema, l)
 	}
 	s.pruneSubsumed(schema)
@@ -99,12 +104,25 @@ func (s *Session) splitRule(rel *relation.Relation, schema *relation.Schema, rul
 			LegitIndex:   l,
 			Benefit:      cand.benefit,
 		}
-		dec := s.expert.ReviewSplit(proposal)
+		dec := s.reviewSplit(proposal)
 		if dec.Accept || i == len(cands)-1 {
 			s.applySplit(schema, r, cand, dec, !dec.Accept)
 			return
 		}
 	}
+}
+
+// reviewSplit consults the expert on a split proposal, wrapping the
+// interaction in an "expert.review_split" span recording the rule, the split
+// attribute, its benefit and the verdict.
+func (s *Session) reviewSplit(p *SplitProposal) SplitDecision {
+	sp := trace.StartUnder(s.opts.Tracer, s.cur, "expert.review_split")
+	sp.Int("rule", int64(p.RuleIndex)).Int("attr", int64(p.Attr)).
+		Float("benefit", p.Benefit).Int("legit", int64(p.LegitIndex))
+	dec := s.expert.ReviewSplit(p)
+	sp.Bool("accept", dec.Accept)
+	sp.End()
+	return dec
 }
 
 // splitCandidates enumerates the possible splits of rule r to exclude the
@@ -230,7 +248,7 @@ func (s *Session) applySplit(schema *relation.Schema, original *rules.Rule, cand
 		}
 		s.setAdd(nr)
 	}
-	s.log.Append(Modification{
+	s.logMod(Modification{
 		Kind:      cost.RuleSplit,
 		RuleIndex: ruleIdx,
 		Attr:      cand.attr,
@@ -245,7 +263,7 @@ func (s *Session) applySplit(schema *relation.Schema, original *rules.Rule, cand
 func (s *Session) removeRule(schema *relation.Schema, ruleIdx int, why string) {
 	r := s.ruleSet.Rule(ruleIdx)
 	s.setRemove(ruleIdx)
-	s.log.Append(Modification{
+	s.logMod(Modification{
 		Kind:        cost.RuleRemove,
 		RuleIndex:   ruleIdx,
 		Attr:        -1,

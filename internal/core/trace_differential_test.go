@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/expert"
+	"repro/internal/paperdata"
+	"repro/internal/relation"
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+// runOnce drives a full refinement (Refine + CaptureRemaining) and returns
+// the formatted rule set and modification log — the complete observable
+// outcome of a session.
+func runOnce(t *testing.T, s *relation.Schema, rel *relation.Relation,
+	init *rules.Set, ex core.Expert, opts core.Options) (rulesStr, logStr string, st core.RoundStats) {
+	t.Helper()
+	sess := core.NewSession(init, ex, opts)
+	st = sess.Refine(rel)
+	sess.CaptureRemaining(rel)
+	return sess.Rules().Format(s), sess.Log().String(), st
+}
+
+// TestTracedSessionIsByteIdentical proves tracing is purely observational:
+// a session run with a live tracer produces byte-identical rules and a
+// byte-identical modification log to the same session run untraced, on both
+// the paper's running example and a larger synthetic dataset.
+func TestTracedSessionIsByteIdentical(t *testing.T) {
+	t.Run("paperdata", func(t *testing.T) {
+		s := paperdata.Schema()
+		rel := paperdata.Transactions(s)
+
+		base := paperdata.ExistingRules(s)
+		plainRules, plainLog, plainSt := runOnce(t, s, rel, base, &expert.AutoAccept{}, core.Options{})
+
+		tr := trace.New(trace.Options{Capacity: 1 << 12})
+		tracedRules, tracedLog, tracedSt := runOnce(t, s, rel, base, &expert.AutoAccept{},
+			core.Options{Tracer: tr})
+
+		if tracedRules != plainRules {
+			t.Errorf("traced rules differ:\n--- untraced ---\n%s\n--- traced ---\n%s", plainRules, tracedRules)
+		}
+		if tracedLog != plainLog {
+			t.Errorf("traced log differs:\n--- untraced ---\n%s\n--- traced ---\n%s", plainLog, tracedLog)
+		}
+		if tracedSt != plainSt {
+			t.Errorf("round stats differ: untraced %+v, traced %+v", plainSt, tracedSt)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("tracer recorded nothing for a traced session")
+		}
+		// The trace must contain the structural spans the ISSUE promises.
+		want := map[string]bool{
+			"session.refine": false, "refine.round": false,
+			"refine.generalize": false, "expert.review_generalization": false,
+		}
+		for _, r := range tr.Snapshot() {
+			if _, ok := want[r.Name]; ok {
+				want[r.Name] = true
+			}
+		}
+		for name, seen := range want {
+			if !seen {
+				t.Errorf("no %q span in trace", name)
+			}
+		}
+	})
+
+	t.Run("datagen", func(t *testing.T) {
+		ds := datagen.Generate(datagen.Config{Size: 4000, Seed: 7})
+		init := datagen.InitialRules(ds, 5, 107)
+		oracle := expert.NewOracle(ds.Truth)
+
+		plainRules, plainLog, _ := runOnce(t, ds.Schema, ds.Rel, init, oracle,
+			core.Options{MaxRounds: 3})
+
+		tr := trace.New(trace.Options{Capacity: 1 << 14})
+		// Fresh oracle: experts may carry interaction state across reviews.
+		tracedRules, tracedLog, _ := runOnce(t, ds.Schema, ds.Rel, init, expert.NewOracle(ds.Truth),
+			core.Options{MaxRounds: 3, Tracer: tr})
+
+		if tracedRules != plainRules {
+			t.Errorf("traced rules differ on datagen run:\n--- untraced ---\n%s\n--- traced ---\n%s",
+				plainRules, tracedRules)
+		}
+		if tracedLog != plainLog {
+			t.Errorf("traced log differs on datagen run")
+		}
+	})
+}
+
+// TestTraceParentNestsSessionSpans checks that a caller-provided parent span
+// (the serving daemon's per-request span) becomes the ancestor of the
+// session's spans and shares its track.
+func TestTraceParentNestsSessionSpans(t *testing.T) {
+	s := paperdata.Schema()
+	rel := paperdata.Transactions(s)
+	tr := trace.New(trace.Options{Capacity: 1 << 12})
+
+	req := tr.Start("request.refine")
+	sess := core.NewSession(paperdata.ExistingRules(s), &expert.AutoAccept{},
+		core.Options{Tracer: tr, TraceParent: req})
+	sess.Refine(rel)
+	req.End()
+
+	var reqID, reqTrack uint64
+	for _, r := range tr.Snapshot() {
+		if r.Name == "request.refine" {
+			reqID, reqTrack = r.ID, r.Track
+		}
+	}
+	if reqID == 0 {
+		t.Fatal("request span not recorded")
+	}
+	found := false
+	for _, r := range tr.Snapshot() {
+		if r.Name == "session.refine" {
+			found = true
+			if r.Parent != reqID {
+				t.Errorf("session.refine parent = %d, want request span %d", r.Parent, reqID)
+			}
+			if r.Track != reqTrack {
+				t.Errorf("session.refine track = %d, want %d", r.Track, reqTrack)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no session.refine span recorded")
+	}
+}

@@ -135,17 +135,29 @@ func GeneralizationScore(s *relation.Schema, rel *relation.Relation,
 // top-k loop of Algorithm 1. A nil oldCap falls back to evaluating r.
 func GeneralizationScoreCached(s *relation.Schema, rel *relation.Relation,
 	r *rules.Rule, oldCap *bitset.Set, target []rules.Condition, w Weights) (float64, *rules.Rule) {
+	score, gen, _, _, _ := GeneralizationScoreDetail(s, rel, r, oldCap, target, w)
+	return score, gen
+}
+
+// GeneralizationScoreDetail is GeneralizationScoreCached additionally
+// returning the Definition 3.1 deltas of the minimal generalization — ΔF
+// (frauds gained), ΔL (legitimate captures avoided; negative when the
+// widening captures more) and ΔR (unlabeled captures avoided). The deltas
+// are computed while scoring anyway; returning them lets the refinement
+// tracer attribute every expert question without a second relation scan.
+func GeneralizationScoreDetail(s *relation.Schema, rel *relation.Relation,
+	r *rules.Rule, oldCap *bitset.Set, target []rules.Condition, w Weights) (score float64, gen *rules.Rule, dF, dL, dR int) {
 	gen, changed := rules.GeneralizeToCover(s, r, target)
 	dist := RuleDistance(s, r, target)
 	if len(changed) == 0 {
 		// Already capturing: distance 0, and no behaviour change.
-		return 0, gen
+		return 0, gen, 0, 0, 0
 	}
 	if oldCap == nil {
 		oldCap = r.Captures(rel)
 	}
-	dF, dL, dR := deltasFromSets(oldCap, gen.Captures(rel), rel)
-	return dist - w.Benefit(dF, dL, dR), gen
+	dF, dL, dR = deltasFromSets(oldCap, gen.Captures(rel), rel)
+	return dist - w.Benefit(dF, dL, dR), gen, dF, dL, dR
 }
 
 // SplitBenefit returns the benefit of removing the given transactions from a

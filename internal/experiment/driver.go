@@ -9,6 +9,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/expert"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Setup configures one experimental run. The zero value is completed with
@@ -32,6 +33,11 @@ type Setup struct {
 	// Seed drives initial rules and expert noise (the data has its own
 	// seed inside Data).
 	Seed int64
+	// Tracer, when set, records every RUDOLF-family refinement session run
+	// by the figure (rounds, expert queries, capture rebinds) so the figure's
+	// numbers come with an inspectable timeline. Nil disables tracing at zero
+	// cost; the tracer is goroutine-safe, so Run's parallel methods share it.
+	Tracer *trace.Tracer
 }
 
 // Defaults fills zero fields.
@@ -71,24 +77,28 @@ func NewMethod(id MethodID, ds *datagen.Dataset, setup Setup) baseline.Method {
 	switch id {
 	case MethodRudolf:
 		return baseline.NewRudolf(string(id), init, expert.NewOracle(ds.Truth),
-			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights()})
+			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights(),
+				Tracer: setup.Tracer})
 	case MethodRudolfMinus:
 		// RUDOLF⁻ applies one automatic generalize+specialize pass per
 		// arrival of new transactions; unsupervised inner iteration can
 		// oscillate between widening and splitting.
 		return baseline.NewRudolf(string(id), init, &expert.AutoAccept{},
-			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights(), MaxRounds: 1})
+			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights(),
+				MaxRounds: 1, Tracer: setup.Tracer})
 	case MethodRudolfS:
 		// RUDOLF-s has no ontology support: categorical conditions are never
 		// refined and clustering demands identical categorical leaves.
 		sClusterer := datagen.Clusterer()
 		sClusterer.ConceptHops = -1
 		return baseline.NewRudolf(string(id), init, expert.NewOracle(ds.Truth),
-			core.Options{NumericOnly: true, Clusterer: sClusterer, Weights: cost.FraudWeights()})
+			core.Options{NumericOnly: true, Clusterer: sClusterer, Weights: cost.FraudWeights(),
+				Tracer: setup.Tracer})
 	case MethodRudolfNovice:
 		return baseline.NewRudolf(string(id), init,
 			expert.NewNovice(expert.NewOracle(ds.Truth), setup.Seed+7),
-			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights()})
+			core.Options{Clusterer: datagen.Clusterer(), Weights: cost.FraudWeights(),
+				Tracer: setup.Tracer})
 	case MethodManual:
 		return &baseline.Manual{Rules: init, Truth: ds.Truth, Seed: setup.Seed + 13,
 			Clusterer: datagen.Clusterer()}
@@ -154,7 +164,14 @@ func runMethod(ds *datagen.Dataset, setup Setup, id MethodID, n, hop int) []Roun
 	var results []RoundResult
 	mods, secs := 0, 0.0
 	for round, seen := 0, ds.SplitIndex(setup.SplitFrac); seen < n; round, seen = round+1, seen+hop {
+		// The experiment.round span brackets the method's refinement on this
+		// prefix; the session's own session.refine/refine.round spans overlap
+		// it in time, so a figure trace reads method-by-method in Perfetto.
+		sp := setup.Tracer.Start("experiment.round")
+		sp.Str("method", string(id)).Int("round", int64(round+1)).Int("seen", int64(seen))
 		cost := m.Refine(ds.Rel.Prefix(seen))
+		sp.Int("mods", int64(cost.Modifications))
+		sp.End()
 		mods += cost.Modifications
 		secs += cost.ExpertSeconds
 		pred := m.Predict(ds.Rel)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/trace"
 )
 
 // compiledCond is one condition in evaluation-ready form.
@@ -120,6 +121,19 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 	return out
 }
 
+// CompileUnder is Compile wrapped in an "index.compile" span nested under
+// parent (no span when parent is the zero Span — compilation is then
+// untraced and free). The capture cache and the serving daemon's publish
+// path use it so rule-set compilation shows up on the same track as the
+// operation that triggered it.
+func CompileUnder(parent trace.Span, schema *relation.Schema, rs *rules.Set) *Evaluator {
+	sp := parent.Child("index.compile")
+	e := Compile(schema, rs)
+	sp.Int("rules", int64(rs.Len()))
+	sp.End()
+	return e
+}
+
 // RuleCount returns the number of compiled rules.
 func (e *Evaluator) RuleCount() int { return len(e.rules) }
 
@@ -210,6 +224,42 @@ func (e *Evaluator) Eval(rel *relation.Relation) *bitset.Set {
 		}
 	})
 	return out
+}
+
+// EvalUnder is Eval wrapped in an "index.eval" chunk-evaluation span nested
+// under parent, carrying the row and rule counts. The zero parent Span makes
+// it exactly Eval.
+func (e *Evaluator) EvalUnder(parent trace.Span, rel *relation.Relation) *bitset.Set {
+	sp := parent.Child("index.eval")
+	out := e.Eval(rel)
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
+	sp.End()
+	return out
+}
+
+// EvalPerRuleUnder is EvalPerRule wrapped in an "index.eval_per_rule" span
+// nested under parent.
+func (e *Evaluator) EvalPerRuleUnder(parent trace.Span, rel *relation.Relation) []*bitset.Set {
+	sp := parent.Child("index.eval_per_rule")
+	out := e.EvalPerRule(rel)
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
+	sp.End()
+	return out
+}
+
+// chunkCount reports how many 64-aligned chunks parallelChunks would use
+// over n rows (span attribution only).
+func (e *Evaluator) chunkCount(n int) int {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const align = 64
+	chunk := (n/workers + align) / align * align
+	if chunk < align {
+		chunk = align
+	}
+	return (n + chunk - 1) / chunk
 }
 
 // EvalRule evaluates only the compiled rule at ri over the relation,

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net"
 	"net/http"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a Server. Schema is required; everything else has
@@ -87,6 +89,14 @@ type Config struct {
 	Expert core.Expert
 	// Registry receives the daemon's metrics; nil means a fresh registry.
 	Registry *telemetry.Registry
+	// TraceCapacity sizes the daemon's span ring buffer (GET /trace serves
+	// its contents). 0 means trace.DefaultCapacity. The daemon always owns
+	// its tracer: span completions also feed the refinement-duration and
+	// expert-query metrics.
+	TraceCapacity int
+	// Logger receives structured operational logs (publishes, refinements,
+	// drains). Nil discards them, keeping tests and library callers quiet.
+	Logger *slog.Logger
 }
 
 // Defaults for the zero Config values.
@@ -131,16 +141,27 @@ type Server struct {
 
 	reg *telemetry.Registry
 	// hot-path metrics, resolved once.
-	mScoreTx   *telemetry.Counter
-	mScoreLat  *telemetry.Histogram
-	mBatchLat  *telemetry.Histogram
-	mInflight  *telemetry.Gauge
-	mVersion   *telemetry.Gauge
-	mRuleCount *telemetry.Gauge
-	mSwaps     *telemetry.Counter
-	mRefines   *telemetry.Counter
-	mCacheHit  *telemetry.Counter
-	mCacheMiss *telemetry.Counter
+	mScoreTx      *telemetry.Counter
+	mScoreLat     *telemetry.Histogram
+	mBatchLat     *telemetry.Histogram
+	mInflight     *telemetry.Gauge
+	mVersion      *telemetry.Gauge
+	mRuleCount    *telemetry.Gauge
+	mSwaps        *telemetry.Counter
+	mRefines      *telemetry.Counter
+	mCacheHit     *telemetry.Counter
+	mCacheMiss    *telemetry.Counter
+	mRoundDur     *telemetry.Histogram
+	mExpertGen    *telemetry.Counter
+	mExpertSplit  *telemetry.Counter
+	mRefineHits   *telemetry.Counter
+	mRefineMisses *telemetry.Counter
+
+	// tracer records request/refinement spans; reqSeq numbers requests for
+	// the X-Request-Id header echoed in every JSON response.
+	tracer *trace.Tracer
+	reqSeq atomic.Uint64
+	log    *slog.Logger
 }
 
 // New builds a Server and publishes version 1 from cfg.Rules.
@@ -188,6 +209,10 @@ func New(cfg Config) (*Server, error) {
 	if hist == nil {
 		hist = history.NewStore(cfg.Schema)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:      cfg,
 		schema:   cfg.Schema,
@@ -196,13 +221,31 @@ func New(cfg Config) (*Server, error) {
 		cache:    capture.New(),
 		sem:      make(chan struct{}, cfg.Workers),
 		reg:      cfg.Registry,
+		log:      logger,
 	}
 	s.initMetrics()
+	// The tracer's completion hook derives the refinement metrics straight
+	// from the spans, so the histogram and the trace can never disagree.
+	s.tracer = trace.New(trace.Options{Capacity: cfg.TraceCapacity, OnEnd: func(r trace.Record) {
+		switch r.Name {
+		case "refine.round":
+			s.mRoundDur.Observe(r.Dur.Seconds())
+		case "expert.review_generalization":
+			s.mExpertGen.Inc()
+		case "expert.review_split":
+			s.mExpertSplit.Inc()
+		}
+	}})
+	s.cache.Tracer = s.tracer
 	s.mu.Lock()
 	s.publishLocked(cfg.Rules.Clone(), nil, "initial rules")
 	s.mu.Unlock()
 	return s, nil
 }
+
+// Tracer returns the daemon's span tracer (never nil), for callers that want
+// to dump traces out of band of GET /trace.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
@@ -218,8 +261,10 @@ func (s *Server) initMetrics() {
 	r.Help("rudolf_rule_swaps_total", "Rule-set publishes (swaps + refines + initial).")
 	r.Help("rudolf_refines_total", "Completed /refine rounds.")
 	r.Help("rudolf_feedback_tx_total", "Feedback transactions ingested, by label.")
-	r.Help("rudolf_capture_cache_hits_total", "Capture-cache queries answered incrementally.")
-	r.Help("rudolf_capture_cache_misses_total", "Capture-cache queries that forced a full rebind.")
+	r.Help("rudolf_capture_cache_hits_total", "Capture-cache queries answered incrementally, by caller.")
+	r.Help("rudolf_capture_cache_misses_total", "Capture-cache queries that forced a full rebind, by caller.")
+	r.Help("rudolf_refine_round_duration_seconds", "Wall-clock duration of one generalize+specialize refinement round.")
+	r.Help("rudolf_expert_queries_total", "Expert proposals reviewed during refinement, by proposal kind.")
 	s.mScoreTx = r.Counter("rudolf_score_tx_total")
 	s.mScoreLat = r.Histogram("rudolf_score_latency_seconds", nil)
 	s.mBatchLat = r.Histogram("rudolf_score_batch_latency_seconds", nil)
@@ -228,8 +273,13 @@ func (s *Server) initMetrics() {
 	s.mRuleCount = r.Gauge("rudolf_rules_count")
 	s.mSwaps = r.Counter("rudolf_rule_swaps_total")
 	s.mRefines = r.Counter("rudolf_refines_total")
-	s.mCacheHit = r.Counter("rudolf_capture_cache_hits_total")
-	s.mCacheMiss = r.Counter("rudolf_capture_cache_misses_total")
+	s.mCacheHit = r.Counter(`rudolf_capture_cache_hits_total{caller="serve"}`)
+	s.mCacheMiss = r.Counter(`rudolf_capture_cache_misses_total{caller="serve"}`)
+	s.mRefineHits = r.Counter(`rudolf_capture_cache_hits_total{caller="refine"}`)
+	s.mRefineMisses = r.Counter(`rudolf_capture_cache_misses_total{caller="refine"}`)
+	s.mRoundDur = r.Histogram("rudolf_refine_round_duration_seconds", nil)
+	s.mExpertGen = r.Counter(`rudolf_expert_queries_total{kind="generalization"}`)
+	s.mExpertSplit = r.Counter(`rudolf_expert_queries_total{kind="split"}`)
 }
 
 // publishLocked compiles rs, commits it to history and atomically publishes
@@ -246,6 +296,7 @@ func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment 
 	s.mVersion.Set(int64(st.version))
 	s.mRuleCount.Set(int64(rs.Len()))
 	s.mSwaps.Inc()
+	s.log.Info("rules published", "version", st.version, "rules", rs.Len(), "comment", comment)
 	return st
 }
 
@@ -253,11 +304,10 @@ func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment 
 // and the published rules, counting hits (incremental) vs misses (rebind).
 // Callers hold s.mu.
 func (s *Server) captureLocked(st *ruleState) *capture.Cache {
-	if s.cache.Bound(s.feedback) && s.cache.Len() == st.set.Len() {
-		s.mCacheHit.Inc()
-	} else {
+	if rebound := s.cache.Ensure(s.feedback, st.set); rebound {
 		s.mCacheMiss.Inc()
-		s.cache.Bind(s.feedback, st.set)
+	} else {
+		s.mCacheHit.Inc()
 	}
 	return s.cache
 }
@@ -291,7 +341,31 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
 	mux.Handle("/metrics", s.reg.Handler())
+	// /trace is deliberately uninstrumented: fetching the trace must not
+	// append request spans to the very ring being exported.
+	mux.Handle("/trace", http.HandlerFunc(s.handleTrace))
 	return mux
+}
+
+// handleTrace exports the daemon's recent spans: Chrome trace_event JSON by
+// default (loadable in chrome://tracing / ui.perfetto.dev), JSONL with
+// ?format=jsonl.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	recs := s.tracer.Snapshot()
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, recs) //nolint:errcheck // client gone: nothing to do
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		trace.WriteJSONL(w, recs) //nolint:errcheck // client gone: nothing to do
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want chrome or jsonl)", f)
+	}
 }
 
 // Serve runs the daemon on ln until ctx is canceled, then drains: readiness
@@ -303,12 +377,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
+	s.log.Info("serving", "addr", ln.Addr().String(), "workers", s.cfg.Workers)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	s.log.Info("draining", "timeout", s.cfg.DrainTimeout)
 	s.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
@@ -347,16 +423,42 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument applies the body limit and counts the request by path and
-// status code.
+// reqMetaKey carries the per-request id and span through the context.
+type reqMetaKey struct{}
+
+// reqMeta is the per-request correlation state minted by instrument.
+type reqMeta struct {
+	id   string
+	span trace.Span
+}
+
+// requestMeta returns the request's correlation metadata (zero when the
+// route is uninstrumented).
+func requestMeta(r *http.Request) reqMeta {
+	m, _ := r.Context().Value(reqMetaKey{}).(reqMeta)
+	return m
+}
+
+// instrument applies the body limit, mints a request id (echoed as the
+// X-Request-Id header and the request_id field of JSON responses), opens a
+// per-request span named after the route, and counts the request by path and
+// status code. The span id makes responses joinable against GET /trace.
 func (s *Server) instrument(path string, h http.Handler) http.Handler {
+	name := "request." + strings.TrimPrefix(path, "/")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		sp := s.tracer.Start(name)
+		sp.Str("id", id)
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, reqMeta{id: id, span: sp}))
 		sw := &statusWriter{ResponseWriter: w}
 		h.ServeHTTP(sw, r)
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
+		sp.Int("code", int64(sw.code))
+		sp.End()
 		s.reg.Counter(fmt.Sprintf(`rudolf_http_requests_total{path=%q,code="%d"}`, path, sw.code)).Inc()
 	})
 }
@@ -460,13 +562,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "canceled while queued for a worker slot")
 		return
 	}
+	meta := requestMeta(r)
 	start := time.Now()
 	st := s.state.Load() // exactly one version per response
-	captured := st.ev.Eval(rel)
+	captured := st.ev.EvalUnder(meta.span, rel)
 	elapsed := time.Since(start).Seconds()
 	s.release()
 
-	resp := scoreResponse{Version: st.version, Count: rel.Len(), Flagged: make([]bool, rel.Len())}
+	resp := scoreResponse{RequestID: meta.id, Version: st.version, Count: rel.Len(), Flagged: make([]bool, rel.Len())}
 	for i := 0; i < rel.Len(); i++ {
 		if captured.Has(i) {
 			resp.Flagged[i] = true
@@ -485,7 +588,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		st := s.state.Load()
-		writeJSON(w, http.StatusOK, rulesResponse{Version: st.version, Count: len(st.texts), Rules: st.texts})
+		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	case http.MethodPost:
 		texts, comment, err := readRulesBody(r)
 		if err != nil {
@@ -509,7 +612,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		st := s.publishLocked(rs, nil, comment)
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, rulesResponse{Version: st.version, Count: len(st.texts)})
+		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts)})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
 	}
@@ -578,10 +681,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
 	cache := s.captureLocked(st)
 	resp := feedbackResponse{
-		Version:  st.version,
-		Added:    batch.Len(),
-		Total:    s.feedback.Len(),
-		Captured: make([]bool, batch.Len()),
+		RequestID: requestMeta(r).id,
+		Version:   st.version,
+		Added:     batch.Len(),
+		Total:     s.feedback.Len(),
+		Captured:  make([]bool, batch.Len()),
 	}
 	for i := range resp.Captured {
 		resp.Captured[i] = cache.Captured(base + i)
@@ -624,15 +728,29 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if req.MaxRounds > 0 {
 		opts.MaxRounds = req.MaxRounds
 	}
+	meta := requestMeta(r)
+	// The session's spans nest under this request's span, so GET /trace
+	// shows the whole refinement — rounds, expert queries, capture rebinds —
+	// attributed to the request id echoed in the response.
+	opts.Tracer = s.tracer
+	opts.TraceParent = meta.span
 	sess := core.NewSession(old.set, s.cfg.Expert, opts)
 	stats := sess.Refine(s.feedback)
+	hits, rebinds, _ := sess.CaptureStats()
+	s.mRefineHits.Add(hits)
+	s.mRefineMisses.Add(rebinds)
 	comment := req.Comment
 	if comment == "" {
 		comment = fmt.Sprintf("POST /refine over %d feedback transactions", s.feedback.Len())
 	}
 	st := s.publishLocked(sess.Rules().Clone(), sess.Log().All(), comment)
 	s.mRefines.Inc()
+	s.log.Info("refinement complete", "request_id", meta.id,
+		"old_version", old.version, "version", st.version,
+		"rounds", stats.Round, "modifications", stats.Modifications,
+		"fraud_captured", stats.FraudCaptured, "fraud_total", stats.FraudTotal)
 	writeJSON(w, http.StatusOK, refineResponse{
+		RequestID:         meta.id,
 		OldVersion:        old.version,
 		Version:           st.version,
 		Rules:             st.set.Len(),
@@ -655,7 +773,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.state.Load()
-	resp := statsResponse{Version: st.version, Rules: st.set.Len(), Feedback: s.feedback.Len()}
+	resp := statsResponse{RequestID: requestMeta(r).id, Version: st.version, Rules: st.set.Len(), Feedback: s.feedback.Len()}
 	if s.feedback.Len() > 0 {
 		cache := s.captureLocked(st)
 		union := cache.Union()

@@ -36,10 +36,11 @@ type scoreRequest struct {
 // scoreResponse reports one verdict per transaction, all evaluated against
 // exactly one published rules version.
 type scoreResponse struct {
-	Version int    `json:"version"`
-	Count   int    `json:"count"`
-	Matched int    `json:"matched"`
-	Flagged []bool `json:"flagged"`
+	RequestID string `json:"request_id,omitempty"`
+	Version   int    `json:"version"`
+	Count     int    `json:"count"`
+	Matched   int    `json:"matched"`
+	Flagged   []bool `json:"flagged"`
 }
 
 type feedbackRequest struct {
@@ -47,8 +48,9 @@ type feedbackRequest struct {
 }
 
 type feedbackResponse struct {
-	Version int `json:"version"`
-	Added   int `json:"added"`
+	RequestID string `json:"request_id,omitempty"`
+	Version   int    `json:"version"`
+	Added     int    `json:"added"`
 	// Total is the size of the server-side feedback relation after the
 	// append.
 	Total int `json:"total"`
@@ -58,9 +60,10 @@ type feedbackResponse struct {
 }
 
 type rulesResponse struct {
-	Version int      `json:"version"`
-	Count   int      `json:"count"`
-	Rules   []string `json:"rules,omitempty"`
+	RequestID string   `json:"request_id,omitempty"`
+	Version   int      `json:"version"`
+	Count     int      `json:"count"`
+	Rules     []string `json:"rules,omitempty"`
 }
 
 type rulesSwapRequest struct {
@@ -74,26 +77,28 @@ type refineRequest struct {
 }
 
 type refineResponse struct {
-	OldVersion        int `json:"old_version"`
-	Version           int `json:"version"`
-	Rules             int `json:"rules"`
-	Modifications     int `json:"modifications"`
-	FraudTotal        int `json:"fraud_total"`
-	FraudCaptured     int `json:"fraud_captured"`
-	LegitTotal        int `json:"legit_total"`
-	LegitCaptured     int `json:"legit_captured"`
-	UnlabeledCaptured int `json:"unlabeled_captured"`
+	RequestID         string `json:"request_id,omitempty"`
+	OldVersion        int    `json:"old_version"`
+	Version           int    `json:"version"`
+	Rules             int    `json:"rules"`
+	Modifications     int    `json:"modifications"`
+	FraudTotal        int    `json:"fraud_total"`
+	FraudCaptured     int    `json:"fraud_captured"`
+	LegitTotal        int    `json:"legit_total"`
+	LegitCaptured     int    `json:"legit_captured"`
+	UnlabeledCaptured int    `json:"unlabeled_captured"`
 }
 
 type statsResponse struct {
-	Version       int `json:"version"`
-	Rules         int `json:"rules"`
-	Feedback      int `json:"feedback"`
-	Fraud         int `json:"fraud"`
-	FraudCaptured int `json:"fraud_captured"`
-	Legit         int `json:"legit"`
-	LegitCaptured int `json:"legit_captured"`
-	Unlabeled     int `json:"unlabeled"`
+	RequestID     string `json:"request_id,omitempty"`
+	Version       int    `json:"version"`
+	Rules         int    `json:"rules"`
+	Feedback      int    `json:"feedback"`
+	Fraud         int    `json:"fraud"`
+	FraudCaptured int    `json:"fraud_captured"`
+	Legit         int    `json:"legit"`
+	LegitCaptured int    `json:"legit_captured"`
+	Unlabeled     int    `json:"unlabeled"`
 }
 
 type errorResponse struct {

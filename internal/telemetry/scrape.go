@@ -57,6 +57,7 @@ func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
 		n   uint64
 	}
 	var buckets []bucket
+	seen := false // any series of the family observed, even +Inf-only
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -79,6 +80,7 @@ func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
 			if err != nil {
 				return out, fmt.Errorf("telemetry: bad bucket count %q: %w", val, err)
 			}
+			seen = true
 			if le == "+Inf" {
 				buckets = append(buckets, bucket{inf: true, n: n})
 				continue
@@ -93,12 +95,14 @@ func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
 			if err != nil {
 				return out, fmt.Errorf("telemetry: bad sum %q: %w", val, err)
 			}
+			seen = true
 			out.Sum = f
 		case name == base+"_count":
 			n, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
 				return out, fmt.Errorf("telemetry: bad count %q: %w", val, err)
 			}
+			seen = true
 			out.Total = n
 		}
 	}
@@ -121,7 +125,10 @@ func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
 		out.Uppers = append(out.Uppers, b.le)
 		out.Cum = append(out.Cum, b.n)
 	}
-	if len(out.Uppers) == 0 {
+	// A histogram with only the +Inf bucket (exporters are allowed to emit
+	// nothing else) is valid: Uppers stays empty and quantiles return 0.
+	// Only a page with no trace of the family at all is an error.
+	if !seen {
 		return out, fmt.Errorf("telemetry: no histogram %q in page", base)
 	}
 	return out, nil

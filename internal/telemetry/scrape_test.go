@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestScrapeExponentBuckets round-trips a histogram whose bucket bounds
+// render in exponent notation (%g writes 1e-5 as "1e-05"): the scraper must
+// parse the le labels back to the exact bounds.
+func TestScrapeExponentBuckets(t *testing.T) {
+	r := NewRegistry()
+	uppers := []float64{1e-5, 2.5e-5, 1e-4, 0.5}
+	h := r.Histogram("tiny_seconds", uppers)
+	h.Observe(5e-6)  // first bucket
+	h.Observe(2e-5)  // second
+	h.Observe(0.25)  // fourth
+	h.Observe(100.0) // +Inf
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	// The exponent rendering is the interesting part: %g emits "1e-05".
+	for _, want := range []string{`tiny_seconds_bucket{le="1e-05"} 1`, `tiny_seconds_bucket{le="2.5e-05"} 2`} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q\npage:\n%s", want, page)
+		}
+	}
+
+	sh, err := ScrapeHistogram(strings.NewReader(page), "tiny_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Uppers) != len(uppers) {
+		t.Fatalf("scraped %d uppers, want %d (%v)", len(sh.Uppers), len(uppers), sh.Uppers)
+	}
+	for i, u := range uppers {
+		if sh.Uppers[i] != u {
+			t.Errorf("upper[%d] = %v, want %v", i, sh.Uppers[i], u)
+		}
+	}
+	if sh.Total != 4 {
+		t.Fatalf("total = %d, want 4", sh.Total)
+	}
+	if got, want := sh.Quantile(0.5), h.Quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("scraped p50 %v != live p50 %v", got, want)
+	}
+}
+
+// TestScrapeInfOnlyHistogram feeds the scraper a histogram family carrying
+// only the +Inf bucket — legal Prometheus output — and checks it is accepted
+// rather than rejected as "no histogram in page" (a former bug: the scraper
+// demanded at least one finite bucket).
+func TestScrapeInfOnlyHistogram(t *testing.T) {
+	page := strings.Join([]string{
+		"# TYPE only_inf_seconds histogram",
+		`only_inf_seconds_bucket{le="+Inf"} 7`,
+		"only_inf_seconds_sum 3.5",
+		"only_inf_seconds_count 7",
+		"",
+	}, "\n")
+	sh, err := ScrapeHistogram(strings.NewReader(page), "only_inf_seconds")
+	if err != nil {
+		t.Fatalf("+Inf-only histogram rejected: %v", err)
+	}
+	if sh.Total != 7 || sh.Sum != 3.5 || len(sh.Uppers) != 0 {
+		t.Fatalf("scraped %+v, want total 7, sum 3.5, no finite uppers", sh)
+	}
+	if q := sh.Quantile(0.5); q != 0 {
+		t.Fatalf("quantile with no finite buckets = %v, want 0", q)
+	}
+
+	// Even without _count, the +Inf bucket alone carries the total.
+	page2 := `no_count_seconds_bucket{le="+Inf"} 4` + "\n"
+	sh2, err := ScrapeHistogram(strings.NewReader(page2), "no_count_seconds")
+	if err != nil {
+		t.Fatalf("bucket-only histogram rejected: %v", err)
+	}
+	if sh2.Total != 4 {
+		t.Fatalf("total from +Inf bucket = %d, want 4", sh2.Total)
+	}
+}
+
+// TestScrapeMissingHistogram keeps the error contract: a page with no trace
+// of the family at all still errors.
+func TestScrapeMissingHistogram(t *testing.T) {
+	page := "something_else_total 3\n"
+	if _, err := ScrapeHistogram(strings.NewReader(page), "absent_seconds"); err == nil {
+		t.Fatal("expected an error scraping an absent histogram family")
+	}
+}
+
+// TestConcurrentObserveAndRender hammers Observe across all buckets from
+// many goroutines while WriteTo renders the page concurrently — run with
+// -race. Every rendered page must be internally consistent: cumulative
+// bucket counts never decrease and never exceed the +Inf count on the same
+// page.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mix_seconds", []float64{0.001, 0.01, 0.1, 1})
+	values := []float64{0.0005, 0.005, 0.05, 0.5, 5}
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(values[(w+i)%len(values)])
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			var sb strings.Builder
+			if _, err := r.WriteTo(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			sh, err := ScrapeHistogram(strings.NewReader(sb.String()), "mix_seconds")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			prev := uint64(0)
+			for _, c := range sh.Cum {
+				if c < prev {
+					t.Errorf("cumulative counts decrease: %v", sh.Cum)
+					return
+				}
+				prev = c
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := 0.0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			wantSum += values[(w+i)%len(values)]
+		}
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}

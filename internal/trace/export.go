@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// recordJSON is the JSONL wire form of one record.
+type recordJSON struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Track   uint64         `json:"track"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Instant bool           `json:"instant,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(r *Record) map[string]any {
+	if r.NAttrs == 0 {
+		return nil
+	}
+	m := make(map[string]any, r.NAttrs)
+	for i := 0; i < r.NAttrs; i++ {
+		m[r.Attrs[i].Key] = r.Attrs[i].Value()
+	}
+	return m
+}
+
+// WriteJSONL writes one JSON object per record, one per line — the
+// grep/jq-friendly export (GET /trace?format=jsonl on the daemon).
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		r := &recs[i]
+		if err := enc.Encode(recordJSON{
+			ID: r.ID, Parent: r.Parent, Track: r.Track, Name: r.Name,
+			StartNS: r.Start, DurNS: int64(r.Dur), Instant: r.Instant,
+			Attrs: attrMap(r),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event in the Chrome/Perfetto trace format:
+// complete events (ph "X") for spans, instant events (ph "i") for point
+// events. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the Chrome trace format (an array of
+// events also loads, but the object form carries metadata).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the records as a Chrome trace_event JSON document
+// loadable in chrome://tracing and ui.perfetto.dev. Spans become complete
+// ("X") events; instants become thread-scoped instant ("i") events. Each
+// root span and its descendants share a tid, so requests and refinement
+// sessions render as nested tracks.
+func WriteChrome(w io.Writer, recs []Record) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(recs))}
+	for i := range recs {
+		r := &recs[i]
+		ev := chromeEvent{
+			Name: r.Name, Cat: "rudolf", Phase: "X",
+			TS:  float64(r.Start) / 1e3,
+			Dur: float64(r.Dur.Nanoseconds()) / 1e3,
+			PID: 1, TID: r.Track,
+			Args: attrMap(r),
+		}
+		if r.Instant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+			ev.Dur = 0
+		}
+		if ev.Args == nil {
+			ev.Args = map[string]any{}
+		}
+		ev.Args["span_id"] = r.ID
+		if r.Parent != 0 {
+			ev.Args["parent_id"] = r.Parent
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTo is WriteChrome over a tracer snapshot, for one-call dumps.
+func WriteChromeTo(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	return WriteChrome(w, t.Snapshot())
+}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Data model types.
@@ -354,3 +355,31 @@ func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
 // NewTelemetryRegistry returns an empty metrics registry, for embedders that
 // want the daemon's metrics merged into their own exposition page.
 func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// Tracing types (see internal/trace and DESIGN.md §10).
+type (
+	// Tracer records hierarchical spans into a bounded ring buffer. Pass one
+	// in Options.Tracer to trace a refinement session, or read the serving
+	// daemon's via Server.Tracer. A nil Tracer is valid and free: every span
+	// operation is a zero-allocation no-op.
+	Tracer = trace.Tracer
+	// Span is one traced operation; the zero Span is inert.
+	Span = trace.Span
+	// TraceRecord is one completed span or instant, as returned by
+	// Tracer.Snapshot and consumed by the exporters.
+	TraceRecord = trace.Record
+)
+
+// NewTracer returns a tracer whose ring holds up to capacity completed spans
+// (0 means the package default). Oldest spans are dropped (and counted) when
+// the ring overflows.
+func NewTracer(capacity int) *Tracer { return trace.New(trace.Options{Capacity: capacity}) }
+
+// WriteChromeTrace writes the tracer's recorded spans as a Chrome
+// trace_event JSON document loadable in chrome://tracing and
+// ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChromeTo(w, t) }
+
+// WriteTraceJSONL writes trace records as JSON Lines, one span per line —
+// the grep/jq-friendly export.
+func WriteTraceJSONL(w io.Writer, recs []TraceRecord) error { return trace.WriteJSONL(w, recs) }

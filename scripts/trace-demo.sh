@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Trace demo: boot rudolfd on a random port, drive load plus one
+# feedback-driven refinement through it with cmd/loadgen -smoke, then dump
+# GET /trace to a Chrome trace_event JSON file and validate it with
+# scripts/checktrace (well-formed, span tree sound, at least one refine.round
+# span with expert-query descendants). The dumped file loads directly in
+# ui.perfetto.dev. Wired into `make trace-demo` and the `make ci` chain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+DURATION=${TRACE_DEMO_DURATION:-1s}
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+OUT=${TRACE_OUT:-$TMP/trace-demo.json}
+mkdir -p "$BIN"
+
+cleanup() {
+    if [[ -n "${DAEMON_PID:-}" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -TERM "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "trace-demo: building rudolfd, loadgen and checktrace"
+$GO build -o "$BIN/rudolfd" ./cmd/rudolfd
+$GO build -o "$BIN/loadgen" ./cmd/loadgen
+$GO build -o "$BIN/checktrace" ./scripts/checktrace
+
+echo "trace-demo: booting rudolfd on a random port"
+"$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -size 2000 -seed 1 \
+    -log-format json >"$TMP/rudolfd.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "$TMP/addr" ]] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "trace-demo: rudolfd died during startup:" >&2
+        cat "$TMP/rudolfd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ ! -s "$TMP/addr" ]]; then
+    echo "trace-demo: rudolfd never published its address" >&2
+    cat "$TMP/rudolfd.log" >&2
+    exit 1
+fi
+ADDR=$(head -n1 "$TMP/addr" | tr -d '[:space:]')
+echo "trace-demo: rudolfd is up on $ADDR"
+
+# Load + feedback + /refine: the -smoke pass runs the refinement whose spans
+# the trace must contain.
+"$BIN/loadgen" -url "http://$ADDR" -duration "$DURATION" -concurrency 4 -batch 32 -smoke
+
+# Dump GET /trace to $OUT and validate it in one go.
+echo "trace-demo: dumping and validating GET /trace"
+"$BIN/checktrace" -o "$OUT" "http://$ADDR/trace"
+echo "trace-demo: chrome trace written to $OUT (load it in ui.perfetto.dev)"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "trace-demo: ok"
