@@ -18,8 +18,12 @@
 #                 (set TRACE_OUT=path to keep the trace file)
 #   make trace-check explicit go vet + race pass over the tracer and its
 #                 heaviest concurrent consumer (internal/trace, internal/serve)
+#   make crash-smoke  boot rudolfd with a durable data directory, drive load
+#                 plus feedback/publish churn, SIGKILL it mid-flight, restart
+#                 on the same directory, and assert the acknowledged state
+#                 survived the crash (scripts/crash-smoke.sh)
 #   make check    build + vet + test + race + trace-check
-#   make ci       the full CI gate: check + smoke + trace-demo
+#   make ci       the full CI gate: check + smoke + crash-smoke + trace-demo
 
 GO        ?= go
 PKGS      ?= ./...
@@ -27,7 +31,7 @@ BENCH     ?= .
 ADDR      ?= 127.0.0.1:8080
 TRACE_OUT ?=
 
-.PHONY: all build test race vet bench serve loadgen smoke trace-demo trace-check check ci clean
+.PHONY: all build test race vet bench serve loadgen smoke crash-smoke trace-demo trace-check check ci clean
 
 all: ci
 
@@ -55,6 +59,9 @@ loadgen:
 smoke:
 	GO=$(GO) bash scripts/smoke.sh
 
+crash-smoke:
+	GO=$(GO) bash scripts/crash-smoke.sh
+
 trace-demo:
 	GO=$(GO) TRACE_OUT=$(TRACE_OUT) bash scripts/trace-demo.sh
 
@@ -64,7 +71,7 @@ trace-check:
 
 check: build vet test race trace-check
 
-ci: check smoke trace-demo
+ci: check smoke crash-smoke trace-demo
 
 clean:
 	$(GO) clean -testcache

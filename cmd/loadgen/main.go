@@ -9,14 +9,28 @@
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8080 [-duration 10s] [-concurrency 8]
-//	        [-batch 64] [-seed 1] [-smoke]
+//	        [-batch 64] [-seed 1] [-smoke] [-churn N] [-state-file f]
+//	        [-resume] [-expect-version N] [-expect-feedback N]
 //
 // With -smoke it additionally exercises the control plane after the load
-// phase — swaps the rules (POST /rules), pushes a labeled feedback batch,
-// runs a /refine, and asserts that /metrics moved (transactions scored,
-// version bumped, refinement rounds observed) and that GET /trace returns
-// well-formed trace JSON — exiting non-zero on any failure, which is what
-// `make smoke` runs in CI.
+// phase — swaps the rules (POST /v1/rules), pushes a labeled feedback
+// batch, runs a /v1/refine, and asserts that /metrics moved (transactions
+// scored, version bumped, refinement rounds observed) and that
+// GET /v1/trace returns well-formed trace JSON — exiting non-zero on any
+// failure, which is what `make smoke` runs in CI.
+//
+// -churn N drives the durable write path: N labeled feedback batches
+// interleaved with N rule republishes, after which the published rule-set
+// version and feedback total are printed (and written to -state-file, when
+// set) so a later run can assert they survived a restart.
+//
+// -resume is that later run: it skips the load phase and instead asserts
+// that the daemon's current version and feedback count equal
+// -expect-version / -expect-feedback (or the values recorded in
+// -state-file), that the boot actually replayed WAL records
+// (rudolf_wal_replayed_records_total > 0), that errors arrive in the
+// uniform envelope, and that legacy unversioned paths answer 308 redirects
+// to /v1 — the assertion pass behind `make crash-smoke`.
 package main
 
 import (
@@ -46,9 +60,22 @@ func main() {
 		batch       = flag.Int("batch", 64, "transactions per /score request")
 		seed        = flag.Int64("seed", 1, "traffic generation seed")
 		smoke       = flag.Bool("smoke", false, "after the load phase, swap rules and assert /metrics moved")
+		churn       = flag.Int("churn", 0, "after the load phase, push N feedback batches interleaved with N republishes")
+		stateFile   = flag.String("state-file", "", "write (churn) / read (resume) the version+feedback state here")
+		resume      = flag.Bool("resume", false, "skip the load phase; assert the daemon restored the recorded state")
+		expectVer   = flag.Int("expect-version", -1, "with -resume: expected rule-set version (-1: take it from -state-file)")
+		expectFb    = flag.Int("expect-feedback", -1, "with -resume: expected feedback count (-1: take it from -state-file)")
 	)
 	flag.Parse()
 	url := strings.TrimRight(*baseURL, "/")
+
+	if *resume {
+		if err := runResume(url, *expectVer, *expectFb, *stateFile); err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		fmt.Println("loadgen: resume ok")
+		return
+	}
 
 	schema, err := fetchSchema(url)
 	if err != nil {
@@ -85,7 +112,7 @@ func main() {
 			for i := w; time.Now().Before(deadline); i++ {
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url+"/score", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url+"/v1/score", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -140,6 +167,12 @@ func main() {
 			worstReq.requestID, worstReq.latency.Round(time.Microsecond))
 	}
 
+	if *churn > 0 {
+		if err := runChurn(url, rng, schema, startRules, *churn, *stateFile); err != nil {
+			fatal(fmt.Errorf("churn: %w", err))
+		}
+	}
+
 	if !*smoke {
 		return
 	}
@@ -183,14 +216,14 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url+"/rules", "application/json", bytes.NewReader(raw))
+	resp, err := http.Post(url+"/v1/rules", "application/json", bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /rules: %d %s", resp.StatusCode, body)
+		return fmt.Errorf("POST /v1/rules: %d %s", resp.StatusCode, body)
 	}
 	_, afterVersion, err := fetchRules(url)
 	if err != nil {
@@ -216,29 +249,29 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 
 	// Refinement pass: push a labeled feedback batch and run one /refine, then
 	// assert the refinement observability series and the trace both saw it.
-	resp, err = http.Post(url+"/feedback", "application/json", bytes.NewReader(feedbackBody(rng, schema, 32)))
+	resp, err = http.Post(url+"/v1/feedback", "application/json", bytes.NewReader(feedbackBody(rng, schema, 32)))
 	if err != nil {
 		return err
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /feedback: %d %s", resp.StatusCode, body)
+		return fmt.Errorf("POST /v1/feedback: %d %s", resp.StatusCode, body)
 	}
-	resp, err = http.Post(url+"/refine", "application/json", strings.NewReader("{}"))
+	resp, err = http.Post(url+"/v1/refine", "application/json", strings.NewReader("{}"))
 	if err != nil {
 		return err
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /refine: %d %s", resp.StatusCode, body)
+		return fmt.Errorf("POST /v1/refine: %d %s", resp.StatusCode, body)
 	}
 	var refined struct {
 		RequestID string `json:"request_id"`
 	}
 	if err := json.Unmarshal(body, &refined); err != nil || refined.RequestID == "" {
-		return fmt.Errorf("POST /refine carries no request_id (body %s): %v", body, err)
+		return fmt.Errorf("POST /v1/refine carries no request_id (body %s): %v", body, err)
 	}
 
 	page3, err := fetchMetrics(url)
@@ -265,14 +298,14 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 
 	// The trace endpoint must return well-formed Chrome trace JSON whose
 	// events include the refine request's span, correlated by request id.
-	resp, err = http.Get(url + "/trace")
+	resp, err = http.Get(url + "/v1/trace")
 	if err != nil {
 		return err
 	}
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET /trace: %d %s", resp.StatusCode, body)
+		return fmt.Errorf("GET /v1/trace: %d %s", resp.StatusCode, body)
 	}
 	var doc struct {
 		TraceEvents []struct {
@@ -281,10 +314,10 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
-		return fmt.Errorf("GET /trace is not valid JSON: %w", err)
+		return fmt.Errorf("GET /v1/trace is not valid JSON: %w", err)
 	}
 	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("GET /trace returned no events")
+		return fmt.Errorf("GET /v1/trace returned no events")
 	}
 	refineSeen := false
 	for _, ev := range doc.TraceEvents {
@@ -299,6 +332,152 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	fmt.Printf("loadgen: smoke refine %s: %d refinement rounds traced, %d trace events\n",
 		refined.RequestID, h.Total, len(doc.TraceEvents))
 	return nil
+}
+
+// runChurn drives the durable write path: n labeled feedback batches
+// interleaved with n rule republishes, then records the resulting rule-set
+// version and feedback total (stdout, and stateFile when set) for a later
+// -resume run to assert against.
+func runChurn(url string, rng *rand.Rand, schema *relation.Schema, startRules []string, n int, stateFile string) error {
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(url+"/v1/feedback", "application/json", bytes.NewReader(feedbackBody(rng, schema, 8)))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/feedback (churn %d): %d %s", i, resp.StatusCode, body)
+		}
+		raw, err := json.Marshal(map[string]any{"rules": startRules, "comment": fmt.Sprintf("loadgen churn %d", i)})
+		if err != nil {
+			return err
+		}
+		resp, err = http.Post(url+"/v1/rules", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/rules (churn %d): %d %s", i, resp.StatusCode, body)
+		}
+	}
+	version, feedback, err := fetchStats(url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: churn state version=%d feedback=%d\n", version, feedback)
+	if stateFile != "" {
+		state := fmt.Sprintf("version=%d feedback=%d\n", version, feedback)
+		if err := os.WriteFile(stateFile, []byte(state), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runResume asserts a restarted daemon restored the recorded state: version
+// and feedback count match, the boot replayed WAL records, errors arrive in
+// the uniform envelope, and legacy paths answer 308 redirects to /v1.
+func runResume(url string, expectVer, expectFb int, stateFile string) error {
+	if stateFile != "" && (expectVer < 0 || expectFb < 0) {
+		raw, err := os.ReadFile(stateFile)
+		if err != nil {
+			return err
+		}
+		var v, f int
+		if _, err := fmt.Sscanf(strings.TrimSpace(string(raw)), "version=%d feedback=%d", &v, &f); err != nil {
+			return fmt.Errorf("state file %s: %w", stateFile, err)
+		}
+		if expectVer < 0 {
+			expectVer = v
+		}
+		if expectFb < 0 {
+			expectFb = f
+		}
+	}
+	if expectVer < 0 || expectFb < 0 {
+		return fmt.Errorf("need -expect-version and -expect-feedback (or -state-file)")
+	}
+
+	version, feedback, err := fetchStats(url)
+	if err != nil {
+		return err
+	}
+	if version != expectVer {
+		return fmt.Errorf("restored rule-set version = %d, want %d", version, expectVer)
+	}
+	if feedback != expectFb {
+		return fmt.Errorf("restored feedback count = %d, want %d", feedback, expectFb)
+	}
+
+	// The boot must have actually replayed the log, not just started fresh.
+	page, err := fetchMetrics(url)
+	if err != nil {
+		return err
+	}
+	if v, ok := telemetry.ScrapeValue(page, "rudolf_wal_replayed_records_total"); !ok || v <= 0 {
+		return fmt.Errorf("rudolf_wal_replayed_records_total = %v (ok=%v), want > 0 after a restart", v, ok)
+	}
+
+	// Errors arrive in the uniform envelope with a stable code.
+	resp, err := http.Post(url+"/v1/score", "application/json", strings.NewReader(`{"transactions":[]}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("empty /v1/score batch: %d %s, want 400", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "bad_request" || envelope.Error.Message == "" {
+		return fmt.Errorf("error body %s is not the uniform envelope (err %v)", body, err)
+	}
+
+	// Legacy unversioned paths answer 308 redirects to their /v1 successors.
+	client := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	resp, err = client.Get(url + "/rules")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect || resp.Header.Get("Location") != "/v1/rules" {
+		return fmt.Errorf("GET /rules = %d Location %q, want 308 to /v1/rules", resp.StatusCode, resp.Header.Get("Location"))
+	}
+	fmt.Printf("loadgen: resume verified version=%d feedback=%d, WAL replay observed, envelope + redirects intact\n",
+		version, feedback)
+	return nil
+}
+
+// fetchStats reads the published version and feedback count off /v1/stats.
+func fetchStats(url string) (version, feedback int, err error) {
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("GET /v1/stats: %d", resp.StatusCode)
+	}
+	var out struct {
+		Version  int `json:"version"`
+		Feedback int `json:"feedback"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, err
+	}
+	return out.Version, out.Feedback, nil
 }
 
 // feedbackBody builds one labeled /feedback batch: random transactions like
@@ -360,25 +539,25 @@ func scoreBody(rng *rand.Rand, schema *relation.Schema, batch int) []byte {
 }
 
 func fetchSchema(url string) (*relation.Schema, error) {
-	resp, err := http.Get(url + "/schema")
+	resp, err := http.Get(url + "/v1/schema")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /schema: %d", resp.StatusCode)
+		return nil, fmt.Errorf("GET /v1/schema: %d", resp.StatusCode)
 	}
 	return relation.ReadSchemaJSON(resp.Body)
 }
 
 func fetchRules(url string) (rules []string, version int, err error) {
-	resp, err := http.Get(url + "/rules")
+	resp, err := http.Get(url + "/v1/rules")
 	if err != nil {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("GET /rules: %d", resp.StatusCode)
+		return nil, 0, fmt.Errorf("GET /v1/rules: %d", resp.StatusCode)
 	}
 	var out struct {
 		Version int      `json:"version"`

@@ -6,21 +6,31 @@
 // Usage:
 //
 //	rudolfd [-addr 127.0.0.1:8080] [-schema schema.json -rules rules.txt]
-//	        [-history history.json] [-workers N] [-max-batch N] [-drain 10s]
-//	        [-log-format text|json] [-log-level info] [-debug-addr 127.0.0.1:6060]
-//	        [-trace-capacity N]
+//	        [-history history.json | -data-dir state/] [-workers N]
+//	        [-max-batch N] [-drain 10s] [-fsync always|interval|never]
+//	        [-fsync-interval 100ms] [-snapshot-interval 1m]
+//	        [-wal-segment-bytes N] [-log-format text|json] [-log-level info]
+//	        [-debug-addr 127.0.0.1:6060] [-trace-capacity N]
 //
 // Without -schema, the daemon boots on the synthetic financial-institute
 // schema with the generated incumbent rule set (-size, -seed), which is the
 // zero-config path cmd/loadgen and `make smoke` exercise.
 //
-// Endpoints: POST /score, GET+POST /rules, POST /feedback, POST /refine,
-// GET /stats, GET /schema, GET /trace, GET /healthz, GET /readyz,
-// GET /metrics. -debug-addr opens a second, loopback-only listener exposing
+// Endpoints: POST /v1/score, GET+POST /v1/rules, POST /v1/feedback,
+// POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/trace, plus the
+// unversioned infra endpoints GET /healthz, GET /readyz, GET /metrics.
+// Legacy unversioned API paths answer 308 redirects to their /v1
+// successors. -debug-addr opens a second, loopback-only listener exposing
 // net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
-// can never be reached through the service's ingress. SIGINT/SIGTERM drains
-// gracefully: /readyz flips to 503, in-flight requests finish, and -history
-// (when set) is written back.
+// can never be reached through the service's ingress.
+//
+// -data-dir makes the serving state durable: analyst feedback and rule-set
+// publishes are appended to a write-ahead log before they are acknowledged,
+// periodic snapshots bound replay time, and a restart (graceful or kill -9)
+// replays snapshot+WAL before the listener accepts traffic, so /readyz
+// never reports ready with half-restored state. SIGINT/SIGTERM drains
+// gracefully: /readyz flips to 503, in-flight requests finish, the durable
+// state is flushed (or, without -data-dir, -history is written back).
 package main
 
 import (
@@ -42,20 +52,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
-		schemaPath = flag.String("schema", "", "schema JSON (empty: the built-in synthetic FI schema)")
-		rulesPath  = flag.String("rules", "", "rule file (empty: the FI's generated incumbent rules)")
-		histPath   = flag.String("history", "", "JSON rule history to continue and persist on shutdown")
-		size       = flag.Int("size", 2000, "synthetic dataset size (when -schema is empty)")
-		seed       = flag.Int64("seed", 1, "synthetic dataset seed")
-		workers    = flag.Int("workers", 0, "concurrent scoring evaluations (0: 2x GOMAXPROCS)")
-		maxBatch   = flag.Int("max-batch", 0, "max transactions per request (0: default)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
-		logFormat  = flag.String("log-format", "text", "log format: text or json")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn or error")
-		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty: disabled)")
-		traceCap   = flag.Int("trace-capacity", 0, "span ring-buffer capacity served by GET /trace (0: default)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		schemaPath  = flag.String("schema", "", "schema JSON (empty: the built-in synthetic FI schema)")
+		rulesPath   = flag.String("rules", "", "rule file (empty: the FI's generated incumbent rules)")
+		histPath    = flag.String("history", "", "JSON rule history to continue and persist on shutdown")
+		dataDir     = flag.String("data-dir", "", "durable state directory (WAL + snapshots); replayed on boot")
+		fsync       = flag.String("fsync", "", "WAL fsync policy: always, interval or never (default always; requires -data-dir)")
+		fsyncIvl    = flag.Duration("fsync-interval", 0, "flush period under -fsync interval (0: default)")
+		snapIvl     = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0: default; negative: only on shutdown)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0: default)")
+		size        = flag.Int("size", 2000, "synthetic dataset size (when -schema is empty)")
+		seed        = flag.Int64("seed", 1, "synthetic dataset seed")
+		workers     = flag.Int("workers", 0, "concurrent scoring evaluations (0: 2x GOMAXPROCS)")
+		maxBatch    = flag.Int("max-batch", 0, "max transactions per request (0: default)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty: disabled)")
+		traceCap    = flag.Int("trace-capacity", 0, "span ring-buffer capacity served by GET /v1/trace (0: default)")
 	)
 	flag.Parse()
 
@@ -65,47 +80,25 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	cfg := rudolf.ServerConfig{
-		Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain,
-		Logger: logger, TraceCapacity: *traceCap,
-	}
-
-	if *schemaPath != "" {
-		if *rulesPath == "" {
-			fatal(fmt.Errorf("-schema requires -rules (the synthetic dataset brings its own incumbent rules)"))
-		}
-		schema, err := cli.LoadSchema(*schemaPath)
-		if err != nil {
-			fatal(err)
-		}
-		ruleSet, err := cli.LoadRules(*rulesPath, schema)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Schema, cfg.Rules = schema, ruleSet
-	} else {
-		ds := rudolf.GenerateDataset(rudolf.DataConfig{Size: *size, Seed: *seed})
-		cfg.Schema = ds.Schema
-		if *rulesPath != "" {
-			ruleSet, err := cli.LoadRules(*rulesPath, ds.Schema)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.Rules = ruleSet
-		} else {
-			cfg.Rules = rudolf.InitialRules(ds, 0, *seed)
-		}
-		// The synthetic FI schema has a day attribute that must not
-		// separate clusters during /refine.
-		cfg.Refine.Clusterer = rudolf.DatasetClusterer()
-	}
-
-	if *histPath != "" {
-		hist, err := cli.LoadOrNewHistory(*histPath, cfg.Schema)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.History = hist
+	cfg, err := cli.ServeOptions{
+		SchemaPath:       *schemaPath,
+		RulesPath:        *rulesPath,
+		HistoryPath:      *histPath,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		FsyncInterval:    *fsyncIvl,
+		SnapshotInterval: *snapIvl,
+		WALSegmentBytes:  *walSegBytes,
+		Size:             *size,
+		Seed:             *seed,
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		Drain:            *drain,
+		TraceCapacity:    *traceCap,
+		Logger:           logger,
+	}.ServerConfig()
+	if err != nil {
+		fatal(err)
 	}
 
 	srv, err := rudolf.NewServer(cfg)

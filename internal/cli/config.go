@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"errors"
+	"log/slog"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/serve"
+)
+
+// ServeOptions collects every rudolfd flag that shapes the serving
+// configuration, so the flag-to-Config translation lives in exactly one
+// place. ServerConfig applies the same synthetic-dataset fallbacks the
+// daemon documents, loads the referenced files, and validates the result —
+// the daemon's main() only parses flags and handles errors.
+type ServeOptions struct {
+	// SchemaPath is a schema JSON file; empty boots the built-in synthetic
+	// financial-institute schema (Size/Seed control the generator).
+	SchemaPath string
+	// RulesPath is a rule file. Required with SchemaPath; optional with the
+	// synthetic schema (empty: the generated incumbent rules).
+	RulesPath string
+	// HistoryPath continues a JSON rule history (the stateless persistence
+	// mode; mutually exclusive with DataDir).
+	HistoryPath string
+	// DataDir enables durable serving state (WAL + snapshots).
+	DataDir string
+	// Fsync, FsyncInterval, SnapshotInterval and WALSegmentBytes are the
+	// durability knobs (see serve.Config); they require DataDir.
+	Fsync            string
+	FsyncInterval    time.Duration
+	SnapshotInterval time.Duration
+	WALSegmentBytes  int64
+	// Size and Seed parameterize the synthetic dataset when SchemaPath is
+	// empty.
+	Size int
+	Seed int64
+	// Workers, MaxBatch, Drain and TraceCapacity map onto the serve.Config
+	// fields of the same names (0 means the serving default).
+	Workers       int
+	MaxBatch      int
+	Drain         time.Duration
+	TraceCapacity int
+	// Logger receives the daemon's structured logs.
+	Logger *slog.Logger
+}
+
+// ServerConfig builds and validates the serving configuration from the
+// options. Every error is actionable at the flag level.
+func (o ServeOptions) ServerConfig() (serve.Config, error) {
+	cfg := serve.Config{
+		Workers:          o.Workers,
+		MaxBatch:         o.MaxBatch,
+		DrainTimeout:     o.Drain,
+		TraceCapacity:    o.TraceCapacity,
+		Logger:           o.Logger,
+		DataDir:          o.DataDir,
+		Fsync:            o.Fsync,
+		FsyncInterval:    o.FsyncInterval,
+		SnapshotInterval: o.SnapshotInterval,
+		WALSegmentBytes:  o.WALSegmentBytes,
+	}
+	if o.HistoryPath != "" && o.DataDir != "" {
+		return serve.Config{}, errors.New("-history and -data-dir are mutually exclusive: the data directory persists its own version history")
+	}
+
+	if o.SchemaPath != "" {
+		if o.RulesPath == "" {
+			return serve.Config{}, errors.New("-schema requires -rules (the synthetic dataset brings its own incumbent rules)")
+		}
+		schema, err := LoadSchema(o.SchemaPath)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		ruleSet, err := LoadRules(o.RulesPath, schema)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.Schema, cfg.Rules = schema, ruleSet
+	} else {
+		ds := datagen.Generate(datagen.Config{Size: o.Size, Seed: o.Seed})
+		cfg.Schema = ds.Schema
+		if o.RulesPath != "" {
+			ruleSet, err := LoadRules(o.RulesPath, ds.Schema)
+			if err != nil {
+				return serve.Config{}, err
+			}
+			cfg.Rules = ruleSet
+		} else {
+			cfg.Rules = datagen.InitialRules(ds, 0, o.Seed)
+		}
+		// The synthetic FI schema has a day attribute that must not separate
+		// clusters during /v1/refine.
+		cfg.Refine.Clusterer = datagen.Clusterer()
+	}
+
+	if o.HistoryPath != "" {
+		hist, err := LoadOrNewHistory(o.HistoryPath, cfg.Schema)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.History = hist
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return serve.Config{}, err
+	}
+	return cfg, nil
+}

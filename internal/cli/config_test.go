@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeOptionsSynthetic: the zero-config path boots the synthetic
+// dataset with incumbent rules and validates.
+func TestServeOptionsSynthetic(t *testing.T) {
+	cfg, err := (ServeOptions{Size: 200, Seed: 1}).ServerConfig()
+	if err != nil {
+		t.Fatalf("ServerConfig: %v", err)
+	}
+	if cfg.Schema == nil || cfg.Rules == nil || cfg.Rules.Len() == 0 {
+		t.Fatalf("synthetic config lacks schema or rules: %+v", cfg)
+	}
+	if cfg.Refine.Clusterer == nil {
+		t.Fatal("synthetic config must pin the dataset clusterer for /v1/refine")
+	}
+}
+
+// TestServeOptionsErrors: flag-level contradictions surface as actionable
+// errors before any server is constructed.
+func TestServeOptionsErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    ServeOptions
+		want string
+	}{
+		{"schema without rules", ServeOptions{SchemaPath: "x.json", Size: 10}, "-schema requires -rules"},
+		{"history with data dir", ServeOptions{HistoryPath: "h.json", DataDir: "d", Size: 10}, "mutually exclusive"},
+		{"fsync without data dir", ServeOptions{Fsync: "never", Size: 10}, "data directory"},
+		{"bad fsync", ServeOptions{DataDir: "d", Fsync: "sometimes", Size: 10}, "unknown fsync policy"},
+		{"missing schema file", ServeOptions{SchemaPath: "does-not-exist.json", RulesPath: "r.txt", Size: 10}, "does-not-exist.json"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.o.ServerConfig()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ServerConfig = %v, want an error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestServeOptionsDurable: the durability knobs pass through to the
+// validated config.
+func TestServeOptionsDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := (ServeOptions{Size: 100, Seed: 1, DataDir: filepath.Join(dir, "state"), Fsync: "never"}).ServerConfig()
+	if err != nil {
+		t.Fatalf("ServerConfig: %v", err)
+	}
+	if cfg.DataDir == "" || cfg.Fsync != "never" {
+		t.Fatalf("durability knobs lost: %+v", cfg)
+	}
+}

@@ -64,10 +64,12 @@ func (st *Store) Latest() (Version, bool) {
 	return st.versions[len(st.versions)-1], true
 }
 
-// Commit snapshots the rule set with the modifications applied since the
-// last commit (pass the new suffix of the session's log, or nil) and returns
-// the new version.
-func (st *Store) Commit(rs *rules.Set, mods []core.Modification, comment string) Version {
+// Build constructs — without committing — the version that Commit would
+// append next: the rule set's textual snapshot plus the serialized
+// modifications, stamped now and numbered len+1. Callers that must make the
+// version durable before applying it (the serving daemon's write-ahead log)
+// Build first, persist, then Append.
+func (st *Store) Build(rs *rules.Set, mods []core.Modification, comment string) Version {
 	v := Version{
 		ID:      len(st.versions) + 1,
 		Time:    st.now(),
@@ -88,8 +90,33 @@ func (st *Store) Commit(rs *rules.Set, mods []core.Modification, comment string)
 		}
 		v.Changes = append(v.Changes, c)
 	}
+	return v
+}
+
+// Commit snapshots the rule set with the modifications applied since the
+// last commit (pass the new suffix of the session's log, or nil) and returns
+// the new version.
+func (st *Store) Commit(rs *rules.Set, mods []core.Modification, comment string) Version {
+	v := st.Build(rs, mods, comment)
 	st.versions = append(st.versions, v)
 	return v
+}
+
+// Append restores an already-committed version verbatim — the write-ahead
+// log replay path, where the version id, timestamp and rules were assigned
+// by a previous process and must be preserved exactly. The version must be
+// the next in sequence and its rules must parse against the store's schema.
+func (st *Store) Append(v Version) error {
+	if want := len(st.versions) + 1; v.ID != want {
+		return fmt.Errorf("history: appending version %d, want %d (replay out of order?)", v.ID, want)
+	}
+	for li, text := range v.Rules {
+		if _, err := rules.Parse(st.schema, text); err != nil {
+			return fmt.Errorf("history: version %d rule %d: %w", v.ID, li+1, err)
+		}
+	}
+	st.versions = append(st.versions, v)
+	return nil
 }
 
 // Checkout re-parses the rules of version i against the store's schema.

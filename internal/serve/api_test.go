@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+// readAll drains and closes a response body.
+func readAll(t testing.TB, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// noRedirect returns a client that surfaces 3xx responses instead of
+// following them, so the legacy-path contract is observable.
+func noRedirect() *http.Client {
+	return &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+}
+
+// TestLegacyRedirects: every legacy unversioned path answers 308 Permanent
+// Redirect to its /v1 successor, with Deprecation and Link headers, and the
+// query string preserved. 308 (not 301) so POST bodies survive the hop.
+func TestLegacyRedirects(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+	client := noRedirect()
+
+	for _, base := range []string{"score", "rules", "feedback", "refine", "stats", "schema", "trace"} {
+		resp, err := client.Get(ts.URL + "/" + base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("GET /%s = %d, want 308", base, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1/"+base {
+			t.Errorf("GET /%s Location = %q, want /v1/%s", base, loc, base)
+		}
+		if resp.Header.Get("Deprecation") == "" {
+			t.Errorf("GET /%s: missing Deprecation header", base)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "successor-version") {
+			t.Errorf("GET /%s Link = %q, want a successor-version relation", base, link)
+		}
+	}
+
+	// The query string survives the redirect.
+	resp, err := client.Get(ts.URL + "/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if loc := resp.Header.Get("Location"); loc != "/v1/trace?format=jsonl" {
+		t.Errorf("redirect Location = %q, want query preserved", loc)
+	}
+
+	// Infra endpoints stay unversioned: no redirect.
+	for _, p := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := client.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (no redirect)", p, resp.StatusCode)
+		}
+	}
+
+	// And a POST through the redirect lands with its body intact (the
+	// default client follows 308 preserving method and body).
+	var sr scoreResponse
+	code, body := postJSON(t, ts.URL+"/score", tx(500, 3, 9), &sr)
+	if code != http.StatusOK || sr.Count != 1 {
+		t.Fatalf("POST via legacy /score = %d (%s), want the batch to survive the 308", code, body)
+	}
+}
+
+// TestErrorEnvelope: every failure mode answers the uniform envelope with a
+// stable code and the request id.
+func TestErrorEnvelope(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+
+	check := func(t *testing.T, code int, body, wantCode string, wantStatus int) {
+		t.Helper()
+		if code != wantStatus {
+			t.Fatalf("status = %d (%s), want %d", code, body, wantStatus)
+		}
+		var er errorResponse
+		if err := jsonUnmarshal(body, &er); err != nil {
+			t.Fatalf("body %q is not the error envelope: %v", body, err)
+		}
+		if er.Error.Code != wantCode {
+			t.Errorf("code = %q, want %q", er.Error.Code, wantCode)
+		}
+		if er.Error.Message == "" {
+			t.Error("empty error message")
+		}
+	}
+
+	t.Run("bad request", func(t *testing.T) {
+		code, body := postJSON(t, ts.URL+"/v1/score", map[string]any{"transactions": []any{}}, nil)
+		check(t, code, body, CodeBadRequest, http.StatusBadRequest)
+	})
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/score")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		check(t, resp.StatusCode, body, CodeMethodNotAllowed, http.StatusMethodNotAllowed)
+	})
+	t.Run("not found", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		check(t, resp.StatusCode, body, CodeNotFound, http.StatusNotFound)
+	})
+	t.Run("request id present", func(t *testing.T) {
+		code, body := postJSON(t, ts.URL+"/v1/score", map[string]any{"transactions": []any{}}, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("status = %d", code)
+		}
+		var er errorResponse
+		if err := jsonUnmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(er.Error.RequestID, "req-") {
+			t.Errorf("request_id = %q, want a req-… id", er.Error.RequestID)
+		}
+	})
+}
+
+// TestIfMatch: optimistic concurrency on rule publishes via the version
+// ETag.
+func TestIfMatch(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+
+	// GET exposes the current version as a strong ETag.
+	resp, err := http.Get(ts.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	etag := resp.Header.Get("ETag")
+	if etag != `"1"` {
+		t.Fatalf("ETag = %q, want %q", etag, `"1"`)
+	}
+
+	post := func(t *testing.T, ifMatch string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/rules",
+			strings.NewReader(`{"rules":["amount >= 200"],"comment":"cas"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if ifMatch != "" {
+			req.Header.Set("If-Match", ifMatch)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Matching If-Match publishes and bumps the ETag.
+	resp = post(t, etag)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST with matching If-Match = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("ETag"); got != `"2"` {
+		t.Fatalf("post-publish ETag = %q, want %q", got, `"2"`)
+	}
+
+	// The now-stale tag conflicts, and the response carries the current tag.
+	resp = post(t, etag)
+	body = readAll(t, resp)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST with stale If-Match = %d: %s", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := jsonUnmarshal(body, &er); err != nil || er.Error.Code != CodeConflict {
+		t.Fatalf("conflict body = %q (err %v), want code %q", body, err, CodeConflict)
+	}
+	if got := resp.Header.Get("ETag"); got != `"2"` {
+		t.Fatalf("conflict ETag = %q, want the current %q", got, `"2"`)
+	}
+
+	// "*" and absence both bypass the check.
+	resp = post(t, "*")
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST with If-Match: * = %d", resp.StatusCode)
+	}
+	resp = post(t, "")
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST without If-Match = %d", resp.StatusCode)
+	}
+
+	// Garbage is a 400, not a silent bypass.
+	resp = post(t, `"seven"`)
+	body = readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST with bad If-Match = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestConfigValidateBasics covers the non-durability Validate diagnostics.
+func TestConfigValidateBasics(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil || !strings.Contains(err.Error(), "Schema is required") {
+		t.Errorf("Validate of zero Config = %v, want a schema-required error", err)
+	}
+	schema := testSchema(t)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative workers", func(c *Config) { c.Workers = -1 }},
+		{"negative batch", func(c *Config) { c.MaxBatch = -1 }},
+		{"negative body", func(c *Config) { c.MaxBodyBytes = -1 }},
+		{"negative timeout", func(c *Config) { c.ScoreTimeout = -1 }},
+		{"negative trace capacity", func(c *Config) { c.TraceCapacity = -1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Schema: schema}
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate accepted an out-of-range value")
+			}
+		})
+	}
+	// And New refuses what Validate refuses.
+	if _, err := New(Config{Schema: schema, Workers: -1}); err == nil {
+		t.Error("New accepted a config Validate rejects")
+	}
+}

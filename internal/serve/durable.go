@@ -1,0 +1,474 @@
+// Durable serving state: the write-ahead log and snapshot machinery behind
+// Config.DataDir.
+//
+// Layout of the data directory:
+//
+//	<DataDir>/wal/wal-<firstseq>.log   length+CRC32-framed JSONL segments
+//	<DataDir>/snap-<walseq>/           one snapshot: manifest.json,
+//	                                   feedback.csv, history.json, rules.txt
+//
+// Every acknowledged mutation — a /v1/feedback batch, a rule-set publish
+// from /v1/rules or an accepted /v1/refine — is appended to the WAL
+// *before* the in-memory state changes, so the on-disk log is always a
+// superset of what clients were told. Snapshots capture the full state
+// (feedback relation CSV, the complete version history, and a manifest
+// binding them to a WAL position) so replay time stays bounded: on boot the
+// newest valid snapshot is loaded and only WAL records past its position
+// are replayed, in sequence order — feedback appends re-enter the relation
+// exactly as acked, publishes re-enter the history with their original ids
+// and timestamps, and the capture cache is invalidated once at the end (a
+// replayed relation has no valid binding by construction).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// walRecord is the WAL payload: exactly one of Feedback or Publish is set.
+type walRecord struct {
+	// Type is "feedback" or "publish".
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	// Feedback is one acknowledged /v1/feedback batch.
+	Feedback *feedbackWAL `json:"feedback,omitempty"`
+	// Publish is one committed rule-set version, verbatim (id, timestamp,
+	// rule texts, changes) so replay reconstructs the history exactly.
+	Publish *history.Version `json:"publish,omitempty"`
+}
+
+// feedbackWAL is a feedback batch in durable form: raw tuple values (domain
+// values / concept ids), labels and scores, parallel per transaction.
+type feedbackWAL struct {
+	Tuples [][]int64 `json:"tuples"`
+	Labels []uint8   `json:"labels"`
+	Scores []int16   `json:"scores"`
+}
+
+// manifest binds one snapshot to a WAL position and records the state it
+// captured, for post-restore assertions.
+type manifest struct {
+	Format    int       `json:"format"`
+	WALSeq    uint64    `json:"wal_seq"`
+	Version   int       `json:"ruleset_version"`
+	Versions  int       `json:"versions"`
+	Feedback  int       `json:"feedback"`
+	RuleCount int       `json:"rules"`
+	SavedAt   time.Time `json:"saved_at"`
+}
+
+const (
+	manifestFormat = 1
+	manifestFile   = "manifest.json"
+	feedbackFile   = "feedback.csv"
+	historyFile    = "history.json"
+	rulesFile      = "rules.txt"
+	snapPrefix     = "snap-"
+)
+
+// openDurability restores state from cfg.DataDir: newest valid snapshot
+// first, then WAL replay past the snapshot's position. It leaves s.wal open
+// for appending and reports whether any previous state was restored (false
+// on a first boot, where the caller publishes the initial rules — which
+// becomes WAL record 1).
+func (s *Server) openDurability() (restored bool, err error) {
+	dir := s.cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("serve: data dir: %w", err)
+	}
+	snapSeq, err := s.loadLatestSnapshot()
+	if err != nil {
+		return false, err
+	}
+	policy, err := wal.ParseSyncPolicy(s.cfg.Fsync)
+	if err != nil {
+		return false, err // unreachable: Validate already parsed it
+	}
+	applied := 0
+	l, err := wal.Open(wal.Options{
+		Dir:          filepath.Join(dir, "wal"),
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         policy,
+		SyncInterval: s.cfg.FsyncInterval,
+		Logger:       s.log,
+		Tracer:       s.tracer,
+		Counters:     s.walCounters,
+	}, func(e wal.Entry) error {
+		if e.Seq <= snapSeq {
+			return nil // already inside the snapshot
+		}
+		applied++
+		return s.applyWALRecord(e)
+	})
+	if err != nil {
+		return false, err
+	}
+	s.wal = l
+	s.lastSnapSeq = snapSeq
+
+	if v, ok := s.hist.Latest(); ok {
+		rs, err := s.hist.Checkout(s.hist.Len() - 1)
+		if err != nil {
+			l.Close() //nolint:errcheck // already failing
+			return false, err
+		}
+		s.mu.Lock()
+		s.installLocked(rs, index.Compile(s.schema, rs), v)
+		s.mu.Unlock()
+		restored = true
+		s.log.Info("durable state restored",
+			"data_dir", dir, "version", v.ID, "rules", rs.Len(),
+			"feedback", s.feedback.Len(), "snapshot_seq", snapSeq,
+			"replayed_records", applied, "wal_last_seq", l.LastSeq())
+	} else {
+		s.log.Info("data dir is empty, first boot", "data_dir", dir)
+	}
+	return restored, nil
+}
+
+// applyWALRecord applies one replayed record. Records were validated before
+// they were acked, so any failure here means the log and the schema have
+// diverged — fail loud, never guess.
+func (s *Server) applyWALRecord(e wal.Entry) error {
+	var rec walRecord
+	if err := json.Unmarshal(e.Payload, &rec); err != nil {
+		return fmt.Errorf("record %d does not parse: %w", e.Seq, err)
+	}
+	switch rec.Type {
+	case "feedback":
+		fb := rec.Feedback
+		if fb == nil || len(fb.Tuples) != len(fb.Labels) || len(fb.Tuples) != len(fb.Scores) {
+			return fmt.Errorf("record %d: malformed feedback batch", e.Seq)
+		}
+		for i, vals := range fb.Tuples {
+			if _, err := s.feedback.Append(relation.Tuple(vals), relation.Label(fb.Labels[i]), fb.Scores[i]); err != nil {
+				return fmt.Errorf("record %d transaction %d: %w", e.Seq, i, err)
+			}
+		}
+	case "publish":
+		if rec.Publish == nil {
+			return fmt.Errorf("record %d: publish record without a version", e.Seq)
+		}
+		if err := s.hist.Append(*rec.Publish); err != nil {
+			return fmt.Errorf("record %d: %w", e.Seq, err)
+		}
+	default:
+		return fmt.Errorf("record %d: unknown type %q", e.Seq, rec.Type)
+	}
+	return nil
+}
+
+// walAppendFeedback logs one validated feedback batch. Callers hold s.mu.
+func (s *Server) walAppendFeedback(batch *relation.Relation) error {
+	fb := &feedbackWAL{
+		Tuples: make([][]int64, batch.Len()),
+		Labels: make([]uint8, batch.Len()),
+		Scores: make([]int16, batch.Len()),
+	}
+	for i := 0; i < batch.Len(); i++ {
+		fb.Tuples[i] = batch.Tuple(i)
+		fb.Labels[i] = uint8(batch.Label(i))
+		fb.Scores[i] = batch.Score(i)
+	}
+	return s.walAppend(walRecord{Type: "feedback", Time: time.Now(), Feedback: fb})
+}
+
+// walAppendPublish logs one built-but-not-yet-committed version. Callers
+// hold s.mu.
+func (s *Server) walAppendPublish(v history.Version) error {
+	return s.walAppend(walRecord{Type: "publish", Time: v.Time, Publish: &v})
+}
+
+func (s *Server) walAppend(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("marshaling %s record: %w", rec.Type, err)
+	}
+	if _, err := s.wal.Append(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Snapshot writes a consistent snapshot of the serving state (feedback
+// relation CSV, full version history, current rules, and a manifest binding
+// them to the WAL position), then prunes WAL segments the snapshot made
+// redundant and removes older snapshots. No-op (nil) when nothing has been
+// logged since the last snapshot, or when the server is not durable.
+func (s *Server) Snapshot() error {
+	if s.wal == nil {
+		return fmt.Errorf("serve: Snapshot requires Config.DataDir")
+	}
+	sp := s.tracer.Start("snapshot")
+	defer sp.End()
+
+	s.mu.Lock()
+	seq := s.wal.LastSeq()
+	if seq == s.lastSnapSeq {
+		s.mu.Unlock()
+		sp.Bool("skipped", true)
+		return nil
+	}
+	st := s.state.Load()
+	m := manifest{
+		Format:    manifestFormat,
+		WALSeq:    seq,
+		Version:   st.version,
+		Versions:  s.hist.Len(),
+		Feedback:  s.feedback.Len(),
+		RuleCount: st.set.Len(),
+		SavedAt:   time.Now(),
+	}
+	final := filepath.Join(s.cfg.DataDir, snapName(seq))
+	tmp := final + ".tmp"
+	err := s.writeSnapshotLocked(tmp, m, st)
+	s.mu.Unlock()
+	if err != nil {
+		os.RemoveAll(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("serve: publishing snapshot: %w", err)
+	}
+	s.mu.Lock()
+	if seq > s.lastSnapSeq {
+		s.lastSnapSeq = seq
+	}
+	s.mu.Unlock()
+	s.mSnapshots.Inc()
+	sp.Int("wal_seq", int64(seq))
+	sp.Int("feedback", int64(m.Feedback))
+	sp.Int("version", int64(m.Version))
+
+	pruned, err := s.wal.Prune(seq)
+	if err != nil {
+		return err
+	}
+	if err := s.removeOldSnapshots(seq); err != nil {
+		return err
+	}
+	s.log.Info("snapshot written", "wal_seq", seq, "version", m.Version,
+		"feedback", m.Feedback, "pruned_segments", pruned)
+	return nil
+}
+
+// writeSnapshotLocked writes the snapshot files into dir (a temp directory
+// later renamed into place). Callers hold s.mu.
+func (s *Server) writeSnapshotLocked(dir string, m manifest, st *ruleState) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, feedbackFile), func(f *os.File) error {
+		return s.feedback.WriteCSV(f)
+	}); err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(dir, historyFile), func(f *os.File) error {
+		return s.hist.WriteJSON(f)
+	}); err != nil {
+		return err
+	}
+	if err := writeFileSync(filepath.Join(dir, rulesFile), func(f *os.File) error {
+		for _, text := range st.texts {
+			if _, err := fmt.Fprintln(f, text); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// The manifest goes last: a snapshot without a valid manifest is
+	// invisible to the loader, so a crash mid-snapshot can never be loaded.
+	return writeFileSync(filepath.Join(dir, manifestFile), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+func writeFileSync(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("serve: snapshot %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("serve: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// loadLatestSnapshot loads the newest valid snapshot into s.hist and
+// s.feedback and returns its WAL position (0 when no snapshot exists).
+// Snapshots without a parseable manifest are skipped with a warning — a
+// crash mid-rename leaves a .tmp directory the loader never considers.
+func (s *Server) loadLatestSnapshot() (uint64, error) {
+	ents, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: data dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, snapPrefix) || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, snapPrefix), 10, 64)
+		if err != nil {
+			s.log.Warn("ignoring unrecognized snapshot directory", "name", name)
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] }) // newest first
+	for _, seq := range seqs {
+		dir := filepath.Join(s.cfg.DataDir, snapName(seq))
+		m, err := readManifest(filepath.Join(dir, manifestFile))
+		if err != nil {
+			s.log.Warn("skipping snapshot with unreadable manifest", "dir", dir, "err", err)
+			continue
+		}
+		hist, feedback, err := s.readSnapshotState(dir)
+		if err != nil {
+			// Unlike a missing manifest (crash mid-write), a valid manifest
+			// over unreadable state is corruption: fail loud.
+			return 0, fmt.Errorf("serve: snapshot %s: %w", snapName(seq), err)
+		}
+		if hist.Len() != m.Versions || feedback.Len() != m.Feedback {
+			return 0, fmt.Errorf("serve: snapshot %s disagrees with its manifest: %d versions (manifest %d), %d feedback (manifest %d)",
+				snapName(seq), hist.Len(), m.Versions, feedback.Len(), m.Feedback)
+		}
+		s.hist = hist
+		s.feedback = feedback
+		s.log.Info("snapshot loaded", "dir", dir, "wal_seq", m.WALSeq,
+			"version", m.Version, "feedback", m.Feedback)
+		return m.WALSeq, nil
+	}
+	return 0, nil
+}
+
+func (s *Server) readSnapshotState(dir string) (*history.Store, *relation.Relation, error) {
+	hf, err := os.Open(filepath.Join(dir, historyFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer hf.Close()
+	hist, err := history.ReadJSON(hf, s.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ff, err := os.Open(filepath.Join(dir, feedbackFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ff.Close()
+	feedback, err := relation.ReadCSV(s.schema, ff)
+	if err != nil {
+		return nil, nil, err
+	}
+	return hist, feedback, nil
+}
+
+func readManifest(path string) (manifest, error) {
+	var m manifest
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, err
+	}
+	if m.Format != manifestFormat {
+		return m, fmt.Errorf("manifest format %d, this build reads %d", m.Format, manifestFormat)
+	}
+	return m, nil
+}
+
+// removeOldSnapshots deletes every snapshot older than keepSeq and any
+// leftover .tmp directories.
+func (s *Server) removeOldSnapshots(keepSeq uint64) error {
+	ents, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("serve: data dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, snapPrefix) {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.RemoveAll(filepath.Join(s.cfg.DataDir, name)) //nolint:errcheck // best-effort cleanup
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, snapPrefix), 10, 64)
+		if err != nil || n >= keepSeq {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(s.cfg.DataDir, name)); err != nil {
+			return fmt.Errorf("serve: removing old snapshot %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("%s%020d", snapPrefix, seq) }
+
+// snapshotLoop periodically snapshots until Close.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer close(s.snapDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-tick.C:
+			if err := s.Snapshot(); err != nil {
+				s.log.Error("periodic snapshot failed", "err", err)
+			}
+		}
+	}
+}
+
+// Close flushes the durable state — a final snapshot and a WAL fsync — and
+// releases the log. Safe to call more than once; Serve calls it after the
+// drain. Servers without a DataDir close trivially.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+		if s.wal == nil {
+			return
+		}
+		if err := s.Snapshot(); err != nil {
+			s.closeErr = err
+		}
+		if err := s.wal.Sync(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		if err := s.wal.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		s.log.Info("durable state flushed", "data_dir", s.cfg.DataDir)
+	})
+	return s.closeErr
+}

@@ -8,19 +8,35 @@
 // are hot-swapped as analysts iterate. This package is that deployment
 // layer over the repository's evaluation core:
 //
+//   - The public surface is the versioned /v1 API: POST /v1/score,
+//     GET+POST /v1/rules, POST /v1/feedback, POST /v1/refine, GET
+//     /v1/stats, GET /v1/schema, GET /v1/trace. The pre-/v1 unversioned
+//     paths answer 308 Permanent Redirect to their /v1 successors with a
+//     Deprecation header, for one release. Every non-2xx JSON response
+//     carries the uniform error envelope
+//     {"error":{"code","message","request_id"}} with stable machine codes.
 //   - The published rule set lives behind an atomic pointer as a
 //     ruleState (rule set + compiled index.Evaluator + version). Scoring
 //     requests load the pointer exactly once, so every response is
 //     consistent with exactly one version; swaps compile off to the side
 //     and publish with a single atomic store (no torn reads, no locks on
-//     the hot path — serve_test.go hammers this under -race).
+//     the hot path — serve_test.go hammers this under -race). POST
+//     /v1/rules accepts If-Match on the version for optimistic
+//     concurrency (409 conflict on mismatch).
 //   - Versions are committed to an internal/history store: every
-//     POST /rules swap and every /refine round is a durable, diffable
-//     rule-set version, mirroring the FI change histories of the paper.
+//     POST /v1/rules swap and every /v1/refine round is a durable,
+//     diffable rule-set version, mirroring the FI change histories of the
+//     paper.
+//   - With Config.DataDir set, serving state is durable: every feedback
+//     batch and every publish is written to an internal/wal write-ahead
+//     log before it is acknowledged, periodic snapshots bound replay
+//     time, and New replays snapshot+WAL before returning — a crashed
+//     daemon restarts with the exact version and feedback it acked. See
+//     durable.go and DESIGN.md §11.
 //   - Feedback (fraud/legit verdicts, plus unlabeled context traffic)
 //     appends to a server-side relation watched by an incremental
-//     capture.Cache, so POST /refine runs a refinement session in place
-//     and atomically publishes the result.
+//     capture.Cache, so POST /v1/refine runs a refinement session in
+//     place and atomically publishes the result.
 //   - A bounded worker pool (semaphore) caps concurrent scoring
 //     evaluations; inside a slot, batches reuse the chunk-parallel
 //     compiled evaluator.
@@ -39,7 +55,7 @@ import (
 	"mime"
 	"net"
 	"net/http"
-	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,66 +63,13 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
-	"repro/internal/expert"
 	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
-)
-
-// Config parameterizes a Server. Schema is required; everything else has
-// serving-grade defaults.
-type Config struct {
-	// Schema of the transaction relation the daemon scores.
-	Schema *relation.Schema
-	// Rules is the initial rule set (may be empty; swap one in later).
-	Rules *rules.Set
-	// History receives every published version; nil means a fresh store.
-	History *history.Store
-	// Workers bounds concurrently evaluating scoring requests (the worker
-	// pool). 0 means 2×GOMAXPROCS slots.
-	Workers int
-	// MaxBatch caps transactions per /score or /feedback request.
-	// 0 means DefaultMaxBatch.
-	MaxBatch int
-	// MaxBodyBytes caps request bodies. 0 means DefaultMaxBodyBytes.
-	MaxBodyBytes int64
-	// ScoreTimeout, SwapTimeout, FeedbackTimeout and RefineTimeout bound
-	// the respective endpoints (0 means the package defaults).
-	ScoreTimeout    time.Duration
-	SwapTimeout     time.Duration
-	FeedbackTimeout time.Duration
-	RefineTimeout   time.Duration
-	// DrainTimeout bounds the graceful shutdown in Serve.
-	DrainTimeout time.Duration
-	// Refine configures the sessions run by POST /refine.
-	Refine core.Options
-	// Expert reviews /refine proposals; nil means the auto-accepting
-	// expert (the paper's unattended RUDOLF⁻ mode — a serving daemon has
-	// no terminal to put an analyst on).
-	Expert core.Expert
-	// Registry receives the daemon's metrics; nil means a fresh registry.
-	Registry *telemetry.Registry
-	// TraceCapacity sizes the daemon's span ring buffer (GET /trace serves
-	// its contents). 0 means trace.DefaultCapacity. The daemon always owns
-	// its tracer: span completions also feed the refinement-duration and
-	// expert-query metrics.
-	TraceCapacity int
-	// Logger receives structured operational logs (publishes, refinements,
-	// drains). Nil discards them, keeping tests and library callers quiet.
-	Logger *slog.Logger
-}
-
-// Defaults for the zero Config values.
-const (
-	DefaultMaxBatch     = 4096
-	DefaultMaxBodyBytes = 8 << 20
-	DefaultScoreTimeout = 5 * time.Second
-	DefaultSwapTimeout  = 10 * time.Second
-	DefaultRefine       = 120 * time.Second
-	DefaultDrain        = 10 * time.Second
+	"repro/internal/wal"
 )
 
 // ruleState is one published version: the rule set, its compiled evaluator
@@ -120,7 +83,8 @@ type ruleState struct {
 }
 
 // Server is the scoring daemon. Create with New, mount via Handler, run
-// with Serve (or any http.Server).
+// with Serve (or any http.Server; call Close on teardown when running
+// outside Serve).
 type Server struct {
 	cfg    Config
 	schema *relation.Schema
@@ -128,8 +92,8 @@ type Server struct {
 	state atomic.Pointer[ruleState]
 
 	// mu serializes control-plane state: rule swaps, history commits,
-	// feedback appends, the capture cache and refinement. The scoring data
-	// plane never takes it.
+	// feedback appends, WAL writes, snapshots, the capture cache and
+	// refinement. The scoring data plane never takes it.
 	mu       sync.Mutex
 	hist     *history.Store
 	feedback *relation.Relation
@@ -146,6 +110,7 @@ type Server struct {
 	mBatchLat     *telemetry.Histogram
 	mInflight     *telemetry.Gauge
 	mVersion      *telemetry.Gauge
+	mRulesetVer   *telemetry.Gauge
 	mRuleCount    *telemetry.Gauge
 	mSwaps        *telemetry.Counter
 	mRefines      *telemetry.Counter
@@ -156,6 +121,16 @@ type Server struct {
 	mExpertSplit  *telemetry.Counter
 	mRefineHits   *telemetry.Counter
 	mRefineMisses *telemetry.Counter
+	mSnapshots    *telemetry.Counter
+	walCounters   wal.Counters
+
+	// Durability (nil / zero when Config.DataDir is empty; see durable.go).
+	wal         *wal.Log
+	lastSnapSeq uint64
+	snapStop    chan struct{}
+	snapDone    chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
 
 	// tracer records request/refinement spans; reqSeq numbers requests for
 	// the X-Request-Id header echoed in every JSON response.
@@ -164,54 +139,18 @@ type Server struct {
 	log    *slog.Logger
 }
 
-// New builds a Server and publishes version 1 from cfg.Rules.
+// New validates cfg, restores any durable state under cfg.DataDir (snapshot
+// plus write-ahead log, replayed before New returns, so the server is never
+// reachable with half-restored state), and publishes the initial rules as
+// version 1 on a first boot.
 func New(cfg Config) (*Server, error) {
-	if cfg.Schema == nil {
-		return nil, errors.New("serve: Config.Schema is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Rules == nil {
-		cfg.Rules = rules.NewSet()
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 2 * maxProcs()
-	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = DefaultMaxBatch
-	}
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = DefaultMaxBodyBytes
-	}
-	if cfg.ScoreTimeout <= 0 {
-		cfg.ScoreTimeout = DefaultScoreTimeout
-	}
-	if cfg.SwapTimeout <= 0 {
-		cfg.SwapTimeout = DefaultSwapTimeout
-	}
-	if cfg.FeedbackTimeout <= 0 {
-		cfg.FeedbackTimeout = DefaultSwapTimeout
-	}
-	if cfg.RefineTimeout <= 0 {
-		cfg.RefineTimeout = DefaultRefine
-	}
-	if cfg.DrainTimeout <= 0 {
-		cfg.DrainTimeout = DefaultDrain
-	}
-	if cfg.Expert == nil {
-		// The auto-accepting expert: a serving daemon has no terminal to
-		// put an analyst on, so /refine defaults to the paper's unattended
-		// RUDOLF⁻ mode.
-		cfg.Expert = &expert.AutoAccept{}
-	}
-	if cfg.Registry == nil {
-		cfg.Registry = telemetry.NewRegistry()
-	}
+	cfg = cfg.withDefaults()
 	hist := cfg.History
 	if hist == nil {
 		hist = history.NewStore(cfg.Schema)
-	}
-	logger := cfg.Logger
-	if logger == nil {
-		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -221,7 +160,7 @@ func New(cfg Config) (*Server, error) {
 		cache:    capture.New(),
 		sem:      make(chan struct{}, cfg.Workers),
 		reg:      cfg.Registry,
-		log:      logger,
+		log:      cfg.Logger,
 	}
 	s.initMetrics()
 	// The tracer's completion hook derives the refinement metrics straight
@@ -237,17 +176,37 @@ func New(cfg Config) (*Server, error) {
 		}
 	}})
 	s.cache.Tracer = s.tracer
-	s.mu.Lock()
-	s.publishLocked(cfg.Rules.Clone(), nil, "initial rules")
-	s.mu.Unlock()
+
+	restored := false
+	if cfg.DataDir != "" {
+		var err error
+		restored, err = s.openDurability()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !restored {
+		s.mu.Lock()
+		_, err := s.publishLocked(cfg.Rules.Clone(), nil, "initial rules")
+		s.mu.Unlock()
+		if err != nil {
+			if s.wal != nil {
+				s.wal.Close() //nolint:errcheck // already failing
+			}
+			return nil, err
+		}
+	}
+	if s.wal != nil && cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
 	return s, nil
 }
 
 // Tracer returns the daemon's span tracer (never nil), for callers that want
-// to dump traces out of band of GET /trace.
+// to dump traces out of band of GET /v1/trace.
 func (s *Server) Tracer() *trace.Tracer { return s.tracer }
-
-func maxProcs() int { return runtime.GOMAXPROCS(0) }
 
 func (s *Server) initMetrics() {
 	r := s.reg
@@ -257,19 +216,26 @@ func (s *Server) initMetrics() {
 	r.Help("rudolf_score_batch_latency_seconds", "Whole-request scoring latency.")
 	r.Help("rudolf_score_inflight", "Scoring requests currently holding a worker slot.")
 	r.Help("rudolf_rules_version", "Published rule-set version (history id).")
+	r.Help("rudolf_ruleset_version", "Published rule-set version (history id); survives restarts via the WAL.")
 	r.Help("rudolf_rules_count", "Rules in the published set.")
 	r.Help("rudolf_rule_swaps_total", "Rule-set publishes (swaps + refines + initial).")
-	r.Help("rudolf_refines_total", "Completed /refine rounds.")
+	r.Help("rudolf_refines_total", "Completed /v1/refine rounds.")
 	r.Help("rudolf_feedback_tx_total", "Feedback transactions ingested, by label.")
 	r.Help("rudolf_capture_cache_hits_total", "Capture-cache queries answered incrementally, by caller.")
 	r.Help("rudolf_capture_cache_misses_total", "Capture-cache queries that forced a full rebind, by caller.")
 	r.Help("rudolf_refine_round_duration_seconds", "Wall-clock duration of one generalize+specialize refinement round.")
 	r.Help("rudolf_expert_queries_total", "Expert proposals reviewed during refinement, by proposal kind.")
+	r.Help("rudolf_wal_appends_total", "Records appended to the write-ahead log.")
+	r.Help("rudolf_wal_fsyncs_total", "fsync(2) calls issued by the write-ahead log.")
+	r.Help("rudolf_wal_replayed_records_total", "Durable WAL records replayed at boot.")
+	r.Help("rudolf_wal_torn_tail_drops_total", "Torn final WAL records dropped at boot.")
+	r.Help("rudolf_snapshots_total", "Durable snapshots written.")
 	s.mScoreTx = r.Counter("rudolf_score_tx_total")
 	s.mScoreLat = r.Histogram("rudolf_score_latency_seconds", nil)
 	s.mBatchLat = r.Histogram("rudolf_score_batch_latency_seconds", nil)
 	s.mInflight = r.Gauge("rudolf_score_inflight")
 	s.mVersion = r.Gauge("rudolf_rules_version")
+	s.mRulesetVer = r.Gauge("rudolf_ruleset_version")
 	s.mRuleCount = r.Gauge("rudolf_rules_count")
 	s.mSwaps = r.Counter("rudolf_rule_swaps_total")
 	s.mRefines = r.Counter("rudolf_refines_total")
@@ -280,13 +246,42 @@ func (s *Server) initMetrics() {
 	s.mRoundDur = r.Histogram("rudolf_refine_round_duration_seconds", nil)
 	s.mExpertGen = r.Counter(`rudolf_expert_queries_total{kind="generalization"}`)
 	s.mExpertSplit = r.Counter(`rudolf_expert_queries_total{kind="split"}`)
+	s.mSnapshots = r.Counter("rudolf_snapshots_total")
+	s.walCounters = wal.Counters{
+		Appends:       r.Counter("rudolf_wal_appends_total"),
+		Fsyncs:        r.Counter("rudolf_wal_fsyncs_total"),
+		Replayed:      r.Counter("rudolf_wal_replayed_records_total"),
+		TornTailDrops: r.Counter("rudolf_wal_torn_tail_drops_total"),
+	}
 }
 
-// publishLocked compiles rs, commits it to history and atomically publishes
-// the new state. Callers hold s.mu.
-func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment string) *ruleState {
+// publishLocked compiles rs, logs the publish to the WAL (when durable),
+// commits it to history and atomically publishes the new state. The WAL
+// write happens before any in-memory state changes: a publish that cannot
+// be made durable is not made at all. Callers hold s.mu.
+func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment string) (*ruleState, error) {
 	ev := index.Compile(s.schema, rs)
-	v := s.hist.Commit(rs, mods, comment)
+	v := s.hist.Build(rs, mods, comment)
+	if s.wal != nil {
+		if err := s.walAppendPublish(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.hist.Append(v); err != nil {
+		// Unreachable by construction (Build assigns the next id and the
+		// rules came from a parsed set); fail loud rather than diverge from
+		// the WAL.
+		return nil, fmt.Errorf("serve: committing version %d: %w", v.ID, err)
+	}
+	st := s.installLocked(rs, ev, v)
+	s.mSwaps.Inc()
+	s.log.Info("rules published", "version", st.version, "rules", rs.Len(), "comment", comment)
+	return st, nil
+}
+
+// installLocked atomically publishes an already-committed version (the
+// shared tail of live publishes and WAL replay). Callers hold s.mu.
+func (s *Server) installLocked(rs *rules.Set, ev *index.Evaluator, v history.Version) *ruleState {
 	st := &ruleState{version: v.ID, set: rs, ev: ev, texts: v.Rules}
 	s.state.Store(st)
 	// The capture cache mirrors the published rules over the feedback
@@ -294,9 +289,8 @@ func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment 
 	// across a swap, so length-drift detection is not enough).
 	s.cache.Invalidate()
 	s.mVersion.Set(int64(st.version))
+	s.mRulesetVer.Set(int64(st.version))
 	s.mRuleCount.Set(int64(rs.Len()))
-	s.mSwaps.Inc()
-	s.log.Info("rules published", "version", st.version, "rules", rs.Len(), "comment", comment)
 	return st
 }
 
@@ -324,27 +318,76 @@ func (s *Server) History() *history.Store { return s.hist }
 // Registry returns the server's telemetry registry.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// FeedbackLen returns the number of feedback transactions ingested (live
+// plus replayed).
+func (s *Server) FeedbackLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feedback.Len()
+}
+
 // SetDraining flips readiness: a draining server answers /readyz with 503
 // so load balancers stop routing to it, while in-flight and late requests
 // still complete.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
-// Handler returns the daemon's route table.
+// v1Routes maps the route basename (also the request-span suffix) to its
+// handler constructor; shared by the /v1 table and the legacy redirects.
+func (s *Server) v1Routes() []struct {
+	base string
+	h    http.Handler
+} {
+	return []struct {
+		base string
+		h    http.Handler
+	}{
+		{"score", s.timeout(http.HandlerFunc(s.handleScore), s.cfg.ScoreTimeout)},
+		{"rules", s.timeout(http.HandlerFunc(s.handleRules), s.cfg.SwapTimeout)},
+		{"feedback", s.timeout(http.HandlerFunc(s.handleFeedback), s.cfg.FeedbackTimeout)},
+		{"refine", s.timeout(http.HandlerFunc(s.handleRefine), s.cfg.RefineTimeout)},
+		{"stats", http.HandlerFunc(s.handleStats)},
+		{"schema", http.HandlerFunc(s.handleSchema)},
+	}
+}
+
+// Handler returns the daemon's route table: the versioned /v1 surface,
+// 308 redirects from the legacy unversioned paths (with a Deprecation
+// header), and the unversioned infrastructure endpoints (/healthz, /readyz,
+// /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/score", s.instrument("/score", s.timeout(http.HandlerFunc(s.handleScore), s.cfg.ScoreTimeout)))
-	mux.Handle("/rules", s.instrument("/rules", s.timeout(http.HandlerFunc(s.handleRules), s.cfg.SwapTimeout)))
-	mux.Handle("/feedback", s.instrument("/feedback", s.timeout(http.HandlerFunc(s.handleFeedback), s.cfg.FeedbackTimeout)))
-	mux.Handle("/refine", s.instrument("/refine", s.timeout(http.HandlerFunc(s.handleRefine), s.cfg.RefineTimeout)))
-	mux.Handle("/stats", s.instrument("/stats", http.HandlerFunc(s.handleStats)))
-	mux.Handle("/schema", s.instrument("/schema", http.HandlerFunc(s.handleSchema)))
+	for _, rt := range s.v1Routes() {
+		path := "/v1/" + rt.base
+		mux.Handle(path, s.instrument(path, rt.base, rt.h))
+		mux.Handle("/"+rt.base, legacyRedirect(path))
+	}
+	// /v1/trace is deliberately uninstrumented: fetching the trace must not
+	// append request spans to the very ring being exported.
+	mux.Handle("/v1/trace", http.HandlerFunc(s.handleTrace))
+	mux.Handle("/trace", legacyRedirect("/v1/trace"))
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
 	mux.Handle("/metrics", s.reg.Handler())
-	// /trace is deliberately uninstrumented: fetching the trace must not
-	// append request spans to the very ring being exported.
-	mux.Handle("/trace", http.HandlerFunc(s.handleTrace))
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErrorID(w, "", http.StatusNotFound, CodeNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
+	}))
 	return mux
+}
+
+// legacyRedirect answers the pre-/v1 unversioned paths: a 308 Permanent
+// Redirect to the /v1 successor (308 preserves method and body, so POSTs
+// survive the hop) plus a Deprecation header and a successor-version Link,
+// kept for one release.
+func legacyRedirect(target string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", target, "successor-version"))
+		u := target
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, u, http.StatusPermanentRedirect)
+	})
 }
 
 // handleTrace exports the daemon's recent spans: Chrome trace_event JSON by
@@ -352,7 +395,7 @@ func (s *Server) Handler() http.Handler {
 // ?format=jsonl.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	recs := s.tracer.Snapshot()
@@ -364,13 +407,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		trace.WriteJSONL(w, recs) //nolint:errcheck // client gone: nothing to do
 	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q (want chrome or jsonl)", f)
+		writeErrorID(w, "", http.StatusBadRequest, CodeBadRequest, "unknown format %q (want chrome or jsonl)", f)
 	}
 }
 
 // Serve runs the daemon on ln until ctx is canceled, then drains: readiness
-// flips first, then the listener closes and in-flight requests get
-// DrainTimeout to finish.
+// flips first, then the listener closes, in-flight requests get
+// DrainTimeout to finish, and the durable state is flushed (final snapshot
+// + WAL fsync) via Close.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
@@ -381,6 +425,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
+		s.Close() //nolint:errcheck // serve error wins
 		return err
 	case <-ctx.Done():
 	}
@@ -389,18 +434,21 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
+		s.Close() //nolint:errcheck // drain error wins
 		return fmt.Errorf("serve: drain: %w", err)
 	}
 	<-errc // hs.Serve returned http.ErrServerClosed
-	return nil
+	return s.Close()
 }
 
-// timeout wraps h with http.TimeoutHandler unless d <= 0.
+// timeout wraps h with http.TimeoutHandler unless d <= 0. The timeout body
+// is the uniform error envelope (no request id: the handler goroutine owns
+// the request context by then).
 func (s *Server) timeout(h http.Handler, d time.Duration) http.Handler {
 	if d <= 0 {
 		return h
 	}
-	return http.TimeoutHandler(h, d, `{"error":"request timed out"}`)
+	return http.TimeoutHandler(h, d, `{"error":{"code":"timeout","message":"request timed out"}}`)
 }
 
 // statusWriter records the response code for the request counter.
@@ -441,10 +489,11 @@ func requestMeta(r *http.Request) reqMeta {
 
 // instrument applies the body limit, mints a request id (echoed as the
 // X-Request-Id header and the request_id field of JSON responses), opens a
-// per-request span named after the route, and counts the request by path and
-// status code. The span id makes responses joinable against GET /trace.
-func (s *Server) instrument(path string, h http.Handler) http.Handler {
-	name := "request." + strings.TrimPrefix(path, "/")
+// per-request span named request.<base> (stable across API versions), and
+// counts the request by path and status code. The span id makes responses
+// joinable against GET /v1/trace.
+func (s *Server) instrument(path, base string, h http.Handler) http.Handler {
+	name := "request." + base
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
@@ -463,14 +512,38 @@ func (s *Server) instrument(path string, h http.Handler) http.Handler {
 	})
 }
 
+// Stable machine codes of the uniform error envelope. Clients switch on
+// these, never on message text.
+const (
+	CodeBadRequest       = "bad_request"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"
+	CodeNotFound         = "not_found"
+	CodeNotReady         = "not_ready"
+	CodeTimeout          = "timeout"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+)
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone: nothing to do
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the uniform error envelope, carrying the request's id so
+// failures are joinable against GET /v1/trace like successes are.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeErrorID(w, requestMeta(r).id, status, code, format, args...)
+}
+
+func writeErrorID(w http.ResponseWriter, requestID string, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: errorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: requestID,
+	}})
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -478,10 +551,10 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err)
 		return false
 	}
 	return true
@@ -534,7 +607,7 @@ func (s *Server) release() {
 // handleScore evaluates a batch against exactly one published version.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req scoreRequest
@@ -546,20 +619,20 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		txs = []txIn{{Attrs: req.Attrs, Score: req.Score}}
 	}
 	if len(txs) == 0 {
-		httpError(w, http.StatusBadRequest, "no transactions")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
 		return
 	}
 	if len(txs) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds max %d", len(txs), s.cfg.MaxBatch)
+		writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(txs), s.cfg.MaxBatch)
 		return
 	}
 	rel, _, err := s.buildRelation(txs, false)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if !s.acquire(r.Context()) {
-		httpError(w, http.StatusServiceUnavailable, "canceled while queued for a worker slot")
+		writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "canceled while queued for a worker slot")
 		return
 	}
 	meta := requestMeta(r)
@@ -582,40 +655,82 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleRules serves the published rules (GET) and hot-swaps a new set
-// (POST): parse + compile off to the side, then one atomic publish.
+// handleRules serves the published rules (GET, with the version as an ETag)
+// and hot-swaps a new set (POST): parse + compile off to the side, then one
+// atomic publish. POST honors If-Match on the version for optimistic
+// concurrency — two racing operators cannot silently clobber each other.
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		st := s.state.Load()
+		w.Header().Set("ETag", versionETag(st.version))
 		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	case http.MethodPost:
+		wantVersion, ok, err := parseIfMatch(r.Header.Get("If-Match"))
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			return
+		}
 		texts, comment, err := readRulesBody(r)
 		if err != nil {
-			status := http.StatusBadRequest
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				status = http.StatusRequestEntityTooLarge
+				writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "%v", err)
+				return
 			}
-			httpError(w, status, "%v", err)
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 			return
 		}
 		rs := rules.NewSet()
 		for i, text := range texts {
 			rule, err := rules.Parse(s.schema, text)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "rule %d: %v", i+1, err)
+				writeError(w, r, http.StatusBadRequest, CodeBadRequest, "rule %d: %v", i+1, err)
 				return
 			}
 			rs.Add(rule)
 		}
 		s.mu.Lock()
-		st := s.publishLocked(rs, nil, comment)
+		if ok {
+			if cur := s.state.Load().version; cur != wantVersion {
+				s.mu.Unlock()
+				w.Header().Set("ETag", versionETag(cur))
+				writeError(w, r, http.StatusConflict, CodeConflict,
+					"published version is %d, If-Match wanted %d (re-read /v1/rules and retry)", cur, wantVersion)
+				return
+			}
+		}
+		st, err := s.publishLocked(rs, nil, comment)
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts)})
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting publish: %v", err)
+			return
+		}
+		w.Header().Set("ETag", versionETag(st.version))
+		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
 	}
+}
+
+// versionETag renders a rule-set version as a strong entity tag.
+func versionETag(v int) string { return fmt.Sprintf("%q", strconv.Itoa(v)) }
+
+// parseIfMatch parses an If-Match header carrying a rule-set version as
+// written by versionETag (quotes optional; "*" matches anything and is
+// reported as absent).
+func parseIfMatch(h string) (version int, ok bool, err error) {
+	h = strings.TrimSpace(h)
+	if h == "" || h == "*" {
+		return 0, false, nil
+	}
+	h = strings.TrimPrefix(h, "W/")
+	h = strings.Trim(h, `"`)
+	v, perr := strconv.Atoi(h)
+	if perr != nil || v < 0 {
+		return 0, false, fmt.Errorf("bad If-Match %q (want a rule-set version like %s)", h, versionETag(7))
+	}
+	return v, true, nil
 }
 
 // readRulesBody accepts either the JSON swap request or a text/plain rule
@@ -629,7 +744,7 @@ func readRulesBody(r *http.Request) (texts []string, comment string, err error) 
 			return nil, "", fmt.Errorf("bad JSON: %w", err)
 		}
 		if req.Comment == "" {
-			req.Comment = "POST /rules"
+			req.Comment = "POST /v1/rules"
 		}
 		return req.Rules, req.Comment, nil
 	}
@@ -644,14 +759,15 @@ func readRulesBody(r *http.Request) (texts []string, comment string, err error) 
 		}
 		texts = append(texts, line)
 	}
-	return texts, "POST /rules", nil
+	return texts, "POST /v1/rules", nil
 }
 
 // handleFeedback appends labeled transactions to the server-side relation
-// and reports which of them the current rules already capture.
+// (WAL first, when durable) and reports which of them the current rules
+// already capture.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req feedbackRequest
@@ -659,21 +775,28 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Transactions) == 0 {
-		httpError(w, http.StatusBadRequest, "no transactions")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
 		return
 	}
 	if len(req.Transactions) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds max %d", len(req.Transactions), s.cfg.MaxBatch)
+		writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(req.Transactions), s.cfg.MaxBatch)
 		return
 	}
 	// Validate the whole batch before touching server state: feedback is
 	// all-or-nothing.
 	batch, labels, err := s.buildRelation(req.Transactions, true)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
+	if s.wal != nil {
+		if err := s.walAppendFeedback(batch); err != nil {
+			s.mu.Unlock()
+			writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting feedback: %v", err)
+			return
+		}
+	}
 	base := s.feedback.Len()
 	for i := 0; i < batch.Len(); i++ {
 		s.feedback.MustAppend(batch.Tuple(i), batch.Label(i), batch.Score(i))
@@ -708,7 +831,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 // atomically publishes the refined rules.
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req refineRequest
@@ -720,7 +843,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.feedback.Len() == 0 {
-		httpError(w, http.StatusConflict, "no feedback ingested yet")
+		writeError(w, r, http.StatusConflict, CodeConflict, "no feedback ingested yet")
 		return
 	}
 	old := s.state.Load()
@@ -729,7 +852,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		opts.MaxRounds = req.MaxRounds
 	}
 	meta := requestMeta(r)
-	// The session's spans nest under this request's span, so GET /trace
+	// The session's spans nest under this request's span, so GET /v1/trace
 	// shows the whole refinement — rounds, expert queries, capture rebinds —
 	// attributed to the request id echoed in the response.
 	opts.Tracer = s.tracer
@@ -741,9 +864,13 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	s.mRefineMisses.Add(rebinds)
 	comment := req.Comment
 	if comment == "" {
-		comment = fmt.Sprintf("POST /refine over %d feedback transactions", s.feedback.Len())
+		comment = fmt.Sprintf("POST /v1/refine over %d feedback transactions", s.feedback.Len())
 	}
-	st := s.publishLocked(sess.Rules().Clone(), sess.Log().All(), comment)
+	st, err := s.publishLocked(sess.Rules().Clone(), sess.Log().All(), comment)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting refined rules: %v", err)
+		return
+	}
 	s.mRefines.Inc()
 	s.log.Info("refinement complete", "request_id", meta.id,
 		"old_version", old.version, "version", st.version,
@@ -767,7 +894,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 // relation, read off the incremental capture cache.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	s.mu.Lock()
@@ -801,12 +928,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // self-configure.
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.schema.WriteJSON(w); err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
 }
 
@@ -815,12 +942,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz reports readiness. New replays the snapshot and WAL before
+// the server can even be constructed, so a reachable server is a restored
+// server; readiness only flips while draining.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain")
 	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		writeErrorID(w, "", http.StatusServiceUnavailable, CodeNotReady, "draining")
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

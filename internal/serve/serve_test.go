@@ -109,7 +109,7 @@ func TestScoreSingleAndBatch(t *testing.T) {
 
 	// Single-transaction shorthand.
 	var resp scoreResponse
-	code, body := postJSON(t, ts.URL+"/score",
+	code, body := postJSON(t, ts.URL+"/v1/score",
 		map[string]any{"attrs": map[string]any{"amount": 150, "hour": 3}, "score": 10}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("single score: %d %s", code, body)
@@ -119,7 +119,7 @@ func TestScoreSingleAndBatch(t *testing.T) {
 	}
 
 	// Batch with mixed verdicts; string-form values parse too.
-	code, body = postJSON(t, ts.URL+"/score", map[string]any{
+	code, body = postJSON(t, ts.URL+"/v1/score", map[string]any{
 		"transactions": []any{
 			tx(150, 3, 10),
 			tx(50, 3, 10),
@@ -157,14 +157,14 @@ func TestScoreRejectsMalformed(t *testing.T) {
 		{"batch too large", map[string]any{"transactions": []any{tx(1, 1, 1), tx(2, 2, 2), tx(3, 3, 3)}}, http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {
-		code, body := postJSON(t, ts.URL+"/score", tc.body, nil)
+		code, body := postJSON(t, ts.URL+"/v1/score", tc.body, nil)
 		if code != tc.code {
 			t.Errorf("%s: code %d (want %d): %s", tc.name, code, tc.code, body)
 		}
 	}
 
 	// GET is not allowed.
-	if code := getJSON(t, ts.URL+"/score", nil); code != http.StatusMethodNotAllowed {
+	if code := getJSON(t, ts.URL+"/v1/score", nil); code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /score = %d, want 405", code)
 	}
 }
@@ -173,7 +173,7 @@ func TestBodyLimit(t *testing.T) {
 	schema := testSchema(t)
 	_, ts := newTestServer(t, Config{Schema: schema, Rules: rules.NewSet(), MaxBodyBytes: 128})
 	big := strings.Repeat(" ", 1024)
-	resp, err := http.Post(ts.URL+"/score", "application/json", strings.NewReader(`{"pad":"`+big+`"}`))
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(`{"pad":"`+big+`"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestRulesGetAndSwap(t *testing.T) {
 	s, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
 
 	var got rulesResponse
-	if code := getJSON(t, ts.URL+"/rules", &got); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/rules", &got); code != http.StatusOK {
 		t.Fatalf("GET /rules: %d", code)
 	}
 	if got.Version != 1 || got.Count != 1 || len(got.Rules) != 1 {
@@ -197,7 +197,7 @@ func TestRulesGetAndSwap(t *testing.T) {
 
 	// JSON swap.
 	var swapped rulesResponse
-	code, body := postJSON(t, ts.URL+"/rules",
+	code, body := postJSON(t, ts.URL+"/v1/rules",
 		rulesSwapRequest{Rules: []string{"amount <= 50", "hour in [0,6]"}}, &swapped)
 	if code != http.StatusOK {
 		t.Fatalf("POST /rules: %d %s", code, body)
@@ -210,7 +210,7 @@ func TestRulesGetAndSwap(t *testing.T) {
 	}
 
 	// Bad rule text is rejected and nothing is published.
-	code, body = postJSON(t, ts.URL+"/rules", rulesSwapRequest{Rules: []string{"no such attr >= 5"}}, nil)
+	code, body = postJSON(t, ts.URL+"/v1/rules", rulesSwapRequest{Rules: []string{"no such attr >= 5"}}, nil)
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad rule: %d %s", code, body)
 	}
@@ -219,7 +219,7 @@ func TestRulesGetAndSwap(t *testing.T) {
 	}
 
 	// text/plain rule-file swap.
-	resp, err := http.Post(ts.URL+"/rules", "text/plain",
+	resp, err := http.Post(ts.URL+"/v1/rules", "text/plain",
 		strings.NewReader("# refined by hand\namount >= 200\n\n"))
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +243,7 @@ func TestFeedbackRefineStats(t *testing.T) {
 	s, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
 
 	// Refine before any feedback is a conflict.
-	if code, body := postJSON(t, ts.URL+"/refine", nil, nil); code != http.StatusConflict {
+	if code, body := postJSON(t, ts.URL+"/v1/refine", nil, nil); code != http.StatusConflict {
 		t.Fatalf("refine without feedback: %d %s", code, body)
 	}
 
@@ -255,7 +255,7 @@ func TestFeedbackRefineStats(t *testing.T) {
 		}
 	}
 	var fresp feedbackResponse
-	code, body := postJSON(t, ts.URL+"/feedback", map[string]any{
+	code, body := postJSON(t, ts.URL+"/v1/feedback", map[string]any{
 		"transactions": []any{
 			fb(150, "fraud"),    // already captured
 			fb(90, "fraud"),     // missed: refinement should reach for it
@@ -277,14 +277,14 @@ func TestFeedbackRefineStats(t *testing.T) {
 	}
 
 	// A label outside the vocabulary is rejected wholesale.
-	code, _ = postJSON(t, ts.URL+"/feedback", map[string]any{
+	code, _ = postJSON(t, ts.URL+"/v1/feedback", map[string]any{
 		"transactions": []any{fb(10, "dubious")},
 	}, nil)
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad label: %d", code)
 	}
 	var st statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
 	if st.Feedback != 4 || st.Fraud != 2 || st.FraudCaptured != 1 || st.Legit != 1 || st.Unlabeled != 1 {
@@ -292,7 +292,7 @@ func TestFeedbackRefineStats(t *testing.T) {
 	}
 
 	var rresp refineResponse
-	code, body = postJSON(t, ts.URL+"/refine", refineRequest{MaxRounds: 4}, &rresp)
+	code, body = postJSON(t, ts.URL+"/v1/refine", refineRequest{MaxRounds: 4}, &rresp)
 	if code != http.StatusOK {
 		t.Fatalf("refine: %d %s", code, body)
 	}
@@ -373,7 +373,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
 
 	for i := 0; i < 3; i++ {
-		if code, body := postJSON(t, ts.URL+"/score", tx(150, 3, 10), nil); code != http.StatusOK {
+		if code, body := postJSON(t, ts.URL+"/v1/score", tx(150, 3, 10), nil); code != http.StatusOK {
 			t.Fatalf("score: %d %s", code, body)
 		}
 	}
@@ -393,7 +393,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if v, ok := telemetry.ScrapeValue(page, "rudolf_rules_version"); !ok || v != 1 {
 		t.Fatalf("rudolf_rules_version = %v, %v (want 1)", v, ok)
 	}
-	if v, ok := telemetry.ScrapeValue(page, `rudolf_http_requests_total{path="/score",code="200"}`); !ok || v != 3 {
+	if v, ok := telemetry.ScrapeValue(page, `rudolf_http_requests_total{path="/v1/score",code="200"}`); !ok || v != 3 {
 		t.Fatalf("request counter = %v, %v (want 3)", v, ok)
 	}
 	h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_latency_seconds")
@@ -467,7 +467,7 @@ func TestHotSwapRace(t *testing.T) {
 				text = flagging // version 3, 5, ...
 			}
 			raw, _ := json.Marshal(rulesSwapRequest{Rules: []string{text}})
-			resp, err := http.Post(ts.URL+"/rules", "application/json", bytes.NewReader(raw))
+			resp, err := http.Post(ts.URL+"/v1/rules", "application/json", bytes.NewReader(raw))
 			if err != nil {
 				errs <- fmt.Errorf("swap %d: %v", i, err)
 				return
@@ -494,7 +494,7 @@ func TestHotSwapRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perScorer; i++ {
-				resp, err := http.Post(ts.URL+"/score", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs <- err
 					return

@@ -26,10 +26,10 @@ func refineViaHTTP(t *testing.T, ts string) (resp struct {
 		{"attrs": map[string]any{"amount": int64(150), "hour": int64(12)}, "score": int16(0), "label": "legit"},
 		{"attrs": map[string]any{"amount": int64(60), "hour": int64(9)}, "score": int16(0), "label": "unlabeled"},
 	}}
-	if code, body := postJSON(t, ts+"/feedback", fb, nil); code != http.StatusOK {
+	if code, body := postJSON(t, ts+"/v1/feedback", fb, nil); code != http.StatusOK {
 		t.Fatalf("feedback: %d %s", code, body)
 	}
-	if code, body := postJSON(t, ts+"/refine", map[string]any{}, &resp); code != http.StatusOK {
+	if code, body := postJSON(t, ts+"/v1/refine", map[string]any{}, &resp); code != http.StatusOK {
 		t.Fatalf("refine: %d %s", code, body)
 	}
 	return resp
@@ -46,7 +46,7 @@ func TestRequestIDEchoed(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		var out scoreResponse
 		raw, _ := json.Marshal(map[string]any{"transactions": []map[string]any{tx(150, 10, 0)}})
-		resp, err := http.Post(ts.URL+"/score", "application/json", strings.NewReader(string(raw)))
+		resp, err := http.Post(ts.URL+"/v1/score", "application/json", strings.NewReader(string(raw)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,11 +66,11 @@ func TestRequestIDEchoed(t *testing.T) {
 	}
 
 	var rr rulesResponse
-	if code := getJSON(t, ts.URL+"/rules", &rr); code != http.StatusOK || rr.RequestID == "" {
+	if code := getJSON(t, ts.URL+"/v1/rules", &rr); code != http.StatusOK || rr.RequestID == "" {
 		t.Fatalf("GET /rules code %d request_id %q", code, rr.RequestID)
 	}
 	var sr statsResponse
-	if code := getJSON(t, ts.URL+"/stats", &sr); code != http.StatusOK || sr.RequestID == "" {
+	if code := getJSON(t, ts.URL+"/v1/stats", &sr); code != http.StatusOK || sr.RequestID == "" {
 		t.Fatalf("GET /stats code %d request_id %q", code, sr.RequestID)
 	}
 }
@@ -138,7 +138,7 @@ func TestTraceEndpointAfterRefine(t *testing.T) {
 		t.Fatal("JSONL trace is empty")
 	}
 
-	if code := getJSON(t, ts.URL+"/trace?format=nope", nil); code != http.StatusBadRequest {
+	if code := getJSON(t, ts.URL+"/v1/trace?format=nope", nil); code != http.StatusBadRequest {
 		t.Fatalf("unknown format code = %d, want 400", code)
 	}
 }
@@ -199,7 +199,7 @@ func TestConcurrentScoreTracing(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				var out scoreResponse
-				code, body := postJSON(t, ts.URL+"/score",
+				code, body := postJSON(t, ts.URL+"/v1/score",
 					map[string]any{"transactions": []map[string]any{tx(150, 10, 0)}}, &out)
 				if code != http.StatusOK {
 					t.Errorf("score: %d %s", code, body)

@@ -101,8 +101,19 @@ type statsResponse struct {
 	Unlabeled     int    `json:"unlabeled"`
 }
 
+// errorBody is the payload of the uniform error envelope: a stable
+// machine-readable code (the Code* constants), a human-oriented message,
+// and the request id so clients can correlate failures with server traces.
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorResponse is the uniform error envelope every endpoint (versioned or
+// fallback) writes: {"error":{"code":...,"message":...,"request_id":...}}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
 }
 
 // parseLabel maps the wire label names onto relation labels.

@@ -10,7 +10,7 @@
 //
 // Series names may carry a literal label set, e.g.
 //
-//	reg.Counter(`rudolf_http_requests_total{path="/score",code="200"}`)
+//	reg.Counter(`rudolf_http_requests_total{path="/v1/score",code="200"}`)
 //
 // Series with the same base name (the part before '{') share one # HELP/
 // # TYPE header, matching what Prometheus expects of labeled families.

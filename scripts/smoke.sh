@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Smoke test for the online scoring daemon: boot rudolfd on a random port,
-# drive a generated batch load through /score with cmd/loadgen, swap the
+# drive a generated batch load through /v1/score with cmd/loadgen, swap the
 # rules, and assert that /metrics moved (transactions scored, version
 # bumped). Wired into `make smoke` and the `make ci` chain.
 set -euo pipefail

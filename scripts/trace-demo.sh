@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Trace demo: boot rudolfd on a random port, drive load plus one
 # feedback-driven refinement through it with cmd/loadgen -smoke, then dump
-# GET /trace to a Chrome trace_event JSON file and validate it with
+# GET /v1/trace to a Chrome trace_event JSON file and validate it with
 # scripts/checktrace (well-formed, span tree sound, at least one refine.round
 # span with expert-query descendants). The dumped file loads directly in
 # ui.perfetto.dev. Wired into `make trace-demo` and the `make ci` chain.
@@ -56,9 +56,9 @@ echo "trace-demo: rudolfd is up on $ADDR"
 # the trace must contain.
 "$BIN/loadgen" -url "http://$ADDR" -duration "$DURATION" -concurrency 4 -batch 32 -smoke
 
-# Dump GET /trace to $OUT and validate it in one go.
-echo "trace-demo: dumping and validating GET /trace"
-"$BIN/checktrace" -o "$OUT" "http://$ADDR/trace"
+# Dump GET /v1/trace to $OUT and validate it in one go.
+echo "trace-demo: dumping and validating GET /v1/trace"
+"$BIN/checktrace" -o "$OUT" "http://$ADDR/v1/trace"
 echo "trace-demo: chrome trace written to $OUT (load it in ui.perfetto.dev)"
 
 kill -TERM "$DAEMON_PID"
