@@ -8,6 +8,10 @@
 #                 rule publishes never tear; see DESIGN.md §8-9)
 #   make vet      static analysis
 #   make bench    run the benchmark suite once (no test re-run)
+#   make bench-json  run the core evaluator + serving benches and write the
+#                 results as JSON to BENCH_core.json / BENCH_serve.json at
+#                 the repo root (scripts/bench.sh; BENCHTIME/COUNT tune it).
+#                 `make ci` reruns it non-gating with BENCHTIME=1x
 #   make serve    run the online scoring daemon (cmd/rudolfd) on :8080
 #   make loadgen  drive traffic at a running daemon and report p50/p99
 #   make smoke    boot rudolfd on a random port, score a generated batch,
@@ -28,10 +32,12 @@
 GO        ?= go
 PKGS      ?= ./...
 BENCH     ?= .
+BENCHTIME ?= 1s
+COUNT     ?= 1
 ADDR      ?= 127.0.0.1:8080
 TRACE_OUT ?=
 
-.PHONY: all build test race vet bench serve loadgen smoke crash-smoke trace-demo trace-check check ci clean
+.PHONY: all build test race vet bench bench-json serve loadgen smoke crash-smoke trace-demo trace-check check ci clean
 
 all: ci
 
@@ -49,6 +55,9 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem $(PKGS)
+
+bench-json:
+	GO=$(GO) BENCHTIME=$(BENCHTIME) COUNT=$(COUNT) bash scripts/bench.sh
 
 serve:
 	$(GO) run ./cmd/rudolfd -addr $(ADDR)
@@ -72,6 +81,7 @@ trace-check:
 check: build vet test race trace-check
 
 ci: check smoke crash-smoke trace-demo
+	-GO=$(GO) BENCHTIME=1x bash scripts/bench.sh
 
 clean:
 	$(GO) clean -testcache

@@ -367,6 +367,38 @@ func BenchmarkCompiledEval(b *testing.B) {
 	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
 }
 
+// BenchmarkCompiledEvalFirst measures the serving hot path's first-match
+// variant against BenchmarkCompiledEval's workload: the same short-circuit
+// loop writing an int32 per tuple instead of a bit, so per-rule fire
+// accounting must stay within noise of plain Eval (the attribution-off
+// regression guard, together with BenchmarkServeScore).
+func BenchmarkCompiledEvalFirst(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
+	rs := datagen.InitialRules(ds, 30, 1)
+	e := index.Compile(ds.Schema, rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalFirst(ds.Rel)
+	}
+	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
+}
+
+// BenchmarkCompiledEvalAttributed measures the full-provenance evaluation
+// (every rule, every non-trivial condition, no short-circuits) on the same
+// workload — the cost an `"explain": true` scoring request pays per tuple,
+// expected to sit well above EvalFirst and bounded below the interpreted
+// Set.Eval of BenchmarkRuleSetEval.
+func BenchmarkCompiledEvalAttributed(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
+	rs := datagen.InitialRules(ds, 30, 1)
+	e := index.Compile(ds.Schema, rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalAttributed(ds.Rel)
+	}
+	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
+}
+
 // BenchmarkCompiledEvalLarge measures the evaluator at a scale closer to
 // the paper's smallest FI (100K transactions).
 func BenchmarkCompiledEvalLarge(b *testing.B) {
@@ -447,7 +479,7 @@ func BenchmarkServeScore(b *testing.B) {
 	defer ts.Close()
 
 	// Real tuples from the generated dataset, rendered in the wire form.
-	mkBody := func(n int) []byte {
+	mkBody := func(n int, explain bool) []byte {
 		txs := make([]map[string]any, n)
 		for i := range txs {
 			t := ds.Rel.Tuple(i % ds.Rel.Len())
@@ -457,7 +489,11 @@ func BenchmarkServeScore(b *testing.B) {
 			}
 			txs[i] = map[string]any{"attrs": attrs, "score": ds.Rel.Score(i % ds.Rel.Len())}
 		}
-		raw, err := json.Marshal(map[string]any{"transactions": txs})
+		req := map[string]any{"transactions": txs}
+		if explain {
+			req["explain"] = true
+		}
+		raw, err := json.Marshal(req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -465,11 +501,12 @@ func BenchmarkServeScore(b *testing.B) {
 	}
 
 	for _, bc := range []struct {
-		name string
-		n    int
-	}{{"single", 1}, {"batch64", 64}} {
+		name    string
+		n       int
+		explain bool
+	}{{"single", 1, false}, {"batch64", 64, false}, {"batch64_explain", 64, true}} {
 		b.Run(bc.name, func(b *testing.B) {
-			body := mkBody(bc.n)
+			body := mkBody(bc.n, bc.explain)
 			client := ts.Client()
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -13,11 +13,14 @@
 //	        [-resume] [-expect-version N] [-expect-feedback N]
 //
 // With -smoke it additionally exercises the control plane after the load
-// phase — swaps the rules (POST /v1/rules), pushes a labeled feedback
-// batch, runs a /v1/refine, and asserts that /metrics moved (transactions
-// scored, version bumped, refinement rounds observed) and that
-// GET /v1/trace returns well-formed trace JSON — exiting non-zero on any
-// failure, which is what `make smoke` runs in CI.
+// phase — asserts decision provenance (explain-mode /v1/score responses
+// satisfy the margin invariant, GET /v1/rules/health joins fraud feedback
+// into per-rule TP counts, GET /v1/audit retained sampled decisions), swaps
+// the rules (POST /v1/rules), pushes a labeled feedback batch, runs a
+// /v1/refine, and asserts that /metrics moved (transactions scored, version
+// bumped, refinement rounds observed) and that GET /v1/trace returns
+// well-formed trace JSON — exiting non-zero on any failure, which is what
+// `make smoke` runs in CI.
 //
 // -churn N drives the durable write path: N labeled feedback batches
 // interleaved with N rule republishes, after which the published rule-set
@@ -49,6 +52,7 @@ import (
 
 	"repro/internal/ontology"
 	"repro/internal/relation"
+	"repro/internal/rules"
 	"repro/internal/telemetry"
 )
 
@@ -155,12 +159,11 @@ func main() {
 	fmt.Printf("loadgen: %d requests, %d tx in %v -> %.0f tx/s (%d errors)\n",
 		requests.Load(), txScored.Load(), elapsed.Round(time.Millisecond), rate, errs.Load())
 	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_latency_seconds"); err == nil {
-		fmt.Printf("loadgen: per-tx latency from /metrics: p50 %s, p99 %s (%d observations)\n",
+		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s (%d requests observed)\n",
 			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)), h.Total)
 	}
-	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_batch_latency_seconds"); err == nil {
-		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s\n",
-			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)))
+	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_batch_size"); err == nil && h.Total > 0 {
+		fmt.Printf("loadgen: batch size from /metrics: mean %.1f tx/request\n", h.Sum/float64(h.Total))
 	}
 	if worstReq.requestID != "" {
 		fmt.Printf("loadgen: slowest request %s took %s (look it up under GET /trace)\n",
@@ -208,6 +211,17 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	}
 	if v, ok := telemetry.ScrapeValue(page, "rudolf_score_tx_total"); !ok || int64(v) < scored {
 		return fmt.Errorf("rudolf_score_tx_total = %v (ok=%v), want >= %d", v, ok, scored)
+	}
+
+	// Decision provenance: run explain-mode scores against the still-live
+	// start version, validate the attribution invariants, feed one flagged
+	// transaction back as fraud and assert the rule-health join saw it. This
+	// must run BEFORE the swap below: publishing resets the health epoch.
+	if err := checkExplainAndHealth(url, rng, schema, startRules, startVersion); err != nil {
+		return err
+	}
+	if err := checkAudit(url, startVersion); err != nil {
+		return err
 	}
 
 	// Swap: republish the same rules; the version must bump even so (every
@@ -334,6 +348,246 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	return nil
 }
 
+// checkExplainAndHealth exercises the decision-provenance path end to end:
+// GET /v1/rules/health must report the live version with traffic accounted,
+// an explain-mode /v1/score must return per-rule, per-condition attributions
+// that satisfy the margin invariant (a check passes iff its margin is >= 0,
+// a transaction is flagged iff it matched at least one rule), and feeding a
+// flagged transaction back as labeled fraud must move that rule's TP count
+// in the next health snapshot.
+func checkExplainAndHealth(url string, rng *rand.Rand, schema *relation.Schema,
+	ruleTexts []string, version int) error {
+	ruleCount := len(ruleTexts)
+	health, etag, err := fetchRuleHealth(url)
+	if err != nil {
+		return err
+	}
+	if health.Version != version {
+		return fmt.Errorf("/v1/rules/health version = %d, want live version %d", health.Version, version)
+	}
+	if health.TotalScored == 0 {
+		return fmt.Errorf("/v1/rules/health total_scored = 0 after the load phase")
+	}
+	if len(health.Rules) != ruleCount {
+		return fmt.Errorf("/v1/rules/health reports %d rules, want %d", len(health.Rules), ruleCount)
+	}
+	if etag == "" {
+		return fmt.Errorf("/v1/rules/health carries no ETag")
+	}
+
+	// One explain batch: random transactions (whatever their verdict, every
+	// attribution must be internally consistent) plus one transaction
+	// crafted from the published rule texts to match by construction, so the
+	// flagged path is exercised deterministically.
+	crafted, err := craftMatchingTx(schema, ruleTexts)
+	if err != nil {
+		return err
+	}
+	txs := append(randomTxs(rng, schema, 31), crafted)
+	raw, err := json.Marshal(map[string]any{"transactions": txs, "explain": true})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/score", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("explain-mode POST /v1/score: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Version      int    `json:"version"`
+		Flagged      []bool `json:"flagged"`
+		Explanations []struct {
+			Flagged bool  `json:"flagged"`
+			Matched []int `json:"matched"`
+			Rules   []struct {
+				Rule    int  `json:"rule"`
+				Matched bool `json:"matched"`
+				Checks  []struct {
+					Attr   string `json:"attr"`
+					Kind   string `json:"kind"`
+					Pass   bool   `json:"pass"`
+					Margin int64  `json:"margin"`
+				} `json:"checks"`
+			} `json:"rules"`
+		} `json:"explanations"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("explain-mode /v1/score response: %w", err)
+	}
+	if len(out.Explanations) != len(txs) {
+		return fmt.Errorf("explain-mode /v1/score returned %d explanations for %d transactions", len(out.Explanations), len(txs))
+	}
+	for i, e := range out.Explanations {
+		if e.Flagged != (len(e.Matched) > 0) {
+			return fmt.Errorf("explanation %d: flagged=%v but %d matched rules", i, e.Flagged, len(e.Matched))
+		}
+		if e.Flagged != out.Flagged[i] {
+			return fmt.Errorf("explanation %d disagrees with flagged[%d]", i, i)
+		}
+		for _, re := range e.Rules {
+			if re.Rule < 0 || re.Rule >= ruleCount {
+				return fmt.Errorf("explanation %d attributes rule %d outside [0,%d)", i, re.Rule, ruleCount)
+			}
+			for _, c := range re.Checks {
+				if c.Pass != (c.Margin >= 0) {
+					return fmt.Errorf("explanation %d rule %d check %s: pass=%v margin=%d violates the margin invariant",
+						i, re.Rule, c.Attr, c.Pass, c.Margin)
+				}
+			}
+		}
+		for _, m := range e.Matched {
+			found := false
+			for _, re := range e.Rules {
+				if re.Rule != m {
+					continue
+				}
+				found = true
+				if !re.Matched {
+					return fmt.Errorf("explanation %d: matched rule %d reported matched=false", i, m)
+				}
+				for _, c := range re.Checks {
+					if !c.Pass {
+						return fmt.Errorf("explanation %d: matched rule %d has failing check %s", i, m, c.Attr)
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("explanation %d: matched rule %d missing from the rule breakdown", i, m)
+			}
+		}
+	}
+	last := out.Explanations[len(out.Explanations)-1]
+	if !last.Flagged {
+		return fmt.Errorf("crafted rule-matching transaction was not flagged")
+	}
+	flaggedTx, flaggedRule := crafted, last.Matched[0]
+
+	// The flagged transaction's first-match rule must have fired, and feeding
+	// it back as labeled fraud must count as a true positive for it.
+	health, _, err = fetchRuleHealth(url)
+	if err != nil {
+		return err
+	}
+	if health.Rules[flaggedRule].Fires == 0 {
+		return fmt.Errorf("rule %d flagged a transaction but reports 0 fires", flaggedRule)
+	}
+	tpBefore := health.Rules[flaggedRule].TP
+	flaggedTx["label"] = "fraud"
+	raw, err = json.Marshal(map[string]any{"transactions": []map[string]any{flaggedTx}})
+	if err != nil {
+		return err
+	}
+	resp, err = http.Post(url+"/v1/feedback", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/feedback (flagged fraud): %d %s", resp.StatusCode, body)
+	}
+	health, _, err = fetchRuleHealth(url)
+	if err != nil {
+		return err
+	}
+	if health.Rules[flaggedRule].TP <= tpBefore {
+		return fmt.Errorf("rule %d tp = %d after fraud feedback it captures, want > %d",
+			flaggedRule, health.Rules[flaggedRule].TP, tpBefore)
+	}
+	fmt.Printf("loadgen: smoke explain ok: rule %d fired %d times, tp %d -> %d after fraud feedback\n",
+		flaggedRule, health.Rules[flaggedRule].Fires, tpBefore, health.Rules[flaggedRule].TP)
+	return nil
+}
+
+// craftMatchingTx builds a wire transaction that satisfies the first
+// satisfiable published rule by construction: each numeric condition
+// contributes its interval's low end, each categorical condition a leaf
+// admitted by its concept bound, and the risk score the rule's threshold.
+func craftMatchingTx(schema *relation.Schema, ruleTexts []string) (map[string]any, error) {
+	for _, text := range ruleTexts {
+		r, err := rules.Parse(schema, text)
+		if err != nil {
+			return nil, fmt.Errorf("published rule %q does not parse: %w", text, err)
+		}
+		if r.IsEmpty(schema) {
+			continue
+		}
+		attrs := make(map[string]any, schema.Arity())
+		ok := true
+		for a := 0; a < schema.Arity() && ok; a++ {
+			attr := schema.Attr(a)
+			cond := r.Cond(a)
+			if attr.Kind == relation.Categorical {
+				ok = false
+				for _, leaf := range attr.Ontology.Leaves() {
+					if cond.Admits(attr, int64(leaf)) {
+						attrs[attr.Name] = attr.Ontology.ConceptName(ontology.Concept(leaf))
+						ok = true
+						break
+					}
+				}
+				continue
+			}
+			iv := cond.Iv.Intersect(attr.Domain.Full())
+			if iv.IsEmpty() {
+				ok = false
+				continue
+			}
+			attrs[attr.Name] = iv.Lo
+		}
+		if !ok {
+			continue
+		}
+		return map[string]any{"attrs": attrs, "score": int(r.MinScore())}, nil
+	}
+	return nil, fmt.Errorf("none of the %d published rules is satisfiable", len(ruleTexts))
+}
+
+// checkAudit asserts the sampled decision audit ring retained entries from
+// the load phase (the default 1-in-100 sampling sees thousands of scored
+// transactions) and that each entry is well-formed.
+func checkAudit(url string, version int) error {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/audit?n=5", url))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/audit: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Version  int `json:"version"`
+		Retained int `json:"retained"`
+		Count    int `json:"count"`
+		Entries  []struct {
+			Seq   uint64            `json:"seq"`
+			Rule  int               `json:"rule"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("GET /v1/audit response: %w", err)
+	}
+	if out.Version != version {
+		return fmt.Errorf("/v1/audit version = %d, want %d", out.Version, version)
+	}
+	if out.Retained == 0 || out.Count == 0 || len(out.Entries) != out.Count {
+		return fmt.Errorf("/v1/audit retained=%d count=%d entries=%d, want sampled decisions after the load phase",
+			out.Retained, out.Count, len(out.Entries))
+	}
+	for i, e := range out.Entries {
+		if e.Rule < -1 || len(e.Attrs) == 0 {
+			return fmt.Errorf("/v1/audit entry %d malformed: rule=%d attrs=%d", i, e.Rule, len(e.Attrs))
+		}
+	}
+	return nil
+}
+
 // runChurn drives the durable write path: n labeled feedback batches
 // interleaved with n rule republishes, then records the resulting rule-set
 // version and feedback total (stdout, and stateFile when set) for a later
@@ -421,6 +675,19 @@ func runResume(url string, expectVer, expectFb int, stateFile string) error {
 		return fmt.Errorf("rudolf_wal_replayed_records_total = %v (ok=%v), want > 0 after a restart", v, ok)
 	}
 
+	// Rule health must reset coherently to the replayed version: same
+	// version as /v1/stats, a fresh epoch with nothing scored yet.
+	health, _, err := fetchRuleHealth(url)
+	if err != nil {
+		return err
+	}
+	if health.Version != expectVer {
+		return fmt.Errorf("/v1/rules/health version = %d after restart, want replayed version %d", health.Version, expectVer)
+	}
+	if health.TotalScored != 0 {
+		return fmt.Errorf("/v1/rules/health total_scored = %d on a fresh boot, want 0", health.TotalScored)
+	}
+
 	// Errors arrive in the uniform envelope with a stable code.
 	resp, err := http.Post(url+"/v1/score", "application/json", strings.NewReader(`{"transactions":[]}`))
 	if err != nil {
@@ -460,6 +727,38 @@ func runResume(url string, expectVer, expectFb int, stateFile string) error {
 	return nil
 }
 
+// healthDoc mirrors the /v1/rules/health wire shape loadgen asserts on.
+type healthDoc struct {
+	Version     int    `json:"version"`
+	TotalScored uint64 `json:"total_scored"`
+	Rules       []struct {
+		Rule      int     `json:"rule"`
+		Fires     uint64  `json:"fires"`
+		Share     float64 `json:"share"`
+		TP        uint64  `json:"tp"`
+		FP        uint64  `json:"fp"`
+		Precision float64 `json:"precision"`
+		Drift     float64 `json:"drift"`
+	} `json:"rules"`
+}
+
+// fetchRuleHealth reads the per-rule health snapshot and its ETag.
+func fetchRuleHealth(url string) (healthDoc, string, error) {
+	resp, err := http.Get(url + "/v1/rules/health")
+	if err != nil {
+		return healthDoc{}, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return healthDoc{}, "", fmt.Errorf("GET /v1/rules/health: %d", resp.StatusCode)
+	}
+	var out healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return healthDoc{}, "", err
+	}
+	return out, resp.Header.Get("ETag"), nil
+}
+
 // fetchStats reads the published version and feedback count off /v1/stats.
 func fetchStats(url string) (version, feedback int, err error) {
 	resp, err := http.Get(url + "/v1/stats")
@@ -485,6 +784,21 @@ func fetchStats(url string) (version, feedback int, err error) {
 // /refine has both frauds to chase and legitimates to protect.
 func feedbackBody(rng *rand.Rand, schema *relation.Schema, n int) []byte {
 	labels := []string{"fraud", "legit", "unlabeled"}
+	txs := randomTxs(rng, schema, n)
+	for i := range txs {
+		txs[i]["label"] = labels[i%len(labels)]
+	}
+	raw, err := json.Marshal(map[string]any{"transactions": txs})
+	if err != nil {
+		panic(err) // generated values always marshal
+	}
+	return raw
+}
+
+// randomTxs synthesizes n random wire transactions against the schema:
+// numeric attributes draw uniformly from their domain, categorical ones pick
+// a random ontology leaf, risk scores spread over [0, 1000].
+func randomTxs(rng *rand.Rand, schema *relation.Schema, n int) []map[string]any {
 	txs := make([]map[string]any, n)
 	for i := range txs {
 		attrs := make(map[string]any, schema.Arity())
@@ -498,40 +812,14 @@ func feedbackBody(rng *rand.Rand, schema *relation.Schema, n int) []byte {
 			}
 			attrs[attr.Name] = attr.Domain.Min + rng.Int63n(attr.Domain.Max-attr.Domain.Min+1)
 		}
-		txs[i] = map[string]any{
-			"attrs": attrs,
-			"score": rng.Intn(relation.MaxScore + 1),
-			"label": labels[i%len(labels)],
-		}
-	}
-	raw, err := json.Marshal(map[string]any{"transactions": txs})
-	if err != nil {
-		panic(err) // generated values always marshal
-	}
-	return raw
-}
-
-// scoreBody builds one random /score batch against the schema: numeric
-// attributes draw uniformly from their domain, categorical ones pick a
-// random ontology leaf, risk scores spread over [0, 1000].
-func scoreBody(rng *rand.Rand, schema *relation.Schema, batch int) []byte {
-	txs := make([]map[string]any, batch)
-	for i := range txs {
-		attrs := make(map[string]any, schema.Arity())
-		for a := 0; a < schema.Arity(); a++ {
-			attr := schema.Attr(a)
-			if attr.Kind == relation.Categorical {
-				leaves := attr.Ontology.Leaves()
-				c := leaves[rng.Intn(len(leaves))]
-				attrs[attr.Name] = attr.Ontology.ConceptName(ontology.Concept(c))
-				continue
-			}
-			v := attr.Domain.Min + rng.Int63n(attr.Domain.Max-attr.Domain.Min+1)
-			attrs[attr.Name] = v
-		}
 		txs[i] = map[string]any{"attrs": attrs, "score": rng.Intn(relation.MaxScore + 1)}
 	}
-	raw, err := json.Marshal(map[string]any{"transactions": txs})
+	return txs
+}
+
+// scoreBody builds one random /score batch (see randomTxs).
+func scoreBody(rng *rand.Rand, schema *relation.Schema, batch int) []byte {
+	raw, err := json.Marshal(map[string]any{"transactions": randomTxs(rng, schema, batch)})
 	if err != nil {
 		panic(err) // generated values always marshal
 	}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 
@@ -137,9 +138,53 @@ func main() {
 		if *explain >= rel.Len() {
 			fatal(fmt.Errorf("-explain %d out of range (have %d transactions)", *explain, rel.Len()))
 		}
-		fmt.Printf("\nexplaining transaction %d: %s\n\n", *explain, rel.FormatTuple(*explain))
-		for _, e := range rudolf.Explain(sess.Rules(), rel, *explain) {
-			fmt.Print(e)
+		printAttribution(os.Stdout, schema, rel, sess.Rules(), *explain)
+	}
+}
+
+// printAttribution renders the refined rules' verdict on transaction i with
+// full decision provenance — the same per-rule, per-condition breakdown
+// (with signed margins to the decision boundary) that rudolfd's
+// `"explain": true` scoring mode returns, computed by the shared compiled
+// attribution path (Evaluator.AttributeTuple).
+func printAttribution(w io.Writer, schema *rudolf.Schema, rel *rudolf.Relation, rs *rudolf.RuleSet, i int) {
+	attr := rudolf.CompileRules(schema, rs).AttributeTuple(rel, i)
+	verdict := "not flagged"
+	if attr.Flagged() {
+		verdict = fmt.Sprintf("FLAGGED by %d/%d rules", len(attr.Matched), rs.Len())
+	}
+	fmt.Fprintf(w, "\nexplaining transaction %d: %s (score %d) — %s\n",
+		i, rel.FormatTuple(i), rel.Score(i), verdict)
+	for _, ra := range attr.Rules {
+		status := "misses"
+		if ra.Matched {
+			status = "MATCHES"
+		}
+		fmt.Fprintf(w, "\nrule %d %s: %s\n", ra.Rule, status, rs.Rule(ra.Rule).Format(schema))
+		if ra.Empty {
+			fmt.Fprintf(w, "  (empty rule: can never match)\n")
+			continue
+		}
+		if len(ra.Checks) == 0 {
+			fmt.Fprintf(w, "  (no non-trivial conditions: matches every transaction)\n")
+			continue
+		}
+		for _, c := range ra.Checks {
+			name, value := "score", fmt.Sprintf("%d", rel.Score(i))
+			kind := "threshold"
+			if c.Attr != rudolf.ScoreAttr {
+				name = schema.Attr(c.Attr).Name
+				value = schema.FormatValue(c.Attr, rel.Tuple(i)[c.Attr])
+				kind = "numeric"
+				if c.Categorical {
+					kind = "ontological"
+				}
+			}
+			mark := "fail"
+			if c.Pass {
+				mark = "pass"
+			}
+			fmt.Fprintf(w, "  %-12s = %-24s %s  margin %+d (%s)\n", name, value, mark, c.Margin, kind)
 		}
 	}
 }

@@ -11,14 +11,17 @@
 //	        [-fsync-interval 100ms] [-snapshot-interval 1m]
 //	        [-wal-segment-bytes N] [-log-format text|json] [-log-level info]
 //	        [-debug-addr 127.0.0.1:6060] [-trace-capacity N]
+//	        [-audit-ring N] [-audit-sample N] [-drift-half-life 5m]
+//	        [-rule-label-cap N]
 //
 // Without -schema, the daemon boots on the synthetic financial-institute
 // schema with the generated incumbent rule set (-size, -seed), which is the
 // zero-config path cmd/loadgen and `make smoke` exercise.
 //
 // Endpoints: POST /v1/score, GET+POST /v1/rules, POST /v1/feedback,
-// POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/trace, plus the
-// unversioned infra endpoints GET /healthz, GET /readyz, GET /metrics.
+// POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/trace,
+// GET /v1/rules/health, GET /v1/audit, plus the unversioned infra endpoints
+// GET /healthz, GET /readyz, GET /metrics.
 // Legacy unversioned API paths answer 308 redirects to their /v1
 // successors. -debug-addr opens a second, loopback-only listener exposing
 // net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
@@ -71,6 +74,10 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		debugAddr   = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty: disabled)")
 		traceCap    = flag.Int("trace-capacity", 0, "span ring-buffer capacity served by GET /v1/trace (0: default)")
+		auditRing   = flag.Int("audit-ring", 0, "sampled decision audit ring capacity served by GET /v1/audit (0: default; negative: disabled)")
+		auditSample = flag.Int("audit-sample", 0, "audit 1-in-N decision sampling rate (0: default; 1: every decision)")
+		driftHalf   = flag.Duration("drift-half-life", 0, "EWMA half-life for per-rule fire-rate drift in GET /v1/rules/health (0: default)")
+		ruleLblCap  = flag.Int("rule-label-cap", 0, "max per-rule metric label series before collapsing to rule=\"other\" (0: default; negative: unbounded)")
 	)
 	flag.Parse()
 
@@ -95,6 +102,10 @@ func main() {
 		MaxBatch:         *maxBatch,
 		Drain:            *drain,
 		TraceCapacity:    *traceCap,
+		AuditRing:        *auditRing,
+		AuditSample:      *auditSample,
+		DriftHalfLife:    *driftHalf,
+		RuleLabelCap:     *ruleLblCap,
 		Logger:           logger,
 	}.ServerConfig()
 	if err != nil {

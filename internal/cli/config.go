@@ -42,6 +42,15 @@ type ServeOptions struct {
 	MaxBatch      int
 	Drain         time.Duration
 	TraceCapacity int
+	// AuditRing, AuditSample, DriftHalfLife and RuleLabelCap are the rule
+	// observability knobs: the sampled decision audit ring capacity, the
+	// 1-in-N audit sampling rate, the fire-rate drift EWMA half-life and the
+	// per-rule metric label cardinality cap (see serve.Config; 0 means the
+	// serving default, negative disables where the field documents it).
+	AuditRing     int
+	AuditSample   int
+	DriftHalfLife time.Duration
+	RuleLabelCap  int
 	// Logger receives the daemon's structured logs.
 	Logger *slog.Logger
 }
@@ -60,6 +69,10 @@ func (o ServeOptions) ServerConfig() (serve.Config, error) {
 		FsyncInterval:    o.FsyncInterval,
 		SnapshotInterval: o.SnapshotInterval,
 		WALSegmentBytes:  o.WALSegmentBytes,
+		AuditCapacity:    o.AuditRing,
+		AuditSampleEvery: o.AuditSample,
+		DriftHalfLife:    o.DriftHalfLife,
+		RuleLabelCap:     o.RuleLabelCap,
 	}
 	if o.HistoryPath != "" && o.DataDir != "" {
 		return serve.Config{}, errors.New("-history and -data-dir are mutually exclusive: the data directory persists its own version history")

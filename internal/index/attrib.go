@@ -1,0 +1,234 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+	"repro/internal/trace"
+)
+
+// This file is the attribution path of the compiled evaluator: the same
+// chunk-parallel machinery as Eval, but instead of short-circuiting on the
+// first matching rule it records, per tuple, which rules fired and how far
+// every non-trivial condition was from flipping — the decision provenance
+// the serving layer's `"explain": true` mode and the offline CLI's -explain
+// flag surface to analysts. Plain Eval/EvalFirst are untouched, so scoring
+// with attribution off pays nothing (BenchmarkServeScore guards this).
+//
+// Margins are signed and satisfy one invariant, proven differentially in
+// attrib_test.go: a check passes if and only if its margin is >= 0.
+//
+//   - numeric condition v ∈ [lo, hi]: pass margin is min(v-lo, hi-v), the
+//     distance to the nearest boundary; fail margin is -(lo-v) or -(v-hi),
+//     the (negated) distance back into the interval.
+//   - categorical condition A ≤ C over observed leaf l: pass margin is the
+//     minimal number of generalization steps from l up to a concept
+//     containing C (how much specificity the rule has to spare); fail margin
+//     is the negated number of generalization steps C would need before it
+//     admitted l (Equation 1's ontological distance).
+//   - score threshold: margin is score - minScore.
+
+// CheckAttribution is the outcome of one non-trivial compiled check of one
+// rule against one tuple.
+type CheckAttribution struct {
+	// Attr is the schema attribute index, or ScoreAttr for the rule's
+	// minimum-score threshold.
+	Attr int
+	// Categorical marks ontological (concept-bound) checks.
+	Categorical bool
+	// Pass reports whether the tuple satisfies the check. Pass holds if and
+	// only if Margin >= 0.
+	Pass bool
+	// Margin is the signed distance to the decision boundary (see the file
+	// comment for the exact per-kind definition).
+	Margin int64
+}
+
+// ScoreAttr is the CheckAttribution.Attr value of a rule's minimum-score
+// threshold check (it guards the whole rule, not one schema attribute).
+const ScoreAttr = -1
+
+// RuleAttribution is one rule's verdict on one tuple with the full check
+// breakdown (no short-circuiting: every non-trivial condition is attributed
+// even after the first failure, so analysts see every margin).
+type RuleAttribution struct {
+	// Rule is the rule's index in the compiled set.
+	Rule int
+	// Matched reports whether the rule captures the tuple — every check
+	// passed (and the rule is not empty).
+	Matched bool
+	// Empty marks rules that can never match (an empty condition); such
+	// rules carry no checks.
+	Empty bool
+	// Checks holds one attribution per non-trivial condition, ordered by
+	// ascending attribute index, with the score-threshold check (Attr ==
+	// ScoreAttr) last when the rule has one.
+	Checks []CheckAttribution
+}
+
+// TupleAttribution is the decision provenance of one tuple: which rules
+// matched, and the per-rule condition breakdown.
+type TupleAttribution struct {
+	// Matched lists the indices of the rules capturing the tuple, ascending.
+	Matched []int
+	// Rules holds one attribution per compiled rule, index-aligned with the
+	// rule set.
+	Rules []RuleAttribution
+}
+
+// Flagged reports whether any rule captured the tuple.
+func (a TupleAttribution) Flagged() bool { return len(a.Matched) > 0 }
+
+// attributeCond computes one condition's pass/fail and signed margin for
+// value v.
+func (e *Evaluator) attributeCond(c *compiledCond, v int64) CheckAttribution {
+	out := CheckAttribution{Attr: c.attr, Categorical: c.isCat}
+	if c.isCat {
+		pos := e.leafPos[c.attr][v]
+		out.Pass = pos >= 0 && c.leaves.Has(pos)
+		o := e.schema.Attr(c.attr).Ontology
+		if out.Pass {
+			d, _ := o.UpDistance(ontology.Concept(v), c.concept)
+			out.Margin = int64(d)
+		} else {
+			d, ok := o.UpDistance(c.concept, ontology.Concept(v))
+			if !ok || d < 1 {
+				d = 1 // non-leaf observed value: no chain, minimal violation
+			}
+			out.Margin = -int64(d)
+		}
+		return out
+	}
+	switch {
+	case v < c.lo:
+		out.Margin = -(c.lo - v)
+	case v > c.hi:
+		out.Margin = -(v - c.hi)
+	default:
+		out.Pass = true
+		if m := c.hi - v; m < v-c.lo {
+			out.Margin = m
+		} else {
+			out.Margin = v - c.lo
+		}
+	}
+	return out
+}
+
+// attributeRule evaluates every check of compiled rule ri against tuple i,
+// without short-circuiting.
+func (e *Evaluator) attributeRule(ri int, rel *relation.Relation, i int) RuleAttribution {
+	cr := &e.rules[ri]
+	out := RuleAttribution{Rule: ri, Matched: true}
+	if cr.empty {
+		out.Empty = true
+		out.Matched = false
+		return out
+	}
+	t := rel.Tuple(i)
+	out.Checks = make([]CheckAttribution, 0, len(cr.conds)+1)
+	for k := range cr.conds {
+		ca := e.attributeCond(&cr.conds[k], t[cr.conds[k].attr])
+		if !ca.Pass {
+			out.Matched = false
+		}
+		out.Checks = append(out.Checks, ca)
+	}
+	// Checks are compiled in selectivity order; present them in schema order
+	// so the breakdown is stable across recompiles and selectivity changes.
+	sort.SliceStable(out.Checks, func(x, y int) bool {
+		return out.Checks[x].Attr < out.Checks[y].Attr
+	})
+	if cr.minScore > 0 {
+		ca := CheckAttribution{
+			Attr:   ScoreAttr,
+			Margin: int64(rel.Score(i)) - int64(cr.minScore),
+		}
+		ca.Pass = ca.Margin >= 0
+		if !ca.Pass {
+			out.Matched = false
+		}
+		out.Checks = append(out.Checks, ca)
+	}
+	return out
+}
+
+// AttributeTuple returns the full decision provenance of tuple i: the
+// point-query form of EvalAttributed, shared by the serving layer's explain
+// mode and cmd/rudolf's -explain flag.
+func (e *Evaluator) AttributeTuple(rel *relation.Relation, i int) TupleAttribution {
+	out := TupleAttribution{Rules: make([]RuleAttribution, len(e.rules))}
+	for ri := range e.rules {
+		out.Rules[ri] = e.attributeRule(ri, rel, i)
+		if out.Rules[ri].Matched {
+			out.Matched = append(out.Matched, ri)
+		}
+	}
+	return out
+}
+
+// EvalAttributed evaluates the relation with full decision provenance: the
+// returned bitset is exactly Eval's Φ(I) (proven differentially), and the
+// attribution slice holds one TupleAttribution per transaction, computed on
+// the same 64-aligned parallel chunks (workers write disjoint slice
+// elements, so no synchronization is needed).
+func (e *Evaluator) EvalAttributed(rel *relation.Relation) (*bitset.Set, []TupleAttribution) {
+	out := bitset.New(rel.Len())
+	attrs := make([]TupleAttribution, rel.Len())
+	e.parallelChunks(rel.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			attrs[i] = e.AttributeTuple(rel, i)
+			if attrs[i].Flagged() {
+				out.Add(i)
+			}
+		}
+	})
+	return out, attrs
+}
+
+// EvalAttributedUnder is EvalAttributed wrapped in an
+// "index.eval_attributed" span nested under parent; the zero parent Span
+// makes it exactly EvalAttributed.
+func (e *Evaluator) EvalAttributedUnder(parent trace.Span, rel *relation.Relation) (*bitset.Set, []TupleAttribution) {
+	sp := parent.Child("index.eval_attributed")
+	out, attrs := e.EvalAttributed(rel)
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
+	sp.End()
+	return out, attrs
+}
+
+// EvalFirst returns, per transaction, the index of the first matching rule
+// (or NoRule when none matches) — the same short-circuiting loop as Eval,
+// writing an int32 per tuple instead of a bit. The serving hot path uses it
+// so per-rule fire accounting costs nothing beyond the write: first-match
+// attribution is the standard fire semantics of an ordered rule list.
+func (e *Evaluator) EvalFirst(rel *relation.Relation) []int32 {
+	out := make([]int32, rel.Len())
+	e.parallelChunks(rel.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = NoRule
+			for ri := range e.rules {
+				if e.matches(&e.rules[ri], rel, i) {
+					out[i] = int32(ri)
+					break
+				}
+			}
+		}
+	})
+	return out
+}
+
+// NoRule is the EvalFirst marker for "no rule matched".
+const NoRule int32 = -1
+
+// EvalFirstUnder is EvalFirst wrapped in an "index.eval_first" span nested
+// under parent.
+func (e *Evaluator) EvalFirstUnder(parent trace.Span, rel *relation.Relation) []int32 {
+	sp := parent.Child("index.eval_first")
+	out := e.EvalFirst(rel)
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
+	sp.End()
+	return out
+}

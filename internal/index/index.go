@@ -34,6 +34,10 @@ type compiledCond struct {
 	lo, hi int64
 	// categorical: the value's leaf position must be in leaves.
 	leaves *bitset.Set
+	// concept is the original bound A ≤ concept, retained for the
+	// attribution path (ontological margins need the concept, not just its
+	// leaf set). Unused during plain evaluation.
+	concept ontology.Concept
 	// selectivity estimates the fraction of the domain the condition admits
 	// (smaller = more selective = checked earlier).
 	selectivity float64
@@ -103,6 +107,7 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 		cc := compiledCond{attr: i, selectivity: 1}
 		if a.Kind == relation.Categorical {
 			cc.isCat = true
+			cc.concept = c.C
 			cc.leaves = a.Ontology.LeafSet(c.C)
 			if total := len(a.Ontology.Leaves()); total > 0 {
 				cc.selectivity = float64(cc.leaves.Count()) / float64(total)

@@ -1,0 +1,248 @@
+package rulestats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTracker(cfg Config) (*Tracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.Now = clk.Now
+	return New(cfg), clk
+}
+
+func TestFireCountsAndShares(t *testing.T) {
+	tr, _ := newTestTracker(Config{BaselineMinTx: 8})
+	tr.Reset(3, 2)
+	// 10 tx: rule 0 fires 6 times, rule 1 twice, 2 unmatched.
+	tr.RecordFires([]int32{0, 0, 0, 1, -1, 0, 0, 1, -1, 0})
+	s := tr.Snapshot()
+	if s.Version != 3 || s.TotalTx != 10 {
+		t.Fatalf("snapshot version=%d total=%d, want 3/10", s.Version, s.TotalTx)
+	}
+	if s.Rules[0].Fires != 6 || s.Rules[1].Fires != 2 {
+		t.Fatalf("fires = %d/%d, want 6/2", s.Rules[0].Fires, s.Rules[1].Fires)
+	}
+	if s.Rules[0].Share != 0.6 || s.Rules[1].Share != 0.2 {
+		t.Fatalf("shares = %v/%v, want 0.6/0.2", s.Rules[0].Share, s.Rules[1].Share)
+	}
+	if !s.Baseline {
+		t.Fatalf("baseline should freeze at %d tx", 8)
+	}
+	if s.Rules[0].BaselineShare != 0.6 {
+		t.Fatalf("baseline share = %v, want 0.6", s.Rules[0].BaselineShare)
+	}
+	// Out-of-range and NoRule indices are ignored, not panics.
+	tr.RecordFires([]int32{99, -1, -7})
+	if got := tr.Snapshot().TotalTx; got != 13 {
+		t.Fatalf("total = %d, want 13", got)
+	}
+}
+
+func TestFeedbackJoin(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	tr.Reset(1, 3)
+	tr.RecordFeedback(true, false, []int{0, 2})  // fraud captured by rules 0, 2
+	tr.RecordFeedback(false, true, []int{0})     // legit captured by rule 0
+	tr.RecordFeedback(false, false, []int{0, 1}) // unlabeled: ignored
+	tr.RecordFeedback(true, false, nil)          // fraud nothing captured
+	s := tr.Snapshot()
+	if s.Rules[0].TP != 1 || s.Rules[0].FP != 1 {
+		t.Fatalf("rule 0 tp/fp = %d/%d, want 1/1", s.Rules[0].TP, s.Rules[0].FP)
+	}
+	if s.Rules[0].Precision != 0.5 {
+		t.Fatalf("rule 0 precision = %v, want 0.5", s.Rules[0].Precision)
+	}
+	if s.Rules[1].TP != 0 || s.Rules[1].FP != 0 || s.Rules[1].Precision != -1 {
+		t.Fatalf("rule 1 should have no labeled evidence: %+v", s.Rules[1])
+	}
+	if s.Rules[2].TP != 1 || s.Rules[2].Precision != 1 {
+		t.Fatalf("rule 2 tp=%d precision=%v, want 1/1", s.Rules[2].TP, s.Rules[2].Precision)
+	}
+}
+
+func TestStalenessClock(t *testing.T) {
+	tr, clk := newTestTracker(Config{})
+	tr.Reset(1, 2)
+	tr.RecordFires([]int32{0})
+	clk.Advance(90 * time.Second)
+	s := tr.Snapshot()
+	if got := s.Rules[0].LastFiredAgo; got != 90 {
+		t.Fatalf("rule 0 last fired ago = %v, want 90", got)
+	}
+	if got := s.Rules[1].LastFiredAgo; got != -1 {
+		t.Fatalf("rule 1 (never fired) last fired ago = %v, want -1", got)
+	}
+}
+
+func TestDriftDetectsRateChange(t *testing.T) {
+	tr, clk := newTestTracker(Config{BaselineMinTx: 100, HalfLife: time.Minute})
+	tr.Reset(1, 2)
+	// Phase 1: rule 0 fires on 50% of traffic; freeze the baseline.
+	batch := make([]int32, 100)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i] = 0
+		} else {
+			batch[i] = NoRuleIdx
+		}
+	}
+	tr.RecordFires(batch)
+	s := tr.Snapshot()
+	if !s.Baseline || s.Rules[0].BaselineShare != 0.5 {
+		t.Fatalf("baseline = %v share %v, want frozen at 0.5", s.Baseline, s.Rules[0].BaselineShare)
+	}
+	if s.Rules[0].Drift > 0.01 {
+		t.Fatalf("drift right after baseline = %v, want ~0", s.Rules[0].Drift)
+	}
+	// Phase 2: the rule goes silent for many half-lives; the EWMA must
+	// collapse toward 0 and the drift toward |0-0.5|/0.5 = 1.
+	for i := 0; i < 20; i++ {
+		clk.Advance(time.Minute)
+		silent := make([]int32, 100)
+		for j := range silent {
+			silent[j] = NoRuleIdx
+		}
+		tr.RecordFires(silent)
+		tr.Snapshot() // fold
+	}
+	s = tr.Snapshot()
+	if s.Rules[0].Drift < 0.9 {
+		t.Fatalf("drift after the rule went silent = %v, want > 0.9", s.Rules[0].Drift)
+	}
+	// Rule 1 never fired: baseline 0, EWMA 0, drift 0 (not NaN/Inf).
+	if d := s.Rules[1].Drift; d != 0 {
+		t.Fatalf("drift of a never-firing rule = %v, want 0", d)
+	}
+}
+
+func TestResetIsVersionAware(t *testing.T) {
+	tr, _ := newTestTracker(Config{})
+	tr.Reset(1, 1)
+	tr.RecordFires([]int32{0, 0, 0})
+	tr.RecordFeedback(true, false, []int{0})
+	tr.Reset(2, 2)
+	s := tr.Snapshot()
+	if s.Version != 2 || len(s.Rules) != 2 {
+		t.Fatalf("after reset: version %d rules %d, want 2/2", s.Version, len(s.Rules))
+	}
+	if s.TotalTx != 0 || s.Rules[0].Fires != 0 || s.Rules[0].TP != 0 {
+		t.Fatalf("counters must reset on publish: %+v", s)
+	}
+}
+
+func TestAuditRingBoundedNewestFirst(t *testing.T) {
+	tr, _ := newTestTracker(Config{AuditCapacity: 4, SampleEvery: 1})
+	tr.Reset(7, 1)
+	for i := 0; i < 10; i++ {
+		if !tr.ShouldSample() {
+			t.Fatalf("SampleEvery=1 must sample every decision")
+		}
+		tr.AddAudit(AuditEntry{Rule: i, Flagged: true})
+	}
+	if tr.AuditLen() != 4 {
+		t.Fatalf("audit len = %d, want capacity 4", tr.AuditLen())
+	}
+	got := tr.AuditEntries(0)
+	if len(got) != 4 {
+		t.Fatalf("entries = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := 9 - i; e.Rule != want {
+			t.Fatalf("entry %d rule = %d, want %d (newest first)", i, e.Rule, want)
+		}
+		if e.Version != 7 {
+			t.Fatalf("entry version = %d, want stamped 7", e.Version)
+		}
+		if e.Seq == 0 || e.Time.IsZero() {
+			t.Fatalf("entry %d missing seq/time: %+v", i, e)
+		}
+	}
+	if got := tr.AuditEntries(2); len(got) != 2 || got[0].Rule != 9 {
+		t.Fatalf("limited entries = %+v, want 2 newest", got)
+	}
+	// Entries survive a publish reset: the ring is an audit log.
+	tr.Reset(8, 1)
+	if tr.AuditLen() != 4 {
+		t.Fatalf("audit ring must survive Reset, len = %d", tr.AuditLen())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr, _ := newTestTracker(Config{SampleEvery: 10})
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if tr.ShouldSample() {
+			n++
+		}
+	}
+	if n != 100 {
+		t.Fatalf("sampled %d of 1000 at 1-in-10, want exactly 100", n)
+	}
+	off, _ := newTestTracker(Config{SampleEvery: -1, AuditCapacity: -1})
+	if off.ShouldSample() {
+		t.Fatal("negative SampleEvery must disable sampling")
+	}
+	off.AddAudit(AuditEntry{}) // must not panic with a disabled ring
+	if off.AuditLen() != 0 {
+		t.Fatal("disabled ring retained an entry")
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	tr, _ := newTestTracker(Config{AuditCapacity: 64, SampleEvery: 3})
+	tr.Reset(1, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					tr.RecordFires([]int32{int32(i % 4), -1, 2})
+				case 1:
+					tr.RecordFeedback(i%2 == 0, i%2 == 1, []int{i % 4})
+				case 2:
+					if tr.ShouldSample() {
+						tr.AddAudit(AuditEntry{Rule: i % 4})
+					}
+				default:
+					tr.Snapshot()
+					tr.AuditEntries(8)
+				}
+				if i%50 == 0 && w == 0 {
+					tr.Reset(2+i, 4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if len(s.Rules) != 4 {
+		t.Fatalf("rules = %d, want 4", len(s.Rules))
+	}
+}
+
+// NoRuleIdx mirrors index.NoRule without importing the index package (which
+// would create an import cycle in this white-box test's package).
+const NoRuleIdx int32 = -1

@@ -65,6 +65,30 @@ type Config struct {
 	// callers quiet.
 	Logger *slog.Logger
 
+	// AuditCapacity bounds the sampled decision audit ring served by
+	// GET /v1/audit. 0 means rulestats.DefaultAuditCapacity; negative
+	// disables the ring.
+	AuditCapacity int
+	// AuditSampleEvery admits every n-th scored transaction into the audit
+	// ring. 0 means rulestats.DefaultSampleEvery; negative disables
+	// sampling.
+	AuditSampleEvery int
+	// DriftHalfLife is the half-life of the per-rule fire-rate EWMA behind
+	// the drift score of GET /v1/rules/health. 0 means
+	// rulestats.DefaultHalfLife.
+	DriftHalfLife time.Duration
+	// BaselineMinTx is the scored-transaction count after which a freshly
+	// published version's per-rule baseline fire shares freeze (the drift
+	// denominator). 0 means rulestats.DefaultBaselineMinTx.
+	BaselineMinTx int
+	// RuleLabelCap caps the number of per-rule metric series
+	// (rudolf_rule_fires_total{rule=...} and friends): the first
+	// RuleLabelCap rule indices get their own series, later ones share the
+	// {rule="other"} overflow series, so an unbounded rule set cannot
+	// explode a time-series database. 0 means DefaultRuleLabelCap;
+	// negative means unbounded.
+	RuleLabelCap int
+
 	// DataDir enables durable serving state: analyst feedback and rule-set
 	// publishes are written to a write-ahead log under DataDir/wal, bounded
 	// by periodic snapshots under DataDir/snap-*, and replayed on boot
@@ -99,6 +123,7 @@ const (
 	DefaultRefine           = 120 * time.Second
 	DefaultDrain            = 10 * time.Second
 	DefaultSnapshotInterval = time.Minute
+	DefaultRuleLabelCap     = 128
 )
 
 // Validate checks the configuration for contradictions and out-of-range
@@ -127,6 +152,7 @@ func (cfg Config) Validate() error {
 		{"RefineTimeout", cfg.RefineTimeout},
 		{"DrainTimeout", cfg.DrainTimeout},
 		{"FsyncInterval", cfg.FsyncInterval},
+		{"DriftHalfLife", cfg.DriftHalfLife},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("serve: Config.%s = %v; want >= 0 (0 means the default)", d.name, d.v)
@@ -134,6 +160,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.TraceCapacity < 0 {
 		return fmt.Errorf("serve: Config.TraceCapacity = %d; want >= 0 (0 means the trace default)", cfg.TraceCapacity)
+	}
+	if cfg.BaselineMinTx < 0 {
+		return fmt.Errorf("serve: Config.BaselineMinTx = %d; want >= 0 (0 means the rulestats default)", cfg.BaselineMinTx)
 	}
 	if cfg.WALSegmentBytes < 0 {
 		return fmt.Errorf("serve: Config.WALSegmentBytes = %d; want >= 0 (0 means the default %d)", cfg.WALSegmentBytes, int64(wal.DefaultSegmentBytes))
@@ -204,6 +233,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.RuleLabelCap == 0 {
+		cfg.RuleLabelCap = DefaultRuleLabelCap
 	}
 	if cfg.Fsync == "" {
 		cfg.Fsync = string(wal.SyncAlways)

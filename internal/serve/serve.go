@@ -67,6 +67,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/rules"
+	"repro/internal/rulestats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -103,11 +104,15 @@ type Server struct {
 
 	sem chan struct{}
 
+	// stats is the per-rule health accountant behind GET /v1/rules/health,
+	// GET /v1/audit and the per-rule metric series. Reset on every publish.
+	stats *rulestats.Tracker
+
 	reg *telemetry.Registry
 	// hot-path metrics, resolved once.
 	mScoreTx      *telemetry.Counter
 	mScoreLat     *telemetry.Histogram
-	mBatchLat     *telemetry.Histogram
+	mBatchSize    *telemetry.Histogram
 	mInflight     *telemetry.Gauge
 	mVersion      *telemetry.Gauge
 	mRulesetVer   *telemetry.Gauge
@@ -123,6 +128,13 @@ type Server struct {
 	mRefineMisses *telemetry.Counter
 	mSnapshots    *telemetry.Counter
 	walCounters   wal.Counters
+	// Per-rule metric families, cardinality-capped at Config.RuleLabelCap
+	// distinct rule labels (later rules share the {rule="other"} series).
+	vRuleFires *telemetry.CounterVec
+	vRuleTP    *telemetry.CounterVec
+	vRuleFP    *telemetry.CounterVec
+	vRuleDrift *telemetry.FloatGaugeVec
+	vRuleStale *telemetry.FloatGaugeVec
 
 	// Durability (nil / zero when Config.DataDir is empty; see durable.go).
 	wal         *wal.Log
@@ -162,6 +174,12 @@ func New(cfg Config) (*Server, error) {
 		reg:      cfg.Registry,
 		log:      cfg.Logger,
 	}
+	s.stats = rulestats.New(rulestats.Config{
+		HalfLife:      cfg.DriftHalfLife,
+		BaselineMinTx: uint64(cfg.BaselineMinTx),
+		AuditCapacity: cfg.AuditCapacity,
+		SampleEvery:   cfg.AuditSampleEvery,
+	})
 	s.initMetrics()
 	// The tracer's completion hook derives the refinement metrics straight
 	// from the spans, so the histogram and the trace can never disagree.
@@ -212,8 +230,8 @@ func (s *Server) initMetrics() {
 	r := s.reg
 	r.Help("rudolf_http_requests_total", "HTTP requests served, by path and status code.")
 	r.Help("rudolf_score_tx_total", "Transactions scored.")
-	r.Help("rudolf_score_latency_seconds", "Per-transaction scoring latency (request latency / batch size).")
-	r.Help("rudolf_score_batch_latency_seconds", "Whole-request scoring latency.")
+	r.Help("rudolf_score_latency_seconds", "Whole-batch scoring request latency (one observation per /v1/score request).")
+	r.Help("rudolf_score_batch_size", "Transactions per /v1/score request.")
 	r.Help("rudolf_score_inflight", "Scoring requests currently holding a worker slot.")
 	r.Help("rudolf_rules_version", "Published rule-set version (history id).")
 	r.Help("rudolf_ruleset_version", "Published rule-set version (history id); survives restarts via the WAL.")
@@ -230,9 +248,14 @@ func (s *Server) initMetrics() {
 	r.Help("rudolf_wal_replayed_records_total", "Durable WAL records replayed at boot.")
 	r.Help("rudolf_wal_torn_tail_drops_total", "Torn final WAL records dropped at boot.")
 	r.Help("rudolf_snapshots_total", "Durable snapshots written.")
+	r.Help("rudolf_rule_fires_total", "Scored transactions whose first matching rule this was, by rule index (label cardinality capped; overflow shares rule=\"other\").")
+	r.Help("rudolf_rule_feedback_tp_total", "Fraud-labeled feedback transactions captured, by rule index.")
+	r.Help("rudolf_rule_feedback_fp_total", "Legit-labeled feedback transactions captured, by rule index.")
+	r.Help("rudolf_rule_drift", "Per-rule fire-rate drift vs the post-publish baseline (0 = unchanged, 1 = moved by its whole baseline; -1 = not yet measurable).")
+	r.Help("rudolf_rule_last_fired_ago_seconds", "Seconds since the rule last fired under the published version (-1 = never).")
 	s.mScoreTx = r.Counter("rudolf_score_tx_total")
 	s.mScoreLat = r.Histogram("rudolf_score_latency_seconds", nil)
-	s.mBatchLat = r.Histogram("rudolf_score_batch_latency_seconds", nil)
+	s.mBatchSize = r.Histogram("rudolf_score_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096})
 	s.mInflight = r.Gauge("rudolf_score_inflight")
 	s.mVersion = r.Gauge("rudolf_rules_version")
 	s.mRulesetVer = r.Gauge("rudolf_ruleset_version")
@@ -247,6 +270,12 @@ func (s *Server) initMetrics() {
 	s.mExpertGen = r.Counter(`rudolf_expert_queries_total{kind="generalization"}`)
 	s.mExpertSplit = r.Counter(`rudolf_expert_queries_total{kind="split"}`)
 	s.mSnapshots = r.Counter("rudolf_snapshots_total")
+	lcap := s.cfg.RuleLabelCap
+	s.vRuleFires = r.CounterVec("rudolf_rule_fires_total", "rule", lcap)
+	s.vRuleTP = r.CounterVec("rudolf_rule_feedback_tp_total", "rule", lcap)
+	s.vRuleFP = r.CounterVec("rudolf_rule_feedback_fp_total", "rule", lcap)
+	s.vRuleDrift = r.FloatGaugeVec("rudolf_rule_drift", "rule", lcap)
+	s.vRuleStale = r.FloatGaugeVec("rudolf_rule_last_fired_ago_seconds", "rule", lcap)
 	s.walCounters = wal.Counters{
 		Appends:       r.Counter("rudolf_wal_appends_total"),
 		Fsyncs:        r.Counter("rudolf_wal_fsyncs_total"),
@@ -288,6 +317,10 @@ func (s *Server) installLocked(rs *rules.Set, ev *index.Evaluator, v history.Ver
 	// relation; a publish invalidates it wholesale (rule count may match
 	// across a swap, so length-drift detection is not enough).
 	s.cache.Invalidate()
+	// Per-rule health restarts with every publish: fire counts, baselines
+	// and FP/TP estimates are only meaningful relative to the serving rules.
+	// (The sampled audit ring survives — its entries carry their version.)
+	s.stats.Reset(st.version, rs.Len())
 	s.mVersion.Set(int64(st.version))
 	s.mRulesetVer.Set(int64(st.version))
 	s.mRuleCount.Set(int64(rs.Len()))
@@ -361,13 +394,25 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(path, s.instrument(path, rt.base, rt.h))
 		mux.Handle("/"+rt.base, legacyRedirect(path))
 	}
+	// The observability endpoints are /v1-only (they never existed
+	// unversioned, so no legacy redirects).
+	mux.Handle("/v1/rules/health", s.instrument("/v1/rules/health", "rules_health", http.HandlerFunc(s.handleRuleHealth)))
+	mux.Handle("/v1/audit", s.instrument("/v1/audit", "audit", http.HandlerFunc(s.handleAudit)))
 	// /v1/trace is deliberately uninstrumented: fetching the trace must not
 	// append request spans to the very ring being exported.
 	mux.Handle("/v1/trace", http.HandlerFunc(s.handleTrace))
 	mux.Handle("/trace", legacyRedirect("/v1/trace"))
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
-	mux.Handle("/metrics", s.reg.Handler())
+	metricsHandler := s.reg.Handler()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The drift / staleness gauges are derived state: refresh them from a
+		// health snapshot right before every scrape, so the registry never
+		// serves stale per-rule gauges without putting snapshot cost on the
+		// scoring path.
+		s.refreshRuleGauges()
+		metricsHandler.ServeHTTP(w, r)
+	}))
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeErrorID(w, "", http.StatusNotFound, CodeNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
 	}))
@@ -638,21 +683,123 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	meta := requestMeta(r)
 	start := time.Now()
 	st := s.state.Load() // exactly one version per response
-	captured := st.ev.EvalUnder(meta.span, rel)
+	// The default path computes first-match attribution instead of the bare
+	// union: same short-circuiting loop and chunking as Eval, one int32
+	// write per tuple extra, and it is exactly what per-rule fire accounting
+	// needs. Explain mode runs the full no-short-circuit attribution pass.
+	var first []int32
+	var attrs []index.TupleAttribution
+	if req.Explain {
+		_, attrs = st.ev.EvalAttributedUnder(meta.span, rel)
+		first = make([]int32, rel.Len())
+		for i := range attrs {
+			first[i] = index.NoRule
+			if len(attrs[i].Matched) > 0 {
+				first[i] = int32(attrs[i].Matched[0])
+			}
+		}
+	} else {
+		first = st.ev.EvalFirstUnder(meta.span, rel)
+	}
 	elapsed := time.Since(start).Seconds()
 	s.release()
 
 	resp := scoreResponse{RequestID: meta.id, Version: st.version, Count: rel.Len(), Flagged: make([]bool, rel.Len())}
 	for i := 0; i < rel.Len(); i++ {
-		if captured.Has(i) {
+		if first[i] != index.NoRule {
 			resp.Flagged[i] = true
 			resp.Matched++
 		}
 	}
+	if req.Explain {
+		resp.Explanations = make([]txExplanation, rel.Len())
+		for i := range attrs {
+			resp.Explanations[i] = explainTuple(s.schema, st, attrs[i])
+		}
+	}
+	s.recordScore(meta.id, st, rel, first)
 	s.mScoreTx.Add(uint64(rel.Len()))
-	s.mBatchLat.Observe(elapsed)
-	s.mScoreLat.Observe(elapsed / float64(rel.Len()))
+	s.mScoreLat.Observe(elapsed)
+	s.mBatchSize.Observe(float64(rel.Len()))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordScore feeds one scored batch into the rule-health tracker, the
+// per-rule fire counters and (for sampled decisions) the audit ring.
+func (s *Server) recordScore(requestID string, st *ruleState, rel *relation.Relation, first []int32) {
+	s.stats.RecordFires(first)
+	// Per-rule fire counters: aggregate per batch so a 4k-tx batch costs at
+	// most one counter lookup per distinct fired rule.
+	nRules := st.set.Len()
+	var counts []uint64
+	for i, ri := range first {
+		if ri >= 0 && int(ri) < nRules {
+			if counts == nil {
+				counts = make([]uint64, nRules)
+			}
+			counts[ri]++
+		}
+		if s.stats.ShouldSample() {
+			s.stats.AddAudit(rulestats.AuditEntry{
+				RequestID: requestID,
+				Version:   st.version,
+				Rule:      int(ri),
+				Flagged:   ri != index.NoRule,
+				Score:     rel.Score(i),
+				Attrs:     renderAttrs(s.schema, rel, i),
+			})
+		}
+	}
+	for ri, n := range counts {
+		if n > 0 {
+			s.vRuleFires.With(strconv.Itoa(ri)).Add(n)
+		}
+	}
+}
+
+// renderAttrs renders one tuple attribute-by-attribute in the schema's
+// textual form (audit entries must stay meaningful after the schema's
+// numeric encodings change).
+func renderAttrs(schema *relation.Schema, rel *relation.Relation, i int) map[string]string {
+	t := rel.Tuple(i)
+	out := make(map[string]string, schema.Arity())
+	for a := 0; a < schema.Arity(); a++ {
+		out[schema.Attr(a).Name] = schema.FormatValue(a, t[a])
+	}
+	return out
+}
+
+// explainTuple converts one TupleAttribution to the wire form, naming
+// attributes and rule texts so clients need no second round-trip.
+func explainTuple(schema *relation.Schema, st *ruleState, a index.TupleAttribution) txExplanation {
+	out := txExplanation{Flagged: a.Flagged(), Matched: a.Matched, Rules: make([]ruleExplanation, len(a.Rules))}
+	if out.Matched == nil {
+		out.Matched = []int{}
+	}
+	for ri, ra := range a.Rules {
+		re := ruleExplanation{Rule: ra.Rule, Matched: ra.Matched, Empty: ra.Empty}
+		if ra.Rule < len(st.texts) {
+			re.Text = st.texts[ra.Rule]
+		}
+		re.Checks = make([]checkExplanation, len(ra.Checks))
+		for k, c := range ra.Checks {
+			ce := checkExplanation{Pass: c.Pass, Margin: c.Margin}
+			if c.Attr == index.ScoreAttr {
+				ce.Attr = "score"
+				ce.Kind = "score"
+			} else {
+				ce.Attr = schema.Attr(c.Attr).Name
+				if c.Categorical {
+					ce.Kind = "ontological"
+				} else {
+					ce.Kind = "numeric"
+				}
+			}
+			re.Checks[k] = ce
+		}
+		out.Rules[ri] = re
+	}
+	return out
 }
 
 // handleRules serves the published rules (GET, with the version as an ETag)
@@ -810,10 +957,28 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		Total:     s.feedback.Len(),
 		Captured:  make([]bool, batch.Len()),
 	}
+	capturing := make([][]int, batch.Len())
 	for i := range resp.Captured {
 		resp.Captured[i] = cache.Captured(base + i)
+		capturing[i] = cache.CapturingRulesAt(base + i)
 	}
 	s.mu.Unlock()
+	// Join the labels against the capturing rules: the per-rule FP/TP
+	// evidence behind GET /v1/rules/health and the feedback counter series.
+	for i, lab := range labels {
+		fraud := lab == relation.Fraud
+		legit := lab == relation.Legitimate
+		s.stats.RecordFeedback(fraud, legit, capturing[i])
+		if fraud || legit {
+			for _, ri := range capturing[i] {
+				if fraud {
+					s.vRuleTP.With(strconv.Itoa(ri)).Inc()
+				} else {
+					s.vRuleFP.With(strconv.Itoa(ri)).Inc()
+				}
+			}
+		}
+	}
 	for _, lab := range labels {
 		name := "unlabeled"
 		switch lab {
@@ -922,6 +1087,71 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRuleHealth serves the per-rule health snapshot: fire counts and
+// shares, feedback-derived FP/TP estimates, EWMA fire-rate drift against the
+// post-publish baseline, and staleness. The ETag is the rule-set version the
+// snapshot accounts for — identical to GET /v1/rules' ETag for the same
+// version, so clients can join health against the rule texts they already
+// hold (and detect a publish race with If-None-Match).
+func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	meta := requestMeta(r)
+	sp := meta.span.Child("rulestats.snapshot")
+	snap := s.stats.Snapshot()
+	sp.Int("rules", int64(len(snap.Rules))).Int("version", int64(snap.Version))
+	sp.End()
+	etag := versionETag(snap.Version)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, ruleHealthResponse{RequestID: meta.id, Snapshot: snap})
+}
+
+// handleAudit serves the sampled decision audit ring, newest first.
+// ?n= bounds the returned entries (default 100).
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad n %q (want a positive integer)", q)
+			return
+		}
+		n = v
+	}
+	entries := s.stats.AuditEntries(n)
+	if entries == nil {
+		entries = []rulestats.AuditEntry{}
+	}
+	writeJSON(w, http.StatusOK, auditResponse{
+		RequestID: requestMeta(r).id,
+		Version:   s.stats.Version(),
+		Retained:  s.stats.AuditLen(),
+		Count:     len(entries),
+		Entries:   entries,
+	})
+}
+
+// refreshRuleGauges publishes the derived per-rule gauges (drift, staleness)
+// from a fresh health snapshot. Called before every /metrics scrape.
+func (s *Server) refreshRuleGauges() {
+	snap := s.stats.Snapshot()
+	for _, h := range snap.Rules {
+		label := strconv.Itoa(h.Rule)
+		s.vRuleDrift.With(label).Set(h.Drift)
+		s.vRuleStale.With(label).Set(h.LastFiredAgo)
+	}
 }
 
 // handleSchema serves the schema JSON so clients (cmd/loadgen) can

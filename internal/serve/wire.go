@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/relation"
+	"repro/internal/rulestats"
 )
 
 // The wire format of the scoring daemon. Transactions travel as JSON
@@ -26,21 +27,55 @@ type txIn struct {
 }
 
 // scoreRequest is the /score body: a batch, or the single-transaction
-// shorthand with attrs/score inline.
+// shorthand with attrs/score inline. Explain switches the response to full
+// decision provenance (per-tuple matched rules plus per-condition pass/fail
+// and margins) at the cost of evaluating every rule without short-circuits.
 type scoreRequest struct {
 	Transactions []txIn                     `json:"transactions"`
 	Attrs        map[string]json.RawMessage `json:"attrs,omitempty"`
 	Score        int16                      `json:"score,omitempty"`
+	Explain      bool                       `json:"explain,omitempty"`
 }
 
 // scoreResponse reports one verdict per transaction, all evaluated against
-// exactly one published rules version.
+// exactly one published rules version. Explanations is only present when the
+// request asked for it.
 type scoreResponse struct {
-	RequestID string `json:"request_id,omitempty"`
-	Version   int    `json:"version"`
-	Count     int    `json:"count"`
-	Matched   int    `json:"matched"`
-	Flagged   []bool `json:"flagged"`
+	RequestID    string          `json:"request_id,omitempty"`
+	Version      int             `json:"version"`
+	Count        int             `json:"count"`
+	Matched      int             `json:"matched"`
+	Flagged      []bool          `json:"flagged"`
+	Explanations []txExplanation `json:"explanations,omitempty"`
+}
+
+// checkExplanation is one rule condition's outcome on one transaction: the
+// attribute it constrains ("score" for the minimum-score threshold), whether
+// the transaction satisfies it, and the signed distance to the decision
+// boundary (a check passes if and only if its margin is >= 0; see
+// index.CheckAttribution for the per-kind margin definitions).
+type checkExplanation struct {
+	Attr   string `json:"attr"`
+	Kind   string `json:"kind"` // "numeric", "ontological" or "score"
+	Pass   bool   `json:"pass"`
+	Margin int64  `json:"margin"`
+}
+
+// ruleExplanation is one rule's verdict on one transaction with its full
+// condition breakdown.
+type ruleExplanation struct {
+	Rule    int                `json:"rule"`
+	Text    string             `json:"text,omitempty"`
+	Matched bool               `json:"matched"`
+	Empty   bool               `json:"empty,omitempty"`
+	Checks  []checkExplanation `json:"checks"`
+}
+
+// txExplanation is the decision provenance of one scored transaction.
+type txExplanation struct {
+	Flagged bool              `json:"flagged"`
+	Matched []int             `json:"matched"`
+	Rules   []ruleExplanation `json:"rules"`
 }
 
 type feedbackRequest struct {
@@ -99,6 +134,22 @@ type statsResponse struct {
 	Legit         int    `json:"legit"`
 	LegitCaptured int    `json:"legit_captured"`
 	Unlabeled     int    `json:"unlabeled"`
+}
+
+// ruleHealthResponse wraps the rulestats snapshot with the request id; the
+// ETag header carries the snapshot's rule-set version.
+type ruleHealthResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	rulestats.Snapshot
+}
+
+// auditResponse is the sampled decision audit readout, newest first.
+type auditResponse struct {
+	RequestID string                 `json:"request_id,omitempty"`
+	Version   int                    `json:"version"`
+	Retained  int                    `json:"retained"`
+	Count     int                    `json:"count"`
+	Entries   []rulestats.AuditEntry `json:"entries"`
 }
 
 // errorBody is the payload of the uniform error envelope: a stable

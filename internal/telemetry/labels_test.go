@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{`all "of\ them` + "\n", `all \"of\\ them\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Fatalf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestLabelEscapingRoundTrip writes series whose label values need every
+// escape the exposition format defines, renders the page, and reads the
+// values back through the scrape helpers.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	hostile := []string{
+		`plain`,
+		`with space`,
+		`comma,inside`,
+		`brace}inside`,
+		`qu"ote`,
+		`back\slash`,
+		"new\nline",
+	}
+	cv := reg.CounterVec("rudolf_rule_fires_total", "rule", 0)
+	for i, v := range hostile {
+		cv.With(v).Add(uint64(i + 1))
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	page := b.String()
+	for i, v := range hostile {
+		series := `rudolf_rule_fires_total{rule="` + EscapeLabel(v) + `"}`
+		got, ok := ScrapeValue(page, series)
+		if !ok {
+			t.Fatalf("series for %q not found in page:\n%s", v, page)
+		}
+		if got != float64(i+1) {
+			t.Fatalf("series for %q = %v, want %d", v, got, i+1)
+		}
+		// And labelValue must decode the escapes back to the raw value.
+		labels := series[strings.IndexByte(series, '{')+1 : len(series)-1]
+		dec, ok := labelValue(labels, "rule")
+		if !ok || dec != v {
+			t.Fatalf("labelValue(%q) = %q/%v, want %q", labels, dec, ok, v)
+		}
+	}
+}
+
+// TestHistogramScrapeWithHostileLabels proves ScrapeHistogram still parses
+// bucket lines when a neighboring family carries label values with spaces
+// and quotes (the old last-space splitSeries broke on these).
+func TestHistogramScrapeWithHostileLabels(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rudolf_score_latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	reg.CounterVec("rudolf_rule_fires_total", "rule", 0).With(`rule "a" {weird, name}`).Inc()
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	sh, err := ScrapeHistogram(strings.NewReader(b.String()), "rudolf_score_latency_seconds")
+	if err != nil {
+		t.Fatalf("ScrapeHistogram: %v", err)
+	}
+	if sh.Total != 4 || len(sh.Uppers) != 3 || sh.Cum[2] != 3 {
+		t.Fatalf("scraped histogram = %+v, want 4 obs over 3 buckets", sh)
+	}
+	if got, ok := ScrapeValue(b.String(), `rudolf_rule_fires_total{rule="rule \"a\" {weird, name}"}`); !ok || got != 1 {
+		t.Fatalf("hostile counter scrape = %v/%v, want 1/true", got, ok)
+	}
+}
+
+func TestCounterVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("rudolf_rule_fires_total", "rule", 3)
+	for i := 0; i < 10; i++ {
+		cv.With(string(rune('a' + i))).Inc()
+	}
+	// Known values keep resolving to their own series after the cap.
+	cv.With("a").Inc()
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	page := b.String()
+	if got, _ := ScrapeValue(page, `rudolf_rule_fires_total{rule="a"}`); got != 2 {
+		t.Fatalf(`rule="a" = %v, want 2`, got)
+	}
+	if got, _ := ScrapeValue(page, `rudolf_rule_fires_total{rule="c"}`); got != 1 {
+		t.Fatalf(`rule="c" = %v, want 1`, got)
+	}
+	// d..j (7 values) all collapsed onto the overflow series.
+	if got, _ := ScrapeValue(page, `rudolf_rule_fires_total{rule="other"}`); got != 7 {
+		t.Fatalf(`rule="other" = %v, want 7`, got)
+	}
+	if _, ok := ScrapeValue(page, `rudolf_rule_fires_total{rule="d"}`); ok {
+		t.Fatal(`rule="d" must not exist past the cap`)
+	}
+}
+
+func TestFloatGaugeVecCapAndRendering(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.FloatGaugeVec("rudolf_rule_drift", "rule", 2)
+	gv.With("0").Set(0.25)
+	gv.With("1").Set(1.5)
+	gv.With("2").Set(9.75) // over the cap: lands on "other"
+	gv.With("0").Set(0.75) // overwrite, gauge semantics
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	page := b.String()
+	for series, want := range map[string]float64{
+		`rudolf_rule_drift{rule="0"}`:     0.75,
+		`rudolf_rule_drift{rule="1"}`:     1.5,
+		`rudolf_rule_drift{rule="other"}`: 9.75,
+	} {
+		if got, ok := ScrapeValue(page, series); !ok || got != want {
+			t.Fatalf("%s = %v/%v, want %v", series, got, ok, want)
+		}
+	}
+	if !strings.Contains(page, "# TYPE rudolf_rule_drift gauge") {
+		t.Fatalf("float gauge family must render as TYPE gauge:\n%s", page)
+	}
+}
+
+func TestSplitSeriesEdgeCases(t *testing.T) {
+	cases := []struct {
+		line, name, value string
+		ok                bool
+	}{
+		{`plain 3`, "plain", "3", true},
+		{`a{b="c"} 1`, `a{b="c"}`, "1", true},
+		{`a{b="c d"} 1`, `a{b="c d"}`, "1", true},
+		{`a{b="c} d"} 2`, `a{b="c} d"}`, "2", true},
+		{`a{b="c\" } d"} 5`, `a{b="c\" } d"}`, "5", true},
+		{`noval`, "", "", false},
+		{`a{unterminated 1`, "", "", false},
+	}
+	for _, c := range cases {
+		name, val, ok := splitSeries(c.line)
+		if name != c.name || val != c.value || ok != c.ok {
+			t.Fatalf("splitSeries(%q) = %q,%q,%v; want %q,%q,%v",
+				c.line, name, val, ok, c.name, c.value, c.ok)
+		}
+	}
+}

@@ -134,26 +134,98 @@ func ScrapeHistogram(r io.Reader, base string) (ScrapedHistogram, error) {
 	return out, nil
 }
 
-// splitSeries splits "name{labels} value" / "name value" into name and value.
+// splitSeries splits "name{labels} value" / "name value" into name and
+// value. Label values may contain spaces, commas, braces and escaped
+// quotes, so the name/value boundary is found by scanning past the label
+// block quote-aware rather than splitting on the last space.
 func splitSeries(line string) (name, value string, ok bool) {
-	i := strings.LastIndexByte(line, ' ')
-	if i < 0 {
-		return "", "", false
+	brace := strings.IndexByte(line, '{')
+	// Fast path: no label block (or the first space precedes it, meaning
+	// the brace belongs to something else entirely — not a valid series,
+	// but the old behavior of splitting on the space is still right).
+	if sp := strings.IndexAny(line, " \t"); brace < 0 || (sp >= 0 && sp < brace) {
+		if sp < 0 {
+			return "", "", false
+		}
+		return strings.TrimSpace(line[:sp]), strings.TrimSpace(line[sp+1:]), true
 	}
-	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+	// Scan from the brace to its matching close, skipping quoted strings
+	// (in which \" and \\ are escapes).
+	inQuote := false
+	for i := brace + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return line[:i+1], strings.TrimSpace(line[i+1:]), strings.TrimSpace(line[i+1:]) != ""
+			}
+		}
+	}
+	return "", "", false
 }
 
-// labelValue extracts the value of one label from `k="v",k2="v2"`.
+// labelValue extracts the (unescaped) value of one label from a label body
+// like `k="v",k2="v, with \"quotes\""`. It is a real parser: commas inside
+// quoted values do not split pairs, and \\, \" and \n escapes are decoded.
 func labelValue(labels, key string) (string, bool) {
-	for _, part := range strings.Split(labels, ",") {
-		kv := strings.SplitN(part, "=", 2)
-		if len(kv) != 2 || strings.TrimSpace(kv[0]) != key {
-			continue
+	i := 0
+	for i < len(labels) {
+		// Parse `name`.
+		start := i
+		for i < len(labels) && labels[i] != '=' {
+			i++
 		}
-		v := strings.TrimSpace(kv[1])
-		v = strings.TrimPrefix(v, `"`)
-		v = strings.TrimSuffix(v, `"`)
-		return v, true
+		if i >= len(labels) {
+			return "", false
+		}
+		name := strings.TrimSpace(labels[start:i])
+		i++ // consume '='
+		// Parse `"value"` with escapes.
+		if i >= len(labels) || labels[i] != '"' {
+			return "", false
+		}
+		i++
+		var b strings.Builder
+		closed := false
+		for i < len(labels) {
+			c := labels[i]
+			if c == '\\' && i+1 < len(labels) {
+				switch labels[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(labels[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return "", false
+		}
+		if name == key {
+			return b.String(), true
+		}
+		// Skip a separating comma (and surrounding space) before the next pair.
+		for i < len(labels) && (labels[i] == ',' || labels[i] == ' ') {
+			i++
+		}
 	}
 	return "", false
 }

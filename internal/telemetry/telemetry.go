@@ -56,6 +56,18 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (drift scores, staleness
+// seconds). Atomic bit-stored, so Set/Value never lock.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram counts observations into fixed cumulative-on-render buckets.
 // Observations, sums and counts are all atomics, so concurrent Observe calls
 // never lock.
@@ -162,6 +174,7 @@ type metric struct {
 	help string
 	c    *Counter
 	g    *Gauge
+	fg   *FloatGauge
 	h    *Histogram
 }
 
@@ -169,7 +182,7 @@ func (m *metric) kind() string {
 	switch {
 	case m.c != nil:
 		return "counter"
-	case m.g != nil:
+	case m.g != nil, m.fg != nil:
 		return "gauge"
 	default:
 		return "histogram"
@@ -242,6 +255,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.series[name] = m
 	r.ordered = append(r.ordered, m)
 	return m.g
+}
+
+// FloatGauge returns the float-gauge series with the given name, creating
+// it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.lookup(name); ok {
+		if m.fg == nil {
+			panic(fmt.Sprintf("telemetry: %q is a %s, not a float gauge", name, m.kind()))
+		}
+		return m.fg
+	}
+	m := &metric{name: name, base: baseName(name), fg: &FloatGauge{}}
+	r.series[name] = m
+	r.ordered = append(r.ordered, m)
+	return m.fg
 }
 
 // Histogram returns the histogram series with the given name and upper
@@ -329,6 +359,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			}
 		case m.g != nil:
 			if err := pr("%s %d\n", m.name, m.g.Value()); err != nil {
+				return n, err
+			}
+		case m.fg != nil:
+			if err := pr("%s %s\n", m.name, formatFloat(m.fg.Value())); err != nil {
 				return n, err
 			}
 		case m.h != nil:

@@ -285,6 +285,24 @@ func DatasetClusterer() cluster.Algorithm { return datagen.Clusterer() }
 // Evaluator is a compiled, parallel rule-set evaluator for large relations.
 type Evaluator = index.Evaluator
 
+// Decision-provenance types of the compiled evaluator (see
+// Evaluator.AttributeTuple and Evaluator.EvalAttributed): the per-rule,
+// per-condition breakdown — with signed margins to the decision boundary —
+// that the serving layer's explain mode and cmd/rudolf's -explain flag
+// share. A check passes if and only if its margin is >= 0.
+type (
+	// TupleAttribution is one transaction's full decision provenance.
+	TupleAttribution = index.TupleAttribution
+	// RuleAttribution is one rule's verdict with its check breakdown.
+	RuleAttribution = index.RuleAttribution
+	// CheckAttribution is one condition's pass/fail and signed margin.
+	CheckAttribution = index.CheckAttribution
+)
+
+// ScoreAttr is the CheckAttribution.Attr value marking a rule's
+// minimum-score threshold check.
+const ScoreAttr = index.ScoreAttr
+
 // History is a versioned store of rule-set snapshots with the modifications
 // between them (the FIs of the paper keep exactly such change histories).
 type History = history.Store

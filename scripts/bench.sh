@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Benchmark pipeline behind `make bench-json`: run the core evaluator /
+# attribution benches and the end-to-end serving benches, then convert the
+# text output into committed, diffable JSON at the repo root
+# (BENCH_core.json and BENCH_serve.json) via scripts/benchjson.
+#
+# Environment knobs:
+#   GO         go binary (default: go)
+#   BENCHTIME  -benchtime per benchmark (default: 1s; `make ci` smokes with
+#              1x so the pipeline is exercised without the full cost)
+#   COUNT      -count repetitions (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+
+# Core: the compiled evaluator family (plain, first-match, full attribution)
+# plus the interpreted baseline and the incremental capture cache — the
+# regression guard that attribution-off scoring stays near Eval while
+# explain-mode provenance and full rescans are visibly separate cost tiers.
+CORE_BENCH='^(BenchmarkCompiledEval|BenchmarkCompiledEvalFirst|BenchmarkCompiledEvalAttributed|BenchmarkRuleSetEval|BenchmarkIncrementalCapture|BenchmarkCaptureFullRescan)$'
+
+# Serve: HTTP round trip + JSON + validation + evaluation, single/batch64,
+# with and without explain.
+SERVE_BENCH='^BenchmarkServeScore$'
+
+core_raw="$(mktemp)"
+serve_raw="$(mktemp)"
+trap 'rm -f "$core_raw" "$serve_raw"' EXIT
+
+echo "bench: core evaluator benches (benchtime $BENCHTIME, count $COUNT)"
+$GO test -run '^$' -bench "$CORE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$core_raw"
+
+echo "bench: serving benches (benchtime $BENCHTIME, count $COUNT)"
+$GO test -run '^$' -bench "$SERVE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$serve_raw"
+
+$GO run ./scripts/benchjson -out BENCH_core.json <"$core_raw"
+$GO run ./scripts/benchjson -out BENCH_serve.json <"$serve_raw"
+echo "bench: wrote BENCH_core.json and BENCH_serve.json"

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so benchmark runs can be committed,
+// diffed and charted without scraping the free-form text format. It is the
+// back half of scripts/bench.sh / `make bench-json`, which emit
+// BENCH_core.json and BENCH_serve.json at the repo root.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -out BENCH.json
+//
+// The parser understands the standard testing package output: the
+// goos/goarch/pkg/cpu header lines, and one result line per benchmark of
+// the form
+//
+//	BenchmarkName-8   1234   56789 ns/op   12 B/op   3 allocs/op   4.5 custom_metric/op
+//
+// Every "<value> <unit>" pair after the iteration count is preserved:
+// ns/op gets a dedicated field, everything else (including b.ReportMetric
+// extras like tx/s or tuple_rule_pairs/op) lands in the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	// Name is the benchmark name with the "Benchmark" prefix and the
+	// -GOMAXPROCS suffix stripped (sub-benchmarks keep their slash path).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the raw name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Runs is the iteration count the harness settled on.
+	Runs int64 `json:"runs"`
+	// NsPerOp is the headline wall-clock metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other "<value> <unit>" pair of the result line,
+	// keyed by unit (e.g. "B/op", "allocs/op", "tx/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchDoc struct {
+	Generated  string        `json:"generated"`
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (empty: stdout)")
+	flag.Parse()
+
+	doc := benchDoc{Generated: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(raw); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine decodes one benchmark result line; ok is false for lines
+// that merely look like one (e.g. a wrapped name with no fields).
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return benchResult{}, false
+	}
+	r := benchResult{Metrics: map[string]float64{}}
+	r.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(r.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Runs = runs
+	// The rest is "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -52,6 +52,71 @@ echo "smoke: rudolfd is up on $ADDR"
 # Load phase + control-plane assertions (swap rules, /metrics moved).
 "$BIN/loadgen" -url "http://$ADDR" -duration "$DURATION" -concurrency 4 -batch 64 -smoke
 
+# --- Decision provenance + rule health, exercised from the outside -------
+# loadgen asserted these through its Go client; repeat the core invariants
+# with curl+jq, the way an operator would, against a rule set the script
+# controls: republish the served rules plus a catch-all score-threshold
+# rule, replay a transaction from the audit ring through explain-mode
+# scoring, and assert the attribution and the feedback-driven TP/FP join.
+echo "smoke: explain + rule-health assertions (curl/jq)"
+BASE="http://$ADDR"
+
+RULES_JSON=$(curl -fsS "$BASE/v1/rules")
+N=$(echo "$RULES_JSON" | jq '.rules | length')
+NEW_RULES=$(echo "$RULES_JSON" | jq '.rules + ["score >= 1"]')
+curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/rules" \
+    -d "{\"rules\": $NEW_RULES, \"comment\": \"smoke catch-all\"}" >/dev/null
+VERSION=$(curl -fsS "$BASE/v1/rules" | jq .version)
+
+# The audit ring survives rule swaps; its rendered attrs are a valid wire
+# transaction (loadgen already asserted the ring is non-empty).
+ATTRS=$(curl -fsS "$BASE/v1/audit?n=1" | jq '.entries[0].attrs')
+TX="{\"attrs\": $ATTRS, \"score\": 500}"
+
+EXPLAIN=$(curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/score" \
+    -d "{\"transactions\": [$TX], \"explain\": true}")
+echo "$EXPLAIN" | jq -e --argjson n "$N" --argjson v "$VERSION" '
+    .version == $v
+    and (.explanations | length == 1)
+    and (.explanations[0] | .flagged == ((.matched | length) > 0))
+    and (.explanations[0].matched | index($n) != null)
+    and (.explanations[0].rules | length == $n + 1)
+    and ([.explanations[0].rules[].rule] == [range(0; $n + 1)])
+    and ([.explanations[0].rules[].checks[] | .pass == (.margin >= 0)] | all)
+' >/dev/null || {
+    echo "smoke: explain-mode attribution assertions failed: $EXPLAIN" >&2
+    exit 1
+}
+# Fire accounting is first-match: the fire is credited to the first rule the
+# transaction matches, which may be a base rule rather than the catch-all.
+FIRST=$(echo "$EXPLAIN" | jq '.explanations[0].matched[0]')
+
+# The catch-all rule captures the transaction, so fraud feedback must move
+# its TP and legit feedback its FP in /v1/rules/health — and the health
+# snapshot must be ETag-consistent with the published version.
+curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/feedback" \
+    -d "{\"transactions\": [{\"attrs\": $ATTRS, \"score\": 500, \"label\": \"fraud\"}]}" >/dev/null
+curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/feedback" \
+    -d "{\"transactions\": [{\"attrs\": $ATTRS, \"score\": 500, \"label\": \"legit\"}]}" >/dev/null
+HEALTH=$(curl -fsS "$BASE/v1/rules/health")
+echo "$HEALTH" | jq -e --argjson n "$N" --argjson v "$VERSION" --argjson first "$FIRST" '
+    .version == $v
+    and (.rules | length == $n + 1)
+    and (.rules[$first].fires >= 1)
+    and (.rules[$n].tp >= 1)
+    and (.rules[$n].fp >= 1)
+' >/dev/null || {
+    echo "smoke: /v1/rules/health TP/FP assertions failed: $HEALTH" >&2
+    exit 1
+}
+ETAG=$(curl -fsS -o /dev/null -D - "$BASE/v1/rules/health" | tr -d '\r' | awk 'tolower($1)=="etag:"{print $2}')
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $ETAG" "$BASE/v1/rules/health")
+if [[ "$CODE" != "304" ]]; then
+    echo "smoke: /v1/rules/health If-None-Match $ETAG answered $CODE, want 304" >&2
+    exit 1
+fi
+echo "smoke: explain + rule-health assertions ok (version $VERSION, fire on rule $FIRST, catch-all rule $N: tp/fp moved)"
+
 # Graceful drain: SIGTERM must exit cleanly.
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
