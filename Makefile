@@ -8,10 +8,14 @@
 #                 rule publishes never tear; see DESIGN.md §8-9)
 #   make vet      static analysis
 #   make bench    run the benchmark suite once (no test re-run)
-#   make bench-json  run the core evaluator + serving benches and write the
-#                 results as JSON to BENCH_core.json / BENCH_serve.json at
-#                 the repo root (scripts/bench.sh; BENCHTIME/COUNT tune it).
-#                 `make ci` reruns it non-gating with BENCHTIME=1x
+#   make bench-json  run the core evaluator + serving benches, print a
+#                 non-gating benchcmp drift table against the committed
+#                 baselines, and refresh BENCH_core.json / BENCH_serve.json
+#                 at the repo root (scripts/bench.sh; BENCHTIME/COUNT/TOL
+#                 tune it). `make ci` reruns it compare-only (WRITE=0) at
+#                 BENCHTIME=100x — enough iterations that pool warm-up
+#                 amortizes away and alloc regressions show — with a wide
+#                 band for the wall-clock noise; baselines are never dirtied
 #   make serve    run the online scoring daemon (cmd/rudolfd) on :8080
 #   make loadgen  drive traffic at a running daemon and report p50/p99
 #   make smoke    boot rudolfd on a random port, score a generated batch,
@@ -81,7 +85,7 @@ trace-check:
 check: build vet test race trace-check
 
 ci: check smoke crash-smoke trace-demo
-	-GO=$(GO) BENCHTIME=1x bash scripts/bench.sh
+	-GO=$(GO) BENCHTIME=100x WRITE=0 TOL=1.0 bash scripts/bench.sh
 
 clean:
 	$(GO) clean -testcache

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	rudolf "repro"
@@ -371,30 +372,82 @@ func BenchmarkCompiledEval(b *testing.B) {
 // variant against BenchmarkCompiledEval's workload: the same short-circuit
 // loop writing an int32 per tuple instead of a bit, so per-rule fire
 // accounting must stay within noise of plain Eval (the attribution-off
-// regression guard, together with BenchmarkServeScore).
+// regression guard, together with BenchmarkServeScore). The dst slice is
+// reused across iterations, as the pooled serving path reuses it — the
+// pre-EvalFirstInto form re-allocated the result every call (20,600 B/op
+// against plain Eval's 776); TestCompiledEvalFirstBytesPerOp pins the fix.
 func BenchmarkCompiledEvalFirst(b *testing.B) {
 	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
 	rs := datagen.InitialRules(ds, 30, 1)
 	e := index.Compile(ds.Schema, rs)
+	dst := e.EvalFirstInto(ds.Rel, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.EvalFirst(ds.Rel)
+		dst = e.EvalFirstInto(ds.Rel, dst)
 	}
 	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
 }
 
+// TestCompiledEvalFirstBytesPerOp pins the EvalFirstInto scratch fix in
+// bytes, not just allocation counts: steady-state first-match evaluation
+// over a 5000-tuple relation must not re-allocate its result (the 20,600
+// B/op leak), leaving only the chunk goroutines and the bitset-free
+// bookkeeping. The budget is a loose roof far under one int32 per tuple.
+func TestCompiledEvalFirstBytesPerOp(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
+	rs := datagen.InitialRules(ds, 30, 1)
+	e := index.Compile(ds.Schema, rs)
+	dst := e.EvalFirstInto(ds.Rel, nil) // warm: dst reaches full capacity
+	const runs = 50
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		dst = e.EvalFirstInto(ds.Rel, dst)
+	}
+	runtime.ReadMemStats(&after)
+	if perOp := (after.TotalAlloc - before.TotalAlloc) / runs; perOp > 4096 {
+		t.Fatalf("EvalFirstInto steady state = %d B/op, want <= 4096 (result slice is leaking again)", perOp)
+	}
+}
+
 // BenchmarkCompiledEvalAttributed measures the full-provenance evaluation
 // (every rule, every non-trivial condition, no short-circuits) on the same
-// workload — the cost an `"explain": true` scoring request pays per tuple,
-// expected to sit well above EvalFirst and bounded below the interpreted
-// Set.Eval of BenchmarkRuleSetEval.
+// workload — the cost an `"explain_all": true` scoring request pays per
+// tuple. The arena-backed AttributionBuffer is reused across iterations,
+// exactly as the serving path reuses its pooled buffer, so steady-state
+// allocs/op stays O(1) instead of the pre-arena O(tuples × rules × checks)
+// (2.3M allocs/op, 175 MB/op on this workload).
 func BenchmarkCompiledEvalAttributed(b *testing.B) {
 	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
 	rs := datagen.InitialRules(ds, 30, 1)
 	e := index.Compile(ds.Schema, rs)
+	var buf index.AttributionBuffer
+	e.EvalAttributedInto(ds.Rel, &buf)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.EvalAttributed(ds.Rel)
+		e.EvalAttributedInto(ds.Rel, &buf)
+	}
+	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
+}
+
+// BenchmarkCompiledEvalAttributedLazy measures the lazy variant behind plain
+// `"explain": true`: matched rules get their full check breakdown from the
+// arena, non-matched rules only their flags (margins re-derived on demand by
+// AttributeRule). On fraud-shaped data almost nothing matches, so this
+// should sit near EvalFirst, far below the full table above.
+func BenchmarkCompiledEvalAttributedLazy(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 5000, Seed: 1})
+	rs := datagen.InitialRules(ds, 30, 1)
+	e := index.Compile(ds.Schema, rs)
+	var buf index.AttributionBuffer
+	e.EvalAttributedLazyInto(ds.Rel, &buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalAttributedLazyInto(ds.Rel, &buf)
 	}
 	b.ReportMetric(float64(ds.Rel.Len()*rs.Len()), "tuple_rule_pairs/op")
 }
@@ -479,7 +532,7 @@ func BenchmarkServeScore(b *testing.B) {
 	defer ts.Close()
 
 	// Real tuples from the generated dataset, rendered in the wire form.
-	mkBody := func(n int, explain bool) []byte {
+	mkBody := func(n int, mode string) []byte {
 		txs := make([]map[string]any, n)
 		for i := range txs {
 			t := ds.Rel.Tuple(i % ds.Rel.Len())
@@ -490,8 +543,8 @@ func BenchmarkServeScore(b *testing.B) {
 			txs[i] = map[string]any{"attrs": attrs, "score": ds.Rel.Score(i % ds.Rel.Len())}
 		}
 		req := map[string]any{"transactions": txs}
-		if explain {
-			req["explain"] = true
+		if mode != "" {
+			req[mode] = true
 		}
 		raw, err := json.Marshal(req)
 		if err != nil {
@@ -501,12 +554,17 @@ func BenchmarkServeScore(b *testing.B) {
 	}
 
 	for _, bc := range []struct {
-		name    string
-		n       int
-		explain bool
-	}{{"single", 1, false}, {"batch64", 64, false}, {"batch64_explain", 64, true}} {
+		name string
+		n    int
+		mode string
+	}{
+		{"single", 1, ""},
+		{"batch64", 64, ""},
+		{"batch64_explain", 64, "explain"},
+		{"batch64_explain_all", 64, "explain_all"},
+	} {
 		b.Run(bc.name, func(b *testing.B) {
-			body := mkBody(bc.n, bc.explain)
+			body := mkBody(bc.n, bc.mode)
 			client := ts.Client()
 			b.ReportAllocs()
 			b.ResetTimer()

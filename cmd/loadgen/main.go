@@ -432,6 +432,11 @@ func checkExplainAndHealth(url string, rng *rand.Rand, schema *relation.Schema,
 			if re.Rule < 0 || re.Rule >= ruleCount {
 				return fmt.Errorf("explanation %d attributes rule %d outside [0,%d)", i, re.Rule, ruleCount)
 			}
+			// Default explain mode carries breakdowns only for fired rules
+			// (explain_all is the full-table form).
+			if !re.Matched {
+				return fmt.Errorf("explanation %d: non-matched rule %d in the default explain breakdown", i, re.Rule)
+			}
 			for _, c := range re.Checks {
 				if c.Pass != (c.Margin >= 0) {
 					return fmt.Errorf("explanation %d rule %d check %s: pass=%v margin=%d violates the margin invariant",

@@ -145,7 +145,8 @@ func main() {
 // printAttribution renders the refined rules' verdict on transaction i with
 // full decision provenance — the same per-rule, per-condition breakdown
 // (with signed margins to the decision boundary) that rudolfd's
-// `"explain": true` scoring mode returns, computed by the shared compiled
+// `"explain_all": true` scoring mode returns (the full rule table, not just
+// the fired rules of plain `"explain"`), computed by the shared compiled
 // attribution path (Evaluator.AttributeTuple).
 func printAttribution(w io.Writer, schema *rudolf.Schema, rel *rudolf.Relation, rs *rudolf.RuleSet, i int) {
 	attr := rudolf.CompileRules(schema, rs).AttributeTuple(rel, i)

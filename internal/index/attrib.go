@@ -1,8 +1,6 @@
 package index
 
 import (
-	"sort"
-
 	"repro/internal/bitset"
 	"repro/internal/ontology"
 	"repro/internal/relation"
@@ -29,6 +27,15 @@ import (
 //     is the negated number of generalization steps C would need before it
 //     admitted l (Equation 1's ontological distance).
 //   - score threshold: margin is score - minScore.
+//
+// The allocation story (DESIGN.md §13): attribution over a relation never
+// allocates per rule or per tuple. An AttributionBuffer owns three flat
+// arenas — RuleAttributions, matched indices and CheckAttributions — and
+// every tuple's storage is carved at a deterministic offset (tuple i's
+// checks live at i×perTuple), so the 64-aligned parallel chunks write
+// disjoint arena regions without synchronization and a buffer is reused
+// across calls without clearing. Checks render in schema-attribute order
+// via the compile-time emit permutation; nothing sorts at attribution time.
 
 // CheckAttribution is the outcome of one non-trivial compiled check of one
 // rule against one tuple.
@@ -64,7 +71,9 @@ type RuleAttribution struct {
 	Empty bool
 	// Checks holds one attribution per non-trivial condition, ordered by
 	// ascending attribute index, with the score-threshold check (Attr ==
-	// ScoreAttr) last when the rule has one.
+	// ScoreAttr) last when the rule has one. Under lazy evaluation
+	// (EvalAttributedLazyInto) Checks is nil for rules that did not match;
+	// AttributeRule re-derives the full breakdown on demand.
 	Checks []CheckAttribution
 }
 
@@ -87,18 +96,21 @@ func (e *Evaluator) attributeCond(c *compiledCond, v int64) CheckAttribution {
 	out := CheckAttribution{Attr: c.attr, Categorical: c.isCat}
 	if c.isCat {
 		pos := e.leafPos[c.attr][v]
-		out.Pass = pos >= 0 && c.leaves.Has(pos)
-		o := e.schema.Attr(c.attr).Ontology
-		if out.Pass {
-			d, _ := o.UpDistance(ontology.Concept(v), c.concept)
-			out.Margin = int64(d)
-		} else {
-			d, ok := o.UpDistance(c.concept, ontology.Concept(v))
-			if !ok || d < 1 {
-				d = 1 // non-leaf observed value: no chain, minimal violation
-			}
-			out.Margin = -int64(d)
+		if pos >= 0 {
+			// The compile-time margin table covers every observed leaf; a
+			// passing leaf's margin is >= 0 and a failing one's <= -1, so the
+			// table encodes Pass too.
+			out.Margin = c.margins[pos]
+			out.Pass = out.Margin >= 0
+			return out
 		}
+		// Non-leaf observed value: outside the table (and the leaf set), so
+		// the check fails with the minimal violation the DAG supports.
+		d, ok := e.schema.Attr(c.attr).Ontology.UpDistance(c.concept, ontology.Concept(v))
+		if !ok || d < 1 {
+			d = 1 // no chain: minimal violation
+		}
+		out.Margin = -int64(d)
 		return out
 	}
 	switch {
@@ -117,9 +129,14 @@ func (e *Evaluator) attributeCond(c *compiledCond, v int64) CheckAttribution {
 	return out
 }
 
-// attributeRule evaluates every check of compiled rule ri against tuple i,
-// without short-circuiting.
-func (e *Evaluator) attributeRule(ri int, rel *relation.Relation, i int) RuleAttribution {
+// attributeRuleAppend evaluates every check of compiled rule ri against
+// tuple i without short-circuiting, appending the checks (in the compiled
+// emit order: schema attributes ascending, score threshold last) to dst.
+// The returned attribution's Checks aliases the appended region, so dst
+// must not be shared between live attributions unless each append stays
+// within its own pre-carved capacity (the arena discipline of
+// AttributionBuffer) or dst never reallocates underneath an earlier result.
+func (e *Evaluator) attributeRuleAppend(ri int, rel *relation.Relation, i int, dst []CheckAttribution) RuleAttribution {
 	cr := &e.rules[ri]
 	out := RuleAttribution{Rule: ri, Matched: true}
 	if cr.empty {
@@ -128,19 +145,14 @@ func (e *Evaluator) attributeRule(ri int, rel *relation.Relation, i int) RuleAtt
 		return out
 	}
 	t := rel.Tuple(i)
-	out.Checks = make([]CheckAttribution, 0, len(cr.conds)+1)
-	for k := range cr.conds {
-		ca := e.attributeCond(&cr.conds[k], t[cr.conds[k].attr])
+	base := len(dst)
+	for _, ci := range cr.emit {
+		ca := e.attributeCond(&cr.conds[ci], t[cr.conds[ci].attr])
 		if !ca.Pass {
 			out.Matched = false
 		}
-		out.Checks = append(out.Checks, ca)
+		dst = append(dst, ca)
 	}
-	// Checks are compiled in selectivity order; present them in schema order
-	// so the breakdown is stable across recompiles and selectivity changes.
-	sort.SliceStable(out.Checks, func(x, y int) bool {
-		return out.Checks[x].Attr < out.Checks[y].Attr
-	})
 	if cr.minScore > 0 {
 		ca := CheckAttribution{
 			Attr:   ScoreAttr,
@@ -150,18 +162,57 @@ func (e *Evaluator) attributeRule(ri int, rel *relation.Relation, i int) RuleAtt
 		if !ca.Pass {
 			out.Matched = false
 		}
-		out.Checks = append(out.Checks, ca)
+		dst = append(dst, ca)
 	}
+	out.Checks = dst[base:]
 	return out
 }
 
+// AttributeRule re-derives the full attribution of compiled rule ri against
+// tuple i — the compact on-demand companion of the lazy evaluation path:
+// EvalAttributedLazyInto leaves non-matching rules' Checks nil, and callers
+// that need a specific rule's margins anyway (a "how close was rule 7?"
+// query) recompute exactly that rule here instead of paying for all of them.
+func (e *Evaluator) AttributeRule(ri int, rel *relation.Relation, i int) RuleAttribution {
+	return e.attributeRuleAppend(ri, rel, i, nil)
+}
+
+// AttributeRuleAppend is AttributeRule writing into caller-owned storage:
+// checks are appended to dst (pass dst[:0] to reuse its capacity) and the
+// returned attribution's Checks aliases the appended region. A steady-state
+// caller reuses one scratch slice across many rules and never allocates.
+func (e *Evaluator) AttributeRuleAppend(ri int, rel *relation.Relation, i int, dst []CheckAttribution) RuleAttribution {
+	return e.attributeRuleAppend(ri, rel, i, dst)
+}
+
+// MaxRuleChecks returns the largest check count any single compiled rule
+// emits — the scratch capacity that makes AttributeRuleAppend allocation-free
+// for every rule in the set.
+func (e *Evaluator) MaxRuleChecks() int {
+	maxn := 0
+	for ri := range e.rules {
+		if n := e.rules[ri].checkCount(); n > maxn {
+			maxn = n
+		}
+	}
+	return maxn
+}
+
 // AttributeTuple returns the full decision provenance of tuple i: the
-// point-query form of EvalAttributed, shared by the serving layer's explain
-// mode and cmd/rudolf's -explain flag.
+// point-query form of EvalAttributed, shared by cmd/rudolf's -explain flag.
+// All checks are carved from one arena (three allocations per call, not per
+// rule); batch callers should use EvalAttributedInto with a reused buffer.
 func (e *Evaluator) AttributeTuple(rel *relation.Relation, i int) TupleAttribution {
+	perTuple := 0
+	for ri := range e.rules {
+		perTuple += e.rules[ri].checkCount()
+	}
+	arena := make([]CheckAttribution, 0, perTuple)
 	out := TupleAttribution{Rules: make([]RuleAttribution, len(e.rules))}
 	for ri := range e.rules {
-		out.Rules[ri] = e.attributeRule(ri, rel, i)
+		base := len(arena)
+		out.Rules[ri] = e.attributeRuleAppend(ri, rel, i, arena)
+		arena = arena[:base+len(out.Rules[ri].Checks)]
 		if out.Rules[ri].Matched {
 			out.Matched = append(out.Matched, ri)
 		}
@@ -169,23 +220,142 @@ func (e *Evaluator) AttributeTuple(rel *relation.Relation, i int) TupleAttributi
 	return out
 }
 
-// EvalAttributed evaluates the relation with full decision provenance: the
-// returned bitset is exactly Eval's Φ(I) (proven differentially), and the
-// attribution slice holds one TupleAttribution per transaction, computed on
-// the same 64-aligned parallel chunks (workers write disjoint slice
-// elements, so no synchronization is needed).
-func (e *Evaluator) EvalAttributed(rel *relation.Relation) (*bitset.Set, []TupleAttribution) {
-	out := bitset.New(rel.Len())
-	attrs := make([]TupleAttribution, rel.Len())
-	e.parallelChunks(rel.Len(), func(lo, hi int) {
+// AttributionBuffer is caller-owned, reusable storage for EvalAttributedInto
+// and EvalAttributedLazyInto. The zero value is ready to use; the first call
+// sizes the arenas and later calls reuse them (growing only when the
+// relation or rule set outgrows the previous high-water mark), so a pooled
+// buffer makes repeated attribution allocation-free.
+//
+// Ownership rules: Tuples — and every Matched/Rules/Checks slice hanging off
+// it — aliases the buffer's arenas and is valid only until the next
+// Eval*Into call on the same buffer. Callers that hand the buffer back to a
+// pool must finish reading (or copy out) first; two concurrent evaluations
+// need two buffers.
+type AttributionBuffer struct {
+	// Tuples holds one attribution per transaction of the last evaluated
+	// relation (length rel.Len()), index-aligned with it.
+	Tuples []TupleAttribution
+
+	rules   []RuleAttribution  // flat: tuple-major, nRules per tuple
+	matched []int              // flat: nRules capacity per tuple
+	checks  []CheckAttribution // flat: perTuple capacity per tuple
+
+	// geometry of the current rule set (recomputed every Ensure: the
+	// evaluator mutates in place via Add/Replace/Remove).
+	checkOff []int // per rule: offset of its checks inside a tuple's block
+	perTuple int   // Σ checkCount over rules
+}
+
+// ensure sizes the arenas for evaluating n tuples against e's current rules.
+func (b *AttributionBuffer) ensure(e *Evaluator, n int) {
+	nr := len(e.rules)
+	if cap(b.checkOff) < nr {
+		b.checkOff = make([]int, nr)
+	}
+	b.checkOff = b.checkOff[:nr]
+	b.perTuple = 0
+	for ri := range e.rules {
+		b.checkOff[ri] = b.perTuple
+		b.perTuple += e.rules[ri].checkCount()
+	}
+	if need := n * nr; cap(b.rules) < need {
+		b.rules = make([]RuleAttribution, need)
+	} else {
+		b.rules = b.rules[:need]
+	}
+	if need := n * nr; cap(b.matched) < need {
+		b.matched = make([]int, need)
+	} else {
+		b.matched = b.matched[:need]
+	}
+	if need := n * b.perTuple; cap(b.checks) < need {
+		b.checks = make([]CheckAttribution, need)
+	} else {
+		b.checks = b.checks[:need]
+	}
+	if cap(b.Tuples) < n {
+		b.Tuples = make([]TupleAttribution, n)
+	} else {
+		b.Tuples = b.Tuples[:n]
+	}
+}
+
+// attributeInto is the shared chunk-parallel engine of the eager and lazy
+// buffer-backed evaluations. Tuple i's storage lives at fixed offsets
+// (rules/matched at i×nRules, checks at i×perTuple), so workers touch
+// disjoint arena regions and nothing synchronizes.
+func (e *Evaluator) attributeInto(rel *relation.Relation, buf *AttributionBuffer, lazy bool) *bitset.Set {
+	n := rel.Len()
+	buf.ensure(e, n)
+	nr := len(e.rules)
+	out := bitset.New(n)
+	e.parallelChunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			attrs[i] = e.AttributeTuple(rel, i)
-			if attrs[i].Flagged() {
+			rules := buf.rules[i*nr : (i+1)*nr]
+			matched := buf.matched[i*nr : i*nr : (i+1)*nr]
+			base := i * buf.perTuple
+			for ri := range e.rules {
+				if lazy && !e.matches(&e.rules[ri], rel, i) {
+					rules[ri] = RuleAttribution{Rule: ri, Empty: e.rules[ri].empty}
+					continue
+				}
+				off := base + buf.checkOff[ri]
+				cnt := e.rules[ri].checkCount()
+				rules[ri] = e.attributeRuleAppend(ri, rel, i, buf.checks[off:off:off+cnt])
+				if rules[ri].Matched {
+					matched = append(matched, ri)
+				}
+			}
+			buf.Tuples[i] = TupleAttribution{Matched: matched, Rules: rules}
+			if len(matched) > 0 {
 				out.Add(i)
 			}
 		}
 	})
-	return out, attrs
+	return out
+}
+
+// EvalAttributedInto evaluates the relation with full (eager) decision
+// provenance into buf, returning Eval's Φ(I) bitset; buf.Tuples carries the
+// same attributions EvalAttributed would return, at a handful of arena
+// allocations per high-water mark instead of millions per call. See
+// AttributionBuffer for the aliasing/ownership rules.
+func (e *Evaluator) EvalAttributedInto(rel *relation.Relation, buf *AttributionBuffer) *bitset.Set {
+	return e.attributeInto(rel, buf, false)
+}
+
+// EvalAttributedLazyInto is EvalAttributedInto materializing condition-level
+// margins only for rules that fire: non-matching rules are rejected by the
+// same short-circuiting check as Eval and carry a nil Checks (Matched,
+// Empty and the per-tuple Matched list stay exact — proven differentially
+// by TestEvalAttributedLazyDifferential). Callers needing a non-matching
+// rule's margins re-derive just that rule via AttributeRule. This is the
+// serving layer's explain path: analysts ask "why was this flagged", which
+// only the firing rules answer.
+func (e *Evaluator) EvalAttributedLazyInto(rel *relation.Relation, buf *AttributionBuffer) *bitset.Set {
+	return e.attributeInto(rel, buf, true)
+}
+
+// EvalAttributedLazyIntoUnder is EvalAttributedLazyInto wrapped in an
+// "index.eval_attributed_lazy" span nested under parent.
+func (e *Evaluator) EvalAttributedLazyIntoUnder(parent trace.Span, rel *relation.Relation, buf *AttributionBuffer) *bitset.Set {
+	sp := parent.Child("index.eval_attributed_lazy")
+	out := e.EvalAttributedLazyInto(rel, buf)
+	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
+	sp.End()
+	return out
+}
+
+// EvalAttributed evaluates the relation with full decision provenance: the
+// returned bitset is exactly Eval's Φ(I) (proven differentially), and the
+// attribution slice holds one TupleAttribution per transaction, computed on
+// the same 64-aligned parallel chunks (workers write disjoint slice
+// elements, so no synchronization is needed). Storage is freshly allocated
+// per call; hot paths reuse an AttributionBuffer via EvalAttributedInto.
+func (e *Evaluator) EvalAttributed(rel *relation.Relation) (*bitset.Set, []TupleAttribution) {
+	var buf AttributionBuffer
+	out := e.EvalAttributedInto(rel, &buf)
+	return out, buf.Tuples
 }
 
 // EvalAttributedUnder is EvalAttributed wrapped in an
@@ -205,8 +375,20 @@ func (e *Evaluator) EvalAttributedUnder(parent trace.Span, rel *relation.Relatio
 // so per-rule fire accounting costs nothing beyond the write: first-match
 // attribution is the standard fire semantics of an ordered rule list.
 func (e *Evaluator) EvalFirst(rel *relation.Relation) []int32 {
-	out := make([]int32, rel.Len())
-	e.parallelChunks(rel.Len(), func(lo, hi int) {
+	return e.EvalFirstInto(rel, nil)
+}
+
+// EvalFirstInto is EvalFirst writing into caller-owned storage: dst is
+// resized (reallocating only when the relation outgrows its capacity) and
+// returned, so a pooled slice makes repeated first-match scoring
+// allocation-free (the BenchmarkCompiledEvalFirst B/op guard).
+func (e *Evaluator) EvalFirstInto(rel *relation.Relation, dst []int32) []int32 {
+	n := rel.Len()
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	out := dst[:n]
+	e.parallelChunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = NoRule
 			for ri := range e.rules {
@@ -226,8 +408,14 @@ const NoRule int32 = -1
 // EvalFirstUnder is EvalFirst wrapped in an "index.eval_first" span nested
 // under parent.
 func (e *Evaluator) EvalFirstUnder(parent trace.Span, rel *relation.Relation) []int32 {
+	return e.EvalFirstIntoUnder(parent, rel, nil)
+}
+
+// EvalFirstIntoUnder is EvalFirstInto wrapped in an "index.eval_first" span
+// nested under parent.
+func (e *Evaluator) EvalFirstIntoUnder(parent trace.Span, rel *relation.Relation, dst []int32) []int32 {
 	sp := parent.Child("index.eval_first")
-	out := e.EvalFirst(rel)
+	out := e.EvalFirstInto(rel, dst)
 	sp.Int("rows", int64(rel.Len())).Int("rules", int64(len(e.rules))).Int("chunks", int64(e.chunkCount(rel.Len())))
 	sp.End()
 	return out

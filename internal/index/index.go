@@ -38,6 +38,12 @@ type compiledCond struct {
 	// attribution path (ontological margins need the concept, not just its
 	// leaf set). Unused during plain evaluation.
 	concept ontology.Concept
+	// margins caches, per leaf position, the signed ontological margin of
+	// this condition for that observed leaf (see attributeCond). Computed at
+	// compile time so attribution never walks the ontology DAG per tuple —
+	// UpDistance is a BFS that allocates, and the pre-table attribution path
+	// paid it per categorical check per tuple.
+	margins []int64
 	// selectivity estimates the fraction of the domain the condition admits
 	// (smaller = more selective = checked earlier).
 	selectivity float64
@@ -49,6 +55,24 @@ type compiledRule struct {
 	minScore int16
 	// empty marks rules that can never match (an empty condition).
 	empty bool
+	// emit lists the cond indices in ascending schema-attribute order — the
+	// presentation order of the attribution path, precomputed here so
+	// attributing a tuple never sorts (each rule holds at most one condition
+	// per attribute, so the order is total and stable across recompiles).
+	emit []int32
+}
+
+// checkCount returns how many CheckAttributions attributing this rule emits
+// (every non-trivial condition plus the optional score-threshold check).
+func (cr *compiledRule) checkCount() int {
+	if cr.empty {
+		return 0
+	}
+	n := len(cr.conds)
+	if cr.minScore > 0 {
+		n++
+	}
+	return n
 }
 
 // Evaluator is a compiled rule set.
@@ -58,14 +82,30 @@ type Evaluator struct {
 	// leafPos maps, per categorical attribute, concept id → leaf position
 	// (-1 for non-leaves).
 	leafPos map[int][]int
+	// marginCache shares the immutable attribution margin tables across
+	// compiled conditions with the same bound, so incremental Add/Replace of
+	// a rule whose concepts were seen before re-derives nothing. Only the
+	// single-goroutine compile paths touch it; the parallel attribution
+	// workers read the cached slices without writing.
+	marginCache map[marginKey][]int64
 	// Workers bounds the evaluation parallelism; 0 means GOMAXPROCS.
 	Workers int
+}
+
+// marginKey identifies one condition bound A ≤ concept for margin caching.
+type marginKey struct {
+	attr    int
+	concept ontology.Concept
 }
 
 // Compile builds an evaluator for the rule set. The rule set is snapshotted:
 // later changes to it are not reflected.
 func Compile(schema *relation.Schema, rs *rules.Set) *Evaluator {
-	e := &Evaluator{schema: schema, leafPos: make(map[int][]int)}
+	e := &Evaluator{
+		schema:      schema,
+		leafPos:     make(map[int][]int),
+		marginCache: make(map[marginKey][]int64),
+	}
 	for i := 0; i < schema.Arity(); i++ {
 		a := schema.Attr(i)
 		if a.Kind != relation.Categorical {
@@ -112,6 +152,13 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 			if total := len(a.Ontology.Leaves()); total > 0 {
 				cc.selectivity = float64(cc.leaves.Count()) / float64(total)
 			}
+			key := marginKey{attr: i, concept: c.C}
+			if m, ok := e.marginCache[key]; ok {
+				cc.margins = m
+			} else {
+				cc.margins = condMargins(a.Ontology, c.C, cc.leaves)
+				e.marginCache[key] = cc.margins
+			}
 		} else {
 			cc.lo, cc.hi = c.Iv.Lo, c.Iv.Hi
 			if size := a.Domain.Size(); size > 0 {
@@ -123,6 +170,37 @@ func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 	sort.SliceStable(out.conds, func(x, y int) bool {
 		return out.conds[x].selectivity < out.conds[y].selectivity
 	})
+	out.emit = make([]int32, len(out.conds))
+	for i := range out.emit {
+		out.emit[i] = int32(i)
+	}
+	sort.Slice(out.emit, func(x, y int) bool {
+		return out.conds[out.emit[x]].attr < out.conds[out.emit[y]].attr
+	})
+	return out
+}
+
+// condMargins precomputes the signed ontological margin of condition
+// A ≤ concept for every observed leaf of the attribute's ontology, indexed
+// by leaf position: a passing leaf's margin is its up-distance to a concept
+// containing the bound (specificity to spare), a failing leaf's is the
+// negated up-distance the bound would need before admitting it (Equation 1),
+// floored at one step. One BFS per leaf at compile time replaces one per
+// categorical check per tuple at attribution time.
+func condMargins(o *ontology.Ontology, concept ontology.Concept, leaves *bitset.Set) []int64 {
+	out := make([]int64, len(o.Leaves()))
+	for pos, leaf := range o.Leaves() {
+		if leaves.Has(pos) {
+			d, _ := o.UpDistance(leaf, concept)
+			out[pos] = int64(d)
+		} else {
+			d, ok := o.UpDistance(concept, leaf)
+			if !ok || d < 1 {
+				d = 1
+			}
+			out[pos] = -int64(d)
+		}
+	}
 	return out
 }
 

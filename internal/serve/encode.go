@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// This file is the allocation-free encode path of POST /v1/score. The
+// generic encoding/json encoder walks the response with reflection and
+// allocates per value; at explain-mode batch sizes (64 tuples × 50 rules ×
+// several checks each) that reflection tax dominated the whole request
+// (ROADMAP item 1: ~5.2k tx/s explain vs ~100k plain). Score responses are
+// instead rendered by hand into a pooled []byte with append — the wire
+// format is unchanged (observe_test.go decodes it with encoding/json and
+// asserts field-by-field), only the producer is.
+//
+// The strings that need JSON escaping are known ahead of time: attribute
+// names are escaped once at server construction (Server.attrJSON), rule
+// texts once per publish (ruleState.textsJSON). Request ids are minted by
+// instrument from a fixed alphabet and never need escaping. Everything else
+// is numbers and booleans.
+
+// scoreState is the per-request scratch of handleScore, pooled so the
+// steady-state scoring path allocates only what escapes into the response
+// writer. It bundles the first-match slice, the attribution buffer of the
+// explain path, a check scratch for explain_all re-derivation and the
+// response bytes.
+type scoreState struct {
+	first   []int32
+	attrib  index.AttributionBuffer
+	scratch []index.CheckAttribution
+	out     []byte
+}
+
+// scoreStateMaxRetain bounds the response-buffer capacity a pooled
+// scoreState may keep: a rare worst-case response (a MaxBatch explain_all
+// batch renders megabytes) must not pin its buffer for the rest of the
+// process's life.
+const scoreStateMaxRetain = 1 << 20
+
+var scoreStatePool = sync.Pool{New: func() any { return new(scoreState) }}
+
+func getScoreState() *scoreState { return scoreStatePool.Get().(*scoreState) }
+
+func putScoreState(st *scoreState) {
+	if cap(st.out) > scoreStateMaxRetain {
+		st.out = nil
+	}
+	scoreStatePool.Put(st)
+}
+
+// appendJSONString appends s as a JSON string literal (quotes included),
+// escaping per RFC 8259. The fast path — no control characters, quotes,
+// backslashes or invalid UTF-8 — is a single append.
+func appendJSONString(dst []byte, s string) []byte {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				dst = append(dst, '\\', '"')
+			case c == '\\':
+				dst = append(dst, '\\', '\\')
+			case c >= 0x20:
+				dst = append(dst, c)
+			case c == '\n':
+				dst = append(dst, '\\', 'n')
+			case c == '\r':
+				dst = append(dst, '\\', 'r')
+			case c == '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd') // replacement char
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendBool appends the JSON boolean literal.
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendCheck appends one checkExplanation object. attrJSON is the
+// pre-escaped attribute-name literal table (Server.attrJSON).
+func appendCheck(dst []byte, attrJSON []string, c index.CheckAttribution) []byte {
+	dst = append(dst, `{"attr":`...)
+	if c.Attr == index.ScoreAttr {
+		dst = append(dst, `"score","kind":"score"`...)
+	} else {
+		dst = append(dst, attrJSON[c.Attr]...)
+		if c.Categorical {
+			dst = append(dst, `,"kind":"ontological"`...)
+		} else {
+			dst = append(dst, `,"kind":"numeric"`...)
+		}
+	}
+	dst = append(dst, `,"pass":`...)
+	dst = appendBool(dst, c.Pass)
+	dst = append(dst, `,"margin":`...)
+	dst = strconv.AppendInt(dst, c.Margin, 10)
+	return append(dst, '}')
+}
+
+// appendRuleExplanation appends one ruleExplanation object for rule ra.
+func appendRuleExplanation(dst []byte, st *ruleState, attrJSON []string, ra index.RuleAttribution) []byte {
+	dst = append(dst, `{"rule":`...)
+	dst = strconv.AppendInt(dst, int64(ra.Rule), 10)
+	if ra.Rule < len(st.textsJSON) && st.textsJSON[ra.Rule] != `""` { // omitempty
+		dst = append(dst, `,"text":`...)
+		dst = append(dst, st.textsJSON[ra.Rule]...)
+	}
+	dst = append(dst, `,"matched":`...)
+	dst = appendBool(dst, ra.Matched)
+	if ra.Empty {
+		dst = append(dst, `,"empty":true`...)
+	}
+	dst = append(dst, `,"checks":[`...)
+	for k, c := range ra.Checks {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendCheck(dst, attrJSON, c)
+	}
+	return append(dst, ']', '}')
+}
+
+// appendExplanation appends one txExplanation object. In the default
+// explain mode only the matched rules carry a breakdown (exactly the rules
+// the lazy attribution materialized); explainAll re-derives every
+// non-matched rule's margins through ev.AttributeRuleAppend using the
+// state's scratch, reproducing the eager full-table wire form.
+func (s *Server) appendExplanation(dst []byte, st *ruleState, sc *scoreState, a index.TupleAttribution, explainAll bool, rel *relation.Relation, i int) []byte {
+	dst = append(dst, `{"flagged":`...)
+	dst = appendBool(dst, a.Flagged())
+	dst = append(dst, `,"matched":[`...)
+	for k, ri := range a.Matched {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(ri), 10)
+	}
+	dst = append(dst, `],"rules":[`...)
+	n := 0
+	for _, ra := range a.Rules {
+		if !explainAll && !ra.Matched {
+			continue
+		}
+		if explainAll && !ra.Matched && !ra.Empty && ra.Checks == nil {
+			ra = st.ev.AttributeRuleAppend(ra.Rule, rel, i, sc.scratch[:0])
+		}
+		if n > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendRuleExplanation(dst, st, s.attrJSON, ra)
+		n++
+	}
+	return append(dst, ']', '}')
+}
+
+// appendScoreResponse renders the whole scoreResponse (wire-identical to
+// the encoding/json form of the scoreResponse struct) into dst.
+func (s *Server) appendScoreResponse(dst []byte, requestID string, st *ruleState, sc *scoreState, rel *relation.Relation, matched int, explain, explainAll bool) []byte {
+	dst = append(dst, '{')
+	if requestID != "" { // mirror the struct tag's omitempty
+		dst = append(dst, `"request_id":`...)
+		dst = appendJSONString(dst, requestID)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `"version":`...)
+	dst = strconv.AppendInt(dst, int64(st.version), 10)
+	dst = append(dst, `,"count":`...)
+	dst = strconv.AppendInt(dst, int64(rel.Len()), 10)
+	dst = append(dst, `,"matched":`...)
+	dst = strconv.AppendInt(dst, int64(matched), 10)
+	dst = append(dst, `,"flagged":[`...)
+	for i := 0; i < rel.Len(); i++ {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendBool(dst, sc.first[i] != index.NoRule)
+	}
+	dst = append(dst, ']')
+	if explain || explainAll {
+		dst = append(dst, `,"explanations":[`...)
+		for i := 0; i < rel.Len(); i++ {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = s.appendExplanation(dst, st, sc, sc.attrib.Tuples[i], explainAll, rel, i)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}', '\n')
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAppendJSONString pins the hand-rolled string escaper against
+// encoding/json across the cases that matter: clean ASCII (the fast path),
+// quotes, backslashes, every control character, multi-byte UTF-8 and
+// invalid UTF-8 (which both encoders replace with U+FFFD).
+func TestAppendJSONString(t *testing.T) {
+	cases := []string{
+		"",
+		"amount",
+		`rule "7" says \ hello`,
+		"tab\there\nnewline\rcr",
+		"\x00\x01\x1f",
+		"caffè ☕ 🚨",
+		"bad\xffutf8",
+		strings.Repeat("a", 300),
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		// encoding/json additionally escapes <, > and & for HTML safety; our
+		// inputs never contain them (attribute names and rule texts come from
+		// the parser's charset), so byte equality holds for these cases.
+		if string(got) != string(want) {
+			t.Fatalf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// TestScoreEncodeDifferential proves the hand-rolled score encoder emits
+// exactly the documented wire shape: the response decodes into the wire
+// structs and re-encodes to the same canonical JSON, for plain, explain and
+// explain_all modes.
+func TestScoreEncodeDifferential(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100", "hour <= 6 && score >= 50")})
+	for _, mode := range []map[string]any{
+		{},
+		{"explain": true},
+		{"explain_all": true},
+	} {
+		body := map[string]any{"transactions": []map[string]any{tx(250, 12, 0), tx(50, 3, 80), tx(10, 22, 0)}}
+		for k, v := range mode {
+			body[k] = v
+		}
+		code, raw := postJSON(t, ts.URL+"/v1/score", body, nil)
+		if code != http.StatusOK {
+			t.Fatalf("%v: score = %d: %s", mode, code, raw)
+		}
+		var resp scoreResponse
+		if err := json.Unmarshal([]byte(raw), &resp); err != nil {
+			t.Fatalf("%v: hand-encoded response does not decode as scoreResponse: %v\n%s", mode, err, raw)
+		}
+		re, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip stability: decode(hand) == decode(encode(decode(hand))).
+		var a, b any
+		if err := json.Unmarshal([]byte(raw), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(re, &b); err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("%v: hand-rolled encoding is not wire-identical to the struct form\n hand: %s\nstruct: %s", mode, aj, bj)
+		}
+		if resp.Count != 3 || len(resp.Flagged) != 3 {
+			t.Fatalf("%v: count/flagged = %d/%d, want 3/3", mode, resp.Count, len(resp.Flagged))
+		}
+	}
+}
+
+// TestScoreContentLength pins the exact-Content-Length contract of the
+// buffered write path (no chunked encoding on score responses).
+func TestScoreContentLength(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json",
+		strings.NewReader(`{"transactions":[{"attrs":{"amount":250,"hour":3},"score":0}],"explain":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	cl := resp.Header.Get("Content-Length")
+	if cl == "" {
+		t.Fatal("score response carries no Content-Length")
+	}
+	if n, _ := strconv.Atoi(cl); n != len(body) {
+		t.Fatalf("Content-Length %s != body length %d", cl, len(body))
+	}
+}
+
+// TestWriteJSONMarshalFailure pins the writeJSON bugfix: a value the encoder
+// cannot marshal (NaN) must produce a complete 500 error envelope — not a
+// 200 header followed by torn JSON.
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	schema := testSchema(t)
+	s, _ := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]float64{"oops": math.NaN()})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("marshal failure answered %d, want 500", rec.Code)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("fallback envelope is not valid JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if env.Error.Code != CodeInternal {
+		t.Fatalf("fallback code = %q, want %q", env.Error.Code, CodeInternal)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Fatalf("fallback Content-Length %q != body length %d", cl, rec.Body.Len())
+	}
+}
+
+// TestScoreEncodeAllocs pins the request-handling allocation budgets of the
+// plain and explain score paths (satellite of the 277-allocs/op single-score
+// finding): the whole in-process handler round trip — decode, eval, encode —
+// must stay within a budget that rules out per-rule/per-check allocation
+// regressions. Measured directly against the mux to exclude client and
+// socket noise.
+func TestScoreEncodeAllocs(t *testing.T) {
+	schema := testSchema(t)
+	s, _ := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema,
+		"amount >= 100", "hour <= 6 && score >= 50", "amount >= 9000", "hour >= 22")})
+	h := s.Handler()
+	run := func(body string) func() {
+		return func() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/score", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("score = %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	plain := run(`{"transactions":[{"attrs":{"amount":250,"hour":3},"score":0}]}`)
+	explain := run(`{"transactions":[{"attrs":{"amount":250,"hour":3},"score":80}],"explain":true}`)
+	explainAll := run(`{"transactions":[{"attrs":{"amount":250,"hour":3},"score":80}],"explain_all":true}`)
+	plain()
+	explain()
+	explainAll() // warm pools
+	// The remaining allocations are httptest plumbing, request decode
+	// (map[string]json.RawMessage per tx) and per-request bookkeeping — all
+	// independent of rule count and check count. The pre-fix explain path
+	// allocated per rule AND per check per tuple; with 4 rules these budgets
+	// would already be blown by a regression.
+	if n := testing.AllocsPerRun(50, plain); n > 100 {
+		t.Fatalf("plain single score = %.0f allocs/run, want <= 100", n)
+	}
+	if n := testing.AllocsPerRun(50, explain); n > 110 {
+		t.Fatalf("explain single score = %.0f allocs/run, want <= 110", n)
+	}
+	if n := testing.AllocsPerRun(50, explainAll); n > 120 {
+		t.Fatalf("explain_all single score = %.0f allocs/run, want <= 120", n)
+	}
+}

@@ -13,8 +13,9 @@ import (
 )
 
 // TestScoreExplain pins the wire form of "explain": true — per-tuple matched
-// rule indices and per-condition pass/fail with exact margins against the
-// published rule texts.
+// rule indices and, for each rule that fired, per-condition pass/fail with
+// exact margins against the published rule texts. Non-firing rules are not in
+// the default explain response (that is explain_all's job, tested below).
 func TestScoreExplain(t *testing.T) {
 	schema := testSchema(t)
 	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100", "hour <= 6 && score >= 50")})
@@ -37,13 +38,13 @@ func TestScoreExplain(t *testing.T) {
 
 	// Tuple 0: amount 250 matches rule 0 only; margin to the lower bound is
 	// 150 (domain upper bound 10000 is treated as non-binding only in margin
-	// terms: min(250-100, 10000-250) = 150).
+	// terms: min(250-100, 10000-250) = 150). Only the matched rule appears.
 	e0 := resp.Explanations[0]
 	if !e0.Flagged || len(e0.Matched) != 1 || e0.Matched[0] != 0 {
 		t.Fatalf("tuple 0 matched = %+v", e0)
 	}
-	if len(e0.Rules) != 2 {
-		t.Fatalf("tuple 0 rules = %d, want 2", len(e0.Rules))
+	if len(e0.Rules) != 1 || e0.Rules[0].Rule != 0 || !e0.Rules[0].Matched {
+		t.Fatalf("tuple 0 rules = %+v, want just matched rule 0", e0.Rules)
 	}
 	c := e0.Rules[0].Checks[0]
 	if c.Attr != "amount" || c.Kind != "numeric" || !c.Pass || c.Margin != 150 {
@@ -53,22 +54,22 @@ func TestScoreExplain(t *testing.T) {
 		t.Fatal("rule text missing from explanation")
 	}
 
-	// Tuple 1: amount 50 fails rule 0 by 50; hour 3 + score 80 matches rule 1
-	// (hour margin 3, score margin 30).
+	// Tuple 1: hour 3 + score 80 matches rule 1 (hour margin 3, score margin
+	// 30); rule 0 did not fire, so it has no entry in the default mode.
 	e1 := resp.Explanations[1]
 	if !e1.Flagged || len(e1.Matched) != 1 || e1.Matched[0] != 1 {
 		t.Fatalf("tuple 1 matched = %+v", e1.Matched)
 	}
-	if c := e1.Rules[0].Checks[0]; c.Pass || c.Margin != -50 {
-		t.Fatalf("tuple 1 rule 0 check = %+v, want fail/-50", c)
+	if len(e1.Rules) != 1 || e1.Rules[0].Rule != 1 {
+		t.Fatalf("tuple 1 rules = %+v, want just matched rule 1", e1.Rules)
 	}
 	var hourCheck, scoreCheck *checkExplanation
-	for i := range e1.Rules[1].Checks {
-		switch e1.Rules[1].Checks[i].Attr {
+	for i := range e1.Rules[0].Checks {
+		switch e1.Rules[0].Checks[i].Attr {
 		case "hour":
-			hourCheck = &e1.Rules[1].Checks[i]
+			hourCheck = &e1.Rules[0].Checks[i]
 		case "score":
-			scoreCheck = &e1.Rules[1].Checks[i]
+			scoreCheck = &e1.Rules[0].Checks[i]
 		}
 	}
 	if hourCheck == nil || !hourCheck.Pass || hourCheck.Margin != 3 {
@@ -78,14 +79,18 @@ func TestScoreExplain(t *testing.T) {
 		t.Fatalf("tuple 1 score check = %+v, want score/pass/30", scoreCheck)
 	}
 	// The score check renders last.
-	if last := e1.Rules[1].Checks[len(e1.Rules[1].Checks)-1]; last.Attr != "score" {
-		t.Fatalf("score check must render last, got %+v", e1.Rules[1].Checks)
+	if last := e1.Rules[0].Checks[len(e1.Rules[0].Checks)-1]; last.Attr != "score" {
+		t.Fatalf("score check must render last, got %+v", e1.Rules[0].Checks)
 	}
 
-	// Tuple 2 matches nothing: flagged false, matched empty but present.
+	// Tuple 2 matches nothing: flagged false, matched empty but present, and
+	// no per-rule breakdowns in the default mode.
 	e2 := resp.Explanations[2]
 	if e2.Flagged || e2.Matched == nil || len(e2.Matched) != 0 {
 		t.Fatalf("tuple 2 = %+v, want unflagged with empty matched", e2)
+	}
+	if len(e2.Rules) != 0 {
+		t.Fatalf("tuple 2 rules = %+v, want empty (nothing fired)", e2.Rules)
 	}
 
 	// Without explain, the response has no explanations key.
@@ -95,6 +100,72 @@ func TestScoreExplain(t *testing.T) {
 	}
 	if _, ok := raw["explanations"]; ok {
 		t.Fatal("plain score response must not carry explanations")
+	}
+}
+
+// TestScoreExplainAll pins "explain_all": true — the full per-rule table,
+// including the margins of rules that did not fire (re-derived at encode
+// time), index-aligned with the published set.
+func TestScoreExplainAll(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100", "hour <= 6 && score >= 50")})
+
+	var resp struct {
+		Version      int             `json:"version"`
+		Flagged      []bool          `json:"flagged"`
+		Explanations []txExplanation `json:"explanations"`
+	}
+	code, body := postJSON(t, ts.URL+"/v1/score", map[string]any{
+		"explain_all":  true,
+		"transactions": []map[string]any{tx(250, 12, 0), tx(50, 3, 80)},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("explain_all score = %d: %s", code, body)
+	}
+	if len(resp.Explanations) != 2 {
+		t.Fatalf("explanations = %d, want 2", len(resp.Explanations))
+	}
+
+	// Both rules appear for every tuple, index-aligned.
+	for ti, e := range resp.Explanations {
+		if len(e.Rules) != 2 {
+			t.Fatalf("tuple %d rules = %d, want 2 (full table)", ti, len(e.Rules))
+		}
+		for ri, re := range e.Rules {
+			if re.Rule != ri {
+				t.Fatalf("tuple %d rules[%d].rule = %d, want index-aligned", ti, ri, re.Rule)
+			}
+			if re.Text == "" {
+				t.Fatalf("tuple %d rule %d text missing", ti, ri)
+			}
+		}
+	}
+	// Tuple 1 fails rule 0 by 50: the near-miss margin explain_all exists for.
+	e1 := resp.Explanations[1]
+	if e1.Rules[0].Matched {
+		t.Fatalf("tuple 1 rule 0 = %+v, want not matched", e1.Rules[0])
+	}
+	if c := e1.Rules[0].Checks[0]; c.Pass || c.Margin != -50 {
+		t.Fatalf("tuple 1 rule 0 check = %+v, want fail/-50", c)
+	}
+	if !e1.Rules[1].Matched {
+		t.Fatalf("tuple 1 rule 1 = %+v, want matched", e1.Rules[1])
+	}
+
+	// explain_all and explain agree on the matched rules' breakdowns.
+	var lazy struct {
+		Explanations []txExplanation `json:"explanations"`
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/score", map[string]any{
+		"explain":      true,
+		"transactions": []map[string]any{tx(50, 3, 80)},
+	}, &lazy); code != http.StatusOK {
+		t.Fatalf("explain score = %d: %s", code, body)
+	}
+	got := lazy.Explanations[0].Rules[0]
+	want := e1.Rules[1]
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("explain vs explain_all matched-rule breakdown:\n got %+v\nwant %+v", got, want)
 	}
 }
 

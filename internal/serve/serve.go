@@ -46,6 +46,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,6 +60,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/capture"
@@ -81,6 +83,10 @@ type ruleState struct {
 	set     *rules.Set
 	ev      *index.Evaluator
 	texts   []string
+	// textsJSON holds each rule text pre-escaped as a JSON string literal
+	// (quotes included), computed once per publish so the score encode path
+	// never re-escapes rule texts per response.
+	textsJSON []string
 }
 
 // Server is the scoring daemon. Create with New, mount via Handler, run
@@ -149,6 +155,24 @@ type Server struct {
 	tracer *trace.Tracer
 	reqSeq atomic.Uint64
 	log    *slog.Logger
+
+	// attrJSON holds each schema attribute name pre-escaped as a JSON string
+	// literal (quotes included), indexed by attribute — the encode path's
+	// lookup table (see encode.go).
+	attrJSON []string
+	// httpCounters caches the per-{path,code} request counters so instrument
+	// never formats a metric name on the hot path.
+	httpCounters sync.Map // httpCounterKey -> *telemetry.Counter
+	// mFeedbackLabel holds the per-label feedback counters, resolved once.
+	mFeedbackFraud     *telemetry.Counter
+	mFeedbackLegit     *telemetry.Counter
+	mFeedbackUnlabeled *telemetry.Counter
+}
+
+// httpCounterKey keys the cached rudolf_http_requests_total counters.
+type httpCounterKey struct {
+	path string
+	code int
 }
 
 // New validates cfg, restores any durable state under cfg.DataDir (snapshot
@@ -173,6 +197,10 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.Workers),
 		reg:      cfg.Registry,
 		log:      cfg.Logger,
+	}
+	s.attrJSON = make([]string, cfg.Schema.Arity())
+	for i := range s.attrJSON {
+		s.attrJSON[i] = string(appendJSONString(nil, cfg.Schema.Attr(i).Name))
 	}
 	s.stats = rulestats.New(rulestats.Config{
 		HalfLife:      cfg.DriftHalfLife,
@@ -270,6 +298,9 @@ func (s *Server) initMetrics() {
 	s.mExpertGen = r.Counter(`rudolf_expert_queries_total{kind="generalization"}`)
 	s.mExpertSplit = r.Counter(`rudolf_expert_queries_total{kind="split"}`)
 	s.mSnapshots = r.Counter("rudolf_snapshots_total")
+	s.mFeedbackFraud = r.Counter(`rudolf_feedback_tx_total{label="fraud"}`)
+	s.mFeedbackLegit = r.Counter(`rudolf_feedback_tx_total{label="legit"}`)
+	s.mFeedbackUnlabeled = r.Counter(`rudolf_feedback_tx_total{label="unlabeled"}`)
 	lcap := s.cfg.RuleLabelCap
 	s.vRuleFires = r.CounterVec("rudolf_rule_fires_total", "rule", lcap)
 	s.vRuleTP = r.CounterVec("rudolf_rule_feedback_tp_total", "rule", lcap)
@@ -312,6 +343,10 @@ func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment 
 // shared tail of live publishes and WAL replay). Callers hold s.mu.
 func (s *Server) installLocked(rs *rules.Set, ev *index.Evaluator, v history.Version) *ruleState {
 	st := &ruleState{version: v.ID, set: rs, ev: ev, texts: v.Rules}
+	st.textsJSON = make([]string, len(v.Rules))
+	for i, text := range v.Rules {
+		st.textsJSON[i] = string(appendJSONString(nil, text))
+	}
 	s.state.Store(st)
 	// The capture cache mirrors the published rules over the feedback
 	// relation; a publish invalidates it wholesale (rule count may match
@@ -414,7 +449,7 @@ func (s *Server) Handler() http.Handler {
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		writeErrorID(w, "", http.StatusNotFound, CodeNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
+		s.writeErrorID(w, "", http.StatusNotFound, CodeNotFound, "no route %s %s (the API lives under /v1)", r.Method, r.URL.Path)
 	}))
 	return mux
 }
@@ -440,7 +475,7 @@ func legacyRedirect(target string) http.Handler {
 // ?format=jsonl.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	recs := s.tracer.Snapshot()
@@ -452,7 +487,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		trace.WriteJSONL(w, recs) //nolint:errcheck // client gone: nothing to do
 	default:
-		writeErrorID(w, "", http.StatusBadRequest, CodeBadRequest, "unknown format %q (want chrome or jsonl)", f)
+		s.writeErrorID(w, "", http.StatusBadRequest, CodeBadRequest, "unknown format %q (want chrome or jsonl)", f)
 	}
 }
 
@@ -541,7 +576,7 @@ func (s *Server) instrument(path, base string, h http.Handler) http.Handler {
 	name := "request." + base
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		id := requestID(s.reqSeq.Add(1))
 		sp := s.tracer.Start(name)
 		sp.Str("id", id)
 		w.Header().Set("X-Request-Id", id)
@@ -553,8 +588,35 @@ func (s *Server) instrument(path, base string, h http.Handler) http.Handler {
 		}
 		sp.Int("code", int64(sw.code))
 		sp.End()
-		s.reg.Counter(fmt.Sprintf(`rudolf_http_requests_total{path=%q,code="%d"}`, path, sw.code)).Inc()
+		s.httpCounter(path, sw.code).Inc()
 	})
+}
+
+// requestID renders the X-Request-Id for sequence number n: "req-%06d"
+// without the fmt machinery (the id is minted on every instrumented
+// request, including the scoring hot path).
+func requestID(n uint64) string {
+	var tmp [20]byte
+	digits := strconv.AppendUint(tmp[:0], n, 10)
+	buf := make([]byte, 0, 4+6+len(digits))
+	buf = append(buf, "req-"...)
+	for pad := 6 - len(digits); pad > 0; pad-- {
+		buf = append(buf, '0')
+	}
+	return string(append(buf, digits...))
+}
+
+// httpCounter returns the rudolf_http_requests_total counter for one
+// {path, code} pair, resolving the formatted series name only on the first
+// hit — steady state is a lock-free sync.Map read instead of a Sprintf.
+func (s *Server) httpCounter(path string, code int) *telemetry.Counter {
+	key := httpCounterKey{path: path, code: code}
+	if c, ok := s.httpCounters.Load(key); ok {
+		return c.(*telemetry.Counter)
+	}
+	c := s.reg.Counter(fmt.Sprintf(`rudolf_http_requests_total{path=%q,code="%d"}`, path, code))
+	actual, _ := s.httpCounters.LoadOrStore(key, c)
+	return actual.(*telemetry.Counter)
 }
 
 // Stable machine codes of the uniform error envelope. Clients switch on
@@ -571,35 +633,94 @@ const (
 	CodeInternal         = "internal"
 )
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// respBufPool holds the scratch buffers writeJSON encodes into before
+// touching the ResponseWriter; see writeJSON for why the indirection exists.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// respBufMaxRetain bounds the buffer capacity returned to respBufPool, so
+// one huge response does not pin its memory forever.
+const respBufMaxRetain = 1 << 20
+
+// encodeFailedEnvelope is the hand-built 500 body writeJSON falls back to
+// when the response value itself fails to encode: it cannot be produced by
+// the same encoder that just failed.
+const encodeFailedEnvelope = `{"error":{"code":"internal","message":"response encoding failed"}}` + "\n"
+
+// writeJSON encodes v into a pooled buffer first and only then touches the
+// ResponseWriter, so an encoding failure (a bug: every response type here is
+// marshalable — but silently truncated JSON would corrupt clients) becomes a
+// clean 500 envelope instead of a torn body after a 200 header. The buffered
+// form also yields an exact Content-Length. Write errors are classified:
+// a vanished client is routine (debug), anything else is logged as a warning.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= respBufMaxRetain {
+			respBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		s.log.Error("response encoding failed", "err", err, "status", code)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(encodeFailedEnvelope)))
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, encodeFailedEnvelope) //nolint:errcheck // already in the failure path
+		return
+	}
+	s.writeBody(w, code, buf.Bytes())
+}
+
+// writeBody writes an already-encoded JSON body with an exact
+// Content-Length, logging non-client-gone write errors.
+func (s *Server) writeBody(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone: nothing to do
+	if _, err := w.Write(body); err != nil {
+		if isClientGone(err) {
+			s.log.Debug("client gone before response write", "err", err)
+		} else {
+			s.log.Warn("response write failed", "err", err)
+		}
+	}
+}
+
+// isClientGone reports whether a response-write error just means the peer
+// went away (canceled request, closed connection) — routine under load
+// balancers and impatient clients, not a server fault worth a warning.
+func isClientGone(err error) bool {
+	return errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, http.ErrHandlerTimeout)
 }
 
 // writeError emits the uniform error envelope, carrying the request's id so
 // failures are joinable against GET /v1/trace like successes are.
-func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
-	writeErrorID(w, requestMeta(r).id, status, code, format, args...)
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	s.writeErrorID(w, requestMeta(r).id, status, code, format, args...)
 }
 
-func writeErrorID(w http.ResponseWriter, requestID string, status int, code, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: errorBody{
+func (s *Server) writeErrorID(w http.ResponseWriter, requestID string, status int, code, format string, args ...any) {
+	s.writeJSON(w, status, errorResponse{Error: errorBody{
 		Code:      code,
 		Message:   fmt.Sprintf(format, args...),
 		RequestID: requestID,
 	}})
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "body exceeds %d bytes", tooBig.Limit)
 			return false
 		}
-		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err)
 		return false
 	}
 	return true
@@ -652,11 +773,11 @@ func (s *Server) release() {
 // handleScore evaluates a batch against exactly one published version.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req scoreRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	txs := req.Transactions
@@ -664,64 +785,71 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		txs = []txIn{{Attrs: req.Attrs, Score: req.Score}}
 	}
 	if len(txs) == 0 {
-		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
 		return
 	}
 	if len(txs) > s.cfg.MaxBatch {
-		writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(txs), s.cfg.MaxBatch)
+		s.writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(txs), s.cfg.MaxBatch)
 		return
 	}
 	rel, _, err := s.buildRelation(txs, false)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	if !s.acquire(r.Context()) {
-		writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "canceled while queued for a worker slot")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "canceled while queued for a worker slot")
 		return
 	}
 	meta := requestMeta(r)
+	explain := req.Explain || req.ExplainAll
+	sc := getScoreState()
+	defer putScoreState(sc)
 	start := time.Now()
 	st := s.state.Load() // exactly one version per response
 	// The default path computes first-match attribution instead of the bare
 	// union: same short-circuiting loop and chunking as Eval, one int32
 	// write per tuple extra, and it is exactly what per-rule fire accounting
-	// needs. Explain mode runs the full no-short-circuit attribution pass.
-	var first []int32
-	var attrs []index.TupleAttribution
-	if req.Explain {
-		_, attrs = st.ev.EvalAttributedUnder(meta.span, rel)
-		first = make([]int32, rel.Len())
-		for i := range attrs {
-			first[i] = index.NoRule
-			if len(attrs[i].Matched) > 0 {
-				first[i] = int32(attrs[i].Matched[0])
+	// needs. Explain mode runs the lazy attribution pass: margins are
+	// materialized for the rules that fire (what "why was this flagged"
+	// asks); explain_all re-derives the non-firing rules' margins at encode
+	// time.
+	if explain {
+		st.ev.EvalAttributedLazyIntoUnder(meta.span, rel, &sc.attrib)
+		if cap(sc.first) < rel.Len() {
+			sc.first = make([]int32, rel.Len())
+		}
+		sc.first = sc.first[:rel.Len()]
+		for i := range sc.attrib.Tuples {
+			sc.first[i] = index.NoRule
+			if m := sc.attrib.Tuples[i].Matched; len(m) > 0 {
+				sc.first[i] = int32(m[0])
 			}
 		}
 	} else {
-		first = st.ev.EvalFirstUnder(meta.span, rel)
+		sc.first = st.ev.EvalFirstIntoUnder(meta.span, rel, sc.first)
 	}
 	elapsed := time.Since(start).Seconds()
 	s.release()
 
-	resp := scoreResponse{RequestID: meta.id, Version: st.version, Count: rel.Len(), Flagged: make([]bool, rel.Len())}
+	matched := 0
 	for i := 0; i < rel.Len(); i++ {
-		if first[i] != index.NoRule {
-			resp.Flagged[i] = true
-			resp.Matched++
+		if sc.first[i] != index.NoRule {
+			matched++
 		}
 	}
-	if req.Explain {
-		resp.Explanations = make([]txExplanation, rel.Len())
-		for i := range attrs {
-			resp.Explanations[i] = explainTuple(s.schema, st, attrs[i])
+	if req.ExplainAll {
+		// Pre-size the re-derivation scratch so encode never reallocates it.
+		if n := st.ev.MaxRuleChecks(); cap(sc.scratch) < n {
+			sc.scratch = make([]index.CheckAttribution, 0, n)
 		}
 	}
-	s.recordScore(meta.id, st, rel, first)
+	sc.out = s.appendScoreResponse(sc.out[:0], meta.id, st, sc, rel, matched, req.Explain, req.ExplainAll)
+	s.recordScore(meta.id, st, rel, sc.first)
 	s.mScoreTx.Add(uint64(rel.Len()))
 	s.mScoreLat.Observe(elapsed)
 	s.mBatchSize.Observe(float64(rel.Len()))
-	writeJSON(w, http.StatusOK, resp)
+	s.writeBody(w, http.StatusOK, sc.out)
 }
 
 // recordScore feeds one scored batch into the rule-health tracker, the
@@ -769,39 +897,6 @@ func renderAttrs(schema *relation.Schema, rel *relation.Relation, i int) map[str
 	return out
 }
 
-// explainTuple converts one TupleAttribution to the wire form, naming
-// attributes and rule texts so clients need no second round-trip.
-func explainTuple(schema *relation.Schema, st *ruleState, a index.TupleAttribution) txExplanation {
-	out := txExplanation{Flagged: a.Flagged(), Matched: a.Matched, Rules: make([]ruleExplanation, len(a.Rules))}
-	if out.Matched == nil {
-		out.Matched = []int{}
-	}
-	for ri, ra := range a.Rules {
-		re := ruleExplanation{Rule: ra.Rule, Matched: ra.Matched, Empty: ra.Empty}
-		if ra.Rule < len(st.texts) {
-			re.Text = st.texts[ra.Rule]
-		}
-		re.Checks = make([]checkExplanation, len(ra.Checks))
-		for k, c := range ra.Checks {
-			ce := checkExplanation{Pass: c.Pass, Margin: c.Margin}
-			if c.Attr == index.ScoreAttr {
-				ce.Attr = "score"
-				ce.Kind = "score"
-			} else {
-				ce.Attr = schema.Attr(c.Attr).Name
-				if c.Categorical {
-					ce.Kind = "ontological"
-				} else {
-					ce.Kind = "numeric"
-				}
-			}
-			re.Checks[k] = ce
-		}
-		out.Rules[ri] = re
-	}
-	return out
-}
-
 // handleRules serves the published rules (GET, with the version as an ETag)
 // and hot-swaps a new set (POST): parse + compile off to the side, then one
 // atomic publish. POST honors If-Match on the version for optimistic
@@ -811,28 +906,28 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		st := s.state.Load()
 		w.Header().Set("ETag", versionETag(st.version))
-		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
+		s.writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	case http.MethodPost:
 		wantVersion, ok, err := parseIfMatch(r.Header.Get("If-Match"))
 		if err != nil {
-			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 			return
 		}
 		texts, comment, err := readRulesBody(r)
 		if err != nil {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
-				writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "%v", err)
+				s.writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "%v", err)
 				return
 			}
-			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 			return
 		}
 		rs := rules.NewSet()
 		for i, text := range texts {
 			rule, err := rules.Parse(s.schema, text)
 			if err != nil {
-				writeError(w, r, http.StatusBadRequest, CodeBadRequest, "rule %d: %v", i+1, err)
+				s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "rule %d: %v", i+1, err)
 				return
 			}
 			rs.Add(rule)
@@ -842,7 +937,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 			if cur := s.state.Load().version; cur != wantVersion {
 				s.mu.Unlock()
 				w.Header().Set("ETag", versionETag(cur))
-				writeError(w, r, http.StatusConflict, CodeConflict,
+				s.writeError(w, r, http.StatusConflict, CodeConflict,
 					"published version is %d, If-Match wanted %d (re-read /v1/rules and retry)", cur, wantVersion)
 				return
 			}
@@ -850,13 +945,13 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		st, err := s.publishLocked(rs, nil, comment)
 		s.mu.Unlock()
 		if err != nil {
-			writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting publish: %v", err)
+			s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting publish: %v", err)
 			return
 		}
 		w.Header().Set("ETag", versionETag(st.version))
-		writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
+		s.writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	default:
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
 	}
 }
 
@@ -914,33 +1009,33 @@ func readRulesBody(r *http.Request) (texts []string, comment string, err error) 
 // already capture.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req feedbackRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Transactions) == 0 {
-		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "no transactions")
 		return
 	}
 	if len(req.Transactions) > s.cfg.MaxBatch {
-		writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(req.Transactions), s.cfg.MaxBatch)
+		s.writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "batch of %d exceeds max %d", len(req.Transactions), s.cfg.MaxBatch)
 		return
 	}
 	// Validate the whole batch before touching server state: feedback is
 	// all-or-nothing.
 	batch, labels, err := s.buildRelation(req.Transactions, true)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
 	if s.wal != nil {
 		if err := s.walAppendFeedback(batch); err != nil {
 			s.mu.Unlock()
-			writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting feedback: %v", err)
+			s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting feedback: %v", err)
 			return
 		}
 	}
@@ -980,35 +1075,35 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, lab := range labels {
-		name := "unlabeled"
 		switch lab {
 		case relation.Fraud:
-			name = "fraud"
+			s.mFeedbackFraud.Inc()
 		case relation.Legitimate:
-			name = "legit"
+			s.mFeedbackLegit.Inc()
+		default:
+			s.mFeedbackUnlabeled.Inc()
 		}
-		s.reg.Counter(fmt.Sprintf(`rudolf_feedback_tx_total{label=%q}`, name)).Inc()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRefine runs a refinement session over the accumulated feedback and
 // atomically publishes the refined rules.
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
 	var req refineRequest
 	if r.ContentLength != 0 {
-		if !decodeJSON(w, r, &req) {
+		if !s.decodeJSON(w, r, &req) {
 			return
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.feedback.Len() == 0 {
-		writeError(w, r, http.StatusConflict, CodeConflict, "no feedback ingested yet")
+		s.writeError(w, r, http.StatusConflict, CodeConflict, "no feedback ingested yet")
 		return
 	}
 	old := s.state.Load()
@@ -1033,7 +1128,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.publishLocked(sess.Rules().Clone(), sess.Log().All(), comment)
 	if err != nil {
-		writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting refined rules: %v", err)
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting refined rules: %v", err)
 		return
 	}
 	s.mRefines.Inc()
@@ -1041,7 +1136,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		"old_version", old.version, "version", st.version,
 		"rounds", stats.Round, "modifications", stats.Modifications,
 		"fraud_captured", stats.FraudCaptured, "fraud_total", stats.FraudTotal)
-	writeJSON(w, http.StatusOK, refineResponse{
+	s.writeJSON(w, http.StatusOK, refineResponse{
 		RequestID:         meta.id,
 		OldVersion:        old.version,
 		Version:           st.version,
@@ -1059,7 +1154,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 // relation, read off the incremental capture cache.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	s.mu.Lock()
@@ -1086,7 +1181,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRuleHealth serves the per-rule health snapshot: fire counts and
@@ -1097,7 +1192,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // hold (and detect a publish race with If-None-Match).
 func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	meta := requestMeta(r)
@@ -1111,21 +1206,21 @@ func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	writeJSON(w, http.StatusOK, ruleHealthResponse{RequestID: meta.id, Snapshot: snap})
+	s.writeJSON(w, http.StatusOK, ruleHealthResponse{RequestID: meta.id, Snapshot: snap})
 }
 
 // handleAudit serves the sampled decision audit ring, newest first.
 // ?n= bounds the returned entries (default 100).
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	n := 100
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad n %q (want a positive integer)", q)
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "bad n %q (want a positive integer)", q)
 			return
 		}
 		n = v
@@ -1134,7 +1229,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if entries == nil {
 		entries = []rulestats.AuditEntry{}
 	}
-	writeJSON(w, http.StatusOK, auditResponse{
+	s.writeJSON(w, http.StatusOK, auditResponse{
 		RequestID: requestMeta(r).id,
 		Version:   s.stats.Version(),
 		Retained:  s.stats.AuditLen(),
@@ -1158,12 +1253,12 @@ func (s *Server) refreshRuleGauges() {
 // self-configure.
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.schema.WriteJSON(w); err != nil {
-		writeError(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
 }
 
@@ -1177,8 +1272,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // server; readiness only flips while draining.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		writeErrorID(w, "", http.StatusServiceUnavailable, CodeNotReady, "draining")
+		s.writeErrorID(w, "", http.StatusServiceUnavailable, CodeNotReady, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

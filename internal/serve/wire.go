@@ -27,14 +27,19 @@ type txIn struct {
 }
 
 // scoreRequest is the /score body: a batch, or the single-transaction
-// shorthand with attrs/score inline. Explain switches the response to full
-// decision provenance (per-tuple matched rules plus per-condition pass/fail
-// and margins) at the cost of evaluating every rule without short-circuits.
+// shorthand with attrs/score inline. Explain adds decision provenance to the
+// response: per-tuple matched rules plus per-condition pass/fail and margins
+// for every rule that fired (the "why was this flagged" answer, at a small
+// multiple of plain scoring cost). ExplainAll additionally includes the
+// breakdown of every non-firing rule — the margins of rules that almost
+// fired — re-derived per rule at encode time; it implies Explain and is the
+// expensive full-table form (response size grows with rule count).
 type scoreRequest struct {
 	Transactions []txIn                     `json:"transactions"`
 	Attrs        map[string]json.RawMessage `json:"attrs,omitempty"`
 	Score        int16                      `json:"score,omitempty"`
 	Explain      bool                       `json:"explain,omitempty"`
+	ExplainAll   bool                       `json:"explain_all,omitempty"`
 }
 
 // scoreResponse reports one verdict per transaction, all evaluated against

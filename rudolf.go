@@ -297,6 +297,11 @@ type (
 	RuleAttribution = index.RuleAttribution
 	// CheckAttribution is one condition's pass/fail and signed margin.
 	CheckAttribution = index.CheckAttribution
+	// AttributionBuffer is reusable caller-owned storage for the evaluator's
+	// EvalAttributedInto / EvalAttributedLazyInto: flat arenas that make
+	// repeated attribution allocation-free. See the ownership rules on
+	// index.AttributionBuffer (results alias the buffer until the next call).
+	AttributionBuffer = index.AttributionBuffer
 )
 
 // ScoreAttr is the CheckAttribution.Attr value marking a rule's

@@ -1,41 +1,65 @@
 #!/usr/bin/env bash
 # Benchmark pipeline behind `make bench-json`: run the core evaluator /
-# attribution benches and the end-to-end serving benches, then convert the
-# text output into committed, diffable JSON at the repo root
-# (BENCH_core.json and BENCH_serve.json) via scripts/benchjson.
+# attribution benches and the end-to-end serving benches, convert the text
+# output into JSON via scripts/benchjson, compare the fresh numbers against
+# the committed baselines (BENCH_core.json / BENCH_serve.json) with
+# scripts/benchcmp, then refresh the baselines.
 #
 # Environment knobs:
 #   GO         go binary (default: go)
 #   BENCHTIME  -benchtime per benchmark (default: 1s; `make ci` smokes with
-#              1x so the pipeline is exercised without the full cost)
+#              100x so the pipeline is exercised without the full cost while
+#              pool warm-up still amortizes out of the alloc numbers)
 #   COUNT      -count repetitions (default: 1)
+#   TOL        benchcmp tolerance band (default: 0.30; `make ci` widens it,
+#              short-run wall-clock numbers are noise — B/op and allocs/op
+#              are the signal there)
+#   WRITE      1 (default) refreshes the committed BENCH_*.json; 0 compares
+#              only, leaving the baselines untouched (the `make ci` mode)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO="${GO:-go}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
+TOL="${TOL:-0.30}"
+WRITE="${WRITE:-1}"
 
-# Core: the compiled evaluator family (plain, first-match, full attribution)
-# plus the interpreted baseline and the incremental capture cache — the
-# regression guard that attribution-off scoring stays near Eval while
-# explain-mode provenance and full rescans are visibly separate cost tiers.
-CORE_BENCH='^(BenchmarkCompiledEval|BenchmarkCompiledEvalFirst|BenchmarkCompiledEvalAttributed|BenchmarkRuleSetEval|BenchmarkIncrementalCapture|BenchmarkCaptureFullRescan)$'
+# Core: the compiled evaluator family (plain, first-match, full and lazy
+# attribution) plus the interpreted baseline and the incremental capture
+# cache — the regression guard that attribution-off scoring stays near Eval
+# while explain-mode provenance and full rescans are visibly separate cost
+# tiers.
+CORE_BENCH='^(BenchmarkCompiledEval|BenchmarkCompiledEvalFirst|BenchmarkCompiledEvalAttributed|BenchmarkCompiledEvalAttributedLazy|BenchmarkRuleSetEval|BenchmarkIncrementalCapture|BenchmarkCaptureFullRescan)$'
 
 # Serve: HTTP round trip + JSON + validation + evaluation, single/batch64,
-# with and without explain.
+# plain / explain (matched rules only) / explain_all (full rule table).
 SERVE_BENCH='^BenchmarkServeScore$'
 
-core_raw="$(mktemp)"
-serve_raw="$(mktemp)"
-trap 'rm -f "$core_raw" "$serve_raw"' EXIT
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
 
 echo "bench: core evaluator benches (benchtime $BENCHTIME, count $COUNT)"
-$GO test -run '^$' -bench "$CORE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$core_raw"
+$GO test -run '^$' -bench "$CORE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmpdir/core.txt"
 
 echo "bench: serving benches (benchtime $BENCHTIME, count $COUNT)"
-$GO test -run '^$' -bench "$SERVE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$serve_raw"
+$GO test -run '^$' -bench "$SERVE_BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$tmpdir/serve.txt"
 
-$GO run ./scripts/benchjson -out BENCH_core.json <"$core_raw"
-$GO run ./scripts/benchjson -out BENCH_serve.json <"$serve_raw"
-echo "bench: wrote BENCH_core.json and BENCH_serve.json"
+$GO run ./scripts/benchjson -out "$tmpdir/core.json" <"$tmpdir/core.txt"
+$GO run ./scripts/benchjson -out "$tmpdir/serve.json" <"$tmpdir/serve.txt"
+
+# Non-gating drift report against the committed baselines before touching
+# them: benchcmp always exits 0, the table is the signal.
+for name in core serve; do
+	if [ -f "BENCH_$name.json" ]; then
+		$GO run ./scripts/benchcmp -tol "$TOL" "BENCH_$name.json" "$tmpdir/$name.json"
+	fi
+done
+
+if [ "$WRITE" = "1" ]; then
+	mv "$tmpdir/core.json" BENCH_core.json
+	mv "$tmpdir/serve.json" BENCH_serve.json
+	echo "bench: wrote BENCH_core.json and BENCH_serve.json"
+else
+	echo "bench: compare-only run (WRITE=0), baselines untouched"
+fi

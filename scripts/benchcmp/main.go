@@ -1,0 +1,165 @@
+// Command benchcmp compares two benchjson documents (the committed baseline
+// and a fresh run) and prints a regression table: every metric whose value
+// moved beyond the tolerance band, worst first. It is deliberately
+// non-gating — the exit status is 0 whether or not anything regressed —
+// because `make ci` runs the benches at -benchtime 1x, where wall-clock
+// numbers are noise; the table is a tripwire for the numbers that are stable
+// at any benchtime (B/op, allocs/op) and a heads-up for the rest.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-tol 0.30] BENCH_core.json fresh.json
+//
+// Exit status is non-zero only for usage/parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type benchDoc struct {
+	Generated  string        `json:"generated"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// lowerIsBetter reports the improvement direction of a metric unit: for
+// throughput-style units (anything per second) bigger is better, for
+// costs (ns/op, B/op, allocs/op) smaller is. Informational metrics such as
+// tuple_rule_pairs/op or the experiment error percentages describe the
+// workload, not its cost, and are not compared at all.
+func lowerIsBetter(unit string) (lower, comparable bool) {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true, true
+	case "tx/s":
+		return false, true
+	}
+	return false, false
+}
+
+type row struct {
+	bench, unit        string
+	oldV, newV, change float64 // change > 0 means worse
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.30, "tolerance band: relative change treated as noise")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tol 0.30] baseline.json fresh.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	baseline := map[string]benchResult{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+
+	var worse []row
+	compared, missing := 0, 0
+	for _, nb := range fresh.Benchmarks {
+		ob, ok := baseline[nb.Name]
+		if !ok {
+			missing++
+			continue
+		}
+		for unit, newV := range metricsOf(nb) {
+			oldV, ok := metricsOf(ob)[unit]
+			if !ok {
+				continue
+			}
+			lower, cmp := lowerIsBetter(unit)
+			if !cmp || oldV == 0 {
+				continue
+			}
+			compared++
+			change := newV/oldV - 1
+			if !lower {
+				change = -change
+			}
+			if change > *tol {
+				worse = append(worse, row{nb.Name, unit, oldV, newV, change})
+			}
+		}
+	}
+
+	fmt.Printf("benchcmp: %s vs %s (%d metrics compared, tolerance ±%.0f%%)\n",
+		flag.Arg(0), flag.Arg(1), compared, *tol*100)
+	if missing > 0 {
+		fmt.Printf("benchcmp: %d fresh benchmarks have no baseline entry (new or renamed)\n", missing)
+	}
+	if len(worse) == 0 {
+		fmt.Println("benchcmp: no metric regressed beyond the tolerance band")
+		return
+	}
+	sort.Slice(worse, func(i, j int) bool { return worse[i].change > worse[j].change })
+	fmt.Printf("benchcmp: WARNING — %d metrics regressed beyond the band (non-gating):\n", len(worse))
+	fmt.Printf("  %-45s %-12s %14s %14s %9s\n", "benchmark", "metric", "baseline", "fresh", "worse")
+	for _, r := range worse {
+		fmt.Printf("  %-45s %-12s %14s %14s %8.0f%%\n",
+			r.bench, r.unit, human(r.oldV), human(r.newV), r.change*100)
+	}
+}
+
+// metricsOf flattens a result into unit → value, folding ns_per_op in.
+func metricsOf(b benchResult) map[string]float64 {
+	out := map[string]float64{"ns/op": b.NsPerOp}
+	for k, v := range b.Metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// human renders a value compactly (benchmark magnitudes span 1 to 1e9).
+func human(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func load(path string) (benchDoc, error) {
+	var doc benchDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return doc, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return doc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -58,7 +59,7 @@ func main() {
 	out := flag.String("out", "", "output path (empty: stdout)")
 	flag.Parse()
 
-	doc := benchDoc{Generated: time.Now().UTC().Format(time.RFC3339)}
+	doc := benchDoc{Generated: generatedStamp()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -137,6 +138,27 @@ func parseBenchLine(line string) (benchResult, bool) {
 		r.Metrics = nil
 	}
 	return r, true
+}
+
+// generatedStamp returns the "generated" timestamp. A wall-clock stamp
+// would make every run of `make bench-json` dirty the committed BENCH_*.json
+// even when no number moved, so the stamp is sourced deterministically:
+// SOURCE_DATE_EPOCH (the reproducible-builds convention) wins, then the HEAD
+// commit date of the enclosing git checkout; wall clock is the last resort
+// for exported trees with neither.
+func generatedStamp() string {
+	if v := os.Getenv("SOURCE_DATE_EPOCH"); v != "" {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return time.Unix(sec, 0).UTC().Format(time.RFC3339)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: ignoring malformed SOURCE_DATE_EPOCH %q\n", v)
+	}
+	if out, err := exec.Command("git", "log", "-1", "--format=%ct").Output(); err == nil {
+		if sec, err := strconv.ParseInt(strings.TrimSpace(string(out)), 10, 64); err == nil {
+			return time.Unix(sec, 0).UTC().Format(time.RFC3339)
+		}
+	}
+	return time.Now().UTC().Format(time.RFC3339)
 }
 
 func fatal(err error) {

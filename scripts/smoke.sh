@@ -73,6 +73,7 @@ VERSION=$(curl -fsS "$BASE/v1/rules" | jq .version)
 ATTRS=$(curl -fsS "$BASE/v1/audit?n=1" | jq '.entries[0].attrs')
 TX="{\"attrs\": $ATTRS, \"score\": 500}"
 
+# Default explain mode: a breakdown per *fired* rule, margins consistent.
 EXPLAIN=$(curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/score" \
     -d "{\"transactions\": [$TX], \"explain\": true}")
 echo "$EXPLAIN" | jq -e --argjson n "$N" --argjson v "$VERSION" '
@@ -80,11 +81,24 @@ echo "$EXPLAIN" | jq -e --argjson n "$N" --argjson v "$VERSION" '
     and (.explanations | length == 1)
     and (.explanations[0] | .flagged == ((.matched | length) > 0))
     and (.explanations[0].matched | index($n) != null)
+    and ([.explanations[0].rules[].rule] == .explanations[0].matched)
+    and ([.explanations[0].rules[].matched] | all)
+    and ([.explanations[0].rules[].checks[] | .pass == (.margin >= 0)] | all)
+' >/dev/null || {
+    echo "smoke: explain-mode attribution assertions failed: $EXPLAIN" >&2
+    exit 1
+}
+# explain_all: the full index-aligned rule table, near-misses included.
+EXPLAIN_ALL=$(curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/score" \
+    -d "{\"transactions\": [$TX], \"explain_all\": true}")
+echo "$EXPLAIN_ALL" | jq -e --argjson n "$N" --argjson v "$VERSION" '
+    .version == $v
+    and (.explanations | length == 1)
     and (.explanations[0].rules | length == $n + 1)
     and ([.explanations[0].rules[].rule] == [range(0; $n + 1)])
     and ([.explanations[0].rules[].checks[] | .pass == (.margin >= 0)] | all)
 ' >/dev/null || {
-    echo "smoke: explain-mode attribution assertions failed: $EXPLAIN" >&2
+    echo "smoke: explain_all attribution assertions failed: $EXPLAIN_ALL" >&2
     exit 1
 }
 # Fire accounting is first-match: the fire is credited to the first rule the
