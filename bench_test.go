@@ -29,6 +29,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/paperdata"
 	"repro/internal/relation"
+	"repro/internal/window"
 )
 
 // benchSetup keeps benchmark runs fast while preserving the figures' shapes.
@@ -516,6 +517,31 @@ func BenchmarkFleet(b *testing.B) {
 	b.ReportMetric(sum/float64(len(fleet)), "fleet_mean_errpct")
 }
 
+// BenchmarkWindowObserve measures the sliding-window store's steady-state
+// ingest — the per-transaction cost the serving daemon adds to /v1/score
+// once windowed rules are published. Three registered specs (COUNT, SUM,
+// DISTINCT) over 512 rotating keys, time advancing so buckets rotate and
+// expire; steady state must stay alloc-free for COUNT/SUM
+// (TestObserveSteadyStateAllocs in internal/window pins that exactly).
+func BenchmarkWindowObserve(b *testing.B) {
+	specs := []window.Spec{
+		{Agg: window.Count, Key: 1, Val: -1, Window: 10},
+		{Agg: window.Sum, Key: 1, Val: 2, Window: 60},
+		{Agg: window.Distinct, Key: 1, Val: 2, Window: 30},
+	}
+	st := window.New(window.Config{TimeAttr: 0})
+	st.EnsureSpecs(specs)
+	tup := relation.Tuple{0, 0, 25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tup[0] = int64(i / 64)
+		tup[1] = int64(i % 512)
+		tup[2] = int64(i % 97)
+		st.Observe(tup)
+	}
+}
+
 // BenchmarkServeScore measures end-to-end serving latency of the online
 // scoring daemon (internal/serve): HTTP round trip + JSON decode + schema
 // validation + compiled evaluation against a 50-rule set, for a single
@@ -565,6 +591,70 @@ func BenchmarkServeScore(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			body := mkBody(bc.n, bc.mode)
+			client := ts.Client()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(bc.n)*float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}
+
+// BenchmarkServeScoreVelocity is BenchmarkServeScore with a windowed rule in
+// the published set: every scored batch additionally takes the observe lock,
+// feeds the window store, and stamps aggregate columns for the evaluator.
+// The delta against BenchmarkServeScore's matching sub-benches is the full
+// serving cost of stateful velocity rules.
+func BenchmarkServeScoreVelocity(b *testing.B) {
+	ds := datagen.Generate(datagen.Config{Size: 2000, Seed: 1})
+	ruleSet := datagen.InitialRules(ds, 50, 1)
+	ruleSet.Add(rudolf.MustParseRule(ds.Schema, "COUNT(location, 10m) >= 5"))
+	srv, err := rudolf.NewServer(rudolf.ServerConfig{Schema: ds.Schema, Rules: ruleSet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mkBody := func(n int) []byte {
+		txs := make([]map[string]any, n)
+		for i := range txs {
+			t := ds.Rel.Tuple(i % ds.Rel.Len())
+			attrs := make(map[string]any, ds.Schema.Arity())
+			for a := 0; a < ds.Schema.Arity(); a++ {
+				attrs[ds.Schema.Attr(a).Name] = ds.Schema.FormatValue(a, t[a])
+			}
+			txs[i] = map[string]any{"attrs": attrs, "score": ds.Rel.Score(i % ds.Rel.Len())}
+		}
+		raw, err := json.Marshal(map[string]any{"transactions": txs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{
+		{"single", 1},
+		{"batch64", 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			body := mkBody(bc.n)
 			client := ts.Client()
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -10,17 +10,19 @@
 //
 //	loadgen -url http://127.0.0.1:8080 [-duration 10s] [-concurrency 8]
 //	        [-batch 64] [-seed 1] [-smoke] [-churn N] [-state-file f]
-//	        [-resume] [-expect-version N] [-expect-feedback N]
+//	        [-resume] [-expect-version N] [-expect-feedback N] [-velocity]
 //
 // With -smoke it additionally exercises the control plane after the load
 // phase — asserts decision provenance (explain-mode /v1/score responses
 // satisfy the margin invariant, GET /v1/rules/health joins fraud feedback
 // into per-rule TP counts, GET /v1/audit retained sampled decisions), swaps
 // the rules (POST /v1/rules), pushes a labeled feedback batch, runs a
-// /v1/refine, and asserts that /metrics moved (transactions scored, version
+// /v1/refine, asserts that /metrics moved (transactions scored, version
 // bumped, refinement rounds observed) and that GET /v1/trace returns
-// well-formed trace JSON — exiting non-zero on any failure, which is what
-// `make smoke` runs in CI.
+// well-formed trace JSON, and — when the schema has a time attribute —
+// publishes a windowed velocity rule and asserts a same-key burst trips it
+// exactly at its COUNT threshold with a window-kind explain check. Exits
+// non-zero on any failure, which is what `make smoke` runs in CI.
 //
 // -churn N drives the durable write path: N labeled feedback batches
 // interleaved with N rule republishes, after which the published rule-set
@@ -34,6 +36,12 @@
 // (rudolf_wal_replayed_records_total > 0), that errors arrive in the
 // uniform envelope, and that legacy unversioned paths answer 308 redirects
 // to /v1 — the assertion pass behind `make crash-smoke`.
+//
+// -velocity extends the churn/resume pair with stateful-rule convergence:
+// the churn run publishes a windowed COUNT rule and scores part of a
+// same-key burst (below the threshold), and the resume run finishes the
+// burst — the rule must fire with window margin exactly 0, which only
+// happens if the kill -9 lost none of the observed transactions.
 package main
 
 import (
@@ -69,12 +77,13 @@ func main() {
 		resume      = flag.Bool("resume", false, "skip the load phase; assert the daemon restored the recorded state")
 		expectVer   = flag.Int("expect-version", -1, "with -resume: expected rule-set version (-1: take it from -state-file)")
 		expectFb    = flag.Int("expect-feedback", -1, "with -resume: expected feedback count (-1: take it from -state-file)")
+		velocity    = flag.Bool("velocity", false, "with -churn/-resume: assert windowed-rule aggregate state survives the restart")
 	)
 	flag.Parse()
 	url := strings.TrimRight(*baseURL, "/")
 
 	if *resume {
-		if err := runResume(url, *expectVer, *expectFb, *stateFile); err != nil {
+		if err := runResume(url, *expectVer, *expectFb, *stateFile, *velocity); err != nil {
 			fatal(fmt.Errorf("resume: %w", err))
 		}
 		fmt.Println("loadgen: resume ok")
@@ -171,7 +180,7 @@ func main() {
 	}
 
 	if *churn > 0 {
-		if err := runChurn(url, rng, schema, startRules, *churn, *stateFile); err != nil {
+		if err := runChurn(url, rng, schema, startRules, *churn, *stateFile, *velocity); err != nil {
 			fatal(fmt.Errorf("churn: %w", err))
 		}
 	}
@@ -345,7 +354,10 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	}
 	fmt.Printf("loadgen: smoke refine %s: %d refinement rounds traced, %d trace events\n",
 		refined.RequestID, h.Total, len(doc.TraceEvents))
-	return nil
+
+	// Stateful velocity rules: publish a windowed COUNT rule and drive a
+	// same-key burst through it (no-op when the schema has no time role).
+	return checkVelocity(url, rng, schema)
 }
 
 // checkExplainAndHealth exercises the decision-provenance path end to end:
@@ -521,6 +533,12 @@ func craftMatchingTx(schema *relation.Schema, ruleTexts []string) (map[string]an
 		if r.IsEmpty(schema) {
 			continue
 		}
+		if len(r.Windows()) > 0 {
+			// A windowed (velocity) rule depends on the server's aggregate
+			// state, not on any single transaction — no crafted tuple can
+			// match it by construction. checkVelocity exercises these.
+			continue
+		}
 		attrs := make(map[string]any, schema.Arity())
 		ok := true
 		for a := 0; a < schema.Arity() && ok; a++ {
@@ -550,6 +568,276 @@ func craftMatchingTx(schema *relation.Schema, ruleTexts []string) (map[string]an
 		return map[string]any{"attrs": attrs, "score": int(r.MinScore())}, nil
 	}
 	return nil, fmt.Errorf("none of the %d published rules is satisfiable", len(ruleTexts))
+}
+
+// Velocity burst constants shared by the smoke and crash flows: a windowed
+// COUNT rule with this threshold fires on the threshold-th same-key probe
+// inside the window. The crash flow sends velocityPreCrash probes before the
+// kill and the remainder after recovery, so the rule firing post-restart
+// with margin 0 proves the aggregate state was reconstructed exactly.
+const (
+	velocityThreshold = 5
+	velocityPreCrash  = 3
+	velocityStartMin  = 200 // first probe's time-attribute value
+)
+
+// velocityRuleText builds a windowed velocity rule over the daemon's schema:
+// COUNT over the first categorical attribute (the first non-time attribute
+// when there is none), 10-minute window. Returns the key attribute index.
+func velocityRuleText(schema *relation.Schema) (string, int, error) {
+	if schema.TimeAttr() < 0 {
+		return "", -1, fmt.Errorf("schema has no time attribute")
+	}
+	key := -1
+	for a := 0; a < schema.Arity(); a++ {
+		if a == schema.TimeAttr() {
+			continue
+		}
+		if schema.Attr(a).Kind == relation.Categorical {
+			key = a
+			break
+		}
+		if key < 0 {
+			key = a
+		}
+	}
+	if key < 0 {
+		return "", -1, fmt.Errorf("schema has no usable key attribute")
+	}
+	return fmt.Sprintf("COUNT(%s, 10m) >= %d", schema.Attr(key).Name, velocityThreshold), key, nil
+}
+
+// velocityTxs builds n burst probes: every probe carries the key attribute's
+// first leaf (or domain minimum) and times one minute apart from start, so
+// they all land in one 10-minute window of one aggregation key.
+func velocityTxs(rng *rand.Rand, schema *relation.Schema, key, start, n int) []map[string]any {
+	txs := randomTxs(rng, schema, n)
+	timeName := schema.Attr(schema.TimeAttr()).Name
+	keyAttr := schema.Attr(key)
+	var keyVal any
+	if keyAttr.Kind == relation.Categorical {
+		keyVal = keyAttr.Ontology.ConceptName(ontology.Concept(keyAttr.Ontology.Leaves()[0]))
+	} else {
+		keyVal = keyAttr.Domain.Min
+	}
+	for i := range txs {
+		attrs := txs[i]["attrs"].(map[string]any)
+		attrs[timeName] = start + i
+		attrs[keyAttr.Name] = keyVal
+	}
+	return txs
+}
+
+// velocityExplain is the explain-mode response subset the velocity checks
+// decode.
+type velocityExplain struct {
+	Flagged      []bool `json:"flagged"`
+	Explanations []struct {
+		Matched []int `json:"matched"`
+		Rules   []struct {
+			Rule   int `json:"rule"`
+			Checks []struct {
+				Attr   string `json:"attr"`
+				Kind   string `json:"kind"`
+				Pass   bool   `json:"pass"`
+				Margin int64  `json:"margin"`
+			} `json:"checks"`
+		} `json:"rules"`
+	} `json:"explanations"`
+}
+
+// scoreVelocityBurst publishes nothing; it scores the given burst with
+// explain and decodes the response.
+func scoreVelocityBurst(url string, txs []map[string]any) (velocityExplain, error) {
+	var out velocityExplain
+	raw, err := json.Marshal(map[string]any{"transactions": txs, "explain": true})
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(url+"/v1/score", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return out, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("velocity POST /v1/score: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("velocity /v1/score response: %w", err)
+	}
+	if len(out.Explanations) != len(txs) {
+		return out, fmt.Errorf("velocity /v1/score returned %d explanations for %d probes", len(out.Explanations), len(txs))
+	}
+	return out, nil
+}
+
+// publishWithVelocityRule appends the velocity rule to the currently
+// published set and republishes; returns the new rule's index and key attr.
+func publishWithVelocityRule(url string, schema *relation.Schema) (velIdx, key int, err error) {
+	ruleText, key, err := velocityRuleText(schema)
+	if err != nil {
+		return -1, -1, err
+	}
+	cur, _, err := fetchRules(url)
+	if err != nil {
+		return -1, -1, err
+	}
+	raw, err := json.Marshal(map[string]any{"rules": append(cur, ruleText), "comment": "loadgen velocity"})
+	if err != nil {
+		return -1, -1, err
+	}
+	resp, err := http.Post(url+"/v1/rules", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return -1, -1, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return -1, -1, fmt.Errorf("POST /v1/rules (velocity): %d %s", resp.StatusCode, body)
+	}
+	return len(cur), key, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVelocity exercises the stateful scoring path end to end: publish a
+// windowed COUNT rule, drive a same-key burst through /v1/score, and assert
+// the rule stays quiet below the threshold, fires exactly at it with a
+// window-kind check satisfying the margin invariant, and shows up firing in
+// GET /v1/rules/health.
+func checkVelocity(url string, rng *rand.Rand, schema *relation.Schema) error {
+	if schema.TimeAttr() < 0 {
+		fmt.Println("loadgen: smoke velocity skipped (schema has no time attribute)")
+		return nil
+	}
+	velIdx, key, err := publishWithVelocityRule(url, schema)
+	if err != nil {
+		return err
+	}
+	out, err := scoreVelocityBurst(url, velocityTxs(rng, schema, key, velocityStartMin, velocityThreshold))
+	if err != nil {
+		return err
+	}
+	if containsInt(out.Explanations[0].Matched, velIdx) {
+		return fmt.Errorf("velocity rule %d fired on the burst's first probe", velIdx)
+	}
+	last := out.Explanations[len(out.Explanations)-1]
+	if !containsInt(last.Matched, velIdx) {
+		return fmt.Errorf("velocity rule %d did not fire on probe %d of a same-key burst", velIdx, velocityThreshold)
+	}
+	winChecks := 0
+	for _, re := range last.Rules {
+		if re.Rule != velIdx {
+			continue
+		}
+		for _, c := range re.Checks {
+			if c.Kind != "window" {
+				continue
+			}
+			winChecks++
+			if !c.Pass || c.Margin < 0 {
+				return fmt.Errorf("velocity rule %d window check %s: pass=%v margin=%d on the firing probe",
+					velIdx, c.Attr, c.Pass, c.Margin)
+			}
+			if !strings.Contains(c.Attr, "COUNT(") {
+				return fmt.Errorf("window check attr = %q, want the aggregate atom", c.Attr)
+			}
+		}
+	}
+	if winChecks == 0 {
+		return fmt.Errorf("velocity rule %d fired without a window-kind check in its breakdown", velIdx)
+	}
+	health, _, err := fetchRuleHealth(url)
+	if err != nil {
+		return err
+	}
+	if velIdx >= len(health.Rules) || health.Rules[velIdx].Fires == 0 {
+		return fmt.Errorf("/v1/rules/health reports no fires for velocity rule %d", velIdx)
+	}
+	fmt.Printf("loadgen: smoke velocity ok: rule %d fired on probe %d/%d, %d fires in /v1/rules/health\n",
+		velIdx, velocityThreshold, velocityThreshold, health.Rules[velIdx].Fires)
+	return nil
+}
+
+// velocityPrepare is the crash flow's first half (run with -churn
+// -velocity): publish the velocity rule and send the below-threshold prefix
+// of a burst, whose observations must survive the coming kill -9.
+func velocityPrepare(url string, rng *rand.Rand, schema *relation.Schema) error {
+	velIdx, key, err := publishWithVelocityRule(url, schema)
+	if err != nil {
+		return err
+	}
+	out, err := scoreVelocityBurst(url, velocityTxs(rng, schema, key, velocityStartMin, velocityPreCrash))
+	if err != nil {
+		return err
+	}
+	for i, e := range out.Explanations {
+		if containsInt(e.Matched, velIdx) {
+			return fmt.Errorf("velocity rule %d fired on pre-crash probe %d, below the threshold", velIdx, i)
+		}
+	}
+	fmt.Printf("loadgen: velocity prepared: %d/%d probes observed pre-crash, rule %d quiet\n",
+		velocityPreCrash, velocityThreshold, velIdx)
+	return nil
+}
+
+// velocityResume is the crash flow's second half (run with -resume
+// -velocity): the remaining probes of the burst must trip the rule with
+// margin exactly 0 — the count is right only if every pre-crash observation
+// was recovered from the WAL.
+func velocityResume(url string, rng *rand.Rand) error {
+	schema, err := fetchSchema(url)
+	if err != nil {
+		return err
+	}
+	_, key, err := velocityRuleText(schema)
+	if err != nil {
+		return err
+	}
+	texts, _, err := fetchRules(url)
+	if err != nil {
+		return err
+	}
+	velIdx := -1
+	for i, text := range texts {
+		if strings.HasPrefix(text, "COUNT(") {
+			velIdx = i
+		}
+	}
+	if velIdx < 0 {
+		return fmt.Errorf("restored rule set has no velocity rule: %v", texts)
+	}
+	n := velocityThreshold - velocityPreCrash
+	out, err := scoreVelocityBurst(url, velocityTxs(rng, schema, key, velocityStartMin+velocityPreCrash, n))
+	if err != nil {
+		return err
+	}
+	last := out.Explanations[len(out.Explanations)-1]
+	if !containsInt(last.Matched, velIdx) {
+		return fmt.Errorf("velocity rule %d did not fire after recovery: pre-crash observations lost", velIdx)
+	}
+	for _, re := range last.Rules {
+		if re.Rule != velIdx {
+			continue
+		}
+		for _, c := range re.Checks {
+			if c.Kind == "window" && c.Margin != 0 {
+				return fmt.Errorf("post-recovery window margin = %d, want 0 (count must be exactly %d)",
+					c.Margin, velocityThreshold)
+			}
+		}
+	}
+	fmt.Printf("loadgen: velocity resume ok: rule %d fired on probe %d with margin 0 after the crash\n",
+		velIdx, velocityThreshold)
+	return nil
 }
 
 // checkAudit asserts the sampled decision audit ring retained entries from
@@ -597,7 +885,7 @@ func checkAudit(url string, version int) error {
 // interleaved with n rule republishes, then records the resulting rule-set
 // version and feedback total (stdout, and stateFile when set) for a later
 // -resume run to assert against.
-func runChurn(url string, rng *rand.Rand, schema *relation.Schema, startRules []string, n int, stateFile string) error {
+func runChurn(url string, rng *rand.Rand, schema *relation.Schema, startRules []string, n int, stateFile string, velocity bool) error {
 	for i := 0; i < n; i++ {
 		resp, err := http.Post(url+"/v1/feedback", "application/json", bytes.NewReader(feedbackBody(rng, schema, 8)))
 		if err != nil {
@@ -622,6 +910,13 @@ func runChurn(url string, rng *rand.Rand, schema *relation.Schema, startRules []
 			return fmt.Errorf("POST /v1/rules (churn %d): %d %s", i, resp.StatusCode, body)
 		}
 	}
+	// The velocity publish must happen before the state is recorded: it bumps
+	// the version the -resume run asserts against.
+	if velocity {
+		if err := velocityPrepare(url, rng, schema); err != nil {
+			return err
+		}
+	}
 	version, feedback, err := fetchStats(url)
 	if err != nil {
 		return err
@@ -639,7 +934,7 @@ func runChurn(url string, rng *rand.Rand, schema *relation.Schema, startRules []
 // runResume asserts a restarted daemon restored the recorded state: version
 // and feedback count match, the boot replayed WAL records, errors arrive in
 // the uniform envelope, and legacy paths answer 308 redirects to /v1.
-func runResume(url string, expectVer, expectFb int, stateFile string) error {
+func runResume(url string, expectVer, expectFb int, stateFile string, velocity bool) error {
 	if stateFile != "" && (expectVer < 0 || expectFb < 0) {
 		raw, err := os.ReadFile(stateFile)
 		if err != nil {
@@ -726,6 +1021,15 @@ func runResume(url string, expectVer, expectFb int, stateFile string) error {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusPermanentRedirect || resp.Header.Get("Location") != "/v1/rules" {
 		return fmt.Errorf("GET /rules = %d Location %q, want 308 to /v1/rules", resp.StatusCode, resp.Header.Get("Location"))
+	}
+
+	// Velocity convergence: finish the burst velocityPrepare started before
+	// the crash; the windowed rule firing with margin 0 proves the aggregate
+	// store was rebuilt to the exact pre-crash counts.
+	if velocity {
+		if err := velocityResume(url, rand.New(rand.NewSource(2))); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("loadgen: resume verified version=%d feedback=%d, WAL replay observed, envelope + redirects intact\n",
 		version, feedback)

@@ -9,6 +9,11 @@
 //	rudolf -data data.csv -rules rules.txt [-expert interactive|auto] [-rules-out refined.txt]
 //
 // Without -data, a synthetic dataset is generated on the fly (-size, -seed).
+//
+// Rule files use the textual rule language documented in README.md ("The
+// rule language") — per-attribute conditions, an optional score threshold,
+// and the windowed velocity atoms (COUNT(user, 10m) >= 5, SUM, DISTINCT)
+// when the schema declares a time attribute.
 package main
 
 import (
@@ -149,7 +154,9 @@ func main() {
 // the fired rules of plain `"explain"`), computed by the shared compiled
 // attribution path (Evaluator.AttributeTuple).
 func printAttribution(w io.Writer, schema *rudolf.Schema, rel *rudolf.Relation, rs *rudolf.RuleSet, i int) {
-	attr := rudolf.CompileRules(schema, rs).AttributeTuple(rel, i)
+	ev := rudolf.CompileRules(schema, rs)
+	attr := ev.AttributeTuple(rel, i)
+	winSpecs := ev.WindowSpecs()
 	verdict := "not flagged"
 	if attr.Flagged() {
 		verdict = fmt.Sprintf("FLAGGED by %d/%d rules", len(attr.Matched), rs.Len())
@@ -173,7 +180,15 @@ func printAttribution(w io.Writer, schema *rudolf.Schema, rel *rudolf.Relation, 
 		for _, c := range ra.Checks {
 			name, value := "score", fmt.Sprintf("%d", rel.Score(i))
 			kind := "threshold"
-			if c.Attr != rudolf.ScoreAttr {
+			switch {
+			case c.Attr == rudolf.ScoreAttr:
+				// defaults above
+			case c.IsWindow():
+				name, value, kind = "window", "-", "window"
+				if w := int(c.Win()); w < len(winSpecs) {
+					name = rudolf.FormatWindowAtom(schema, winSpecs[w])
+				}
+			default:
 				name = schema.Attr(c.Attr).Name
 				value = schema.FormatValue(c.Attr, rel.Tuple(i)[c.Attr])
 				kind = "numeric"

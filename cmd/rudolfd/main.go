@@ -23,7 +23,12 @@
 // GET /v1/rules/health, GET /v1/audit, plus the unversioned infra endpoints
 // GET /healthz, GET /readyz, GET /metrics.
 // Legacy unversioned API paths answer 308 redirects to their /v1
-// successors. -debug-addr opens a second, loopback-only listener exposing
+// successors. Published rules (POST /v1/rules and -rules files) use the
+// textual rule language documented in README.md ("The rule language"),
+// including the windowed velocity atoms (COUNT(user, 10m) >= 5) when the
+// schema declares a time attribute; under a windowed rule set the daemon
+// observes every scored transaction into the sliding-window aggregate
+// store (DESIGN.md §14). -debug-addr opens a second, loopback-only listener exposing
 // net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
 // can never be reached through the service's ingress.
 //

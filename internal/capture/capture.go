@@ -19,6 +19,12 @@
 // length). Stats, capture queries and rule edits against the bound relation
 // are incremental; touching a different relation (or detecting a rule-set
 // length drift from an unnotified mutation) triggers a full rebind.
+// Windowed rules add a time dimension: a rule like COUNT(user, 10m) > 5
+// captures different transactions as the window-aggregate columns stamped
+// on the relation change (the serving daemon re-stamps live aggregates).
+// The cache therefore also snapshots the relation's window-column pointer
+// at bind time; a relation whose columns were re-stamped since no longer
+// counts as bound and rebinding re-evaluates against the fresh aggregates.
 package capture
 
 import (
@@ -38,7 +44,12 @@ import (
 type Cache struct {
 	rel    *relation.Relation
 	relLen int
-	ev     *index.Evaluator
+	// aux is the relation's window-aggregate column set (an opaque pointer)
+	// as of the last bind or rule edit; a mismatch against the relation's
+	// current one means time moved under the cache (re-stamped aggregates)
+	// and the bound bitsets may be stale. Always nil for window-less setups.
+	aux any
+	ev  *index.Evaluator
 	// bits[i] is the capture set of rule i over rel, maintained in lockstep
 	// with the bound rule set's indices.
 	bits []*bitset.Set
@@ -75,10 +86,12 @@ func (c *Cache) Stats() (hits, rebinds, invalidates uint64) {
 func New() *Cache { return &Cache{} }
 
 // Bound reports whether the cache currently mirrors rel. Identity is the
-// relation pointer plus its length: labels may change between rounds (they
-// do not affect captures), but appended transactions do.
+// relation pointer plus its length plus its window-column stamp: labels may
+// change between rounds (they do not affect captures), but appended
+// transactions do, and so do re-stamped window aggregates (windowed rules
+// capture by time, not just by value).
 func (c *Cache) Bound(rel *relation.Relation) bool {
-	return rel != nil && c.rel == rel && c.relLen == rel.Len()
+	return rel != nil && c.rel == rel && c.relLen == rel.Len() && c.aux == rel.WindowColumns()
 }
 
 // Len returns the number of rules tracked.
@@ -95,6 +108,7 @@ func (c *Cache) Invalidate() {
 	c.Tracer.Instant("capture.invalidate")
 	c.rel = nil
 	c.relLen = 0
+	c.aux = nil
 	c.ev = nil
 	c.bits = nil
 	c.union = nil
@@ -111,6 +125,10 @@ func (c *Cache) Bind(rel *relation.Relation, rs *rules.Set) {
 	c.ev = index.CompileUnder(sp, rel.Schema(), rs)
 	c.ev.Workers = c.Workers
 	c.bits = c.ev.EvalPerRuleUnder(sp, rel)
+	// Snapshot the window-column stamp AFTER evaluating: a windowed rule set
+	// over a bare relation makes the evaluator compute and cache the columns
+	// during the pass above, and that set is the one these bitsets reflect.
+	c.aux = rel.WindowColumns()
 	c.union = nil
 	c.unionOK = false
 	sp.End()
@@ -139,6 +157,9 @@ func (c *Cache) RuleAdded(r *rules.Rule) {
 	}
 	ri := c.ev.Add(r)
 	b := c.ev.EvalRule(ri, c.rel)
+	// A windowed rule bringing new specs re-stamps the relation's columns;
+	// adopt the fresh stamp so the next Bound check doesn't force a rebind.
+	c.aux = c.rel.WindowColumns()
 	c.bits = append(c.bits, b)
 	if c.unionOK {
 		c.union.UnionWith(b)
@@ -153,6 +174,7 @@ func (c *Cache) RuleReplaced(i int, r *rules.Rule) {
 	}
 	c.ev.Replace(i, r)
 	c.bits[i] = c.ev.EvalRule(i, c.rel)
+	c.aux = c.rel.WindowColumns()
 	c.union = nil
 	c.unionOK = false
 }

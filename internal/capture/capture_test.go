@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"repro/internal/capture"
+	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/testutil"
+	"repro/internal/window"
 )
 
 // checkAgainstSet asserts every cache query against the ground truth of the
@@ -153,5 +155,51 @@ func TestCacheAdditionKeepsUnionIncremental(t *testing.T) {
 		if !c.Union().Equal(rs.Eval(rel)) {
 			t.Fatalf("union stale after addition %d", i)
 		}
+	}
+}
+
+// TestCacheWindowTimeInvalidation: windowed rules capture by time, so a
+// relation whose window-aggregate columns were re-stamped (time moved, e.g.
+// the serving daemon stamped a new batch) must not count as bound — the
+// cached bitsets reflect the old aggregates.
+func TestCacheWindowTimeInvalidation(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "minute", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1_000_000), Time: true},
+		relation.Attribute{Name: "user", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 100)},
+	)
+	rel := relation.New(s)
+	for i := int64(0); i < 5; i++ {
+		rel.MustAppend(relation.Tuple{100 + i, 1}, relation.Unlabeled, 500)
+	}
+	rs := rules.NewSet(rules.MustParse(s, "COUNT(user, 10m) >= 5"))
+
+	c := capture.New()
+	c.Bind(rel, rs)
+	if !c.Bound(rel) {
+		t.Fatal("cache not bound right after Bind")
+	}
+	checkAgainstSet(t, c, rs, rel)
+
+	// Re-stamp the columns (what a serving daemon does when time advances):
+	// the cache must notice and rebind on Ensure.
+	rel.SetWindowColumns(window.ComputeColumns(rel, rs.WindowSpecs(nil)))
+	if c.Bound(rel) {
+		t.Fatal("cache still bound after window columns were re-stamped")
+	}
+	if rebound := c.Ensure(rel, rs); !rebound {
+		t.Fatal("Ensure did not rebind after re-stamp")
+	}
+	checkAgainstSet(t, c, rs, rel)
+
+	// A window-less setup is unaffected: nil stamp before and after.
+	plain := rules.NewSet(rules.MustParse(s, "user >= 0"))
+	rel2 := relation.New(s)
+	rel2.MustAppend(relation.Tuple{1, 1}, relation.Unlabeled, 500)
+	c2 := capture.New()
+	c2.Bind(rel2, plain)
+	if !c2.Bound(rel2) {
+		t.Fatal("window-less cache must stay bound")
 	}
 }

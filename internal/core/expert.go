@@ -60,8 +60,12 @@ type SplitProposal struct {
 	RuleIndex int
 	// Original is the rule before the split.
 	Original *rules.Rule
-	// Attr is the attribute being split on.
+	// Attr is the attribute being split on, or -1 for a windowed split.
 	Attr int
+	// Win, when >= 0, indexes Original.Windows(): the split tightens that
+	// windowed condition (raising its aggregate threshold or shortening its
+	// window) instead of splitting an attribute. -1 for attribute splits.
+	Win int
 	// Replacements are the rules that together replace Original: two for a
 	// numeric split around the legitimate value, one per cover concept for a
 	// categorical split. Empty when the split simply removes the rule.

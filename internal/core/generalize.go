@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 // Generalize runs Algorithm 1: cluster the fraudulent transactions, and for
@@ -54,6 +56,13 @@ func (s *Session) repHandled(rel *relation.Relation, schema *relation.Schema, re
 }
 
 func ruleContainsRep(schema *relation.Schema, r *rules.Rule, rep cluster.Representative) bool {
+	if len(r.Windows()) > 0 {
+		// A windowed rule constrains time-dependent aggregates that the
+		// purely per-attribute representative pattern cannot express, so
+		// attribute containment alone proves nothing; repHandled falls back
+		// to its member-capture check.
+		return false
+	}
 	for i := 0; i < schema.Arity(); i++ {
 		if !r.Cond(i).ContainsCond(schema.Attr(i), rep.Conds[i]) {
 			return false
@@ -88,7 +97,8 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 			continue // the ranked rule was removed since ranking
 		}
 		gen, changed := rules.GeneralizeToCover(schema, r, rep.Conds)
-		if len(changed) == 0 {
+		winChanged := widenWindowsToCover(rel, gen, rep)
+		if len(changed) == 0 && !winChanged {
 			return // already capturing (rule set changed since ranking)
 		}
 		if s.opts.NumericOnly && touchesCategorical(schema, changed) {
@@ -120,6 +130,43 @@ func (s *Session) generalizeForRep(rel *relation.Relation, schema *relation.Sche
 			}
 		}
 	}
+}
+
+// widenWindowsToCover lowers the aggregate thresholds of gen's windowed
+// conditions so that every member of the representative's cluster satisfies
+// them — the windowed analog of GeneralizeToCover's interval extension. The
+// representative pattern is a per-attribute abstraction with no aggregate
+// values of its own, so the members' actual aggregates stand in: the lowest
+// member aggregate becomes the new lower bound. Reports whether any
+// condition changed. gen is modified in place (it is already a clone).
+func widenWindowsToCover(rel *relation.Relation, gen *rules.Rule, rep cluster.Representative) bool {
+	wins := gen.Windows()
+	if len(wins) == 0 || len(rep.Members) == 0 {
+		return false
+	}
+	specs := make([]window.Spec, len(wins))
+	for i, wc := range wins {
+		specs[i] = wc.Spec
+	}
+	cs := rules.WindowColumnsFor(rel, specs)
+	changed := false
+	for _, wc := range wins {
+		col := cs.Column(wc.Spec)
+		if col == nil {
+			continue
+		}
+		lo := wc.Iv.Lo
+		for _, m := range rep.Members {
+			if col[m] < lo {
+				lo = col[m]
+			}
+		}
+		if lo < wc.Iv.Lo {
+			gen.AddWindow(rules.WindowCond{Spec: wc.Spec, Iv: order.Interval{Lo: lo, Hi: wc.Iv.Hi}})
+			changed = true
+		}
+	}
+	return changed
 }
 
 // resolveGenDecision combines the proposal with the expert's decision
@@ -158,7 +205,9 @@ func (s *Session) reviewGeneralization(p *GenProposal) GenDecision {
 }
 
 // applyRuleEdit installs the new version of a rule and logs one condition
-// refinement per attribute that actually changed.
+// refinement per attribute — and per windowed condition — that actually
+// changed. Windowed refinements log with Attr -1: they touch no schema
+// attribute, only an aggregate threshold or window.
 func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rules.Rule) {
 	s.setReplace(idx, new)
 	for i := 0; i < schema.Arity(); i++ {
@@ -173,6 +222,31 @@ func (s *Session) applyRuleEdit(schema *relation.Schema, idx int, old, new *rule
 			Description: fmt.Sprintf("%s: %s -> %s", schema.Attr(i).Name,
 				condString(schema, i, old.Cond(i)), condString(schema, i, new.Cond(i))),
 		})
+	}
+	logWin := func(desc string) {
+		s.logMod(Modification{
+			Kind:        cost.CondRefine,
+			RuleIndex:   idx,
+			Attr:        -1,
+			Cost:        s.opts.costModel().ModificationCost(cost.CondRefine, -1),
+			Description: desc,
+		})
+	}
+	for _, wc := range new.Windows() {
+		o, ok := old.WindowOn(wc.Spec)
+		switch {
+		case ok && o.Iv.Equal(wc.Iv):
+		case ok:
+			logWin(fmt.Sprintf("%s -> %s",
+				rules.FormatWindowCond(schema, o), rules.FormatWindowCond(schema, wc)))
+		default:
+			logWin("added " + rules.FormatWindowCond(schema, wc))
+		}
+	}
+	for _, wc := range old.Windows() {
+		if _, ok := new.WindowOn(wc.Spec); !ok {
+			logWin("removed " + rules.FormatWindowCond(schema, wc))
+		}
 	}
 }
 

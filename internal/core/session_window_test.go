@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expert"
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/rules"
+)
+
+func velocitySchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Attribute{Name: "minute", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1_000_000), Time: true},
+		relation.Attribute{Name: "user", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 100)},
+		relation.Attribute{Name: "amount", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 100_000)},
+	)
+}
+
+// velocityRelation builds one user's timeline: a slow run of 4 events around
+// minute 100 whose last event (aggregate COUNT(user,10m) = 4) is labeled
+// legitimate, and a burst of 6 events around minute 500 whose two fastest
+// events (aggregates 5 and 6) are fraud. Every attribute except time is
+// identical across tuples, so only the velocity separates the classes.
+func velocityRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	rel := relation.New(velocitySchema(t))
+	for i := int64(0); i < 4; i++ {
+		label := relation.Unlabeled
+		if i == 3 {
+			label = relation.Legitimate
+		}
+		rel.MustAppend(relation.Tuple{100 + i, 1, 100}, label, 500)
+	}
+	for i := int64(0); i < 6; i++ {
+		label := relation.Unlabeled
+		if i >= 4 {
+			label = relation.Fraud
+		}
+		rel.MustAppend(relation.Tuple{500 + i, 1, 100}, label, 500)
+	}
+	return rel
+}
+
+// TestSessionSpecializesWindowedRule: a velocity rule that also captures a
+// legitimate (slower) run must be tightened over its (window, threshold)
+// knobs by Algorithm 2, not just over per-tuple attributes — here the only
+// split that excludes the legitimate tuple without losing fraud captures is
+// raising the COUNT threshold above the legitimate aggregate.
+func TestSessionSpecializesWindowedRule(t *testing.T) {
+	rel := velocityRelation(t)
+	s := rel.Schema()
+	rs := rules.NewSet(rules.MustParse(s, "COUNT(user, 10m) >= 4"))
+
+	sess := core.NewSession(rs, &expert.AutoAccept{}, core.Options{})
+	sess.Specialize(rel)
+
+	got := sess.Rules()
+	if got.Len() != 1 {
+		t.Fatalf("rule set has %d rules after specialize, want 1: %v", got.Len(), got)
+	}
+	wins := got.Rule(0).Windows()
+	if len(wins) != 1 {
+		t.Fatalf("refined rule has %d windowed conditions, want 1", len(wins))
+	}
+	if wins[0].Iv.Lo != 5 {
+		t.Errorf("threshold lower bound = %d, want raised to 5 (above the legitimate aggregate 4)",
+			wins[0].Iv.Lo)
+	}
+	legit := rel.Indices(relation.Legitimate)
+	for _, l := range legit {
+		if got.Rule(0).MatchesAt(rel, l) {
+			t.Errorf("legitimate tuple %d still captured after specialize", l)
+		}
+	}
+	for _, f := range rel.Indices(relation.Fraud) {
+		if !got.Rule(0).MatchesAt(rel, f) {
+			t.Errorf("fraud tuple %d lost by the windowed split", f)
+		}
+	}
+	if sess.Log().Len() == 0 {
+		t.Error("windowed split was not logged as a modification")
+	}
+}
+
+// TestSessionGeneralizesWindowedRule: a velocity rule whose threshold is too
+// high to capture the fraud burst must be widened by Algorithm 1 — lowering
+// the aggregate lower bound to the slowest fraud member's aggregate.
+func TestSessionGeneralizesWindowedRule(t *testing.T) {
+	rel := velocityRelation(t)
+	s := rel.Schema()
+	rs := rules.NewSet(rules.MustParse(s, "COUNT(user, 10m) >= 8"))
+
+	sess := core.NewSession(rs, &expert.AutoAccept{}, core.Options{})
+	sess.Generalize(rel)
+
+	got := sess.Rules()
+	for _, f := range rel.Indices(relation.Fraud) {
+		captured := false
+		for _, r := range got.Rules() {
+			if r.MatchesAt(rel, f) {
+				captured = true
+			}
+		}
+		if !captured {
+			t.Errorf("fraud tuple %d still uncaptured after generalize", f)
+		}
+	}
+	// The widening should have come from the existing windowed rule, not from
+	// a representative-specific fallback rule.
+	wins := got.Rule(0).Windows()
+	if len(wins) != 1 || wins[0].Iv.Lo > 6 {
+		t.Errorf("windowed condition not widened: %v", wins)
+	}
+}
+
+// TestSessionRefinesWindowedRule runs the full alternating loop on the
+// velocity relation: starting from a mis-tuned threshold, Refine must end
+// with every fraud captured and no legitimate transaction captured, purely
+// by adjusting the windowed condition.
+func TestSessionRefinesWindowedRule(t *testing.T) {
+	rel := velocityRelation(t)
+	s := rel.Schema()
+	rs := rules.NewSet(rules.MustParse(s, "COUNT(user, 10m) >= 8"))
+
+	sess := core.NewSession(rs, &expert.AutoAccept{}, core.Options{})
+	st := sess.Refine(rel)
+	if !st.Perfect() {
+		t.Fatalf("refinement did not converge: %+v (rules: %v)", st, sess.Rules())
+	}
+}

@@ -2,13 +2,16 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bitset"
 	"repro/internal/cost"
 	"repro/internal/ontology"
+	"repro/internal/order"
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 // Specialize runs Algorithm 2: for every legitimate transaction captured by
@@ -65,9 +68,15 @@ func (s *Session) excludeLegit(rel *relation.Relation, schema *relation.Schema, 
 	}
 }
 
-// splitCandidate is one possible split of a rule on one attribute.
+// splitCandidate is one possible split of a rule on one attribute or one
+// windowed condition.
 type splitCandidate struct {
-	attr         int
+	// attr is the attribute being split on, or -1 for a windowed split.
+	attr int
+	// win indexes the rule's Windows() when the split tightens a windowed
+	// condition — raising its aggregate threshold or shortening its window —
+	// instead of splitting an attribute condition; -1 otherwise.
+	win          int
 	replacements []*rules.Rule
 	benefit      float64
 	// score is benefit minus the modification cost of the split. The paper
@@ -100,6 +109,7 @@ func (s *Session) splitRule(rel *relation.Relation, schema *relation.Schema, rul
 			RuleIndex:    ruleIdx,
 			Original:     r,
 			Attr:         cand.attr,
+			Win:          cand.win,
 			Replacements: cand.replacements,
 			LegitIndex:   l,
 			Benefit:      cand.benefit,
@@ -119,6 +129,9 @@ func (s *Session) reviewSplit(p *SplitProposal) SplitDecision {
 	sp := trace.StartUnder(s.opts.Tracer, s.cur, "expert.review_split")
 	sp.Int("rule", int64(p.RuleIndex)).Int("attr", int64(p.Attr)).
 		Float("benefit", p.Benefit).Int("legit", int64(p.LegitIndex))
+	if p.Win >= 0 {
+		sp.Int("win", int64(p.Win))
+	}
 	dec := s.expert.ReviewSplit(p)
 	sp.Bool("accept", dec.Accept)
 	sp.End()
@@ -149,11 +162,13 @@ func (s *Session) splitCandidates(rel *relation.Relation, schema *relation.Schem
 		splitCost := float64(len(replacements)) * s.opts.costModel().ModificationCost(cost.RuleSplit, attr)
 		cands = append(cands, splitCandidate{
 			attr:         attr,
+			win:          -1,
 			replacements: replacements,
 			benefit:      benefit,
 			score:        benefit - splitCost,
 		})
 	}
+	cands = append(cands, s.windowSplitCandidates(rel, schema, r, l, captured, others)...)
 	// Sort by decreasing benefit-minus-cost, stable in attribute order.
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].score > cands[j-1].score; j-- {
@@ -203,6 +218,81 @@ func splitOnAttr(schema *relation.Schema, r *rules.Rule, attr int, v int64) ([]*
 	return replacements, true
 }
 
+// windowSplitCandidates proposes tightenings of r's windowed conditions that
+// exclude the legitimate tuple l — the windowed analog of the numeric
+// interval split. Velocity rules are often right about the pattern but wrong
+// about the rate, so the refinement loop can adjust both knobs of a
+// condition like COUNT(user, 10m) >= 4: raise the aggregate threshold just
+// above l's aggregate value, or halve the window length when the legitimate
+// activity is spread out enough that the shorter window's aggregate falls
+// below the existing threshold. Each candidate yields a single replacement
+// rule; benefit is charged exactly like an attribute split.
+func (s *Session) windowSplitCandidates(rel *relation.Relation, schema *relation.Schema, r *rules.Rule, l int, captured, others *bitset.Set) []splitCandidate {
+	wins := r.Windows()
+	if len(wins) == 0 {
+		return nil
+	}
+	specs := make([]window.Spec, len(wins))
+	for i, wc := range wins {
+		specs[i] = wc.Spec
+	}
+	cs := rules.WindowColumnsFor(rel, specs)
+	var cands []splitCandidate
+	add := func(wi int, nr *rules.Rule, removed *bitset.Set) {
+		benefit := cost.SplitBenefit(rel, removed, others, s.opts.weights())
+		splitCost := s.opts.costModel().ModificationCost(cost.RuleSplit, -1)
+		cands = append(cands, splitCandidate{
+			attr:         -1,
+			win:          wi,
+			replacements: []*rules.Rule{nr},
+			benefit:      benefit,
+			score:        benefit - splitCost,
+		})
+	}
+	for wi, wc := range wins {
+		col := cs.Column(wc.Spec)
+		if col == nil {
+			continue
+		}
+		// Raise the threshold above l's aggregate: the tightened interval
+		// keeps every capture whose aggregate genuinely exceeds the
+		// legitimate tuple's rate.
+		if v := col[l]; v < wc.Iv.Hi && v < math.MaxInt64 {
+			iv := order.Interval{Lo: v + 1, Hi: wc.Iv.Hi}
+			nr := r.Clone().AddWindow(rules.WindowCond{Spec: wc.Spec, Iv: iv})
+			add(wi, nr, removedByWindowSplit(rel, captured, col, iv))
+		}
+		// Halve the window: a shorter window distinguishes a burst from the
+		// same volume spread over time. Only proposed when it actually
+		// excludes l (otherwise the split would not make progress).
+		if half := wc.Spec.Window / 2; half >= 1 && half != wc.Spec.Window {
+			hspec := wc.Spec
+			hspec.Window = half
+			hcol := window.ComputeColumns(rel, []window.Spec{hspec}).Column(hspec)
+			if hcol != nil && !wc.Iv.Contains(hcol[l]) {
+				nr := r.Clone()
+				nr.RemoveWindow(wc.Spec)
+				nr.AddWindow(rules.WindowCond{Spec: hspec, Iv: wc.Iv})
+				add(wi, nr, removedByWindowSplit(rel, captured, hcol, wc.Iv))
+			}
+		}
+	}
+	return cands
+}
+
+// removedByWindowSplit returns the captured transactions whose aggregate
+// value (read off col) falls outside the tightened interval — exactly what
+// the windowed split stops capturing.
+func removedByWindowSplit(rel *relation.Relation, captured *bitset.Set, col []int64, iv order.Interval) *bitset.Set {
+	removed := bitset.New(rel.Len())
+	captured.ForEach(func(i int) {
+		if !iv.Contains(col[i]) {
+			removed.Add(i)
+		}
+	})
+	return removed
+}
+
 // removedBySplit returns the transactions captured by the rule whose attr
 // value matches the excluded value (numeric) or falls under the excluded
 // leaf (categorical) — exactly what the split stops capturing.
@@ -248,6 +338,12 @@ func (s *Session) applySplit(schema *relation.Schema, original *rules.Rule, cand
 		}
 		s.setAdd(nr)
 	}
+	target := ""
+	if cand.win >= 0 {
+		target = rules.FormatWindowAtom(schema, original.Windows()[cand.win].Spec)
+	} else {
+		target = schema.Attr(cand.attr).Name
+	}
 	s.logMod(Modification{
 		Kind:      cost.RuleSplit,
 		RuleIndex: ruleIdx,
@@ -255,7 +351,7 @@ func (s *Session) applySplit(schema *relation.Schema, original *rules.Rule, cand
 		Cost:      s.opts.costModel().ModificationCost(cost.RuleSplit, cand.attr),
 		Forced:    forced,
 		Description: fmt.Sprintf("split %q on %s into %d rule(s)",
-			original.Format(schema), schema.Attr(cand.attr).Name, len(replacements)),
+			original.Format(schema), target, len(replacements)),
 	})
 }
 

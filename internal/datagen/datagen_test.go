@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/rules"
 )
 
 func TestGeoOntologyShape(t *testing.T) {
@@ -289,5 +290,67 @@ func TestInitialRulesScoreThresholds(t *testing.T) {
 		if r.MinScore() != 0 {
 			t.Fatal("default config produced a score threshold")
 		}
+	}
+}
+
+// TestVelocityBursts: planted card-testing bursts ride along as extra
+// fraudulent rows, every burst is caught by a windowed velocity rule, and
+// disabling bursts keeps the background generation untouched.
+func TestVelocityBursts(t *testing.T) {
+	cfg := Config{Size: 2000, Seed: 7, Days: 1, VelocityBursts: 3}
+	ds := Generate(cfg)
+	if len(ds.Bursts) != 3 {
+		t.Fatalf("planted %d bursts, want 3", len(ds.Bursts))
+	}
+	planted := 0
+	for _, b := range ds.Bursts {
+		if b.Size < 6 {
+			t.Fatalf("burst size %d below the catchable minimum", b.Size)
+		}
+		planted += b.Size
+	}
+	if ds.Rel.Len() != cfg.Size+planted {
+		t.Fatalf("relation has %d rows, want %d background + %d burst probes",
+			ds.Rel.Len(), cfg.Size, planted)
+	}
+
+	// Each burst's fastest probe sees a COUNT(location, 10m) aggregate of at
+	// least the burst size, so the velocity rule fires inside every burst.
+	r := rules.MustParse(ds.Schema, "COUNT(location, 10m) >= 6")
+	for bi, b := range ds.Bursts {
+		hit := false
+		for i := 0; i < ds.Rel.Len() && !hit; i++ {
+			tu := ds.Rel.Tuple(i)
+			if tu[AttrLocation] == b.Location && tu[AttrTime] >= b.Start &&
+				tu[AttrTime] < b.Start+b.Span && r.MatchesAt(ds.Rel, i) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("burst %d (%+v) not caught by the windowed rule", bi, b)
+		}
+	}
+
+	// Burst probes are true frauds (subject to the usual reporting rate for
+	// labels), and they are amount-small: per-tuple they blend into the
+	// background, which is the point.
+	fraud := 0
+	for _, f := range ds.TrueFraud {
+		if f {
+			fraud++
+		}
+	}
+	if fraud < planted {
+		t.Fatalf("%d true frauds, want at least the %d planted probes", fraud, planted)
+	}
+
+	// With bursts disabled the generator draws nothing extra: the background
+	// tuple stream is reproduced exactly (bursts are appended after it).
+	base := Generate(Config{Size: 2000, Seed: 7, Days: 1})
+	if base.Rel.Len() != cfg.Size {
+		t.Fatalf("baseline has %d rows, want %d", base.Rel.Len(), cfg.Size)
+	}
+	if len(base.Bursts) != 0 {
+		t.Fatalf("baseline has %d bursts, want none", len(base.Bursts))
 	}
 }

@@ -46,6 +46,14 @@ type Config struct {
 	// threshold condition on the score", Section 1). 0 disables them, which
 	// is also the paper's simplification in its examples and evaluation.
 	InitialRuleScoreRate float64
+	// VelocityBursts plants that many card-testing bursts: runs of small
+	// fraudulent probes at a single location within a few minutes, invisible
+	// to per-tuple conjunctive rules and catchable only by a windowed
+	// aggregate (COUNT(location, ...)). 0 disables them, and then the
+	// generator draws nothing extra from the rng, so default datasets are
+	// byte-identical to pre-velocity builds. Most meaningful with Days: 1
+	// (see Schema on the minute-of-day clock).
+	VelocityBursts int
 	// Geo sizes the location ontology.
 	Geo GeoConfig
 	// Seed drives all randomness.
@@ -104,6 +112,22 @@ type Dataset struct {
 	Patterns []Pattern
 	// Truth holds the pattern rules (one per pattern) for the oracle expert.
 	Truth *rules.Set
+	// Bursts are the planted velocity attacks (empty unless
+	// Config.VelocityBursts > 0).
+	Bursts []Burst
+}
+
+// Burst is one planted velocity attack: Size fraudulent probes at a single
+// location leaf within Span minutes of one day. Every probe looks like
+// ordinary small background traffic tuple-by-tuple — only the arrival rate
+// separates it, so a per-tuple conjunctive rule cannot isolate a burst
+// without also capturing the venue's normal customers.
+type Burst struct {
+	Day      int64
+	Start    int64 // minute of day
+	Span     int64 // minutes; probes land in [Start, Start+Span)
+	Location int64 // ontology leaf id
+	Size     int
 }
 
 // Generate synthesizes a dataset. Everything is driven by cfg.Seed; equal
@@ -144,6 +168,19 @@ func Generate(cfg Config) *Dataset {
 		}
 		rows = append(rows, row{t: sampleBackground(rng, s, day), fraud: false})
 	}
+	var bursts []Burst
+	if cfg.VelocityBursts > 0 {
+		bursts = makeBursts(rng, s, cfg)
+		for _, b := range bursts {
+			for k := 0; k < b.Size; k++ {
+				t := sampleBackground(rng, s, b.Day)
+				t[AttrTime] = b.Start + rng.Int63n(b.Span)
+				t[AttrLocation] = b.Location
+				t[AttrAmount] = 1 + rng.Int63n(20) // card-testing probes are small
+				rows = append(rows, row{t: t, fraud: true})
+			}
+		}
+	}
 	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].t[AttrDay] != rows[j].t[AttrDay] {
 			return rows[i].t[AttrDay] < rows[j].t[AttrDay]
@@ -157,6 +194,7 @@ func Generate(cfg Config) *Dataset {
 		Rel:      relation.New(s),
 		Patterns: patterns,
 		Truth:    truth,
+		Bursts:   bursts,
 	}
 	scorer := newScorer(rng, cfg.ScoreSeparation)
 	for _, rw := range rows {
@@ -195,6 +233,23 @@ func makePatterns(rng *rand.Rand, s *relation.Schema, cfg Config) []Pattern {
 		patterns = append(patterns, randomPattern(rng, s, start))
 	}
 	return patterns
+}
+
+// makeBursts places the velocity attacks: each picks a day, a start minute,
+// a venue leaf, and 6-12 probes over a 5-minute span.
+func makeBursts(rng *rand.Rand, s *relation.Schema, cfg Config) []Burst {
+	leaves := s.Attr(AttrLocation).Ontology.Leaves()
+	bursts := make([]Burst, 0, cfg.VelocityBursts)
+	for i := 0; i < cfg.VelocityBursts; i++ {
+		bursts = append(bursts, Burst{
+			Day:      int64(rng.Intn(cfg.Days)),
+			Start:    int64(rng.Intn(1430)),
+			Span:     5,
+			Location: int64(leaves[rng.Intn(len(leaves))]),
+			Size:     6 + rng.Intn(7),
+		})
+	}
+	return bursts
 }
 
 // pickPattern selects a pattern active on the given day, weighted.

@@ -36,12 +36,18 @@ func Clusterer() cluster.Leader {
 // Splitting absolute time into a day index and a minute-of-day keeps daily
 // recurring attack windows (e.g. "around closing time") expressible as a
 // single interval condition, as in the paper's examples.
+//
+// The minute-of-day carries the schema's time role, so windowed aggregate
+// rules (COUNT(location, 10m) >= 6) parse and evaluate over generated data.
+// Because that clock resets at midnight, sliding windows are exact within a
+// day and clamp at day boundaries (the store's watermark never goes
+// backwards) — velocity experiments use single-day datasets (Days: 1).
 func Schema(geo GeoConfig, days int) *relation.Schema {
 	return relation.MustSchema(
 		relation.Attribute{Name: "day", Kind: relation.Numeric,
 			Domain: order.NewDomain(0, int64(days-1)), Format: order.FormatPlain},
 		relation.Attribute{Name: "time", Kind: relation.Numeric,
-			Domain: order.NewDomain(0, 1439), Format: order.FormatTimeOfDay},
+			Domain: order.NewDomain(0, 1439), Format: order.FormatTimeOfDay, Time: true},
 		relation.Attribute{Name: "amount", Kind: relation.Numeric,
 			Domain: order.NewDomain(1, MaxAmount), Format: order.FormatMoney},
 		relation.Attribute{Name: "type", Kind: relation.Categorical,

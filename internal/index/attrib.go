@@ -40,8 +40,13 @@ import (
 // CheckAttribution is the outcome of one non-trivial compiled check of one
 // rule against one tuple.
 type CheckAttribution struct {
-	// Attr is the schema attribute index, or ScoreAttr for the rule's
-	// minimum-score threshold.
+	// Attr is the schema attribute index, ScoreAttr for the rule's
+	// minimum-score threshold, or WindowAttr − spec for a windowed aggregate
+	// check (see IsWindow/Win). The struct deliberately stays at four fields:
+	// the compiler only keeps struct values in registers up to four fields
+	// (ssa.MaxStruct), and attribution copies these by value in its hottest
+	// loop — a fifth field for the spec index measured 2.3x slower on
+	// BenchmarkCompiledEvalAttributed.
 	Attr int
 	// Categorical marks ontological (concept-bound) checks.
 	Categorical bool
@@ -49,13 +54,30 @@ type CheckAttribution struct {
 	// only if Margin >= 0.
 	Pass bool
 	// Margin is the signed distance to the decision boundary (see the file
-	// comment for the exact per-kind definition).
+	// comment for the exact per-kind definition). For a windowed check with a
+	// one-sided threshold like COUNT(...) >= K the margin is exactly
+	// aggregate − K: how far past (or short of) the velocity threshold the
+	// key's recent activity is.
 	Margin int64
 }
 
 // ScoreAttr is the CheckAttribution.Attr value of a rule's minimum-score
 // threshold check (it guards the whole rule, not one schema attribute).
 const ScoreAttr = -1
+
+// WindowAttr is the top of the CheckAttribution.Attr range occupied by
+// windowed aggregate checks: a check for window spec s carries
+// Attr = WindowAttr − s, so spec 0 is WindowAttr itself and every windowed
+// check satisfies Attr <= WindowAttr (they address sliding-window
+// aggregates, not schema attributes).
+const WindowAttr = -2
+
+// IsWindow reports whether the check is a windowed aggregate check.
+func (c CheckAttribution) IsWindow() bool { return c.Attr <= WindowAttr }
+
+// Win returns the window spec index (into the evaluator's WindowSpecs) of a
+// windowed check; meaningless unless IsWindow.
+func (c CheckAttribution) Win() int32 { return int32(WindowAttr - c.Attr) }
 
 // RuleAttribution is one rule's verdict on one tuple with the full check
 // breakdown (no short-circuiting: every non-trivial condition is attributed
@@ -136,7 +158,7 @@ func (e *Evaluator) attributeCond(c *compiledCond, v int64) CheckAttribution {
 // must not be shared between live attributions unless each append stays
 // within its own pre-carved capacity (the arena discipline of
 // AttributionBuffer) or dst never reallocates underneath an earlier result.
-func (e *Evaluator) attributeRuleAppend(ri int, rel *relation.Relation, i int, dst []CheckAttribution) RuleAttribution {
+func (e *Evaluator) attributeRuleAppend(ri int, rel *relation.Relation, i int, dst []CheckAttribution, wc [][]int64) RuleAttribution {
 	cr := &e.rules[ri]
 	out := RuleAttribution{Rule: ri, Matched: true}
 	if cr.empty {
@@ -148,6 +170,21 @@ func (e *Evaluator) attributeRuleAppend(ri int, rel *relation.Relation, i int, d
 	base := len(dst)
 	for _, ci := range cr.emit {
 		ca := e.attributeCond(&cr.conds[ci], t[cr.conds[ci].attr])
+		if !ca.Pass {
+			out.Matched = false
+		}
+		dst = append(dst, ca)
+	}
+	for _, w := range cr.wins {
+		var v int64
+		if wc != nil {
+			v = wc[w.spec][i]
+		}
+		ca := attributeWin(w, v)
+		if wc == nil {
+			ca.Pass = false // no columns: fail closed, like winMatches
+			out.Matched = false
+		}
 		if !ca.Pass {
 			out.Matched = false
 		}
@@ -174,7 +211,7 @@ func (e *Evaluator) attributeRuleAppend(ri int, rel *relation.Relation, i int, d
 // that need a specific rule's margins anyway (a "how close was rule 7?"
 // query) recompute exactly that rule here instead of paying for all of them.
 func (e *Evaluator) AttributeRule(ri int, rel *relation.Relation, i int) RuleAttribution {
-	return e.attributeRuleAppend(ri, rel, i, nil)
+	return e.attributeRuleAppend(ri, rel, i, nil, e.winCols(rel))
 }
 
 // AttributeRuleAppend is AttributeRule writing into caller-owned storage:
@@ -182,7 +219,7 @@ func (e *Evaluator) AttributeRule(ri int, rel *relation.Relation, i int) RuleAtt
 // returned attribution's Checks aliases the appended region. A steady-state
 // caller reuses one scratch slice across many rules and never allocates.
 func (e *Evaluator) AttributeRuleAppend(ri int, rel *relation.Relation, i int, dst []CheckAttribution) RuleAttribution {
-	return e.attributeRuleAppend(ri, rel, i, dst)
+	return e.attributeRuleAppend(ri, rel, i, dst, e.winCols(rel))
 }
 
 // MaxRuleChecks returns the largest check count any single compiled rule
@@ -209,9 +246,10 @@ func (e *Evaluator) AttributeTuple(rel *relation.Relation, i int) TupleAttributi
 	}
 	arena := make([]CheckAttribution, 0, perTuple)
 	out := TupleAttribution{Rules: make([]RuleAttribution, len(e.rules))}
+	wc := e.winCols(rel)
 	for ri := range e.rules {
 		base := len(arena)
-		out.Rules[ri] = e.attributeRuleAppend(ri, rel, i, arena)
+		out.Rules[ri] = e.attributeRuleAppend(ri, rel, i, arena, wc)
 		arena = arena[:base+len(out.Rules[ri].Checks)]
 		if out.Rules[ri].Matched {
 			out.Matched = append(out.Matched, ri)
@@ -289,19 +327,20 @@ func (e *Evaluator) attributeInto(rel *relation.Relation, buf *AttributionBuffer
 	buf.ensure(e, n)
 	nr := len(e.rules)
 	out := bitset.New(n)
+	wc := e.winCols(rel)
 	e.parallelChunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rules := buf.rules[i*nr : (i+1)*nr]
 			matched := buf.matched[i*nr : i*nr : (i+1)*nr]
 			base := i * buf.perTuple
 			for ri := range e.rules {
-				if lazy && !e.matches(&e.rules[ri], rel, i) {
+				if lazy && !e.matches(&e.rules[ri], rel, i, wc) {
 					rules[ri] = RuleAttribution{Rule: ri, Empty: e.rules[ri].empty}
 					continue
 				}
 				off := base + buf.checkOff[ri]
 				cnt := e.rules[ri].checkCount()
-				rules[ri] = e.attributeRuleAppend(ri, rel, i, buf.checks[off:off:off+cnt])
+				rules[ri] = e.attributeRuleAppend(ri, rel, i, buf.checks[off:off:off+cnt], wc)
 				if rules[ri].Matched {
 					matched = append(matched, ri)
 				}
@@ -388,11 +427,12 @@ func (e *Evaluator) EvalFirstInto(rel *relation.Relation, dst []int32) []int32 {
 		dst = make([]int32, n)
 	}
 	out := dst[:n]
+	wc := e.winCols(rel)
 	e.parallelChunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = NoRule
 			for ri := range e.rules {
-				if e.matches(&e.rules[ri], rel, i) {
+				if e.matches(&e.rules[ri], rel, i, wc) {
 					out[i] = int32(ri)
 					break
 				}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/rules"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 // compiledCond is one condition in evaluation-ready form.
@@ -51,7 +52,10 @@ type compiledCond struct {
 
 // compiledRule is a rule with pre-resolved, selectivity-ordered conditions.
 type compiledRule struct {
-	conds    []compiledCond
+	conds []compiledCond
+	// wins holds the rule's windowed aggregate checks (see window.go),
+	// evaluated after the per-tuple conditions against resolved columns.
+	wins     []compiledWin
 	minScore int16
 	// empty marks rules that can never match (an empty condition).
 	empty bool
@@ -63,12 +67,13 @@ type compiledRule struct {
 }
 
 // checkCount returns how many CheckAttributions attributing this rule emits
-// (every non-trivial condition plus the optional score-threshold check).
+// (every non-trivial condition, every windowed check, plus the optional
+// score-threshold check).
 func (cr *compiledRule) checkCount() int {
 	if cr.empty {
 		return 0
 	}
-	n := len(cr.conds)
+	n := len(cr.conds) + len(cr.wins)
 	if cr.minScore > 0 {
 		n++
 	}
@@ -82,6 +87,9 @@ type Evaluator struct {
 	// leafPos maps, per categorical attribute, concept id → leaf position
 	// (-1 for non-leaves).
 	leafPos map[int][]int
+	// winSpecs is the deduplicated, append-only registry of window specs the
+	// compiled rules reference (see window.go); compiledWin.spec indexes it.
+	winSpecs []window.Spec
 	// marginCache shares the immutable attribution margin tables across
 	// compiled conditions with the same bound, so incremental Add/Replace of
 	// a rule whose concepts were seen before re-derives nothing. Only the
@@ -129,6 +137,10 @@ func Compile(schema *relation.Schema, rs *rules.Set) *Evaluator {
 
 func (e *Evaluator) compileRule(r *rules.Rule) compiledRule {
 	out := compiledRule{minScore: r.MinScore()}
+	e.compileWins(&out, r)
+	if out.empty {
+		return out
+	}
 	for i := 0; i < e.schema.Arity(); i++ {
 		a := e.schema.Attr(i)
 		c := r.Cond(i)
@@ -239,8 +251,10 @@ func (e *Evaluator) Remove(ri int) {
 	e.rules = append(e.rules[:ri], e.rules[ri+1:]...)
 }
 
-// matches reports whether transaction i satisfies the compiled rule.
-func (e *Evaluator) matches(cr *compiledRule, rel *relation.Relation, i int) bool {
+// matches reports whether transaction i satisfies the compiled rule. wc is
+// the window-aggregate column table resolved once per evaluation by
+// winCols (nil when the evaluator has no windowed conditions).
+func (e *Evaluator) matches(cr *compiledRule, rel *relation.Relation, i int, wc [][]int64) bool {
 	if cr.empty || rel.Score(i) < cr.minScore {
 		return false
 	}
@@ -258,6 +272,9 @@ func (e *Evaluator) matches(cr *compiledRule, rel *relation.Relation, i int) boo
 		if v < c.lo || v > c.hi {
 			return false
 		}
+	}
+	if len(cr.wins) > 0 {
+		return winMatches(cr, wc, i)
 	}
 	return true
 }
@@ -296,10 +313,11 @@ func (e *Evaluator) parallelChunks(n int, fn func(lo, hi int)) {
 // conditions on parallel workers.
 func (e *Evaluator) Eval(rel *relation.Relation) *bitset.Set {
 	out := bitset.New(rel.Len())
+	wc := e.winCols(rel)
 	e.parallelChunks(rel.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for ri := range e.rules {
-				if e.matches(&e.rules[ri], rel, i) {
+				if e.matches(&e.rules[ri], rel, i, wc) {
 					out.Add(i)
 					break
 				}
@@ -351,9 +369,10 @@ func (e *Evaluator) chunkCount(n int) int {
 func (e *Evaluator) EvalRule(ri int, rel *relation.Relation) *bitset.Set {
 	out := bitset.New(rel.Len())
 	cr := &e.rules[ri]
+	wc := e.winCols(rel)
 	e.parallelChunks(rel.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if e.matches(cr, rel, i) {
+			if e.matches(cr, rel, i, wc) {
 				out.Add(i)
 			}
 		}
@@ -371,10 +390,11 @@ func (e *Evaluator) EvalPerRule(rel *relation.Relation) []*bitset.Set {
 	for ri := range out {
 		out[ri] = bitset.New(rel.Len())
 	}
+	wc := e.winCols(rel)
 	e.parallelChunks(rel.Len(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for ri := range e.rules {
-				if e.matches(&e.rules[ri], rel, i) {
+				if e.matches(&e.rules[ri], rel, i, wc) {
 					out[ri].Add(i)
 				}
 			}
@@ -386,8 +406,9 @@ func (e *Evaluator) EvalPerRule(rel *relation.Relation) []*bitset.Set {
 // Matches reports whether transaction i is captured by any compiled rule
 // (the point-query form of Eval).
 func (e *Evaluator) Matches(rel *relation.Relation, i int) bool {
+	wc := e.winCols(rel)
 	for ri := range e.rules {
-		if e.matches(&e.rules[ri], rel, i) {
+		if e.matches(&e.rules[ri], rel, i, wc) {
 			return true
 		}
 	}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ontology"
 	"repro/internal/order"
@@ -54,6 +55,16 @@ type Relation struct {
 	tuples []Tuple
 	labels []Label
 	scores []int16
+	// winCols caches derived sliding-window aggregate columns for this
+	// relation (an opaque *window.ColumnSet; typed any to keep the relation
+	// package free of the dependency). The compiled evaluator computes and
+	// stores columns here so repeated windowed evaluation — and explain-time
+	// margin re-derivation — never recomputes them; the serving daemon stamps
+	// live aggregates for each scored batch. Concurrent writers race benignly
+	// (both store equivalent immutable column sets; last writer wins), and
+	// views made by Prefix/Slice start with an empty slot, so a cached set
+	// can never leak onto a relation of a different length.
+	winCols atomic.Value
 }
 
 // New returns an empty relation over the schema.
@@ -178,6 +189,22 @@ func (r *Relation) Slice(lo, hi int) *Relation {
 		labels: r.labels[lo:hi:hi],
 		scores: r.scores[lo:hi:hi],
 	}
+}
+
+// WindowColumns returns the cached window-aggregate column set (nil when
+// none has been stored). The value is opaque to this package; the window
+// package defines the concrete *ColumnSet and the index evaluator checks it
+// still matches its spec list before trusting it.
+func (r *Relation) WindowColumns() any {
+	return r.winCols.Load()
+}
+
+// SetWindowColumns stores a window-aggregate column set for reuse by later
+// evaluations over this relation. Storing a new set is also the
+// time-invalidation signal for caches keyed on this relation (the capture
+// cache compares the stored pointer against the one it bound against).
+func (r *Relation) SetWindowColumns(v any) {
+	r.winCols.Store(v)
 }
 
 // NumericValue returns the value of numeric attribute a in tuple t.

@@ -32,19 +32,28 @@ type Attribute struct {
 	Format order.Format
 	// Ontology applies to categorical attributes.
 	Ontology *ontology.Ontology
+	// Time marks the schema's event-time attribute: the numeric column (in
+	// minutes) that sliding-window aggregates (COUNT/SUM/DISTINCT atoms of
+	// the rule language) order events by. At most one attribute per schema
+	// may carry the role, and it must be numeric. Schemas without a time
+	// attribute simply cannot host windowed rules — rules.Parse reports a
+	// clear error instead of treating an arbitrary numeric as a timestamp.
+	Time bool
 }
 
 // Schema is an ordered list of attributes. Schemas are immutable after
 // construction.
 type Schema struct {
-	attrs  []Attribute
-	byName map[string]int
+	attrs    []Attribute
+	byName   map[string]int
+	timeAttr int
 }
 
 // NewSchema builds a schema from the given attributes. Attribute names must
-// be unique; categorical attributes must carry an ontology.
+// be unique; categorical attributes must carry an ontology; at most one
+// (numeric) attribute may carry the time role.
 func NewSchema(attrs ...Attribute) (*Schema, error) {
-	s := &Schema{attrs: attrs, byName: make(map[string]int, len(attrs))}
+	s := &Schema{attrs: attrs, byName: make(map[string]int, len(attrs)), timeAttr: -1}
 	for i, a := range attrs {
 		if a.Name == "" {
 			return nil, fmt.Errorf("relation: attribute %d has no name", i)
@@ -60,10 +69,24 @@ func NewSchema(attrs ...Attribute) (*Schema, error) {
 		if a.Kind == Categorical && a.Ontology == nil {
 			return nil, fmt.Errorf("relation: categorical attribute %q has no ontology", a.Name)
 		}
+		if a.Time {
+			if a.Kind != Numeric {
+				return nil, fmt.Errorf("relation: time attribute %q must be numeric", a.Name)
+			}
+			if s.timeAttr >= 0 {
+				return nil, fmt.Errorf("relation: duplicate time attribute %q (already %q)",
+					a.Name, attrs[s.timeAttr].Name)
+			}
+			s.timeAttr = i
+		}
 		s.byName[a.Name] = i
 	}
 	return s, nil
 }
+
+// TimeAttr returns the index of the attribute carrying the time role, or -1
+// when the schema has none (windowed rules are then rejected at parse time).
+func (s *Schema) TimeAttr() int { return s.timeAttr }
 
 // MustSchema is NewSchema for statically known-good schemas.
 func MustSchema(attrs ...Attribute) *Schema {

@@ -24,6 +24,9 @@ type jsonAttribute struct {
 	Min    *int64 `json:"min,omitempty"`
 	Max    *int64 `json:"max,omitempty"`
 	Format string `json:"format,omitempty"` // plain, time-of-day, minutes, money
+	// Time marks the schema's event-time attribute (see Attribute.Time);
+	// windowed rule atoms order events by it.
+	Time bool `json:"time,omitempty"`
 	// Categorical attributes:
 	Ontology json.RawMessage `json:"ontology,omitempty"`
 }
@@ -65,6 +68,7 @@ func (s *Schema) WriteJSON(w io.Writer) error {
 			min, max := a.Domain.Min, a.Domain.Max
 			ja.Min, ja.Max = &min, &max
 			ja.Format = formatNames[a.Format]
+			ja.Time = a.Time
 		}
 		out.Attributes = append(out.Attributes, ja)
 	}
@@ -102,6 +106,9 @@ func ReadSchemaJSON(r io.Reader) (*Schema, error) {
 	for _, ja := range in.Attributes {
 		switch ja.Kind {
 		case "categorical":
+			if ja.Time {
+				return nil, fmt.Errorf("relation: categorical attribute %q cannot carry the time role", ja.Name)
+			}
 			if len(ja.Ontology) == 0 {
 				return nil, fmt.Errorf("relation: categorical attribute %q has no ontology", ja.Name)
 			}
@@ -124,6 +131,7 @@ func ReadSchemaJSON(r io.Reader) (*Schema, error) {
 			attrs = append(attrs, Attribute{
 				Name: ja.Name, Kind: Numeric,
 				Domain: order.NewDomain(*ja.Min, *ja.Max), Format: f,
+				Time: ja.Time,
 			})
 		default:
 			return nil, fmt.Errorf("relation: attribute %q has unknown kind %q", ja.Name, ja.Kind)

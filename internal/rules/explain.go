@@ -30,10 +30,13 @@ type Explanation struct {
 
 // Explain reports, for every rule in the set, whether it captures
 // transaction i of rel and which conditions held or failed — the "why was
-// this flagged?" view an analyst needs when triaging alerts.
+// this flagged?" view an analyst needs when triaging alerts. Windowed
+// conditions are explained with the aggregate's value at this transaction
+// (Attr = -2, since they address no single attribute).
 func Explain(rs *Set, rel *relation.Relation, i int) []Explanation {
 	s := rel.Schema()
 	t := rel.Tuple(i)
+	cs := winColumns(rel, rs.WindowSpecs(nil))
 	out := make([]Explanation, 0, rs.Len())
 	for ri, r := range rs.Rules() {
 		e := Explanation{RuleIndex: ri, Rule: r.Format(s), Captured: true}
@@ -48,6 +51,22 @@ func Explain(rs *Set, rel *relation.Relation, i int) []Explanation {
 				Condition: formatCond(attr, c),
 				Value:     s.FormatValue(a, t[a]),
 				Satisfied: c.Admits(attr, t[a]),
+			}
+			if !ce.Satisfied {
+				e.Captured = false
+			}
+			e.Conditions = append(e.Conditions, ce)
+		}
+		for _, wc := range r.Windows() {
+			ce := CondExplanation{
+				Attr:      -2,
+				Condition: formatWindowCond(s, wc),
+				Value:     "?",
+				Satisfied: false,
+			}
+			if col := cs.Column(wc.Spec); col != nil {
+				ce.Value = fmt.Sprintf("%d", col[i])
+				ce.Satisfied = wc.Iv.Contains(col[i])
 			}
 			if !ce.Satisfied {
 				e.Captured = false

@@ -28,6 +28,12 @@ func (r *Rule) Format(s *relation.Schema) string {
 		}
 		parts = append(parts, formatCond(a, c))
 	}
+	for _, wc := range r.wins {
+		if wc.Iv.IsEmpty() {
+			return "false"
+		}
+		parts = append(parts, formatWindowCond(s, wc))
+	}
 	if r.minScore > 0 {
 		parts = append(parts, fmt.Sprintf("score >= %d", r.minScore))
 	}
@@ -64,9 +70,13 @@ func formatCond(a relation.Attribute, c Condition) string {
 //	attr = v | attr < v | attr <= v | attr > v | attr >= v
 //	attr <= "Concept"        (categorical; quotes optional)
 //	attr = "Leaf"            (categorical; quotes optional)
+//	COUNT(key, 10m) > 5      (windowed aggregates; also SUM(val, key, dur)
+//	                          and DISTINCT(val, key, dur), dur in m/h/d)
 //
 // The literal "true" denotes the trivial rule. At most one condition per
-// attribute is allowed, mirroring the paper's rule language.
+// attribute (and per windowed aggregate) is allowed, mirroring the paper's
+// rule language. Windowed conditions require the schema to carry a time
+// attribute (relation.Attribute.Time).
 func Parse(s *relation.Schema, text string) (*Rule, error) {
 	r := NewRule(s)
 	text = strings.TrimSpace(text)
@@ -85,6 +95,17 @@ func Parse(s *relation.Schema, text string) (*Rule, error) {
 			}
 			seenScore = true
 			r.SetMinScore(th)
+			continue
+		}
+		if name, rest, op, err := splitCond(part); err == nil && isWindowAtom(name) {
+			wc, err := parseWindowCond(s, name, op, rest, part)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := r.windowAt(wc.Spec); dup {
+				return nil, fmt.Errorf("rules: multiple conditions on aggregate %q", FormatWindowAtom(s, wc.Spec))
+			}
+			r.AddWindow(wc)
 			continue
 		}
 		attr, c, err := parseCond(s, part)

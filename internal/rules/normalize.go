@@ -52,7 +52,7 @@ func Normalize(s *relation.Schema, rs *Set) int {
 // mergeAdjacent merges two rules that are identical except for one numeric
 // attribute whose intervals are adjacent or overlapping.
 func mergeAdjacent(s *relation.Schema, a, b *Rule) (*Rule, bool) {
-	if a.MinScore() != b.MinScore() {
+	if a.MinScore() != b.MinScore() || !windowsEqual(a, b) {
 		return nil, false
 	}
 	diff := -1

@@ -84,9 +84,11 @@ func (c Condition) Equal(a relation.Attribute, other Condition) bool {
 }
 
 // Rule is a conjunction of one condition per schema attribute, optionally
-// guarded by a minimum risk-score threshold (see score.go).
+// guarded by a minimum risk-score threshold (see score.go) and by windowed
+// aggregate conditions such as COUNT(user, 10m) > 5 (see window.go).
 type Rule struct {
 	conds    []Condition
+	wins     []WindowCond
 	minScore int16
 }
 
@@ -117,13 +119,17 @@ func (r *Rule) SetCond(i int, c Condition) *Rule {
 func (r *Rule) Clone() *Rule {
 	c := &Rule{conds: make([]Condition, len(r.conds)), minScore: r.minScore}
 	copy(c.conds, r.conds)
+	if len(r.wins) > 0 {
+		c.wins = make([]WindowCond, len(r.wins))
+		copy(c.wins, r.wins)
+	}
 	return c
 }
 
 // Equal reports whether two rules admit the same tuples condition by
 // condition under schema s.
 func (r *Rule) Equal(s *relation.Schema, other *Rule) bool {
-	if r.minScore != other.minScore {
+	if r.minScore != other.minScore || !windowsEqual(r, other) {
 		return false
 	}
 	for i := range r.conds {
@@ -134,7 +140,10 @@ func (r *Rule) Equal(s *relation.Schema, other *Rule) bool {
 	return true
 }
 
-// Matches reports whether tuple t satisfies every condition of the rule.
+// Matches reports whether tuple t satisfies every per-tuple condition of
+// the rule. A bare tuple has no position in time, so windowed conditions
+// (and the score threshold) are NOT evaluated here — use MatchesAt whenever
+// the tuple's relation and index are available.
 func (r *Rule) Matches(s *relation.Schema, t relation.Tuple) bool {
 	for i, c := range r.conds {
 		if !c.Admits(s.Attr(i), t[i]) {
@@ -149,6 +158,11 @@ func (r *Rule) Matches(s *relation.Schema, t relation.Tuple) bool {
 func (r *Rule) IsEmpty(s *relation.Schema) bool {
 	for i, c := range r.conds {
 		if c.IsEmpty(s.Attr(i)) {
+			return true
+		}
+	}
+	for _, wc := range r.wins {
+		if wc.Iv.IsEmpty() {
 			return true
 		}
 	}
@@ -168,7 +182,7 @@ func (r *Rule) Captures(rel *relation.Relation) *bitset.Set {
 // r's threshold must not exceed other's and every condition must contain
 // other's.
 func (r *Rule) Contains(s *relation.Schema, other *Rule) bool {
-	if r.minScore > other.minScore {
+	if r.minScore > other.minScore || !windowsContain(r, other) {
 		return false
 	}
 	for i := range r.conds {
@@ -235,15 +249,20 @@ func (rs *Set) Clone() *Set {
 }
 
 // Eval returns Φ(I): the union of the captures of every rule (score
-// thresholds included).
+// thresholds and windowed conditions included). This is the reference
+// evaluator the compiled index is differentially tested against; windowed
+// aggregates come from the relation's cached column set when it covers the
+// set's specs, otherwise from an exact offline replay.
 func (rs *Set) Eval(rel *relation.Relation) *bitset.Set {
 	out := bitset.New(rel.Len())
 	s := rel.Schema()
+	cs := winColumns(rel, rs.WindowSpecs(nil))
 	for i := 0; i < rel.Len(); i++ {
 		t := rel.Tuple(i)
 		score := rel.Score(i)
 		for _, r := range rs.rules {
-			if score >= r.minScore && r.Matches(s, t) {
+			if score >= r.minScore && r.Matches(s, t) &&
+				(len(r.wins) == 0 || r.windowsAdmitAt(cs, i)) {
 				out.Add(i)
 				break
 			}
@@ -253,7 +272,9 @@ func (rs *Set) Eval(rel *relation.Relation) *bitset.Set {
 }
 
 // CapturingRules returns the indices of the rules that capture tuple t
-// (the set Ω_l of Algorithm 2).
+// (the set Ω_l of Algorithm 2). Like Rule.Matches it is per-tuple only —
+// windowed conditions and score thresholds are not evaluated; use
+// CapturingRulesAt when the tuple's relation and index are available.
 func (rs *Set) CapturingRules(s *relation.Schema, t relation.Tuple) []int {
 	var out []int
 	for i, r := range rs.rules {

@@ -32,17 +32,25 @@ func (r *Rule) SetMinScore(s int16) *Rule {
 }
 
 // MatchesAt reports whether transaction i of rel satisfies the rule,
-// including the score threshold. Matches (tuple-only) ignores the
-// threshold; use MatchesAt whenever the transaction's score is available.
+// including the score threshold and any windowed conditions. Matches
+// (tuple-only) ignores both; use MatchesAt whenever the transaction's
+// position in the relation is available.
 func (r *Rule) MatchesAt(rel *relation.Relation, i int) bool {
 	if rel.Score(i) < r.minScore {
 		return false
 	}
-	return r.Matches(rel.Schema(), rel.Tuple(i))
+	if !r.Matches(rel.Schema(), rel.Tuple(i)) {
+		return false
+	}
+	if len(r.wins) == 0 {
+		return true
+	}
+	return r.windowsAdmitAt(winColumns(rel, r.ruleSpecs()), i)
 }
 
 // CapturingRulesAt returns the indices of the rules capturing transaction i
-// of rel, score threshold included — the score-aware form of CapturingRules.
+// of rel, score thresholds and windowed conditions included — the
+// relation-positional form of CapturingRules.
 func (rs *Set) CapturingRulesAt(rel *relation.Relation, i int) []int {
 	var out []int
 	for ri, r := range rs.rules {
@@ -54,11 +62,13 @@ func (rs *Set) CapturingRulesAt(rel *relation.Relation, i int) []int {
 }
 
 // capturesInto adds to out every transaction of rel the rule captures
-// (conditions and score threshold).
+// (conditions, score threshold and windowed conditions).
 func (r *Rule) capturesInto(rel *relation.Relation, out *bitset.Set) {
 	s := rel.Schema()
+	cs := winColumns(rel, r.ruleSpecs())
 	for i := 0; i < rel.Len(); i++ {
-		if rel.Score(i) >= r.minScore && r.Matches(s, rel.Tuple(i)) {
+		if rel.Score(i) >= r.minScore && r.Matches(s, rel.Tuple(i)) &&
+			(len(r.wins) == 0 || r.windowsAdmitAt(cs, i)) {
 			out.Add(i)
 		}
 	}

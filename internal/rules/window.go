@@ -1,0 +1,378 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+	"repro/internal/window"
+)
+
+// Windowed conditions extend the paper's per-tuple conjunctions with
+// velocity atoms over sliding-window aggregates:
+//
+//	COUNT(user, 10m) > 5
+//	SUM(amount, card, 24h) >= 1000
+//	DISTINCT(location, user, 1h) >= 3
+//
+// A windowed condition constrains the aggregate's value with a closed
+// interval, exactly like a numeric attribute condition constrains a tuple
+// value; one-sided thresholds use math.MinInt64/MaxInt64 sentinels. The
+// aggregate for tuple i is spec's value for tuple i's key at tuple i's
+// (clamped) timestamp with tuple i itself already observed, so
+// "COUNT(user, 10m) >= 1" fires on a key's first event (see window.ColumnSet).
+//
+// Per-tuple entry points (Rule.Matches, Set.CapturingRules) cannot see a
+// tuple's position in time and therefore ignore windowed conditions; every
+// relation-positional entry point (MatchesAt, Captures, Set.Eval,
+// CapturingRulesAt, Explain) evaluates them.
+
+// WindowCond is one windowed condition: the aggregate Spec and the closed
+// interval its value must fall in.
+type WindowCond struct {
+	Spec window.Spec
+	Iv   order.Interval
+}
+
+// noBound sentinels mark one-sided thresholds; Format renders them as
+// ">= lo" / "<= hi" instead of interval notation.
+const (
+	noLowerBound = math.MinInt64
+	noUpperBound = math.MaxInt64
+)
+
+// Windows returns the rule's windowed conditions; callers must treat the
+// slice as read-only.
+func (r *Rule) Windows() []WindowCond { return r.wins }
+
+// AddWindow sets the rule's condition on wc.Spec (replacing an existing
+// condition on the same spec — a rule holds at most one condition per spec,
+// mirroring one condition per attribute) and returns the rule for chaining.
+func (r *Rule) AddWindow(wc WindowCond) *Rule {
+	for i := range r.wins {
+		if r.wins[i].Spec == wc.Spec {
+			r.wins[i] = wc
+			return r
+		}
+	}
+	r.wins = append(r.wins, wc)
+	return r
+}
+
+// windowAt returns the rule's condition on the given spec, if any.
+func (r *Rule) windowAt(sp window.Spec) (WindowCond, bool) {
+	for _, wc := range r.wins {
+		if wc.Spec == sp {
+			return wc, true
+		}
+	}
+	return WindowCond{}, false
+}
+
+// WindowOn returns the rule's windowed condition on the given spec, if any —
+// the lookup refinement needs to diff two versions of a rule.
+func (r *Rule) WindowOn(sp window.Spec) (WindowCond, bool) { return r.windowAt(sp) }
+
+// RemoveWindow deletes the rule's condition on sp, reporting whether one was
+// present. Refinement uses it when a split replaces a condition's window
+// length (a new spec) rather than its threshold.
+func (r *Rule) RemoveWindow(sp window.Spec) bool {
+	for i := range r.wins {
+		if r.wins[i].Spec == sp {
+			r.wins = append(r.wins[:i], r.wins[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WindowSpecs appends the deduplicated window specs of every rule in the
+// set to dst — the spec list an aggregate store must maintain to evaluate
+// the set.
+func (rs *Set) WindowSpecs(dst []window.Spec) []window.Spec {
+	for _, r := range rs.rules {
+		for _, wc := range r.wins {
+			if !containsSpec(dst, wc.Spec) {
+				dst = append(dst, wc.Spec)
+			}
+		}
+	}
+	return dst
+}
+
+func containsSpec(specs []window.Spec, sp window.Spec) bool {
+	for _, s := range specs {
+		if s == sp {
+			return true
+		}
+	}
+	return false
+}
+
+// windowsAdmitAt reports whether tuple i satisfies every windowed condition,
+// reading aggregates from the column set (which must cover the rule's
+// specs; a missing column admits nothing, failing closed).
+func (r *Rule) windowsAdmitAt(cs *window.ColumnSet, i int) bool {
+	for _, wc := range r.wins {
+		col := cs.Column(wc.Spec)
+		if col == nil || !wc.Iv.Contains(col[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// winColumns resolves the aggregate columns needed to evaluate the given
+// specs over rel: the relation's cached column set when it covers them (all
+// specs present and computed at the relation's current length — appends
+// since the stamp invalidate it), otherwise a fresh offline replay
+// (window.ComputeColumns). The fresh set is cached on the relation only
+// when nothing was cached, so it never evicts a serving daemon's live
+// stamp.
+func winColumns(rel *relation.Relation, specs []window.Spec) *window.ColumnSet {
+	if len(specs) == 0 {
+		return nil
+	}
+	if cs, ok := rel.WindowColumns().(*window.ColumnSet); ok && cs != nil && cs.Rows == rel.Len() {
+		covered := true
+		for _, sp := range specs {
+			if cs.Column(sp) == nil {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return cs
+		}
+	}
+	cs := window.ComputeColumns(rel, specs)
+	if rel.WindowColumns() == nil {
+		rel.SetWindowColumns(cs)
+	}
+	return cs
+}
+
+// WindowColumnsFor resolves the aggregate columns for the given specs over
+// rel with the same cache discipline the evaluators use (see winColumns) —
+// the entry point for refinement code that reads aggregates directly.
+func WindowColumnsFor(rel *relation.Relation, specs []window.Spec) *window.ColumnSet {
+	return winColumns(rel, specs)
+}
+
+// ruleSpecs returns the rule's specs (nil for a purely per-tuple rule).
+func (r *Rule) ruleSpecs() []window.Spec {
+	if len(r.wins) == 0 {
+		return nil
+	}
+	specs := make([]window.Spec, len(r.wins))
+	for i, wc := range r.wins {
+		specs[i] = wc.Spec
+	}
+	return specs
+}
+
+// windowsEqual reports whether two rules carry the same windowed conditions
+// (order-insensitive; a rule has at most one condition per spec).
+func windowsEqual(a, b *Rule) bool {
+	if len(a.wins) != len(b.wins) {
+		return false
+	}
+	for _, wc := range a.wins {
+		other, ok := b.windowAt(wc.Spec)
+		if !ok || !wc.Iv.Equal(other.Iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// windowsContain reports whether r's windowed conditions admit every tuple
+// b's admit: every condition of r must be matched by a condition of b on
+// the same spec with a contained interval. Conditions over different window
+// lengths are different specs and judged incomparable (conservative).
+func windowsContain(r, b *Rule) bool {
+	for _, wc := range r.wins {
+		other, ok := b.windowAt(wc.Spec)
+		if !ok || !wc.Iv.ContainsInterval(other.Iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatWindowCond renders one windowed condition in the rule language —
+// refinement logging describes windowed edits with it.
+func FormatWindowCond(s *relation.Schema, wc WindowCond) string {
+	return formatWindowCond(s, wc)
+}
+
+// formatWindowCond renders one windowed condition in the rule language.
+func formatWindowCond(s *relation.Schema, wc WindowCond) string {
+	atom := FormatWindowAtom(s, wc.Spec)
+	iv := wc.Iv
+	switch {
+	case iv.IsEmpty():
+		return atom + " in ⊥"
+	case iv.Lo == iv.Hi:
+		return fmt.Sprintf("%s = %d", atom, iv.Lo)
+	case iv.Lo == noLowerBound:
+		return fmt.Sprintf("%s <= %d", atom, iv.Hi)
+	case iv.Hi == noUpperBound:
+		return fmt.Sprintf("%s >= %d", atom, iv.Lo)
+	default:
+		return fmt.Sprintf("%s in [%d,%d]", atom, iv.Lo, iv.Hi)
+	}
+}
+
+// FormatWindowAtom renders the aggregate itself: COUNT(key, dur) or
+// AGG(val, key, dur).
+func FormatWindowAtom(s *relation.Schema, sp window.Spec) string {
+	dur := formatDuration(sp.Window)
+	if sp.Agg == window.Count {
+		return fmt.Sprintf("COUNT(%s, %s)", s.Attr(sp.Key).Name, dur)
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", sp.Agg, s.Attr(sp.Val).Name, s.Attr(sp.Key).Name, dur)
+}
+
+func formatDuration(minutes int64) string {
+	switch {
+	case minutes%(24*60) == 0:
+		return fmt.Sprintf("%dd", minutes/(24*60))
+	case minutes%60 == 0:
+		return fmt.Sprintf("%dh", minutes/60)
+	default:
+		return fmt.Sprintf("%dm", minutes)
+	}
+}
+
+// parseDuration parses "10m", "24h", "7d" into minutes.
+func parseDuration(text string) (int64, error) {
+	text = strings.TrimSpace(text)
+	if len(text) < 2 {
+		return 0, fmt.Errorf("rules: bad window duration %q (want e.g. 10m, 24h, 7d)", text)
+	}
+	unit := int64(1)
+	switch text[len(text)-1] {
+	case 'm':
+	case 'h':
+		unit = 60
+	case 'd':
+		unit = 24 * 60
+	default:
+		return 0, fmt.Errorf("rules: bad window duration %q (unit must be m, h or d)", text)
+	}
+	n, err := strconv.ParseInt(text[:len(text)-1], 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("rules: bad window duration %q (want a positive integer count)", text)
+	}
+	return n * unit, nil
+}
+
+// isWindowAtom reports whether a condition's left-hand side is a windowed
+// aggregate atom.
+func isWindowAtom(name string) bool {
+	return (strings.HasPrefix(name, "COUNT(") ||
+		strings.HasPrefix(name, "SUM(") ||
+		strings.HasPrefix(name, "DISTINCT(")) && strings.HasSuffix(name, ")")
+}
+
+// parseWindowAtom parses "COUNT(key, dur)" / "SUM(val, key, dur)" /
+// "DISTINCT(val, key, dur)" into a spec, validating it against the schema.
+func parseWindowAtom(s *relation.Schema, name string) (window.Spec, error) {
+	var sp window.Spec
+	open := strings.Index(name, "(")
+	switch name[:open] {
+	case "COUNT":
+		sp.Agg = window.Count
+	case "SUM":
+		sp.Agg = window.Sum
+	case "DISTINCT":
+		sp.Agg = window.Distinct
+	}
+	if s.TimeAttr() < 0 {
+		return sp, fmt.Errorf("rules: windowed condition %q needs a time attribute, but the schema has none (mark one numeric attribute with the time role)", name)
+	}
+	args := strings.Split(name[open+1:len(name)-1], ",")
+	wantArgs := 3
+	if sp.Agg == window.Count {
+		wantArgs = 2
+	}
+	if len(args) != wantArgs {
+		return sp, fmt.Errorf("rules: %s takes %d arguments, got %d in %q", sp.Agg, wantArgs, len(args), name)
+	}
+	resolve := func(arg string) (int, error) {
+		arg = strings.TrimSpace(arg)
+		a, ok := s.Index(arg)
+		if !ok {
+			return 0, fmt.Errorf("rules: unknown attribute %q in %q", arg, name)
+		}
+		return a, nil
+	}
+	var err error
+	sp.Val = -1
+	if sp.Agg != window.Count {
+		if sp.Val, err = resolve(args[0]); err != nil {
+			return sp, err
+		}
+		args = args[1:]
+	}
+	if sp.Key, err = resolve(args[0]); err != nil {
+		return sp, err
+	}
+	if sp.Window, err = parseDuration(args[1]); err != nil {
+		return sp, err
+	}
+	if err := sp.Validate(s); err != nil {
+		return sp, fmt.Errorf("rules: %q: %w", name, err)
+	}
+	return sp, nil
+}
+
+// parseWindowCond parses a full windowed condition from its already-split
+// (name, op, rest) parts. Threshold values are plain integers (aggregate
+// values have no attribute formatting).
+func parseWindowCond(s *relation.Schema, name, op, rest, text string) (WindowCond, error) {
+	sp, err := parseWindowAtom(s, name)
+	if err != nil {
+		return WindowCond{}, err
+	}
+	if op == "in" {
+		body := strings.TrimSpace(rest)
+		if !strings.HasPrefix(body, "[") || !strings.HasSuffix(body, "]") {
+			return WindowCond{}, fmt.Errorf("rules: malformed interval in %q", text)
+		}
+		lohi := strings.SplitN(body[1:len(body)-1], ",", 2)
+		if len(lohi) != 2 {
+			return WindowCond{}, fmt.Errorf("rules: malformed interval in %q", text)
+		}
+		lo, err1 := strconv.ParseInt(strings.TrimSpace(lohi[0]), 10, 64)
+		hi, err2 := strconv.ParseInt(strings.TrimSpace(lohi[1]), 10, 64)
+		if err1 != nil || err2 != nil || lo > hi {
+			return WindowCond{}, fmt.Errorf("rules: bad interval bounds in %q", text)
+		}
+		return WindowCond{Spec: sp, Iv: order.Interval{Lo: lo, Hi: hi}}, nil
+	}
+	v, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return WindowCond{}, fmt.Errorf("rules: bad aggregate threshold in %q: %v", text, err)
+	}
+	var iv order.Interval
+	switch op {
+	case "=":
+		iv = order.Point(v)
+	case "<=":
+		iv = order.Interval{Lo: noLowerBound, Hi: v}
+	case "<":
+		iv = order.Interval{Lo: noLowerBound, Hi: v - 1}
+	case ">=":
+		iv = order.Interval{Lo: v, Hi: noUpperBound}
+	case ">":
+		iv = order.Interval{Lo: v + 1, Hi: noUpperBound}
+	default:
+		return WindowCond{}, fmt.Errorf("rules: unknown operator %q in %q", op, text)
+	}
+	return WindowCond{Spec: sp, Iv: iv}, nil
+}

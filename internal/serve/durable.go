@@ -6,21 +6,28 @@
 //	<DataDir>/wal/wal-<firstseq>.log   length+CRC32-framed JSONL segments
 //	<DataDir>/snap-<walseq>/           one snapshot: manifest.json,
 //	                                   feedback.csv, history.json, rules.txt
+//	                                   and (when windowed rules have ever
+//	                                   been served) window.json
 //
 // Every acknowledged mutation — a /v1/feedback batch, a rule-set publish
-// from /v1/rules or an accepted /v1/refine — is appended to the WAL
-// *before* the in-memory state changes, so the on-disk log is always a
-// superset of what clients were told. Snapshots capture the full state
-// (feedback relation CSV, the complete version history, and a manifest
+// from /v1/rules or an accepted /v1/refine, and, while windowed rules are
+// published, every scored batch (an "observe" record feeding the
+// sliding-window aggregate store) — is appended to the WAL *before* the
+// in-memory state changes, so the on-disk log is always a superset of what
+// clients were told. Snapshots capture the full state (feedback relation
+// CSV, the complete version history, window aggregates, and a manifest
 // binding them to a WAL position) so replay time stays bounded: on boot the
 // newest valid snapshot is loaded and only WAL records past its position
 // are replayed, in sequence order — feedback appends re-enter the relation
 // exactly as acked, publishes re-enter the history with their original ids
-// and timestamps, and the capture cache is invalidated once at the end (a
-// replayed relation has no valid binding by construction).
+// and timestamps (registering their window specs so later observe records
+// aggregate exactly as they did live), and the capture cache is invalidated
+// once at the end (a replayed relation has no valid binding by
+// construction).
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -33,12 +40,15 @@ import (
 	"repro/internal/history"
 	"repro/internal/index"
 	"repro/internal/relation"
+	"repro/internal/rules"
 	"repro/internal/wal"
+	"repro/internal/window"
 )
 
-// walRecord is the WAL payload: exactly one of Feedback or Publish is set.
+// walRecord is the WAL payload: exactly one of Feedback, Publish or Observe
+// is set.
 type walRecord struct {
-	// Type is "feedback" or "publish".
+	// Type is "feedback", "publish" or "observe".
 	Type string    `json:"type"`
 	Time time.Time `json:"time"`
 	// Feedback is one acknowledged /v1/feedback batch.
@@ -46,6 +56,9 @@ type walRecord struct {
 	// Publish is one committed rule-set version, verbatim (id, timestamp,
 	// rule texts, changes) so replay reconstructs the history exactly.
 	Publish *history.Version `json:"publish,omitempty"`
+	// Observe is one scored batch fed to the sliding-window aggregate store.
+	// Only written while the published rule set has windowed conditions.
+	Observe *observeWAL `json:"observe,omitempty"`
 }
 
 // feedbackWAL is a feedback batch in durable form: raw tuple values (domain
@@ -54,6 +67,13 @@ type feedbackWAL struct {
 	Tuples [][]int64 `json:"tuples"`
 	Labels []uint8   `json:"labels"`
 	Scores []int16   `json:"scores"`
+}
+
+// observeWAL is one scored batch in durable form: tuple values only — labels
+// and scores are irrelevant to window aggregation, and the batch is never
+// part of the feedback relation.
+type observeWAL struct {
+	Tuples [][]int64 `json:"tuples"`
 }
 
 // manifest binds one snapshot to a WAL position and records the state it
@@ -74,6 +94,7 @@ const (
 	feedbackFile   = "feedback.csv"
 	historyFile    = "history.json"
 	rulesFile      = "rules.txt"
+	windowFile     = "window.json"
 	snapPrefix     = "snap-"
 )
 
@@ -163,6 +184,24 @@ func (s *Server) applyWALRecord(e wal.Entry) error {
 		if err := s.hist.Append(*rec.Publish); err != nil {
 			return fmt.Errorf("record %d: %w", e.Seq, err)
 		}
+		// Register this version's window specs before any later observe
+		// record is replayed: aggregates only accumulate for registered
+		// specs, so replay must mirror the live registration order exactly.
+		if s.winStore != nil {
+			if err := s.ensureVersionSpecs(rec.Publish); err != nil {
+				return fmt.Errorf("record %d: %w", e.Seq, err)
+			}
+		}
+	case "observe":
+		if rec.Observe == nil {
+			return fmt.Errorf("record %d: observe record without tuples", e.Seq)
+		}
+		if s.winStore == nil {
+			return fmt.Errorf("record %d: observe record but the schema has no time attribute", e.Seq)
+		}
+		for _, vals := range rec.Observe.Tuples {
+			s.winStore.Observe(relation.Tuple(vals))
+		}
 	default:
 		return fmt.Errorf("record %d: unknown type %q", e.Seq, rec.Type)
 	}
@@ -190,6 +229,36 @@ func (s *Server) walAppendPublish(v history.Version) error {
 	return s.walAppend(walRecord{Type: "publish", Time: v.Time, Publish: &v})
 }
 
+// walAppendObserve logs one scored batch for window-aggregate replay.
+// Callers hold s.obsMu (not s.mu): the observe path is ordered by obsMu
+// alone so scoring never contends with feedback or publishes.
+func (s *Server) walAppendObserve(batch *relation.Relation) error {
+	ob := &observeWAL{Tuples: make([][]int64, batch.Len())}
+	for i := 0; i < batch.Len(); i++ {
+		ob.Tuples[i] = batch.Tuple(i)
+	}
+	return s.walAppend(walRecord{Type: "observe", Time: time.Now(), Observe: ob})
+}
+
+// ensureVersionSpecs registers a replayed version's window specs so observe
+// records that follow it in the log aggregate exactly as they did live.
+func (s *Server) ensureVersionSpecs(v *history.Version) error {
+	var specs []window.Spec
+	for _, text := range v.Rules {
+		r, err := rules.Parse(s.schema, text)
+		if err != nil {
+			return fmt.Errorf("parsing published rule %q: %w", text, err)
+		}
+		for _, wc := range r.Windows() {
+			specs = append(specs, wc.Spec)
+		}
+	}
+	if len(specs) > 0 {
+		s.winStore.EnsureSpecs(specs)
+	}
+	return nil
+}
+
 func (s *Server) walAppend(rec walRecord) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -214,12 +283,29 @@ func (s *Server) Snapshot() error {
 	defer sp.End()
 
 	s.mu.Lock()
+	s.obsMu.Lock()
 	seq := s.wal.LastSeq()
 	if seq == s.lastSnapSeq {
+		s.obsMu.Unlock()
 		s.mu.Unlock()
 		sp.Bool("skipped", true)
 		return nil
 	}
+	// The window store is serialized while obsMu is held, so the bytes are
+	// consistent with seq: no observe can land between reading the WAL
+	// position and capturing the aggregates that position produced. The
+	// (slower) file writes below happen with scoring unblocked.
+	var winSnap []byte
+	if s.winStore != nil {
+		var buf bytes.Buffer
+		if err := s.winStore.WriteSnapshot(&buf); err != nil {
+			s.obsMu.Unlock()
+			s.mu.Unlock()
+			return fmt.Errorf("serve: window snapshot: %w", err)
+		}
+		winSnap = buf.Bytes()
+	}
+	s.obsMu.Unlock()
 	st := s.state.Load()
 	m := manifest{
 		Format:    manifestFormat,
@@ -232,7 +318,7 @@ func (s *Server) Snapshot() error {
 	}
 	final := filepath.Join(s.cfg.DataDir, snapName(seq))
 	tmp := final + ".tmp"
-	err := s.writeSnapshotLocked(tmp, m, st)
+	err := s.writeSnapshotLocked(tmp, m, st, winSnap)
 	s.mu.Unlock()
 	if err != nil {
 		os.RemoveAll(tmp) //nolint:errcheck // best-effort cleanup
@@ -266,7 +352,7 @@ func (s *Server) Snapshot() error {
 
 // writeSnapshotLocked writes the snapshot files into dir (a temp directory
 // later renamed into place). Callers hold s.mu.
-func (s *Server) writeSnapshotLocked(dir string, m manifest, st *ruleState) error {
+func (s *Server) writeSnapshotLocked(dir string, m manifest, st *ruleState, winSnap []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("serve: snapshot dir: %w", err)
 	}
@@ -289,6 +375,14 @@ func (s *Server) writeSnapshotLocked(dir string, m manifest, st *ruleState) erro
 		return nil
 	}); err != nil {
 		return err
+	}
+	if winSnap != nil {
+		if err := writeFileSync(filepath.Join(dir, windowFile), func(f *os.File) error {
+			_, err := f.Write(winSnap)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	// The manifest goes last: a snapshot without a valid manifest is
 	// invisible to the loader, so a crash mid-snapshot can never be loaded.
@@ -354,6 +448,22 @@ func (s *Server) loadLatestSnapshot() (uint64, error) {
 		if hist.Len() != m.Versions || feedback.Len() != m.Feedback {
 			return 0, fmt.Errorf("serve: snapshot %s disagrees with its manifest: %d versions (manifest %d), %d feedback (manifest %d)",
 				snapName(seq), hist.Len(), m.Versions, feedback.Len(), m.Feedback)
+		}
+		if s.winStore != nil {
+			wf, err := os.Open(filepath.Join(dir, windowFile))
+			switch {
+			case err == nil:
+				rerr := s.winStore.ReadSnapshot(wf)
+				wf.Close() //nolint:errcheck // read-only
+				if rerr != nil {
+					return 0, fmt.Errorf("serve: snapshot %s: %w", snapName(seq), rerr)
+				}
+			case os.IsNotExist(err):
+				// Snapshot predates windowed rules; aggregates rebuild from
+				// the observe records replayed past it, if any.
+			default:
+				return 0, fmt.Errorf("serve: snapshot %s: %w", snapName(seq), err)
+			}
 		}
 		s.hist = hist
 		s.feedback = feedback

@@ -115,12 +115,22 @@ func appendBool(dst []byte, v bool) []byte {
 }
 
 // appendCheck appends one checkExplanation object. attrJSON is the
-// pre-escaped attribute-name literal table (Server.attrJSON).
-func appendCheck(dst []byte, attrJSON []string, c index.CheckAttribution) []byte {
+// pre-escaped attribute-name literal table (Server.attrJSON); winJSON is the
+// version's pre-escaped windowed-atom table (ruleState.winJSON), indexed by
+// CheckAttribution.Win() for window checks.
+func appendCheck(dst []byte, attrJSON, winJSON []string, c index.CheckAttribution) []byte {
 	dst = append(dst, `{"attr":`...)
-	if c.Attr == index.ScoreAttr {
+	switch {
+	case c.Attr == index.ScoreAttr:
 		dst = append(dst, `"score","kind":"score"`...)
-	} else {
+	case c.IsWindow():
+		if w := int(c.Win()); w < len(winJSON) {
+			dst = append(dst, winJSON[w]...)
+		} else {
+			dst = append(dst, `"window"`...) // unreachable: Win indexes st.winSpecs
+		}
+		dst = append(dst, `,"kind":"window"`...)
+	default:
 		dst = append(dst, attrJSON[c.Attr]...)
 		if c.Categorical {
 			dst = append(dst, `,"kind":"ontological"`...)
@@ -153,7 +163,7 @@ func appendRuleExplanation(dst []byte, st *ruleState, attrJSON []string, ra inde
 		if k > 0 {
 			dst = append(dst, ',')
 		}
-		dst = appendCheck(dst, attrJSON, c)
+		dst = appendCheck(dst, attrJSON, st.winJSON, c)
 	}
 	return append(dst, ']', '}')
 }

@@ -73,6 +73,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wal"
+	"repro/internal/window"
 )
 
 // ruleState is one published version: the rule set, its compiled evaluator
@@ -87,6 +88,15 @@ type ruleState struct {
 	// (quotes included), computed once per publish so the score encode path
 	// never re-escapes rule texts per response.
 	textsJSON []string
+	// winSpecs is the evaluator's window-spec registry (nil for purely
+	// per-tuple rule sets). The scoring path observes every transaction into
+	// the live aggregate store and stamps these exact specs' columns onto the
+	// batch, so the compiled evaluator's exact-match fast path applies.
+	winSpecs []window.Spec
+	// winJSON holds each spec's atom (e.g. "COUNT(user, 10m)") pre-escaped
+	// as a JSON string literal, indexed like winSpecs — the explain encode
+	// path's lookup table for windowed checks.
+	winJSON []string
 }
 
 // Server is the scoring daemon. Create with New, mount via Handler, run
@@ -105,6 +115,17 @@ type Server struct {
 	hist     *history.Store
 	feedback *relation.Relation
 	cache    *capture.Cache
+
+	// winStore is the live sliding-window aggregate store behind windowed
+	// rules (nil when the schema has no time attribute, in which case no
+	// windowed rule can parse). obsMu serializes the observe path: the WAL
+	// "observe" append and the store mutation happen atomically with respect
+	// to publishes (spec registration) and snapshots (store serialization),
+	// so WAL order always equals observation order and replay is
+	// deterministic. Lock order: s.mu before obsMu; the scoring path takes
+	// obsMu alone.
+	winStore *window.Store
+	obsMu    sync.Mutex
 
 	draining atomic.Bool
 
@@ -201,6 +222,9 @@ func New(cfg Config) (*Server, error) {
 	s.attrJSON = make([]string, cfg.Schema.Arity())
 	for i := range s.attrJSON {
 		s.attrJSON[i] = string(appendJSONString(nil, cfg.Schema.Attr(i).Name))
+	}
+	if cfg.Schema.TimeAttr() >= 0 {
+		s.winStore = window.New(window.Config{TimeAttr: cfg.Schema.TimeAttr()})
 	}
 	s.stats = rulestats.New(rulestats.Config{
 		HalfLife:      cfg.DriftHalfLife,
@@ -322,10 +346,23 @@ func (s *Server) initMetrics() {
 func (s *Server) publishLocked(rs *rules.Set, mods []core.Modification, comment string) (*ruleState, error) {
 	ev := index.Compile(s.schema, rs)
 	v := s.hist.Build(rs, mods, comment)
-	if s.wal != nil {
-		if err := s.walAppendPublish(v); err != nil {
-			return nil, err
+	// The WAL publish record and the spec registration happen under the
+	// observe lock: replay registers a publish's window specs before applying
+	// any later observe record, so the store's spec set at every WAL position
+	// is identical live and replayed.
+	specs := ev.WindowSpecs()
+	if s.wal != nil || (len(specs) > 0 && s.winStore != nil) {
+		s.obsMu.Lock()
+		if s.wal != nil {
+			if err := s.walAppendPublish(v); err != nil {
+				s.obsMu.Unlock()
+				return nil, err
+			}
 		}
+		if len(specs) > 0 && s.winStore != nil {
+			s.winStore.EnsureSpecs(specs)
+		}
+		s.obsMu.Unlock()
 	}
 	if err := s.hist.Append(v); err != nil {
 		// Unreachable by construction (Build assigns the next id and the
@@ -346,6 +383,16 @@ func (s *Server) installLocked(rs *rules.Set, ev *index.Evaluator, v history.Ver
 	st.textsJSON = make([]string, len(v.Rules))
 	for i, text := range v.Rules {
 		st.textsJSON[i] = string(appendJSONString(nil, text))
+	}
+	if specs := ev.WindowSpecs(); len(specs) > 0 {
+		st.winSpecs = specs
+		st.winJSON = make([]string, len(specs))
+		for i, sp := range specs {
+			st.winJSON[i] = string(appendJSONString(nil, rules.FormatWindowAtom(s.schema, sp)))
+		}
+		if s.winStore != nil {
+			s.winStore.EnsureSpecs(specs) // replay path: publishes bypass publishLocked
+		}
 	}
 	s.state.Store(st)
 	// The capture cache mirrors the published rules over the feedback
@@ -807,6 +854,25 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	defer putScoreState(sc)
 	start := time.Now()
 	st := s.state.Load() // exactly one version per response
+	// Windowed rules are stateful: every scored transaction is observed into
+	// the live aggregate store (WAL first, when durable — the observation
+	// must survive a crash or replayed aggregates diverge from what was
+	// served), and the batch is stamped with the published specs' aggregate
+	// columns, which the compiled evaluator's exact-match fast path then
+	// reads. Window-less rule sets skip all of it: no lock, no WAL record.
+	if len(st.winSpecs) > 0 && s.winStore != nil {
+		s.obsMu.Lock()
+		if s.wal != nil {
+			if err := s.walAppendObserve(rel); err != nil {
+				s.obsMu.Unlock()
+				s.release()
+				s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting observations: %v", err)
+				return
+			}
+		}
+		rel.SetWindowColumns(s.winStore.StampColumns(rel, st.winSpecs))
+		s.obsMu.Unlock()
+	}
 	// The default path computes first-match attribution instead of the bare
 	// union: same short-circuiting loop and chunking as Eval, one int32
 	// write per tuple extra, and it is exactly what per-rule fire accounting

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/relation"
+)
+
+// velocityServeSchema has a time attribute, so servers built over it carry a
+// live sliding-window aggregate store.
+func velocityServeSchema(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Attribute{Name: "minute", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1_000_000), Time: true},
+		relation.Attribute{Name: "user", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 1000)},
+		relation.Attribute{Name: "amount", Kind: relation.Numeric,
+			Domain: order.NewDomain(0, 10000)},
+	)
+}
+
+func vtx(minute, user, amount int64) map[string]any {
+	return map[string]any{
+		"attrs": map[string]any{"minute": minute, "user": user, "amount": amount},
+		"score": 10,
+	}
+}
+
+// TestScoreVelocityRule: a windowed rule is stateful across /v1/score
+// requests — the third transaction of one user inside the window fires
+// COUNT(user, 10m) >= 3 while other users and expired activity do not, and
+// the explain path renders the aggregate check with its signed margin.
+func TestScoreVelocityRule(t *testing.T) {
+	schema := velocityServeSchema(t)
+	_, ts := newTestServer(t, Config{
+		Schema: schema,
+		Rules:  mustRules(t, schema, "COUNT(user, 10m) >= 3"),
+	})
+
+	var resp scoreResponse
+	for i, want := range []bool{false, false} {
+		code, body := postJSON(t, ts.URL+"/v1/score", vtx(int64(100+i), 1, 50), &resp)
+		if code != http.StatusOK {
+			t.Fatalf("score %d: %d %s", i, code, body)
+		}
+		if resp.Flagged[0] != want {
+			t.Fatalf("transaction %d flagged = %v, want %v", i, resp.Flagged[0], want)
+		}
+	}
+
+	// Third event in the window: the rule fires, and explain attributes the
+	// verdict to the windowed check with margin aggregate − threshold = 0.
+	req := map[string]any{"transactions": []any{vtx(102, 1, 50)}, "explain": true}
+	code, body := postJSON(t, ts.URL+"/v1/score", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("explain score: %d %s", code, body)
+	}
+	if !resp.Flagged[0] {
+		t.Fatalf("third in-window transaction not flagged: %s", body)
+	}
+	if len(resp.Explanations) != 1 || len(resp.Explanations[0].Rules) != 1 {
+		t.Fatalf("explanations = %+v", resp.Explanations)
+	}
+	checks := resp.Explanations[0].Rules[0].Checks
+	if len(checks) != 1 { // the windowed condition is the rule's only check
+		t.Fatalf("checks = %+v, want exactly the window check", checks)
+	}
+	win := checks[0]
+	if win.Attr != "COUNT(user, 10m)" || win.Kind != "window" || !win.Pass || win.Margin != 0 {
+		t.Fatalf("window check = %+v, want attr %q kind window pass margin 0",
+			win, "COUNT(user, 10m)")
+	}
+
+	// A different user is at count 1: not flagged, and the window margin is
+	// negative by exactly the missing velocity.
+	code, _ = postJSON(t, ts.URL+"/v1/score",
+		map[string]any{"transactions": []any{vtx(103, 2, 50)}, "explain_all": true}, &resp)
+	if code != http.StatusOK || resp.Flagged[0] {
+		t.Fatalf("other user flagged (code %d): %+v", code, resp)
+	}
+	win = resp.Explanations[0].Rules[0].Checks[0]
+	if win.Kind != "window" || win.Pass || win.Margin != -2 {
+		t.Fatalf("other user's window check = %+v, want fail margin -2", win)
+	}
+
+	// Far past the window the burst has expired: user 1 is back to count 1.
+	code, _ = postJSON(t, ts.URL+"/v1/score", vtx(500, 1, 50), &resp)
+	if code != http.StatusOK || resp.Flagged[0] {
+		t.Fatalf("expired-window transaction flagged (code %d): %+v", code, resp)
+	}
+}
+
+// TestScoreVelocityBatchOrder: within one batch, each transaction's
+// aggregate includes itself and every earlier transaction of the batch — a
+// burst arriving as one request still trips the rule on its third event.
+func TestScoreVelocityBatchOrder(t *testing.T) {
+	schema := velocityServeSchema(t)
+	_, ts := newTestServer(t, Config{
+		Schema: schema,
+		Rules:  mustRules(t, schema, "COUNT(user, 10m) >= 3"),
+	})
+	var resp scoreResponse
+	code, body := postJSON(t, ts.URL+"/v1/score", map[string]any{
+		"transactions": []any{vtx(10, 7, 50), vtx(11, 7, 50), vtx(12, 7, 50), vtx(13, 7, 50)},
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	want := []bool{false, false, true, true}
+	for i, w := range want {
+		if resp.Flagged[i] != w {
+			t.Fatalf("flagged = %v, want %v", resp.Flagged, want)
+		}
+	}
+}
+
+// velocityDurableConfig mirrors durableConfig over the velocity schema with
+// a windowed rule published from boot.
+func velocityDurableConfig(t testing.TB, dir string) Config {
+	t.Helper()
+	schema := velocityServeSchema(t)
+	return Config{
+		Schema:           schema,
+		Rules:            mustRules(t, schema, "COUNT(user, 10m) >= 3"),
+		DataDir:          dir,
+		Fsync:            "always",
+		SnapshotInterval: -1,
+	}
+}
+
+// TestDurableVelocityCrashRecovery: scored transactions are observe records
+// in the WAL, so a kill -9 and reboot rebuilds the window aggregates exactly
+// — the third event of a burst whose first two were scored by the previous
+// process still fires the rule.
+func TestDurableVelocityCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, velocityDurableConfig(t, dir))
+	var resp scoreResponse
+	for i := 0; i < 2; i++ {
+		code, body := postJSON(t, ts.URL+"/v1/score", vtx(int64(100+i), 1, 50), &resp)
+		if code != http.StatusOK || resp.Flagged[0] {
+			t.Fatalf("pre-crash score %d: code %d flagged %v (%s)", i, code, resp.Flagged, body)
+		}
+	}
+	ts.Close()
+	// No Close(): crash.
+
+	s2, err := New(velocityDurableConfig(t, dir))
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer s2.Close()
+	ts2 := newHTTPServer(t, s2)
+	code, body := postJSON(t, ts2.URL+"/v1/score",
+		map[string]any{"transactions": []any{vtx(102, 1, 50)}, "explain": true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("post-crash score: %d %s", code, body)
+	}
+	if !resp.Flagged[0] {
+		t.Fatalf("aggregates lost across crash: %s", body)
+	}
+	if win := resp.Explanations[0].Rules[0].Checks[0]; win.Kind != "window" || win.Margin != 0 {
+		t.Fatalf("post-crash window check = %+v, want margin 0 (count exactly 3)", win)
+	}
+}
+
+// TestDurableVelocitySnapshot: window aggregates ride in the snapshot
+// (window.json) and observe records past it replay on top, so a crash after
+// a snapshot mid-burst still reconstructs the exact count.
+func TestDurableVelocitySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, velocityDurableConfig(t, dir))
+	var resp scoreResponse
+	for i := 0; i < 2; i++ {
+		if code, body := postJSON(t, ts.URL+"/v1/score", vtx(int64(100+i), 1, 50), &resp); code != http.StatusOK {
+			t.Fatalf("score %d: %d %s", i, code, body)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// One more observe lands in the WAL after the snapshot.
+	if code, body := postJSON(t, ts.URL+"/v1/score", vtx(102, 1, 50), &resp); code != http.StatusOK {
+		t.Fatalf("post-snapshot score: %d %s", code, body)
+	}
+	if !resp.Flagged[0] {
+		t.Fatalf("third in-window transaction not flagged before crash: %+v", resp)
+	}
+	ts.Close()
+	// No Close(): crash.
+
+	s2, err := New(velocityDurableConfig(t, dir))
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer s2.Close()
+	ts2 := newHTTPServer(t, s2)
+	code, body := postJSON(t, ts2.URL+"/v1/score",
+		map[string]any{"transactions": []any{vtx(103, 1, 50)}, "explain": true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("post-crash score: %d %s", code, body)
+	}
+	if !resp.Flagged[0] {
+		t.Fatalf("aggregates lost across snapshot + crash: %s", body)
+	}
+	// Margin 1 pins the count at exactly 4: two observes from the snapshot,
+	// one replayed from the WAL, plus this transaction.
+	if win := resp.Explanations[0].Rules[0].Checks[0]; win.Margin != 1 {
+		t.Fatalf("post-crash window check = %+v, want margin 1 (count exactly 4)", win)
+	}
+}
+
+// TestFeedbackVelocityCapture: repeated feedback appends under a published
+// windowed rule must stay healthy — each append grows the feedback relation,
+// and the capture evaluator has to recompute the aggregate columns for the
+// new length instead of reading past a stale cached stamp (regression: the
+// second append used to panic the evaluator's worker goroutines).
+func TestFeedbackVelocityCapture(t *testing.T) {
+	schema := velocityServeSchema(t)
+	_, ts := newTestServer(t, Config{
+		Schema: schema,
+		Rules:  mustRules(t, schema, "COUNT(user, 10m) >= 3"),
+	})
+	var resp feedbackResponse
+	for i := 0; i < 4; i++ {
+		tx := vtx(int64(100+i), 1, 50)
+		tx["label"] = "fraud"
+		code, body := postJSON(t, ts.URL+"/v1/feedback",
+			map[string]any{"transactions": []any{tx}}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("feedback %d: %d %s", i, code, body)
+		}
+		if resp.Total != i+1 || len(resp.Captured) != 1 {
+			t.Fatalf("feedback %d: total %d captured %v", i, resp.Total, resp.Captured)
+		}
+		// Feedback is never observed into the live window store, so capture
+		// replays the feedback relation offline: the burst's third and later
+		// transactions are captured by the windowed rule, earlier ones not.
+		if want := i >= 2; resp.Captured[0] != want {
+			t.Fatalf("feedback %d: captured %v, want %v", i, resp.Captured[0], want)
+		}
+	}
+}
+
+// newHTTPServer wraps an already-constructed Server for tests that reopen a
+// data directory themselves.
+func newHTTPServer(t testing.TB, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

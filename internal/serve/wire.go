@@ -61,7 +61,7 @@ type scoreResponse struct {
 // index.CheckAttribution for the per-kind margin definitions).
 type checkExplanation struct {
 	Attr   string `json:"attr"`
-	Kind   string `json:"kind"` // "numeric", "ontological" or "score"
+	Kind   string `json:"kind"` // "numeric", "ontological", "score" or "window"
 	Pass   bool   `json:"pass"`
 	Margin int64  `json:"margin"`
 }

@@ -1,0 +1,92 @@
+package window
+
+import "repro/internal/relation"
+
+// ColumnSet is a per-relation materialization of window aggregates: one
+// int64 column per spec, index-aligned with the relation, where Cols[s][i]
+// is spec s's aggregate for tuple i's key at tuple i's (clamped) timestamp,
+// with tuple i itself already observed — COUNT(key, W) of a tuple counts
+// the tuple, so a threshold of ">= 1" fires on the first event.
+//
+// A ColumnSet is immutable after construction. The compiled evaluator
+// caches one on the relation (relation.SetWindowColumns) so repeated
+// evaluation and explain-time margin re-derivation read plain slices; the
+// serving daemon stamps one per scored batch from its live store.
+type ColumnSet struct {
+	Specs []Spec
+	Cols  [][]int64
+	// Rows is the relation length the columns were computed for. Relations
+	// grow (the serving daemon's feedback relation appends on every batch),
+	// and a set stamped before an append is silently short — validity checks
+	// must compare Rows against the live length, not just the spec list.
+	Rows int
+}
+
+// Matches reports whether the set provides exactly the given specs in the
+// given order and covers a relation of the given length — the cheap
+// validity check evaluators run before trusting a cached set.
+func (cs *ColumnSet) Matches(specs []Spec, rows int) bool {
+	if cs == nil || cs.Rows != rows || len(cs.Specs) != len(specs) {
+		return false
+	}
+	for i, sp := range specs {
+		if cs.Specs[i] != sp {
+			return false
+		}
+	}
+	return true
+}
+
+// Column returns the column of the given spec, or nil when absent.
+func (cs *ColumnSet) Column(sp Spec) []int64 {
+	if cs == nil {
+		return nil
+	}
+	for i, s := range cs.Specs {
+		if s == sp {
+			return cs.Cols[i]
+		}
+	}
+	return nil
+}
+
+// ComputeColumns materializes the aggregate columns of the given specs over
+// a relation by replaying it, in order, through a fresh store: observe
+// tuple i, then read each spec's aggregate for tuple i's key. This is the
+// offline path (refinement, capture, experiments); the serving daemon
+// stamps live batches with Store.StampColumns instead. The specs slice is
+// retained (not copied) so cache-validity checks can compare cheaply.
+func ComputeColumns(rel *relation.Relation, specs []Spec) *ColumnSet {
+	st := New(Config{TimeAttr: rel.Schema().TimeAttr()})
+	st.EnsureSpecs(specs)
+	return st.StampColumns(rel, specs)
+}
+
+// StampColumns observes every tuple of rel into the store, in order, and
+// returns the per-tuple aggregate columns of the requested specs (which
+// must be registered). The serving daemon calls this once per scored batch
+// under its observe lock: transactions within a batch see each other in
+// arrival order, and the stamped columns are exactly what the compiled
+// evaluator then reads.
+func (s *Store) StampColumns(rel *relation.Relation, specs []Spec) *ColumnSet {
+	n := rel.Len()
+	cs := &ColumnSet{Specs: specs, Cols: make([][]int64, len(specs)), Rows: n}
+	flat := make([]int64, n*len(specs))
+	for k := range specs {
+		cs.Cols[k] = flat[k*n : (k+1)*n : (k+1)*n]
+	}
+	set := s.specs.Load()
+	for i := 0; i < n; i++ {
+		t := rel.Tuple(i)
+		s.Observe(t)
+		wm := s.watermark.Load()
+		for k, sp := range specs {
+			si, ok := set.index[sp]
+			if !ok {
+				continue // unregistered: reads as zero
+			}
+			cs.Cols[k][i] = s.aggregateAt(si, &set.specs[si], t[sp.Key], wm)
+		}
+	}
+	return cs
+}

@@ -1,0 +1,161 @@
+package window
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot serialization: the serving daemon writes the store's full state
+// into its snapshot directory (window.json) so velocity aggregates survive
+// kill-9 without replaying the entire WAL, and WAL "observe" records only
+// need to cover the tail since the last snapshot. The encoding is
+// deterministic (entries sorted by spec then key) so snapshot bytes are
+// reproducible for a given state.
+
+type snapshotDoc struct {
+	Watermark int64           `json:"watermark"`
+	HasTime   bool            `json:"has_time"`
+	Specs     []snapshotSpec  `json:"specs"`
+	Entries   []snapshotEntry `json:"entries"`
+}
+
+type snapshotSpec struct {
+	Agg    uint8 `json:"agg"`
+	Key    int   `json:"key"`
+	Val    int   `json:"val"`
+	Window int64 `json:"window"`
+}
+
+type snapshotEntry struct {
+	Spec       int32     `json:"spec"`
+	Key        int64     `json:"key"`
+	LastBucket int64     `json:"last_bucket"`
+	LastTouch  int64     `json:"last_touch"`
+	Count      []int32   `json:"count"`
+	Sum        []int64   `json:"sum,omitempty"`
+	Slots      [][]int64 `json:"slots,omitempty"`
+}
+
+// WriteSnapshot serializes the store's complete state. Concurrent observers
+// are locked out shard by shard; callers wanting a point-in-time snapshot
+// consistent with a WAL position must hold their observe lock around the
+// call (the serving daemon does).
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	set := s.specs.Load()
+	doc := snapshotDoc{
+		Watermark: s.watermark.Load(),
+		HasTime:   s.hasTime.Load(),
+		Specs:     make([]snapshotSpec, len(set.specs)),
+	}
+	for i, st := range set.specs {
+		doc.Specs[i] = snapshotSpec{
+			Agg: uint8(st.spec.Agg), Key: st.spec.Key, Val: st.spec.Val, Window: st.spec.Window,
+		}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			se := snapshotEntry{
+				Spec: k.spec, Key: k.key,
+				LastBucket: e.lastBucket, LastTouch: e.lastTouch,
+				Count: append([]int32(nil), e.count...),
+			}
+			if e.sum != nil {
+				se.Sum = append([]int64(nil), e.sum...)
+			}
+			if e.slotVals != nil {
+				se.Slots = make([][]int64, len(e.slotVals))
+				for si, vs := range e.slotVals {
+					se.Slots[si] = append([]int64{}, vs...)
+				}
+			}
+			doc.Entries = append(doc.Entries, se)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool {
+		if doc.Entries[i].Spec != doc.Entries[j].Spec {
+			return doc.Entries[i].Spec < doc.Entries[j].Spec
+		}
+		return doc.Entries[i].Key < doc.Entries[j].Key
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadSnapshot restores state previously written by WriteSnapshot into an
+// empty store (New with the same Config). Running totals are recomputed
+// from the serialized rings, so a truncated or hand-edited snapshot cannot
+// desynchronize totals from buckets.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	var doc snapshotDoc
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("window: reading snapshot: %w", err)
+	}
+	specs := make([]Spec, len(doc.Specs))
+	for i, sp := range doc.Specs {
+		specs[i] = Spec{Agg: Agg(sp.Agg), Key: sp.Key, Val: sp.Val, Window: sp.Window}
+	}
+	s.EnsureSpecs(specs)
+	set := s.specs.Load()
+	s.watermark.Store(doc.Watermark)
+	s.hasTime.Store(doc.HasTime)
+	for _, se := range doc.Entries {
+		if se.Spec < 0 || int(se.Spec) >= len(doc.Specs) {
+			return fmt.Errorf("window: snapshot entry references unknown spec %d", se.Spec)
+		}
+		// Snapshot spec positions map onto registered positions via the spec
+		// value (the store may already hold specs in a different order).
+		si, ok := set.index[specs[se.Spec]]
+		if !ok {
+			return fmt.Errorf("window: snapshot spec %d not registered", se.Spec)
+		}
+		st := &set.specs[si]
+		n := int(st.geo.n)
+		if len(se.Count) != n {
+			return fmt.Errorf("window: snapshot entry (spec %d, key %d): %d buckets, want %d",
+				se.Spec, se.Key, len(se.Count), n)
+		}
+		e := newEntry(st)
+		e.lastBucket = se.LastBucket
+		e.lastTouch = se.LastTouch
+		copy(e.count, se.Count)
+		for _, c := range se.Count {
+			e.totalCount += int64(c)
+		}
+		switch st.spec.Agg {
+		case Sum:
+			if len(se.Sum) != n {
+				return fmt.Errorf("window: snapshot entry (spec %d, key %d): %d sum buckets, want %d",
+					se.Spec, se.Key, len(se.Sum), n)
+			}
+			copy(e.sum, se.Sum)
+			for _, v := range se.Sum {
+				e.totalSum += v
+			}
+		case Distinct:
+			if len(se.Slots) != n {
+				return fmt.Errorf("window: snapshot entry (spec %d, key %d): %d value slots, want %d",
+					se.Spec, se.Key, len(se.Slots), n)
+			}
+			for slot, vs := range se.Slots {
+				e.slotVals[slot] = append(e.slotVals[slot], vs...)
+				for _, v := range vs {
+					e.vals[v]++
+				}
+			}
+		}
+		sh := s.shardFor(si, se.Key)
+		sh.mu.Lock()
+		if _, dup := sh.m[entryKey{spec: si, key: se.Key}]; !dup {
+			sh.m[entryKey{spec: si, key: se.Key}] = e
+			s.entries.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

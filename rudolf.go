@@ -50,6 +50,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/window"
 )
 
 // Data model types.
@@ -307,6 +308,25 @@ type (
 // ScoreAttr is the CheckAttribution.Attr value marking a rule's
 // minimum-score threshold check.
 const ScoreAttr = index.ScoreAttr
+
+// WindowAttr is the top of the CheckAttribution.Attr range marking windowed
+// (sliding-window aggregate) condition checks — a check satisfies
+// IsWindow() when Attr <= WindowAttr; CheckAttribution.Win() then
+// indexes the evaluator's WindowSpecs.
+const WindowAttr = index.WindowAttr
+
+// WindowSpec identifies one sliding-window aggregate — COUNT, SUM or
+// DISTINCT over a key attribute and a time window (the "COUNT(user, 10m)"
+// atoms of the rule language).
+type WindowSpec = window.Spec
+
+// WindowCond is one windowed condition of a rule (see Rule.Windows): a
+// WindowSpec plus the interval its aggregate must fall in.
+type WindowCond = rules.WindowCond
+
+// FormatWindowAtom renders a window spec in the rule language's textual
+// aggregate-atom form, e.g. "COUNT(user, 10m)".
+func FormatWindowAtom(s *Schema, sp WindowSpec) string { return rules.FormatWindowAtom(s, sp) }
 
 // History is a versioned store of rule-set snapshots with the modifications
 // between them (the FIs of the paper keep exactly such change histories).

@@ -26,15 +26,18 @@ TOL="${TOL:-0.30}"
 WRITE="${WRITE:-1}"
 
 # Core: the compiled evaluator family (plain, first-match, full and lazy
-# attribution) plus the interpreted baseline and the incremental capture
-# cache — the regression guard that attribution-off scoring stays near Eval
-# while explain-mode provenance and full rescans are visibly separate cost
-# tiers.
-CORE_BENCH='^(BenchmarkCompiledEval|BenchmarkCompiledEvalFirst|BenchmarkCompiledEvalAttributed|BenchmarkCompiledEvalAttributedLazy|BenchmarkRuleSetEval|BenchmarkIncrementalCapture|BenchmarkCaptureFullRescan)$'
+# attribution) plus the interpreted baseline, the incremental capture
+# cache and the sliding-window store's ingest path — the regression guard
+# that attribution-off scoring stays near Eval while explain-mode
+# provenance and full rescans are visibly separate cost tiers, and that
+# per-transaction window observation stays alloc-free.
+CORE_BENCH='^(BenchmarkCompiledEval|BenchmarkCompiledEvalFirst|BenchmarkCompiledEvalAttributed|BenchmarkCompiledEvalAttributedLazy|BenchmarkRuleSetEval|BenchmarkIncrementalCapture|BenchmarkCaptureFullRescan|BenchmarkWindowObserve)$'
 
 # Serve: HTTP round trip + JSON + validation + evaluation, single/batch64,
-# plain / explain (matched rules only) / explain_all (full rule table).
-SERVE_BENCH='^BenchmarkServeScore$'
+# plain / explain (matched rules only) / explain_all (full rule table),
+# plus the same round trip with a windowed rule published (observe lock +
+# window store + column stamp on every batch).
+SERVE_BENCH='^(BenchmarkServeScore|BenchmarkServeScoreVelocity)$'
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

@@ -6,7 +6,11 @@
 # with `loadgen -resume` that the rule-set version and feedback count
 # survived the crash, that the boot replayed WAL records, that errors arrive
 # in the uniform envelope, and that legacy paths still answer 308 redirects.
-# Wired into `make crash-smoke` and the `make ci` chain.
+# -velocity additionally publishes a windowed COUNT rule and scores part of
+# a same-key burst before the kill; the resume run finishes the burst and
+# requires the rule to fire with window margin exactly 0 — proof the crash
+# lost none of the observed transactions. Wired into `make crash-smoke` and
+# the `make ci` chain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,7 +67,7 @@ echo "crash-smoke: rudolfd is up on $ADDR (pid $DAEMON_PID)"
 
 echo "crash-smoke: load + durable churn ($CHURN feedback batches + republishes)"
 "$BIN/loadgen" -url "http://$ADDR" -duration "$DURATION" -concurrency 4 -batch 64 \
-    -churn "$CHURN" -state-file "$TMP/state"
+    -churn "$CHURN" -state-file "$TMP/state" -velocity
 echo "crash-smoke: recorded state: $(cat "$TMP/state")"
 
 echo "crash-smoke: SIGKILL to pid $DAEMON_PID (no drain, no flush)"
@@ -76,7 +80,7 @@ boot "$TMP/rudolfd-2.log"
 echo "crash-smoke: rudolfd is back on $ADDR"
 
 echo "crash-smoke: asserting the recorded state survived the crash"
-"$BIN/loadgen" -url "http://$ADDR" -resume -state-file "$TMP/state"
+"$BIN/loadgen" -url "http://$ADDR" -resume -state-file "$TMP/state" -velocity
 
 # Graceful drain of the recovered daemon: SIGTERM must exit cleanly and
 # flush its state.

@@ -131,6 +131,31 @@ if [[ "$CODE" != "304" ]]; then
 fi
 echo "smoke: explain + rule-health assertions ok (version $VERSION, fire on rule $FIRST, catch-all rule $N: tp/fp moved)"
 
+# --- Stateful velocity rules: a same-venue burst trips a windowed COUNT --
+# Publish a single windowed rule so flagged ⟺ the velocity rule fired, then
+# replay the audit transaction five times in a tight burst: the fifth event
+# at the same location within 10 minutes must fire the rule, and its explain
+# check must carry the window kind with a non-negative margin. The first
+# probe must not fire — at most two earlier explain observations share its
+# location, so its count is at most 3 < 5. (Probes 2-4 are left unasserted:
+# carryover observations can legitimately push them over the threshold.)
+echo "smoke: velocity-rule assertions (curl/jq)"
+curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/rules" \
+    -d '{"rules": ["COUNT(location, 10m) >= 5"], "comment": "smoke velocity"}' >/dev/null
+BURST=$(jq -n --argjson a "$ATTRS" \
+    '{transactions: [range(0;5) | {attrs: ($a + {time: (1400 + .)}), score: 500}], explain: true}')
+VEL=$(curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/score" -d "$BURST")
+echo "$VEL" | jq -e '
+    (.flagged[0] == false)
+    and (.flagged[4] == true)
+    and ([.explanations[4].rules[0].checks[]
+          | select(.kind == "window") | .pass and .margin >= 0] | any)
+' >/dev/null || {
+    echo "smoke: velocity burst assertions failed: $VEL" >&2
+    exit 1
+}
+echo "smoke: velocity-rule assertions ok (burst fired the windowed rule)"
+
 # Graceful drain: SIGTERM must exit cleanly.
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
