@@ -53,6 +53,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -116,6 +117,9 @@ func main() {
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	worst := make([]slowest, *concurrency)
+	// Per-worker latency logs, merged after the load phase into the
+	// client-side percentiles cross-checked against the server's histograms.
+	lat := make([][]time.Duration, *concurrency)
 	start := time.Now()
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -139,6 +143,7 @@ func main() {
 				}
 				requests.Add(1)
 				txScored.Add(int64(*batch))
+				lat[w] = append(lat[w], took)
 				if took > worst[w].latency {
 					var out struct {
 						RequestID string `json:"request_id"`
@@ -151,6 +156,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	client := summarizeLatencies(lat)
 
 	// Merge each worker's slowest observation into the overall worst request.
 	var worstReq slowest
@@ -167,10 +173,16 @@ func main() {
 	rate := float64(txScored.Load()) / elapsed.Seconds()
 	fmt.Printf("loadgen: %d requests, %d tx in %v -> %.0f tx/s (%d errors)\n",
 		requests.Load(), txScored.Load(), elapsed.Round(time.Millisecond), rate, errs.Load())
+	if client.requests > 0 {
+		fmt.Printf("loadgen: client-side latency: p50 %s, p99 %s, p99.9 %s over %d requests\n",
+			client.p50.Round(time.Microsecond), client.p99.Round(time.Microsecond),
+			client.p999.Round(time.Microsecond), client.requests)
+	}
 	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_latency_seconds"); err == nil {
 		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s (%d requests observed)\n",
 			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)), h.Total)
 	}
+	printStageTable(page)
 	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_batch_size"); err == nil && h.Total > 0 {
 		fmt.Printf("loadgen: batch size from /metrics: mean %.1f tx/request\n", h.Sum/float64(h.Total))
 	}
@@ -188,10 +200,86 @@ func main() {
 	if !*smoke {
 		return
 	}
-	if err := runSmoke(url, page, rng, schema, startRules, startVersion, txScored.Load(), errs.Load(), worstReq); err != nil {
+	if err := runSmoke(url, page, rng, schema, startRules, startVersion, txScored.Load(), errs.Load(), worstReq, client); err != nil {
 		fatal(fmt.Errorf("smoke: %w", err))
 	}
 	fmt.Println("loadgen: smoke ok")
+}
+
+// clientLatencies summarizes the client-observed request latencies of the
+// load phase.
+type clientLatencies struct {
+	requests       int
+	total          time.Duration
+	p50, p99, p999 time.Duration
+}
+
+// summarizeLatencies merges the per-worker latency logs and computes the
+// client-side percentiles.
+func summarizeLatencies(lat [][]time.Duration) clientLatencies {
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return clientLatencies{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var total time.Duration
+	for _, d := range all {
+		total += d
+	}
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return clientLatencies{
+		requests: len(all), total: total,
+		p50: q(0.50), p99: q(0.99), p999: q(0.999),
+	}
+}
+
+// loadgenStages mirrors the server's stage taxonomy
+// (rudolf_stage_duration_seconds{stage=...}).
+var loadgenStages = []string{"decode", "acquire", "wal_append", "window", "eval", "encode", "write"}
+
+// stageStat is one stage's scraped sum/count.
+type stageStat struct {
+	sum   float64
+	count float64
+}
+
+// scrapeStages reads the per-stage histogram sums and counts off a /metrics
+// page, keyed by stage label.
+func scrapeStages(page string) map[string]stageStat {
+	out := make(map[string]stageStat, len(loadgenStages))
+	for _, st := range loadgenStages {
+		sum, okS := telemetry.ScrapeValue(page, fmt.Sprintf(`rudolf_stage_duration_seconds_sum{stage=%q}`, st))
+		count, okC := telemetry.ScrapeValue(page, fmt.Sprintf(`rudolf_stage_duration_seconds_count{stage=%q}`, st))
+		if okS && okC {
+			out[st] = stageStat{sum: sum, count: count}
+		}
+	}
+	return out
+}
+
+// printStageTable reports where server-side request time went, by stage.
+func printStageTable(page string) {
+	stages := scrapeStages(page)
+	var parts []string
+	var total float64
+	for _, st := range loadgenStages {
+		s, ok := stages[st]
+		if !ok || s.count == 0 {
+			continue
+		}
+		total += s.sum
+		parts = append(parts, fmt.Sprintf("%s %s", st, fmtSeconds(s.sum/s.count)))
+	}
+	if len(parts) > 0 {
+		fmt.Printf("loadgen: server stage means from /metrics: %s (total %s across stages)\n",
+			strings.Join(parts, ", "), fmtSeconds(total))
+	}
 }
 
 // slowest tracks the worst-latency scoring request one worker observed,
@@ -208,7 +296,7 @@ type slowest struct {
 // metrics series, GET /trace must return well-formed trace JSON containing
 // the refine request's span, and /metrics must reflect all of it.
 func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
-	startRules []string, startVersion int, scored, errCount int64, worstReq slowest) error {
+	startRules []string, startVersion int, scored, errCount int64, worstReq slowest, client clientLatencies) error {
 	if scored == 0 {
 		return fmt.Errorf("no transactions scored during the load phase")
 	}
@@ -220,6 +308,9 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	}
 	if v, ok := telemetry.ScrapeValue(page, "rudolf_score_tx_total"); !ok || int64(v) < scored {
 		return fmt.Errorf("rudolf_score_tx_total = %v (ok=%v), want >= %d", v, ok, scored)
+	}
+	if err := crossCheckStages(page, client); err != nil {
+		return err
 	}
 
 	// Decision provenance: run explain-mode scores against the still-live
@@ -357,7 +448,210 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 
 	// Stateful velocity rules: publish a windowed COUNT rule and drive a
 	// same-key burst through it (no-op when the schema has no time role).
-	return checkVelocity(url, rng, schema)
+	if err := checkVelocity(url, rng, schema); err != nil {
+		return err
+	}
+
+	// Observability: a deliberately slow request must land in the slow ring
+	// with a stage breakdown, and /v1/debug/state must be well-formed.
+	return checkDebugObservability(url, rng, schema)
+}
+
+// crossCheckStages validates the server's per-stage histograms against the
+// client's own measurements of the load phase: every always-on stage saw
+// every request, and the server-side stage time per request cannot exceed
+// what the client observed end to end (client time adds the network).
+func crossCheckStages(page string, client clientLatencies) error {
+	if client.requests == 0 {
+		return fmt.Errorf("no client-side latencies recorded during the load phase")
+	}
+	stages := scrapeStages(page)
+	var totalStage float64
+	for _, st := range []string{"decode", "eval", "encode", "write"} {
+		s, ok := stages[st]
+		if !ok {
+			return fmt.Errorf("/metrics has no rudolf_stage_duration_seconds series for stage %q", st)
+		}
+		if s.count < float64(client.requests) {
+			return fmt.Errorf("stage %q observed %.0f requests, client sent %d", st, s.count, client.requests)
+		}
+	}
+	for _, s := range stages {
+		totalStage += s.sum
+	}
+	clientTotal := client.total.Seconds()
+	if totalStage > clientTotal*1.05 {
+		return fmt.Errorf("server stage time %.3fs exceeds client-observed request time %.3fs: stages cannot take longer than the requests that contain them",
+			totalStage, clientTotal)
+	}
+	fmt.Printf("loadgen: smoke stages ok: %.1f%% of client-observed time attributed server-side across %d stages\n",
+		100*totalStage/clientTotal, len(stages))
+	return nil
+}
+
+// checkDebugObservability drives the tail-sampling path end to end: one
+// deliberately heavy request (a max-size explain_all batch, orders of
+// magnitude more work than the load phase's batches) must exceed the
+// adaptive p99 threshold and surface in GET /v1/debug/slow with a per-stage
+// breakdown that accounts for its latency; GET /v1/debug/state must return
+// a well-formed consolidated document.
+func checkDebugObservability(url string, rng *rand.Rand, schema *relation.Schema) error {
+	// A slow request's uncovered time is occasionally dominated by a GC
+	// pause or scheduler hiccup outside the stage taxonomy — often the very
+	// reason it was slow enough to promote. The structural assertions are
+	// unconditional; only the 90% coverage bound earns a fresh probe.
+	const probeAttempts = 5
+	var lastCoverage error
+	for attempt := 0; attempt < probeAttempts; attempt++ {
+		raw, err := json.Marshal(map[string]any{"transactions": randomTxs(rng, schema, 4096), "explain_all": true})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(url+"/v1/score", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		slowID := resp.Header.Get("X-Request-Id")
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("slow-probe POST /v1/score: %d", resp.StatusCode)
+		}
+		if slowID == "" {
+			return fmt.Errorf("slow-probe response carries no X-Request-Id")
+		}
+
+		resp, err = http.Get(url + "/v1/debug/slow")
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/debug/slow: %d %s", resp.StatusCode, body)
+		}
+		var slow struct {
+			Count         int   `json:"count"`
+			PromotedTotal int   `json:"promoted_total"`
+			ThresholdNS   int64 `json:"threshold_ns"`
+			Entries       []struct {
+				RequestID    string           `json:"request_id"`
+				Name         string           `json:"name"`
+				DurNS        int64            `json:"dur_ns"`
+				StagesNS     map[string]int64 `json:"stages_ns"`
+				StageTotalNS int64            `json:"stage_total_ns"`
+				Spans        []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+			} `json:"entries"`
+		}
+		if err := json.Unmarshal(body, &slow); err != nil {
+			return fmt.Errorf("GET /v1/debug/slow is not valid JSON: %w", err)
+		}
+		if slow.Count == 0 || slow.Count != len(slow.Entries) || slow.PromotedTotal < slow.Count {
+			return fmt.Errorf("/v1/debug/slow count=%d entries=%d promoted=%d malformed",
+				slow.Count, len(slow.Entries), slow.PromotedTotal)
+		}
+		found := false
+		lastCoverage = nil
+		for _, e := range slow.Entries {
+			if e.RequestID != slowID {
+				continue
+			}
+			found = true
+			if e.Name != "request.score" {
+				return fmt.Errorf("slow entry %s has root %q, want request.score", slowID, e.Name)
+			}
+			if len(e.StagesNS) == 0 || len(e.Spans) < 2 {
+				return fmt.Errorf("slow entry %s has no stage breakdown (stages=%d spans=%d)",
+					slowID, len(e.StagesNS), len(e.Spans))
+			}
+			// Stage intervals are disjoint and contained in the root span: the
+			// sum can never exceed the end-to-end duration, and for a request
+			// this heavy it must account for it to within 10%.
+			if e.StageTotalNS > e.DurNS {
+				return fmt.Errorf("slow entry %s: stages sum to %s of a %s request",
+					slowID, time.Duration(e.StageTotalNS), time.Duration(e.DurNS))
+			}
+			if e.StageTotalNS < e.DurNS*9/10 {
+				lastCoverage = fmt.Errorf("slow entry %s: stages sum to %s of a %s request, want within 10%%",
+					slowID, time.Duration(e.StageTotalNS), time.Duration(e.DurNS))
+				continue
+			}
+			fmt.Printf("loadgen: smoke slow-trace ok: request %s (%s) retained with %d stages covering %.1f%% (threshold %s)\n",
+				slowID, time.Duration(e.DurNS).Round(time.Microsecond), len(e.StagesNS),
+				100*float64(e.StageTotalNS)/float64(e.DurNS), time.Duration(slow.ThresholdNS).Round(time.Microsecond))
+		}
+		if !found {
+			return fmt.Errorf("slow probe %s not in /v1/debug/slow (%d entries, threshold %s)",
+				slowID, slow.Count, time.Duration(slow.ThresholdNS))
+		}
+		if lastCoverage == nil {
+			break
+		}
+		fmt.Printf("loadgen: smoke slow-trace retry %d/%d: %v\n", attempt+1, probeAttempts, lastCoverage)
+	}
+	if lastCoverage != nil {
+		return lastCoverage
+	}
+
+	resp, err := http.Get(url + "/v1/debug/state")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/debug/state: %d %s", resp.StatusCode, body)
+	}
+	var state struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Version       int     `json:"version"`
+		Rules         int     `json:"rules"`
+		Workers       int     `json:"workers"`
+		ScoredTx      uint64  `json:"scored_tx"`
+		Trace         struct {
+			Capacity int `json:"capacity"`
+			Held     int `json:"held"`
+		} `json:"trace"`
+		Slow struct {
+			Capacity int `json:"capacity"`
+			Len      int `json:"len"`
+			Promoted int `json:"promoted"`
+		} `json:"slow"`
+		Window *struct {
+			Entries int64 `json:"entries"`
+		} `json:"window"`
+		Runtime struct {
+			Goroutines int64 `json:"goroutines"`
+			HeapBytes  int64 `json:"heap_bytes"`
+		} `json:"runtime"`
+	}
+	if err := json.Unmarshal(body, &state); err != nil {
+		return fmt.Errorf("GET /v1/debug/state is not valid JSON: %w", err)
+	}
+	switch {
+	case state.UptimeSeconds <= 0:
+		return fmt.Errorf("/v1/debug/state uptime_seconds = %v", state.UptimeSeconds)
+	case state.Version <= 0 || state.Rules <= 0 || state.Workers <= 0:
+		return fmt.Errorf("/v1/debug/state version=%d rules=%d workers=%d malformed", state.Version, state.Rules, state.Workers)
+	case state.ScoredTx == 0:
+		return fmt.Errorf("/v1/debug/state scored_tx = 0 after the load phase")
+	case state.Trace.Capacity <= 0 || state.Trace.Held <= 0:
+		return fmt.Errorf("/v1/debug/state trace capacity=%d held=%d", state.Trace.Capacity, state.Trace.Held)
+	case state.Slow.Capacity <= 0 || state.Slow.Len == 0 || state.Slow.Promoted == 0:
+		return fmt.Errorf("/v1/debug/state slow capacity=%d len=%d promoted=%d", state.Slow.Capacity, state.Slow.Len, state.Slow.Promoted)
+	case state.Runtime.Goroutines <= 0 || state.Runtime.HeapBytes <= 0:
+		return fmt.Errorf("/v1/debug/state runtime goroutines=%d heap_bytes=%d", state.Runtime.Goroutines, state.Runtime.HeapBytes)
+	}
+	if schema.TimeAttr() >= 0 {
+		if state.Window == nil || state.Window.Entries == 0 {
+			return fmt.Errorf("/v1/debug/state window empty after velocity bursts (window=%+v)", state.Window)
+		}
+	}
+	fmt.Printf("loadgen: smoke debug-state ok: version %d, %d rules, %d tx scored, %d slow traces retained\n",
+		state.Version, state.Rules, state.ScoredTx, state.Slow.Len)
+	return nil
 }
 
 // checkExplainAndHealth exercises the decision-provenance path end to end:
@@ -761,6 +1055,24 @@ func checkVelocity(url string, rng *rand.Rand, schema *relation.Schema) error {
 	}
 	if velIdx >= len(health.Rules) || health.Rules[velIdx].Fires == 0 {
 		return fmt.Errorf("/v1/rules/health reports no fires for velocity rule %d", velIdx)
+	}
+	// The window store's occupancy must be visible on /metrics after the
+	// burst: live entries, plus both eviction-cause series (present even at
+	// zero — an operator alerts on series that exist).
+	page, err := fetchMetrics(url)
+	if err != nil {
+		return err
+	}
+	if v, ok := telemetry.ScrapeValue(page, "rudolf_window_entries"); !ok || v <= 0 {
+		return fmt.Errorf("rudolf_window_entries = %v (ok=%v) after a velocity burst, want > 0", v, ok)
+	}
+	for _, series := range []string{
+		`rudolf_window_evictions_total{cause="expired"}`,
+		`rudolf_window_evictions_total{cause="lru"}`,
+	} {
+		if _, ok := telemetry.ScrapeValue(page, series); !ok {
+			return fmt.Errorf("/metrics missing window eviction series %s", series)
+		}
 	}
 	fmt.Printf("loadgen: smoke velocity ok: rule %d fired on probe %d/%d, %d fires in /v1/rules/health\n",
 		velIdx, velocityThreshold, velocityThreshold, health.Rules[velIdx].Fires)

@@ -11,6 +11,7 @@
 //	        [-fsync-interval 100ms] [-snapshot-interval 1m]
 //	        [-wal-segment-bytes N] [-log-format text|json] [-log-level info]
 //	        [-debug-addr 127.0.0.1:6060] [-trace-capacity N]
+//	        [-slow-ring N] [-slow-floor 250ms]
 //	        [-audit-ring N] [-audit-sample N] [-drift-half-life 5m]
 //	        [-rule-label-cap N]
 //
@@ -20,15 +21,24 @@
 //
 // Endpoints: POST /v1/score, GET+POST /v1/rules, POST /v1/feedback,
 // POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/trace,
-// GET /v1/rules/health, GET /v1/audit, plus the unversioned infra endpoints
-// GET /healthz, GET /readyz, GET /metrics.
+// GET /v1/debug/slow, GET /v1/debug/state, GET /v1/rules/health,
+// GET /v1/audit, plus the unversioned infra endpoints GET /healthz,
+// GET /readyz, GET /metrics.
 // Legacy unversioned API paths answer 308 redirects to their /v1
 // successors. Published rules (POST /v1/rules and -rules files) use the
 // textual rule language documented in README.md ("The rule language"),
 // including the windowed velocity atoms (COUNT(user, 10m) >= 5) when the
 // schema declares a time attribute; under a windowed rule set the daemon
 // observes every scored transaction into the sliding-window aggregate
-// store (DESIGN.md §14). -debug-addr opens a second, loopback-only listener exposing
+// store (DESIGN.md §14).
+//
+// The hot path is always observable (DESIGN.md §15): per-stage latency
+// histograms on /metrics, and a tail-sampled slow-request ring — requests
+// slower than a live p99-tracking threshold (or the -slow-floor) keep their
+// full span tree for GET /v1/debug/slow. GET /v1/debug/state consolidates
+// trace/window/WAL/capture/runtime introspection into one JSON document.
+//
+// -debug-addr opens a second, loopback-only listener exposing
 // net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
 // can never be reached through the service's ingress.
 //
@@ -79,6 +89,8 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		debugAddr   = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty: disabled)")
 		traceCap    = flag.Int("trace-capacity", 0, "span ring-buffer capacity served by GET /v1/trace (0: default)")
+		slowRing    = flag.Int("slow-ring", 0, "tail-sampled slow-request ring capacity served by GET /v1/debug/slow (0: default; negative: disabled)")
+		slowFloor   = flag.Duration("slow-floor", 0, "promote any request at least this slow into the slow ring (0: adaptive p99 only)")
 		auditRing   = flag.Int("audit-ring", 0, "sampled decision audit ring capacity served by GET /v1/audit (0: default; negative: disabled)")
 		auditSample = flag.Int("audit-sample", 0, "audit 1-in-N decision sampling rate (0: default; 1: every decision)")
 		driftHalf   = flag.Duration("drift-half-life", 0, "EWMA half-life for per-rule fire-rate drift in GET /v1/rules/health (0: default)")
@@ -107,6 +119,8 @@ func main() {
 		MaxBatch:         *maxBatch,
 		Drain:            *drain,
 		TraceCapacity:    *traceCap,
+		SlowRing:         *slowRing,
+		SlowFloor:        *slowFloor,
 		AuditRing:        *auditRing,
 		AuditSample:      *auditSample,
 		DriftHalfLife:    *driftHalf,

@@ -42,6 +42,12 @@ type ServeOptions struct {
 	MaxBatch      int
 	Drain         time.Duration
 	TraceCapacity int
+	// SlowRing and SlowFloor shape the tail-sampled slow-request ring behind
+	// GET /v1/debug/slow: the ring capacity (0 means the serving default,
+	// negative disables) and the explicit promotion floor (0 means
+	// adaptive-p99-only).
+	SlowRing  int
+	SlowFloor time.Duration
 	// AuditRing, AuditSample, DriftHalfLife and RuleLabelCap are the rule
 	// observability knobs: the sampled decision audit ring capacity, the
 	// 1-in-N audit sampling rate, the fire-rate drift EWMA half-life and the
@@ -63,6 +69,8 @@ func (o ServeOptions) ServerConfig() (serve.Config, error) {
 		MaxBatch:         o.MaxBatch,
 		DrainTimeout:     o.Drain,
 		TraceCapacity:    o.TraceCapacity,
+		SlowRingCapacity: o.SlowRing,
+		SlowFloor:        o.SlowFloor,
 		Logger:           o.Logger,
 		DataDir:          o.DataDir,
 		Fsync:            o.Fsync,

@@ -60,6 +60,16 @@ type Config struct {
 	// always owns its tracer: span completions also feed the
 	// refinement-duration and expert-query metrics.
 	TraceCapacity int
+	// SlowRingCapacity sizes the tail-sampled slow-request ring served by
+	// GET /v1/debug/slow: requests slower than the live p99-tracking
+	// threshold (or SlowFloor) keep their full span tree until overwritten
+	// by later promotions. 0 means DefaultSlowRing; negative disables the
+	// ring.
+	SlowRingCapacity int
+	// SlowFloor is the explicit tail-sampling floor: any request at least
+	// this slow is promoted into the slow ring regardless of the adaptive
+	// threshold. 0 means adaptive-only.
+	SlowFloor time.Duration
 	// Logger receives structured operational logs (publishes, refinements,
 	// replays, drains). Nil discards them, keeping tests and library
 	// callers quiet.
@@ -124,6 +134,9 @@ const (
 	DefaultDrain            = 10 * time.Second
 	DefaultSnapshotInterval = time.Minute
 	DefaultRuleLabelCap     = 128
+	// DefaultSlowRing is the slow-request ring capacity when
+	// Config.SlowRingCapacity is 0.
+	DefaultSlowRing = 64
 )
 
 // Validate checks the configuration for contradictions and out-of-range
@@ -153,6 +166,7 @@ func (cfg Config) Validate() error {
 		{"DrainTimeout", cfg.DrainTimeout},
 		{"FsyncInterval", cfg.FsyncInterval},
 		{"DriftHalfLife", cfg.DriftHalfLife},
+		{"SlowFloor", cfg.SlowFloor},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("serve: Config.%s = %v; want >= 0 (0 means the default)", d.name, d.v)
@@ -236,6 +250,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.RuleLabelCap == 0 {
 		cfg.RuleLabelCap = DefaultRuleLabelCap
+	}
+	switch {
+	case cfg.SlowRingCapacity == 0:
+		cfg.SlowRingCapacity = DefaultSlowRing
+	case cfg.SlowRingCapacity < 0:
+		cfg.SlowRingCapacity = 0 // disabled
 	}
 	if cfg.Fsync == "" {
 		cfg.Fsync = string(wal.SyncAlways)

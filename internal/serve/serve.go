@@ -188,6 +188,28 @@ type Server struct {
 	mFeedbackFraud     *telemetry.Counter
 	mFeedbackLegit     *telemetry.Counter
 	mFeedbackUnlabeled *telemetry.Counter
+
+	// Observability (DESIGN.md §15): the per-stage latency histograms of the
+	// score hot path, the runtime/metrics collector, and the derived gauges
+	// refreshed before every /metrics scrape and /v1/debug/state read.
+	mStage  [numStages]*telemetry.Histogram
+	rc      *runtimeCollector
+	started time.Time
+	// debugMu serializes refreshDebugStats: syncing the monotone subsystem
+	// counters into telemetry counters needs read-modify-write of the last*
+	// cursors below.
+	debugMu             sync.Mutex
+	mWinEntries         *telemetry.Gauge
+	mWinWatermark       *telemetry.Gauge
+	mWinEvictExpired    *telemetry.Counter
+	mWinEvictLRU        *telemetry.Counter
+	lastWinEvictExpired uint64
+	lastWinEvictLRU     uint64
+	mWALSegments        *telemetry.Gauge
+	mWALDiskBytes       *telemetry.Gauge
+	mSlowPromoted       *telemetry.Counter
+	lastSlowPromoted    uint64
+	mSlowThreshold      *telemetry.FloatGauge
 }
 
 // httpCounterKey keys the cached rudolf_http_requests_total counters.
@@ -218,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.Workers),
 		reg:      cfg.Registry,
 		log:      cfg.Logger,
+		started:  time.Now(),
 	}
 	s.attrJSON = make([]string, cfg.Schema.Arity())
 	for i := range s.attrJSON {
@@ -235,16 +258,24 @@ func New(cfg Config) (*Server, error) {
 	s.initMetrics()
 	// The tracer's completion hook derives the refinement metrics straight
 	// from the spans, so the histogram and the trace can never disagree.
-	s.tracer = trace.New(trace.Options{Capacity: cfg.TraceCapacity, OnEnd: func(r trace.Record) {
-		switch r.Name {
-		case "refine.round":
-			s.mRoundDur.Observe(r.Dur.Seconds())
-		case "expert.review_generalization":
-			s.mExpertGen.Inc()
-		case "expert.review_split":
-			s.mExpertSplit.Inc()
-		}
-	}})
+	s.tracer = trace.New(trace.Options{
+		Capacity: cfg.TraceCapacity,
+		// Tail sampling: score/rules/... request roots slower than the live
+		// threshold keep their whole span tree in the slow ring for
+		// GET /v1/debug/slow. withDefaults already turned "disabled" into 0.
+		SlowCapacity:   cfg.SlowRingCapacity,
+		SlowFloor:      cfg.SlowFloor,
+		SlowRootPrefix: "request.",
+		OnEnd: func(r trace.Record) {
+			switch r.Name {
+			case "refine.round":
+				s.mRoundDur.Observe(r.Dur.Seconds())
+			case "expert.review_generalization":
+				s.mExpertGen.Inc()
+			case "expert.review_split":
+				s.mExpertSplit.Inc()
+			}
+		}})
 	s.cache.Tracer = s.tracer
 
 	restored := false
@@ -305,6 +336,21 @@ func (s *Server) initMetrics() {
 	r.Help("rudolf_rule_feedback_fp_total", "Legit-labeled feedback transactions captured, by rule index.")
 	r.Help("rudolf_rule_drift", "Per-rule fire-rate drift vs the post-publish baseline (0 = unchanged, 1 = moved by its whole baseline; -1 = not yet measurable).")
 	r.Help("rudolf_rule_last_fired_ago_seconds", "Seconds since the rule last fired under the published version (-1 = never).")
+	r.Help("rudolf_stage_duration_seconds", "Score hot-path latency by stage (decode, acquire, wal_append, window, eval, encode, write).")
+	r.Help("rudolf_window_entries", "Live sliding-window aggregate entries across all shards.")
+	r.Help("rudolf_window_watermark_minutes", "Sliding-window event-time watermark (epoch minutes).")
+	r.Help("rudolf_window_evictions_total", "Window entries evicted, by cause (expired = dead under the watermark; lru = capacity pressure).")
+	r.Help("rudolf_wal_append_seconds", "WAL append latency: frame encode + write, excluding fsync.")
+	r.Help("rudolf_wal_fsync_seconds", "WAL fsync(2) latency.")
+	r.Help("rudolf_wal_segments", "Live WAL segment files.")
+	r.Help("rudolf_wal_disk_bytes", "Bytes across live WAL segment files.")
+	r.Help("rudolf_trace_slow_promoted_total", "Requests promoted into the slow-request ring (GET /v1/debug/slow).")
+	r.Help("rudolf_trace_slow_threshold_seconds", "Current slow-ring promotion threshold (the lower of the adaptive p99 and the configured floor).")
+	r.Help("rudolf_go_goroutines", "Live goroutines.")
+	r.Help("rudolf_go_heap_bytes", "Heap bytes occupied by live objects.")
+	r.Help("rudolf_go_heap_objects", "Live heap objects.")
+	r.Help("rudolf_go_gc_cycles", "Completed GC cycles.")
+	r.Help("rudolf_go_gc_pause_seconds", "GC stop-the-world pause durations (folded from runtime/metrics).")
 	s.mScoreTx = r.Counter("rudolf_score_tx_total")
 	s.mScoreLat = r.Histogram("rudolf_score_latency_seconds", nil)
 	s.mBatchSize = r.Histogram("rudolf_score_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096})
@@ -336,7 +382,21 @@ func (s *Server) initMetrics() {
 		Fsyncs:        r.Counter("rudolf_wal_fsyncs_total"),
 		Replayed:      r.Counter("rudolf_wal_replayed_records_total"),
 		TornTailDrops: r.Counter("rudolf_wal_torn_tail_drops_total"),
+		AppendSeconds: r.Histogram("rudolf_wal_append_seconds", telemetry.StageBuckets),
+		FsyncSeconds:  r.Histogram("rudolf_wal_fsync_seconds", telemetry.StageBuckets),
 	}
+	for st := stage(0); st < numStages; st++ {
+		s.mStage[st] = r.Histogram(`rudolf_stage_duration_seconds{stage="`+stageNames[st]+`"}`, telemetry.StageBuckets)
+	}
+	s.mWinEntries = r.Gauge("rudolf_window_entries")
+	s.mWinWatermark = r.Gauge("rudolf_window_watermark_minutes")
+	s.mWinEvictExpired = r.Counter(`rudolf_window_evictions_total{cause="expired"}`)
+	s.mWinEvictLRU = r.Counter(`rudolf_window_evictions_total{cause="lru"}`)
+	s.mWALSegments = r.Gauge("rudolf_wal_segments")
+	s.mWALDiskBytes = r.Gauge("rudolf_wal_disk_bytes")
+	s.mSlowPromoted = r.Counter("rudolf_trace_slow_promoted_total")
+	s.mSlowThreshold = r.FloatGauge("rudolf_trace_slow_threshold_seconds")
+	s.rc = newRuntimeCollector(r)
 }
 
 // publishLocked compiles rs, logs the publish to the WAL (when durable),
@@ -484,6 +544,11 @@ func (s *Server) Handler() http.Handler {
 	// append request spans to the very ring being exported.
 	mux.Handle("/v1/trace", http.HandlerFunc(s.handleTrace))
 	mux.Handle("/trace", legacyRedirect("/v1/trace"))
+	// The debug endpoints are uninstrumented for the same reason: inspecting
+	// the slow ring must not mint request spans that could themselves be
+	// promoted into it.
+	mux.Handle("/v1/debug/slow", http.HandlerFunc(s.handleDebugSlow))
+	mux.Handle("/v1/debug/state", http.HandlerFunc(s.handleDebugState))
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
 	metricsHandler := s.reg.Handler()
@@ -491,8 +556,10 @@ func (s *Server) Handler() http.Handler {
 		// The drift / staleness gauges are derived state: refresh them from a
 		// health snapshot right before every scrape, so the registry never
 		// serves stale per-rule gauges without putting snapshot cost on the
-		// scoring path.
+		// scoring path. Likewise the window / WAL / runtime / slow-ring
+		// series, refreshed from subsystem stats per scrape.
 		s.refreshRuleGauges()
+		s.refreshDebugStats()
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -578,13 +645,33 @@ func (s *Server) timeout(h http.Handler, d time.Duration) http.Handler {
 	return http.TimeoutHandler(h, d, `{"error":{"code":"timeout","message":"request timed out"}}`)
 }
 
-// statusWriter records the response code for the request counter.
+// statusWriter records the response code for the request counter. When
+// track is set it also opens a stage.write child span on the first write,
+// so response copy-out that happens outside the handler's own stage clock
+// (the buffered flush http.TimeoutHandler performs after the handler
+// returns) is still attributed to the write stage; instrument ends the
+// span and observes the duration.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	track   bool
+	started bool
+	parent  trace.Span
+	sp      trace.Span
+	t0      time.Time
+}
+
+func (w *statusWriter) begin() {
+	if !w.track || w.started {
+		return
+	}
+	w.started = true
+	w.t0 = time.Now()
+	w.sp = w.parent.Child(stageSpanNames[stageWrite])
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	w.begin()
 	if w.code == 0 {
 		w.code = code
 	}
@@ -592,6 +679,7 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
+	w.begin()
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
@@ -621,6 +709,18 @@ func requestMeta(r *http.Request) reqMeta {
 // joinable against GET /v1/trace.
 func (s *Server) instrument(path, base string, h http.Handler) http.Handler {
 	name := "request." + base
+	// The score route sits behind http.TimeoutHandler, which buffers the
+	// whole response and copies it to the real ResponseWriter only after
+	// the handler returns — client-visible latency the handler's own stage
+	// clock cannot see (its stageWrite times the write into the buffer).
+	// That copy-out is exactly this statusWriter's write activity, so
+	// instrument brackets it and attributes it to the write stage,
+	// preserving the slow-ring invariant that the stage breakdown accounts
+	// for the request span end to end. Only enabled when the timeout
+	// wrapper is actually in play: with ScoreTimeout <= 0 the handler
+	// writes straight through sw during its own stageWrite window, and
+	// bracketing here would double-count the same interval.
+	timedWrite := base == "score" && s.cfg.ScoreTimeout > 0
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		id := requestID(s.reqSeq.Add(1))
@@ -628,8 +728,12 @@ func (s *Server) instrument(path, base string, h http.Handler) http.Handler {
 		sp.Str("id", id)
 		w.Header().Set("X-Request-Id", id)
 		r = r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, reqMeta{id: id, span: sp}))
-		sw := &statusWriter{ResponseWriter: w}
+		sw := &statusWriter{ResponseWriter: w, track: timedWrite, parent: sp}
 		h.ServeHTTP(sw, r)
+		if sw.started {
+			sw.sp.End()
+			s.mStage[stageWrite].Observe(time.Since(sw.t0).Seconds())
+		}
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
@@ -823,6 +927,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
+	// The stage clock splits this request's wall time across the stage
+	// taxonomy (rudolf_stage_duration_seconds) and, when the request is
+	// traced, emits stage.<name> child spans — so a slow-ring promotion
+	// carries its own breakdown. Error returns flush whatever was timed.
+	meta := requestMeta(r)
+	clock := stageClock{parent: meta.span, hist: &s.mStage}
+	defer clock.flush()
+	clock.begin(stageDecode)
 	var req scoreRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -844,11 +956,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
+	clock.begin(stageAcquire)
 	if !s.acquire(r.Context()) {
 		s.writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable, "canceled while queued for a worker slot")
 		return
 	}
-	meta := requestMeta(r)
 	explain := req.Explain || req.ExplainAll
 	sc := getScoreState()
 	defer putScoreState(sc)
@@ -861,9 +973,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	// columns, which the compiled evaluator's exact-match fast path then
 	// reads. Window-less rule sets skip all of it: no lock, no WAL record.
 	if len(st.winSpecs) > 0 && s.winStore != nil {
+		// Waiting on obsMu is attributed to the window stage; the durable
+		// observe append (including its synchronous fsync) to wal_append.
+		clock.begin(stageWindow)
 		s.obsMu.Lock()
 		if s.wal != nil {
-			if err := s.walAppendObserve(rel); err != nil {
+			clock.begin(stageWAL)
+			err := s.walAppendObserve(rel)
+			clock.begin(stageWindow)
+			if err != nil {
 				s.obsMu.Unlock()
 				s.release()
 				s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting observations: %v", err)
@@ -880,6 +998,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	// materialized for the rules that fire (what "why was this flagged"
 	// asks); explain_all re-derives the non-firing rules' margins at encode
 	// time.
+	clock.begin(stageEval)
 	if explain {
 		st.ev.EvalAttributedLazyIntoUnder(meta.span, rel, &sc.attrib)
 		if cap(sc.first) < rel.Len() {
@@ -897,6 +1016,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start).Seconds()
 	s.release()
+	clock.begin(stageEncode)
 
 	matched := 0
 	for i := 0; i < rel.Len(); i++ {
@@ -915,6 +1035,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.mScoreTx.Add(uint64(rel.Len()))
 	s.mScoreLat.Observe(elapsed)
 	s.mBatchSize.Observe(float64(rel.Len()))
+	clock.begin(stageWrite)
 	s.writeBody(w, http.StatusOK, sc.out)
 }
 

@@ -86,6 +86,16 @@ var DefBuckets = []float64{
 	1e-1, 2.5e-1, 5e-1, 1, 2.5, 5, 10,
 }
 
+// StageBuckets are the fine-grained buckets (seconds) used by the per-stage
+// hot-path histograms: individual score stages (decode, eval, encode, …)
+// complete in single-digit microseconds to low milliseconds, which
+// DefBuckets covers with only six points. 1µs … 1s, roughly ×2.5 per step.
+var StageBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+}
+
 func newHistogram(uppers []float64) *Histogram {
 	us := append([]float64(nil), uppers...)
 	sort.Float64s(us)
@@ -100,6 +110,26 @@ func (h *Histogram) Observe(v float64) {
 	for {
 		old := h.sumBits.Load()
 		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveN records n observations of value v in one shot. The runtime
+// collector uses it to fold per-bucket deltas of cumulative runtime/metrics
+// histograms (GC pauses) into a telemetry histogram without n separate
+// atomic round trips.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first upper >= v
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v*float64(n))
 		if h.sumBits.CompareAndSwap(old, new) {
 			return
 		}

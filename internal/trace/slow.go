@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file adds tail-sampled slow-request retention to the tracer. The main
+// ring buffer is a flight recorder: at production request rates it holds a
+// few hundred milliseconds of history, so by the time anyone asks "why was
+// that request slow?" the interesting span tree has been overwritten by
+// thousands of fast ones. The slow ring fixes that asymmetry: when a ROOT
+// span ends with a duration in the tail of the live latency distribution
+// (above a self-tracking p99 estimate, or above an explicit floor), its
+// whole span tree — root plus every descendant still resident in the main
+// ring — is copied into a second, bounded ring that only slow requests can
+// enter. The worst requests are therefore always inspectable after the
+// fact, no matter how much fast traffic followed them. See DESIGN.md §15.
+
+// DefaultSlowCapacity is the slow-ring size used when Options.SlowCapacity
+// is left 0 by callers that enable the ring via EnableSlow semantics; the
+// serving layer passes its own configured capacity.
+const DefaultSlowCapacity = 64
+
+// slowWarmup is the number of completed candidate roots required before the
+// adaptive threshold activates. Below it the latency estimate is noise, so
+// only an explicit floor promotes.
+const slowWarmup = 64
+
+// slowQuantile is the tail quantile the adaptive threshold tracks.
+const slowQuantile = 0.99
+
+// slowBucketBase/slowBucketRatio/slowBucketCount define the exponential
+// duration buckets of the streaming latency estimator: 1µs × 1.25^i for 80
+// buckets reaches ~47s, with ≤25% quantization error on the threshold.
+const (
+	slowBucketBase  = time.Microsecond
+	slowBucketRatio = 1.25
+	slowBucketCount = 80
+)
+
+// SlowEntry is one promoted slow request: the root record, the promotion
+// threshold in force at the time, and the full span tree (root plus every
+// descendant of its track still resident in the main ring, oldest first).
+type SlowEntry struct {
+	// Seq is the lifetime promotion sequence number (1-based).
+	Seq uint64
+	// Root is the promoted root span's record.
+	Root Record
+	// Threshold is the effective promotion threshold when Root was promoted.
+	Threshold time.Duration
+	// Spans is the full tree in emission order; Spans includes Root.
+	Spans []Record
+}
+
+// SlowStats summarizes the slow ring for introspection endpoints.
+type SlowStats struct {
+	// Capacity is the configured ring size (0: slow ring disabled).
+	Capacity int
+	// Len is the number of entries currently retained.
+	Len int
+	// Promoted counts promotions over the tracer's lifetime.
+	Promoted uint64
+	// Observed counts candidate root spans fed to the latency estimator.
+	Observed uint64
+	// Floor is the configured explicit promotion floor (0: adaptive only).
+	Floor time.Duration
+	// Threshold is the current effective promotion threshold; 0 while the
+	// estimator is still warming up and no floor is set.
+	Threshold time.Duration
+}
+
+// slowRing is the tail-sampling state hung off a Tracer. All state is under
+// one mutex: it is touched once per completed root span (a bucket increment
+// and a threshold scan over a fixed 80-entry array), which is noise next to
+// the request that just finished.
+type slowRing struct {
+	capacity int
+	floor    time.Duration
+	prefix   string
+
+	mu     sync.Mutex
+	bounds [slowBucketCount]time.Duration
+	counts [slowBucketCount]uint64
+	total  uint64 // candidate roots observed
+	buf    []SlowEntry
+	n      uint64 // entries ever promoted
+}
+
+func newSlowRing(capacity int, floor time.Duration, prefix string) *slowRing {
+	if capacity <= 0 {
+		capacity = DefaultSlowCapacity
+	}
+	r := &slowRing{capacity: capacity, floor: floor, prefix: prefix,
+		buf: make([]SlowEntry, 0, capacity)}
+	b := float64(slowBucketBase)
+	for i := range r.bounds {
+		r.bounds[i] = time.Duration(b)
+		b *= slowBucketRatio
+	}
+	return r
+}
+
+// candidate reports whether a completed record is a promotion candidate: a
+// finished root span whose name matches the configured prefix.
+func (r *slowRing) candidate(rec *Record) bool {
+	return rec.Parent == 0 && !rec.Instant &&
+		(r.prefix == "" || strings.HasPrefix(rec.Name, r.prefix))
+}
+
+// observe feeds one candidate root duration into the latency estimator and
+// decides promotion. It returns the effective threshold so the promoted
+// entry can record why it qualified.
+func (r *slowRing) observe(d time.Duration) (promote bool, thr time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := 0
+	for i < slowBucketCount-1 && d >= r.bounds[i] {
+		i++
+	}
+	r.counts[i]++
+	r.total++
+	thr = r.thresholdLocked()
+	if r.floor > 0 && d >= r.floor {
+		return true, thr
+	}
+	if r.total >= slowWarmup {
+		if p99 := r.quantileLocked(); d >= p99 {
+			return true, thr
+		}
+	}
+	return false, thr
+}
+
+// quantileLocked returns the tracked tail quantile as a bucket upper bound.
+func (r *slowRing) quantileLocked() time.Duration {
+	target := uint64(slowQuantile * float64(r.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range r.counts {
+		cum += c
+		if cum >= target {
+			return r.bounds[i]
+		}
+	}
+	return r.bounds[slowBucketCount-1]
+}
+
+// thresholdLocked is the effective promotion threshold: the lower of the
+// explicit floor and the adaptive estimate, whichever is active.
+func (r *slowRing) thresholdLocked() time.Duration {
+	var adaptive time.Duration
+	if r.total >= slowWarmup {
+		adaptive = r.quantileLocked()
+	}
+	switch {
+	case r.floor > 0 && (adaptive == 0 || r.floor < adaptive):
+		return r.floor
+	default:
+		return adaptive
+	}
+}
+
+// insert places one promoted entry, overwriting the oldest on overflow.
+func (r *slowRing) insert(e SlowEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	e.Seq = r.n
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[(r.n-1)%uint64(r.capacity)] = e
+}
+
+// maybePromote runs after a record is placed in the main ring: if it is a
+// slow candidate root, the whole track is copied out and retained. Called
+// without t.mu held; collectTrack and insert take their own locks (t.mu,
+// then slow.mu — never both at once).
+func (t *Tracer) maybePromote(r *Record) {
+	sr := t.slow
+	if sr == nil || !sr.candidate(r) {
+		return
+	}
+	promote, thr := sr.observe(r.Dur)
+	if !promote {
+		return
+	}
+	spans := t.collectTrack(r.Track)
+	if len(spans) == 0 {
+		return // root already overwritten (ring far smaller than tree)
+	}
+	sr.insert(SlowEntry{Root: *r, Threshold: thr, Spans: spans})
+}
+
+// collectTrack copies every resident record of one track, oldest first.
+func (t *Tracer) collectTrack(track uint64) []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	capU := uint64(len(t.buf))
+	held := t.n
+	if held > capU {
+		held = capU
+	}
+	head := t.n % capU // oldest record position when the ring has wrapped
+	if t.n <= capU {
+		head = 0
+	}
+	var out []Record
+	for i := uint64(0); i < held; i++ {
+		rec := &t.buf[(head+i)%capU]
+		if rec.Track == track {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// SlowSnapshot copies the retained slow entries, oldest promotion first.
+// Nil on a nil tracer or when the slow ring is disabled.
+func (t *Tracer) SlowSnapshot() []SlowEntry {
+	if t == nil || t.slow == nil {
+		return nil
+	}
+	r := t.slow
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowEntry, 0, len(r.buf))
+	if r.n <= uint64(len(r.buf)) {
+		out = append(out, r.buf...)
+		return out
+	}
+	head := r.n % uint64(r.capacity)
+	out = append(out, r.buf[head:]...)
+	out = append(out, r.buf[:head]...)
+	return out
+}
+
+// SlowStats returns slow-ring counters. Zero on a nil tracer or when the
+// ring is disabled.
+func (t *Tracer) SlowStats() SlowStats {
+	if t == nil || t.slow == nil {
+		return SlowStats{}
+	}
+	r := t.slow
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SlowStats{
+		Capacity:  r.capacity,
+		Len:       len(r.buf),
+		Promoted:  r.n,
+		Observed:  r.total,
+		Floor:     r.floor,
+		Threshold: r.thresholdLocked(),
+	}
+}

@@ -110,6 +110,18 @@ type Options struct {
 	// counts) without a second instrumentation layer. Must be fast and
 	// goroutine-safe; set it before the tracer is shared.
 	OnEnd func(Record)
+	// SlowCapacity, when > 0, enables the tail-sampled slow ring with that
+	// many retained entries: root spans slower than the live p99-tracking
+	// threshold (or SlowFloor) have their whole span tree promoted out of
+	// the main ring and kept until overwritten by later promotions.
+	SlowCapacity int
+	// SlowFloor promotes any candidate root span at least this slow,
+	// regardless of the adaptive threshold. 0 means adaptive-only.
+	SlowFloor time.Duration
+	// SlowRootPrefix restricts promotion candidates to root spans whose
+	// name starts with this prefix (the serving daemon passes "request.").
+	// Empty matches every root span.
+	SlowRootPrefix string
 }
 
 // Tracer collects spans into a fixed-capacity ring buffer. All methods are
@@ -126,6 +138,8 @@ type Tracer struct {
 
 	attrDrops atomic.Uint64
 
+	slow *slowRing // nil unless Options.SlowCapacity > 0
+
 	pool sync.Pool // *spanData
 }
 
@@ -135,6 +149,9 @@ func New(opts Options) *Tracer {
 		opts.Capacity = DefaultCapacity
 	}
 	t := &Tracer{opts: opts, buf: make([]Record, opts.Capacity)}
+	if opts.SlowCapacity > 0 {
+		t.slow = newSlowRing(opts.SlowCapacity, opts.SlowFloor, opts.SlowRootPrefix)
+	}
 	t.pool.New = func() any { return new(spanData) }
 	return t
 }
@@ -289,6 +306,9 @@ func (t *Tracer) emit(r *Record) {
 	t.mu.Unlock()
 	if t.opts.OnEnd != nil {
 		t.opts.OnEnd(*r)
+	}
+	if t.slow != nil {
+		t.maybePromote(r)
 	}
 }
 

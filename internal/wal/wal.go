@@ -79,11 +79,22 @@ type Counters struct {
 	Replayed *telemetry.Counter
 	// TornTailDrops counts torn final records dropped during Open.
 	TornTailDrops *telemetry.Counter
+	// AppendSeconds observes the latency of each record append (framing and
+	// the write(2), excluding any synchronous fsync).
+	AppendSeconds *telemetry.Histogram
+	// FsyncSeconds observes the latency of each fsync(2) issued by the log.
+	FsyncSeconds *telemetry.Histogram
 }
 
 func inc(c *telemetry.Counter) {
 	if c != nil {
 		c.Inc()
+	}
+}
+
+func observe(h *telemetry.Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
 	}
 }
 
@@ -129,6 +140,7 @@ type Stats struct {
 	Replayed      uint64 // records replayed by Open
 	TornTailDrops uint64 // torn final records dropped by Open
 	Segments      int    // live segment files
+	DiskBytes     int64  // total bytes across live segment files
 	LastSeq       uint64 // sequence number of the newest durable record
 }
 
@@ -138,14 +150,15 @@ type Log struct {
 	opts Options
 	log  *slog.Logger
 
-	mu       sync.Mutex
-	f        *os.File // active segment
-	size     int64    // active segment size
-	nextSeq  uint64
-	dirty    bool
-	closed   bool
-	segments []uint64 // first seq of every live segment, ascending
-	buf      []byte   // frame scratch, reused across appends
+	mu        sync.Mutex
+	f         *os.File // active segment
+	size      int64    // active segment size
+	diskBytes int64    // bytes across all live segments
+	nextSeq   uint64
+	dirty     bool
+	closed    bool
+	segments  []uint64 // first seq of every live segment, ascending
+	buf       []byte   // frame scratch, reused across appends
 
 	stats struct {
 		appends, fsyncs, replayed, torn uint64
@@ -229,6 +242,13 @@ func Open(opts Options, replay func(Entry) error) (*Log, error) {
 	}
 	l.segments = firsts
 	l.nextSeq = last + 1
+	for _, first := range firsts {
+		// Sized after the torn-tail truncate above, so the sum reflects the
+		// durable on-disk footprint exactly.
+		if fi, err := os.Stat(segmentPath(opts.Dir, first)); err == nil {
+			l.diskBytes += fi.Size()
+		}
+	}
 	sp.Int("replayed", int64(l.stats.replayed))
 	sp.Int("torn_tail_drops", int64(l.stats.torn))
 	sp.Int("next_seq", int64(l.nextSeq))
@@ -266,16 +286,19 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, errors.New("wal: log is closed")
 	}
+	start := time.Now()
 	seq := l.nextSeq
 	l.buf = appendFrame(l.buf[:0], seq, payload)
 	if _, err := l.f.Write(l.buf); err != nil {
 		return 0, fmt.Errorf("wal: appending record %d: %w", seq, err)
 	}
 	l.size += int64(len(l.buf))
+	l.diskBytes += int64(len(l.buf))
 	l.nextSeq++
 	l.dirty = true
 	l.stats.appends++
 	inc(l.opts.Counters.Appends)
+	observe(l.opts.Counters.AppendSeconds, time.Since(start))
 	sp.Int("seq", int64(seq))
 	sp.Int("bytes", int64(len(l.buf)))
 	if l.opts.Sync == SyncAlways {
@@ -306,12 +329,14 @@ func (l *Log) fsyncLocked() error {
 	if !l.dirty || l.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.dirty = false
 	l.stats.fsyncs++
 	inc(l.opts.Counters.Fsyncs)
+	observe(l.opts.Counters.FsyncSeconds, time.Since(start))
 	return nil
 }
 
@@ -350,9 +375,14 @@ func (l *Log) Prune(seq uint64) (int, error) {
 			break
 		}
 		path := segmentPath(l.opts.Dir, l.segments[0])
+		var pruned int64
+		if fi, err := os.Stat(path); err == nil {
+			pruned = fi.Size()
+		}
 		if err := os.Remove(path); err != nil {
 			return removed, fmt.Errorf("wal: pruning %s: %w", filepath.Base(path), err)
 		}
+		l.diskBytes -= pruned
 		l.segments = l.segments[1:]
 		removed++
 	}
@@ -377,6 +407,7 @@ func (l *Log) Stats() Stats {
 		Replayed:      l.stats.replayed,
 		TornTailDrops: l.stats.torn,
 		Segments:      len(l.segments),
+		DiskBytes:     l.diskBytes,
 		LastSeq:       l.nextSeq - 1,
 	}
 }

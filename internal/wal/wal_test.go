@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // collect returns a replay callback that copies every delivered payload.
@@ -532,4 +534,63 @@ func FuzzTornTail(f *testing.F) {
 			t.Fatalf("probe record corrupted: %q", again[len(got)])
 		}
 	})
+}
+
+// TestLatencyCountersAndDiskBytes: the optional latency histograms observe
+// every append and fsync, and the disk-footprint stat tracks appends,
+// survives a reopen (re-summed from the live segment files) and shrinks
+// under Prune.
+func TestLatencyCountersAndDiskBytes(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	ctr := Counters{
+		Appends:       reg.Counter("appends"),
+		Fsyncs:        reg.Counter("fsyncs"),
+		AppendSeconds: reg.Histogram("append_seconds", telemetry.StageBuckets),
+		FsyncSeconds:  reg.Histogram("fsync_seconds", telemetry.StageBuckets),
+	}
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64, Sync: SyncAlways, Counters: ctr}, nil)
+	const records = 8
+	var lastSeq uint64
+	for i := 0; i < records; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		lastSeq = seq
+	}
+	if got := ctr.AppendSeconds.Count(); got != records {
+		t.Fatalf("AppendSeconds observed %d appends, want %d", got, records)
+	}
+	// SyncAlways fsyncs at least once per append (rotation adds more).
+	if got := ctr.FsyncSeconds.Count(); got < records {
+		t.Fatalf("FsyncSeconds observed %d fsyncs, want >= %d", got, records)
+	}
+	if ctr.AppendSeconds.Sum() < 0 || ctr.FsyncSeconds.Sum() < 0 {
+		t.Fatal("negative latency sums")
+	}
+	if got, want := ctr.FsyncSeconds.Count(), ctr.Fsyncs.Value(); got != want {
+		t.Fatalf("fsync histogram count %d != fsync counter %d", got, want)
+	}
+
+	st := l.Stats()
+	if st.DiskBytes <= 0 || st.Segments < 2 {
+		t.Fatalf("Stats = %+v, want bytes on disk across rotated segments", st)
+	}
+	grown := st.DiskBytes
+	l.Close()
+
+	// Reopen re-sums the footprint from the live segment files.
+	l2 := mustOpen(t, Options{Dir: dir, SegmentBytes: 64, Sync: SyncNever}, nil)
+	defer l2.Close()
+	st2 := l2.Stats()
+	if st2.DiskBytes != grown {
+		t.Fatalf("reopen DiskBytes = %d, want %d (same live segments)", st2.DiskBytes, grown)
+	}
+	if removed, err := l2.Prune(lastSeq); err != nil || removed == 0 {
+		t.Fatalf("Prune removed %d segments (err %v), want > 0", removed, err)
+	}
+	if after := l2.Stats(); after.DiskBytes >= grown || after.DiskBytes <= 0 {
+		t.Fatalf("post-prune DiskBytes = %d, want shrunk from %d but non-zero", after.DiskBytes, grown)
+	}
 }

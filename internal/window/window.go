@@ -184,7 +184,12 @@ type Store struct {
 	watermark atomic.Int64 // current time in minutes; monotone
 	hasTime   atomic.Bool  // false until the first Observe/Advance
 	entries   atomic.Int64 // live entry count across shards (memory budget)
-	evictions atomic.Int64 // lifetime evicted-entry count (observability)
+
+	// Lifetime evicted-entry counts by cause (observability): expired
+	// entries whose window aggregates to zero, and live entries dropped
+	// least-recently-observed-first under memory pressure.
+	evictExpired atomic.Int64
+	evictLRU     atomic.Int64
 
 	shards [nShards]shard
 }
@@ -280,8 +285,34 @@ func (s *Store) Watermark() int64 { return s.watermark.Load() }
 // Entries returns the live (spec, key) entry count.
 func (s *Store) Entries() int64 { return s.entries.Load() }
 
-// Evictions returns the lifetime count of evicted entries.
-func (s *Store) Evictions() int64 { return s.evictions.Load() }
+// Evictions returns the lifetime count of evicted entries (all causes).
+func (s *Store) Evictions() int64 { return s.evictExpired.Load() + s.evictLRU.Load() }
+
+// EvictionsByCause splits the lifetime eviction count: expired entries
+// (window aggregated to zero — dropping them never changes a result) vs
+// live entries evicted least-recently-observed-first under the MaxEntries
+// memory budget.
+func (s *Store) EvictionsByCause() (expired, lru int64) {
+	return s.evictExpired.Load(), s.evictLRU.Load()
+}
+
+// MaxEntries returns the configured live-entry budget.
+func (s *Store) MaxEntries() int { return s.maxEntries }
+
+// ShardOccupancy returns the live-entry count of every shard, in shard
+// order. The per-shard view exposes key skew: a hot shard near the top of
+// an otherwise-empty histogram means one key (not volume) is driving
+// evictions.
+func (s *Store) ShardOccupancy() []int {
+	out := make([]int, nShards)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.m)
+		sh.mu.Unlock()
+	}
+	return out
+}
 
 // Advance lifts the watermark to now (in minutes); it never moves backward.
 // Bucket expiry is lazy — entries rotate forward the next time they are
@@ -537,12 +568,14 @@ func (s *Store) evictShard(sh *shard, wm int64) int {
 			lruKey, lruTouch, haveLRU = k, e.lastTouch, true
 		}
 	}
-	if removed == 0 && haveLRU {
+	if removed > 0 {
+		s.evictExpired.Add(int64(removed))
+	} else if haveLRU {
 		delete(sh.m, lruKey)
 		removed++
+		s.evictLRU.Add(1)
 	}
 	s.entries.Add(-int64(removed))
-	s.evictions.Add(int64(removed))
 	return removed
 }
 
@@ -573,6 +606,6 @@ func (s *Store) EvictIdle() {
 		}
 		sh.mu.Unlock()
 		s.entries.Add(-int64(removed))
-		s.evictions.Add(int64(removed))
+		s.evictExpired.Add(int64(removed))
 	}
 }

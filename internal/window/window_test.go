@@ -269,6 +269,51 @@ func TestEviction(t *testing.T) {
 	}
 }
 
+// TestEvictionsByCause splits the eviction counter the way the
+// observability surface reports it: live entries squeezed out by the
+// MaxEntries budget count as LRU, entries whose windows aggregated to zero
+// count as expired, and the two causes always sum to Evictions().
+func TestEvictionsByCause(t *testing.T) {
+	specs := []Spec{{Agg: Count, Key: 1, Val: -1, Window: 10}}
+	st := New(Config{TimeAttr: 0, MaxEntries: 8})
+	st.EnsureSpecs(specs)
+
+	// 32 distinct keys, all observed at the same minute: every entry is
+	// live, so exceeding the budget can only evict least-recently-observed.
+	for k := int64(0); k < 32; k++ {
+		st.Observe(relation.Tuple{100, k, 0})
+	}
+	exp, lru := st.EvictionsByCause()
+	if lru == 0 {
+		t.Fatal("no LRU evictions despite 32 live keys over an 8-entry budget")
+	}
+	if exp != 0 {
+		t.Fatalf("%d expired evictions from same-minute traffic, want 0 (nothing left any window)", exp)
+	}
+
+	// Advance the watermark far past every window, then sweep: the
+	// surviving entries have aggregated to zero and are evicted as expired.
+	before := st.Entries()
+	if before == 0 {
+		t.Fatal("budget eviction left the store empty")
+	}
+	st.Observe(relation.Tuple{1000, 99, 0})
+	st.EvictIdle()
+	exp, lru2 := st.EvictionsByCause()
+	if exp != before {
+		t.Fatalf("expired evictions = %d, want the %d pre-sweep survivors", exp, before)
+	}
+	if lru2 != lru {
+		t.Fatalf("LRU evictions moved %d -> %d during an idle sweep", lru, lru2)
+	}
+	if st.Entries() != 1 { // only the fresh key remains
+		t.Fatalf("entries = %d after sweep, want 1", st.Entries())
+	}
+	if got, want := st.Evictions(), exp+lru2; got != want {
+		t.Fatalf("Evictions() = %d, want expired+lru = %d", got, want)
+	}
+}
+
 // TestSnapshotRoundTrip: serialize, restore into a fresh store, and check
 // both aggregates and future behavior (continued observation) agree.
 func TestSnapshotRoundTrip(t *testing.T) {

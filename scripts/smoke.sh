@@ -156,6 +156,87 @@ echo "$VEL" | jq -e '
 }
 echo "smoke: velocity-rule assertions ok (burst fired the windowed rule)"
 
+# The window store's occupancy must be visible on /metrics after the burst,
+# with both eviction-cause series present.
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | awk '$1 == "rudolf_window_entries" && $2 > 0 {found=1} END {exit !found}' || {
+    echo "smoke: rudolf_window_entries not positive after the velocity burst" >&2
+    exit 1
+}
+for series in 'rudolf_window_evictions_total{cause="expired"}' 'rudolf_window_evictions_total{cause="lru"}' 'rudolf_stage_duration_seconds_count{stage="eval"}'; do
+    grep -qF "$series" <<<"$METRICS" || {
+        echo "smoke: /metrics missing series $series" >&2
+        exit 1
+    }
+done
+echo "smoke: window + stage metrics ok"
+
+# --- Hot-path observability: slow ring + consolidated debug state --------
+# A deliberately heavy request (big explain_all batch, far heavier than
+# anything above) must exceed the adaptive tail-sampling threshold and keep
+# its full span tree in GET /v1/debug/slow, stage breakdown included,
+# correlated by the X-Request-Id the response carried.
+echo "smoke: debug-endpoint assertions (curl/jq)"
+jq -n --argjson a "$ATTRS" \
+    '{transactions: [range(0;2048) | {attrs: ($a + {time: ((3000 + .) % 1440)}), score: 500}], explain_all: true}' \
+    >"$TMP/bigbatch.json"
+# A promoted request's uncovered time is occasionally a GC pause outside
+# the stage taxonomy (often why it was slow enough to promote); the
+# structural assertions are unconditional, only the 90% coverage bound
+# earns a fresh probe.
+COVERED=""
+for attempt in 1 2 3 4 5; do
+    SLOW_ID=$(curl -fsS -o /dev/null -D - -H 'Content-Type: application/json' \
+        -X POST "$BASE/v1/score" --data-binary @"$TMP/bigbatch.json" | tr -d '\r' | awk 'tolower($1)=="x-request-id:"{print $2}')
+    [[ -n "$SLOW_ID" ]] || { echo "smoke: slow probe returned no X-Request-Id" >&2; exit 1; }
+    SLOW=$(curl -fsS "$BASE/v1/debug/slow")
+    echo "$SLOW" | jq -e --arg id "$SLOW_ID" '
+        (.count > 0)
+        and ((.entries | length) == .count)
+        and ([.entries[] | select(.request_id == $id)] | length == 1)
+        and (.entries[] | select(.request_id == $id) |
+             (.name == "request.score")
+             and (.stages_ns | length > 0)
+             and (.stage_total_ns <= .dur_ns)
+             and (.spans | length > 1))
+    ' >/dev/null || {
+        echo "smoke: /v1/debug/slow assertions failed for $SLOW_ID: $SLOW" >&2
+        exit 1
+    }
+    if echo "$SLOW" | jq -e --arg id "$SLOW_ID" \
+        '.entries[] | select(.request_id == $id) | .stage_total_ns >= .dur_ns * 0.9' >/dev/null; then
+        COVERED=1
+        break
+    fi
+    echo "smoke: slow probe $SLOW_ID stage coverage under 90% (attempt $attempt/5), retrying"
+done
+[[ -n "$COVERED" ]] || {
+    echo "smoke: no slow probe reached 90% stage coverage in 5 attempts" >&2
+    exit 1
+}
+# The Chrome-trace form must parse and carry events.
+curl -fsS "$BASE/v1/debug/slow?format=chrome" | jq -e '.traceEvents | length > 0' >/dev/null || {
+    echo "smoke: /v1/debug/slow?format=chrome is malformed" >&2
+    exit 1
+}
+# /v1/debug/state consolidates every subsystem into one document.
+STATE=$(curl -fsS "$BASE/v1/debug/state")
+echo "$STATE" | jq -e '
+    (.uptime_seconds > 0)
+    and (.version >= 1)
+    and (.rules >= 1)
+    and (.workers >= 1)
+    and (.scored_tx > 0)
+    and (.trace.capacity > 0) and (.trace.held > 0)
+    and (.slow.capacity > 0) and (.slow.promoted > 0) and (.slow.len > 0)
+    and (.window.entries > 0)
+    and (.runtime.goroutines > 0) and (.runtime.heap_bytes > 0)
+' >/dev/null || {
+    echo "smoke: /v1/debug/state assertions failed: $STATE" >&2
+    exit 1
+}
+echo "smoke: debug-endpoint assertions ok (slow trace $SLOW_ID retained with stage breakdown)"
+
 # Graceful drain: SIGTERM must exit cleanly.
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
