@@ -30,8 +30,15 @@
 #                 plus feedback/publish churn, SIGKILL it mid-flight, restart
 #                 on the same directory, and assert the acknowledged state
 #                 survived the crash (scripts/crash-smoke.sh)
+#   make cluster-smoke  boot a durable leader plus two -follow followers,
+#                 drive concurrent load with a mid-load rule publish, assert
+#                 roles, the read_only write rejection and leader-exact
+#                 /v1/rules ETag convergence, SIGKILL + restart one follower,
+#                 and require the aggregate follower throughput to clear a
+#                 core-aware factor (scripts/cluster-smoke.sh)
 #   make check    build + vet + test + race + trace-check
-#   make ci       the full CI gate: check + smoke + crash-smoke + trace-demo
+#   make ci       the full CI gate: check + smoke + crash-smoke +
+#                 cluster-smoke + trace-demo
 
 GO        ?= go
 PKGS      ?= ./...
@@ -41,7 +48,7 @@ COUNT     ?= 1
 ADDR      ?= 127.0.0.1:8080
 TRACE_OUT ?=
 
-.PHONY: all build test race vet bench bench-json serve loadgen smoke crash-smoke trace-demo trace-check check ci clean
+.PHONY: all build test race vet bench bench-json serve loadgen smoke crash-smoke cluster-smoke trace-demo trace-check check ci clean
 
 all: ci
 
@@ -75,6 +82,9 @@ smoke:
 crash-smoke:
 	GO=$(GO) bash scripts/crash-smoke.sh
 
+cluster-smoke:
+	GO=$(GO) bash scripts/cluster-smoke.sh
+
 trace-demo:
 	GO=$(GO) TRACE_OUT=$(TRACE_OUT) bash scripts/trace-demo.sh
 
@@ -84,7 +94,7 @@ trace-check:
 
 check: build vet test race trace-check
 
-ci: check smoke crash-smoke trace-demo
+ci: check smoke crash-smoke cluster-smoke trace-demo
 	-GO=$(GO) BENCHTIME=100x WRITE=0 TOL=1.0 bash scripts/bench.sh
 
 clean:

@@ -11,6 +11,7 @@
 //	loadgen -url http://127.0.0.1:8080 [-duration 10s] [-concurrency 8]
 //	        [-batch 64] [-seed 1] [-smoke] [-churn N] [-state-file f]
 //	        [-resume] [-expect-version N] [-expect-feedback N] [-velocity]
+//	        [-follower-of http://leader:8080]
 //
 // With -smoke it additionally exercises the control plane after the load
 // phase — asserts decision provenance (explain-mode /v1/score responses
@@ -36,6 +37,14 @@
 // (rudolf_wal_replayed_records_total > 0), that errors arrive in the
 // uniform envelope, and that legacy unversioned paths answer 308 redirects
 // to /v1 — the assertion pass behind `make crash-smoke`.
+//
+// -follower-of asserts the replication contract before the load phase runs:
+// the target must report role=follower on GET /v1/status and become ready,
+// reject a mutating request with the stable "read_only" envelope plus a
+// Location header into the leader, converge GET /v1/rules to the leader's
+// exact ETag, and score read-only at that version. The load phase then
+// hammers the follower as usual — the assertion pass behind
+// `make cluster-smoke`. Incompatible with -smoke and -churn, which mutate.
 //
 // -velocity extends the churn/resume pair with stateful-rule convergence:
 // the churn run publishes a windowed COUNT rule and scores part of a
@@ -79,6 +88,7 @@ func main() {
 		expectVer   = flag.Int("expect-version", -1, "with -resume: expected rule-set version (-1: take it from -state-file)")
 		expectFb    = flag.Int("expect-feedback", -1, "with -resume: expected feedback count (-1: take it from -state-file)")
 		velocity    = flag.Bool("velocity", false, "with -churn/-resume: assert windowed-rule aggregate state survives the restart")
+		followerOf  = flag.String("follower-of", "", "assert -url is a ready read-only replication follower of the leader at this base URL before the load phase")
 	)
 	flag.Parse()
 	url := strings.TrimRight(*baseURL, "/")
@@ -101,6 +111,16 @@ func main() {
 	}
 	fmt.Printf("loadgen: target %s, schema arity %d, rules version %d (%d rules)\n",
 		url, schema.Arity(), startVersion, len(startRules))
+
+	if *followerOf != "" {
+		if *smoke || *churn > 0 {
+			fatal(fmt.Errorf("-follower-of is incompatible with -smoke and -churn: followers reject writes"))
+		}
+		if err := runFollowerCheck(url, *followerOf, schema); err != nil {
+			fatal(fmt.Errorf("follower check: %w", err))
+		}
+		fmt.Printf("loadgen: follower contract verified against leader %s\n", *followerOf)
+	}
 
 	// Pre-generate distinct request bodies so the hot loop only does I/O.
 	rng := rand.New(rand.NewSource(*seed))
@@ -1476,6 +1496,128 @@ func fetchRules(url string) (rules []string, version int, err error) {
 		return nil, 0, err
 	}
 	return out.Rules, out.Version, nil
+}
+
+// fetchRulesETag returns the ETag and version of GET /v1/rules — the pair
+// runFollowerCheck compares across leader and follower, since identical
+// ETags are the replication invariant (DESIGN.md §16).
+func fetchRulesETag(url string) (etag string, version int, err error) {
+	resp, err := http.Get(url + "/v1/rules")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("GET /v1/rules: %d", resp.StatusCode)
+	}
+	var out struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", 0, err
+	}
+	return resp.Header.Get("ETag"), out.Version, nil
+}
+
+// runFollowerCheck asserts the follower-role contract of the target at url
+// before the load phase: GET /v1/status reports role=follower and readiness,
+// a mutating request bounces with the stable "read_only" envelope and a
+// Location header into the leader, GET /v1/rules converges to the leader's
+// exact ETag, and scoring still works read-only.
+func runFollowerCheck(url, leaderURL string, schema *relation.Schema) error {
+	leaderURL = strings.TrimRight(leaderURL, "/")
+
+	// Role + readiness. The follower catches up asynchronously, so readiness
+	// is polled rather than demanded immediately.
+	var st struct {
+		Role  string `json:"role"`
+		Ready bool   `json:"ready"`
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/status")
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("GET /v1/status: %w", err)
+		}
+		if st.Role != "follower" {
+			return fmt.Errorf("/v1/status role = %q, want follower", st.Role)
+		}
+		if st.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower never became ready")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Mutations are rejected with the stable envelope and redirected home.
+	resp, err := http.Post(url+"/v1/feedback", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		return fmt.Errorf("POST /v1/feedback on a follower: %d %s, want 403", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "read_only" {
+		return fmt.Errorf("follower write rejection %s is not the read_only envelope (err %v)", body, err)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, leaderURL) {
+		return fmt.Errorf("follower write rejection Location = %q, want a URL under the leader %s", loc, leaderURL)
+	}
+
+	// ETag convergence: the follower must serve the leader's exact rules
+	// bytes. Poll briefly — a publish may be streaming right now.
+	var letag, fetag string
+	var lver, fver int
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if letag, lver, err = fetchRulesETag(leaderURL); err != nil {
+			return fmt.Errorf("leader rules: %w", err)
+		}
+		if fetag, fver, err = fetchRulesETag(url); err != nil {
+			return fmt.Errorf("follower rules: %w", err)
+		}
+		if letag != "" && letag == fetag && lver == fver {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("rules never converged: leader %s v%d, follower %s v%d", letag, lver, fetag, fver)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("loadgen: follower serves rules v%d with the leader's ETag %s\n", fver, fetag)
+
+	// Read-only scoring serves at the replicated version.
+	rng := rand.New(rand.NewSource(7))
+	resp, err = http.Post(url+"/v1/score", "application/json", bytes.NewReader(scoreBody(rng, schema, 4)))
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("follower /v1/score: %d %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Version != fver {
+		return fmt.Errorf("follower scored at version %d (err %v), want %d", sr.Version, err, fver)
+	}
+	return nil
 }
 
 func fetchMetrics(url string) (string, error) {

@@ -6,10 +6,11 @@
 // Usage:
 //
 //	rudolfd [-addr 127.0.0.1:8080] [-schema schema.json -rules rules.txt]
-//	        [-history history.json | -data-dir state/] [-workers N]
-//	        [-max-batch N] [-drain 10s] [-fsync always|interval|never]
-//	        [-fsync-interval 100ms] [-snapshot-interval 1m]
-//	        [-wal-segment-bytes N] [-log-format text|json] [-log-level info]
+//	        [-history history.json | -data-dir state/ | -follow URL]
+//	        [-workers N] [-max-batch N] [-drain 10s]
+//	        [-fsync always|interval|never] [-fsync-interval 100ms]
+//	        [-snapshot-interval 1m] [-wal-segment-bytes N]
+//	        [-log-format text|json] [-log-level info]
 //	        [-debug-addr 127.0.0.1:6060] [-trace-capacity N]
 //	        [-slow-ring N] [-slow-floor 250ms]
 //	        [-audit-ring N] [-audit-sample N] [-drift-half-life 5m]
@@ -20,10 +21,12 @@
 // zero-config path cmd/loadgen and `make smoke` exercise.
 //
 // Endpoints: POST /v1/score, GET+POST /v1/rules, POST /v1/feedback,
-// POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/trace,
-// GET /v1/debug/slow, GET /v1/debug/state, GET /v1/rules/health,
-// GET /v1/audit, plus the unversioned infra endpoints GET /healthz,
-// GET /readyz, GET /metrics.
+// POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/status,
+// GET /v1/trace, GET /v1/debug/slow, GET /v1/debug/state,
+// GET /v1/rules/health, GET /v1/audit, the replication surface
+// GET /v1/wal/segments, GET /v1/wal/snapshot and GET /v1/wal/stream
+// (durable leaders only), plus the unversioned infra endpoints
+// GET /healthz, GET /readyz, GET /metrics.
 // Legacy unversioned API paths answer 308 redirects to their /v1
 // successors. Published rules (POST /v1/rules and -rules files) use the
 // textual rule language documented in README.md ("The rule language"),
@@ -49,6 +52,16 @@
 // never reports ready with half-restored state. SIGINT/SIGTERM drains
 // gracefully: /readyz flips to 503, in-flight requests finish, the durable
 // state is flushed (or, without -data-dir, -history is written back).
+//
+// -follow <leader-url> runs the daemon as a read-only replication follower
+// (DESIGN.md §16): it fetches the schema from the leader, bootstraps from
+// the leader's newest snapshot, tails its WAL stream, and serves /v1/score,
+// GET /v1/rules and the observability endpoints at the leader's exact rule
+// version (identical /v1/rules ETags). Mutating requests answer 403 with
+// code "read_only" and a Location header to the leader. /readyz stays 503
+// until replay catches up to the leader's position; GET /v1/status reports
+// the node's role either way. If the leader prunes past the follower's
+// position the process exits non-zero — restart it to re-bootstrap.
 package main
 
 import (
@@ -76,6 +89,7 @@ func main() {
 		rulesPath   = flag.String("rules", "", "rule file (empty: the FI's generated incumbent rules)")
 		histPath    = flag.String("history", "", "JSON rule history to continue and persist on shutdown")
 		dataDir     = flag.String("data-dir", "", "durable state directory (WAL + snapshots); replayed on boot")
+		followURL   = flag.String("follow", "", "run as a read-only replication follower of the leader at this base URL (e.g. http://leader:8080)")
 		fsync       = flag.String("fsync", "", "WAL fsync policy: always, interval or never (default always; requires -data-dir)")
 		fsyncIvl    = flag.Duration("fsync-interval", 0, "flush period under -fsync interval (0: default)")
 		snapIvl     = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0: default; negative: only on shutdown)")
@@ -109,6 +123,7 @@ func main() {
 		RulesPath:        *rulesPath,
 		HistoryPath:      *histPath,
 		DataDir:          *dataDir,
+		FollowURL:        *followURL,
 		Fsync:            *fsync,
 		FsyncInterval:    *fsyncIvl,
 		SnapshotInterval: *snapIvl,
@@ -158,10 +173,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Follower mode: replicate from the leader next to the HTTP listener.
+	// Replication errors are unrecoverable in place (e.g. the leader pruned
+	// past our position, so the state must be re-bootstrapped): initiate the
+	// same graceful drain a signal would, then exit non-zero so a supervisor
+	// restarts the process into a clean bootstrap.
+	var followErr error
+	if *followURL != "" {
+		go func() {
+			if err := srv.Follow(ctx); err != nil {
+				logger.Error("replication failed", "leader", *followURL, "err", err)
+				followErr = err
+				stop()
+			}
+		}()
+	}
+
 	if err := srv.Serve(ctx, ln); err != nil {
 		fatal(err)
 	}
 	logger.Info("drained")
+	if followErr != nil {
+		fatal(fmt.Errorf("replication: %w", followErr))
+	}
 
 	if *histPath != "" {
 		if err := cli.SaveHistory(*histPath, srv.History()); err != nil {

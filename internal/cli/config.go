@@ -26,6 +26,12 @@ type ServeOptions struct {
 	HistoryPath string
 	// DataDir enables durable serving state (WAL + snapshots).
 	DataDir string
+	// FollowURL runs the daemon as a read-only replication follower of the
+	// leader at this base URL. The schema is fetched from the leader's
+	// GET /v1/schema (retrying while the leader boots), so a follower needs
+	// no local files at all; mutually exclusive with SchemaPath, RulesPath,
+	// HistoryPath and DataDir.
+	FollowURL string
 	// Fsync, FsyncInterval, SnapshotInterval and WALSegmentBytes are the
 	// durability knobs (see serve.Config); they require DataDir.
 	Fsync            string
@@ -84,6 +90,31 @@ func (o ServeOptions) ServerConfig() (serve.Config, error) {
 	}
 	if o.HistoryPath != "" && o.DataDir != "" {
 		return serve.Config{}, errors.New("-history and -data-dir are mutually exclusive: the data directory persists its own version history")
+	}
+	if o.FollowURL != "" {
+		// A follower's entire state — schema, rules, history, feedback —
+		// replicates from the leader; any local source of the same state
+		// would conflict with it.
+		switch {
+		case o.DataDir != "":
+			return serve.Config{}, errors.New("-follow and -data-dir are mutually exclusive: a follower's durable state is the leader's")
+		case o.HistoryPath != "":
+			return serve.Config{}, errors.New("-follow and -history are mutually exclusive: a follower replicates the leader's history")
+		case o.SchemaPath != "":
+			return serve.Config{}, errors.New("-follow and -schema are mutually exclusive: a follower fetches the schema from the leader")
+		case o.RulesPath != "":
+			return serve.Config{}, errors.New("-follow and -rules are mutually exclusive: a follower replicates the leader's published rules")
+		}
+		cfg.FollowURL = o.FollowURL
+		schema, err := FetchSchema(o.FollowURL)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.Schema = schema
+		if err := cfg.Validate(); err != nil {
+			return serve.Config{}, err
+		}
+		return cfg, nil
 	}
 
 	if o.SchemaPath != "" {

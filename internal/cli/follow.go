@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Schema-fetch retry budget: a follower is routinely started before (or at
+// the same time as) its leader, so transient connection failures during the
+// leader's boot are expected, not fatal.
+const (
+	fetchSchemaAttempts = 40
+	fetchSchemaDelay    = 500 * time.Millisecond
+)
+
+// FetchSchema retrieves the transaction schema from a leader's
+// GET /v1/schema, retrying while the leader comes up. A follower
+// self-configures from this — it needs no local schema file.
+func FetchSchema(leaderURL string) (*relation.Schema, error) {
+	url := strings.TrimRight(leaderURL, "/") + "/v1/schema"
+	client := &http.Client{Timeout: 10 * time.Second}
+	var lastErr error
+	for attempt := 0; attempt < fetchSchemaAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(fetchSchemaDelay)
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("leader answered %s", resp.Status)
+			continue
+		}
+		schema, err := relation.ReadSchemaJSON(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// A well-formed HTTP 200 with a broken schema body will not get
+			// better on retry.
+			return nil, fmt.Errorf("parsing schema from %s: %w", url, err)
+		}
+		return schema, nil
+	}
+	return nil, fmt.Errorf("fetching schema from %s: leader unreachable after %d attempts: %w",
+		url, fetchSchemaAttempts, lastErr)
+}

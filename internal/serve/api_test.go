@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -54,6 +55,25 @@ func TestLegacyRedirects(t *testing.T) {
 		}
 		if link := resp.Header.Get("Link"); !strings.Contains(link, "successor-version") {
 			t.Errorf("GET /%s Link = %q, want a successor-version relation", base, link)
+		}
+	}
+
+	// The unversioned debug paths redirect like the rest of the legacy
+	// surface (same 308 + Deprecation + successor-version Link).
+	for _, p := range []string{"/debug/slow", "/debug/state"} {
+		resp, err := client.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("GET %s = %d, want 308", p, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1"+p {
+			t.Errorf("GET %s Location = %q, want /v1%s", p, loc, p)
+		}
+		if resp.Header.Get("Deprecation") == "" {
+			t.Errorf("GET %s: missing Deprecation header", p)
 		}
 	}
 
@@ -222,6 +242,138 @@ func TestIfMatch(t *testing.T) {
 	body = readAll(t, resp)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("POST with bad If-Match = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestAPIContract pins the whole /v1 surface, route × method, on a leader
+// and on a follower: expected status, stable error code and envelope shape.
+// The follower is constructed with a FollowURL but never connected — the
+// contract of an un-bootstrapped follower (not ready, read-only, version 0)
+// is exactly what a load balancer and a retrying client see during catch-up.
+func TestAPIContract(t *testing.T) {
+	schema := testSchema(t)
+	leader, lts := newTestServer(t, Config{
+		Schema:  schema,
+		Rules:   mustRules(t, schema, "amount >= 100"),
+		DataDir: t.TempDir(),
+		Fsync:   "never",
+	})
+	defer leader.Close()
+	// Port 9 (discard) is never listened on; Follow is never started, so the
+	// URL is only identity.
+	follower, err := New(Config{Schema: schema, FollowURL: "http://127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(follower.Handler())
+	defer fts.Close()
+
+	scoreBody := `{"attrs":{"amount":150,"hour":3},"score":10}`
+	feedbackBody := `{"transactions":[{"attrs":{"amount":150,"hour":3},"score":10,"label":"fraud"}]}`
+	rulesBody := `{"rules":["amount >= 50"],"comment":"contract"}`
+
+	// One expectation: HTTP status plus the envelope's stable code ("" for
+	// success — no envelope to check).
+	type want struct {
+		status int
+		code   string
+	}
+	ok := want{http.StatusOK, ""}
+	readOnly := want{http.StatusForbidden, CodeReadOnly}
+	notAllowed := want{http.StatusMethodNotAllowed, CodeMethodNotAllowed}
+	notFound := want{http.StatusNotFound, CodeNotFound}
+
+	// Rows run in order against both servers; mutating leader rows are
+	// sequenced so earlier rows never invalidate later expectations (refine
+	// runs before feedback exists, so it answers 409).
+	rows := []struct {
+		method, path, body string
+		leader, follower   want
+	}{
+		{"POST", "/v1/score", scoreBody, ok, ok},
+		{"GET", "/v1/score", "", notAllowed, notAllowed},
+		{"GET", "/v1/rules", "", ok, ok},
+		{"DELETE", "/v1/rules", "", notAllowed, notAllowed},
+		{"POST", "/v1/refine", "{}", want{http.StatusConflict, CodeConflict}, readOnly},
+		{"GET", "/v1/refine", "", notAllowed, notAllowed},
+		{"POST", "/v1/feedback", feedbackBody, ok, readOnly},
+		{"GET", "/v1/feedback", "", notAllowed, notAllowed},
+		{"POST", "/v1/rules", rulesBody, ok, readOnly},
+		{"GET", "/v1/stats", "", ok, ok},
+		{"POST", "/v1/stats", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/schema", "", ok, ok},
+		{"POST", "/v1/schema", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/status", "", ok, ok},
+		{"POST", "/v1/status", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/rules/health", "", ok, ok},
+		{"POST", "/v1/rules/health", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/audit", "", ok, ok},
+		{"POST", "/v1/audit", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/trace", "", ok, ok},
+		{"POST", "/v1/trace", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/debug/slow", "", ok, ok},
+		{"POST", "/v1/debug/slow", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/debug/state", "", ok, ok},
+		{"POST", "/v1/debug/state", "{}", notAllowed, notAllowed},
+		// The replication surface: served by a durable leader, 404 with the
+		// uniform envelope on a node without a WAL (the follower), 405 for
+		// wrong methods on both. ?from=0 is invalid, so the leader's stream
+		// row answers 400 instead of long-polling the test.
+		{"GET", "/v1/wal/segments", "", ok, notFound},
+		{"POST", "/v1/wal/segments", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/wal/snapshot", "", notFound, notFound}, // no snapshot yet on the leader either
+		{"POST", "/v1/wal/snapshot", "{}", notAllowed, notAllowed},
+		{"GET", "/v1/wal/stream?from=0", "", want{http.StatusBadRequest, CodeBadRequest}, notFound},
+		{"POST", "/v1/wal/stream", "{}", notAllowed, notAllowed},
+		// Catch-all and infra.
+		{"GET", "/v1/nope", "", notFound, notFound},
+		{"GET", "/readyz", "", ok, want{http.StatusServiceUnavailable, CodeNotReady}},
+	}
+
+	run := func(t *testing.T, base, role string, method, path, body string, w want) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := readAll(t, resp)
+		if resp.StatusCode != w.status {
+			t.Fatalf("%s: %s %s = %d (%s), want %d", role, method, path, resp.StatusCode, got, w.status)
+		}
+		if w.code == "" {
+			return
+		}
+		var er errorResponse
+		if err := jsonUnmarshal(got, &er); err != nil {
+			t.Fatalf("%s: %s %s body %q is not the error envelope: %v", role, method, path, got, err)
+		}
+		if er.Error.Code != w.code {
+			t.Errorf("%s: %s %s code = %q, want %q", role, method, path, er.Error.Code, w.code)
+		}
+		if er.Error.Message == "" {
+			t.Errorf("%s: %s %s: empty error message", role, method, path)
+		}
+		if w.code == CodeMethodNotAllowed && resp.Header.Get("Allow") == "" {
+			t.Errorf("%s: %s %s: 405 without an Allow header", role, method, path)
+		}
+		if w.code == CodeReadOnly && resp.Header.Get("Location") == "" {
+			t.Errorf("%s: %s %s: read_only without a Location to the leader", role, method, path)
+		}
+	}
+	for _, row := range rows {
+		run(t, lts.URL, "leader", row.method, row.path, row.body, row.leader)
+		run(t, fts.URL, "follower", row.method, row.path, row.body, row.follower)
 	}
 }
 

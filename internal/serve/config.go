@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/url"
 	"runtime"
 	"time"
 
@@ -122,6 +123,15 @@ type Config struct {
 	// WALSegmentBytes is the WAL segment rotation threshold. 0 means
 	// wal.DefaultSegmentBytes. Requires DataDir.
 	WALSegmentBytes int64
+
+	// FollowURL turns the server into a read-only replication follower of
+	// the leader at this base URL (e.g. "http://leader:8080"): it bootstraps
+	// from the leader's newest snapshot, tails its WAL stream, serves reads
+	// at the leader's rule version, and answers every mutating request with
+	// 403 "read_only" plus a Location header to the leader. Mutually
+	// exclusive with DataDir (a follower's durable state IS the leader's)
+	// and History. See DESIGN.md §16.
+	FollowURL string
 }
 
 // Defaults for the zero Config values.
@@ -202,6 +212,18 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.DataDir != "" && cfg.History != nil {
 		return errors.New("serve: Config.DataDir and Config.History are mutually exclusive; the data directory persists its own version history")
+	}
+	if cfg.FollowURL != "" {
+		if cfg.DataDir != "" {
+			return errors.New("serve: Config.FollowURL and Config.DataDir are mutually exclusive; a follower's durable state is the leader's")
+		}
+		if cfg.History != nil {
+			return errors.New("serve: Config.FollowURL and Config.History are mutually exclusive; a follower replicates the leader's history")
+		}
+		u, err := url.Parse(cfg.FollowURL)
+		if err != nil || !u.IsAbs() || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return fmt.Errorf("serve: Config.FollowURL = %q; want an absolute http(s) base URL like http://leader:8080", cfg.FollowURL)
+		}
 	}
 	return nil
 }

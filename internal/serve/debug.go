@@ -242,7 +242,7 @@ func slowEntryWire(e trace.SlowEntry) debugSlowEntry {
 // request spans that could themselves be promoted.
 func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	entries := s.tracer.SlowSnapshot()
@@ -342,10 +342,11 @@ type debugStateResponse struct {
 	ScoredTx      uint64            `json:"scored_tx"`
 	Trace         debugTraceState   `json:"trace"`
 	Slow          debugSlowState    `json:"slow"`
-	Window        *debugWindowState `json:"window"`
-	WAL           *debugWALState    `json:"wal"`
-	Capture       debugCaptureState `json:"capture"`
-	Runtime       debugRuntimeState `json:"runtime"`
+	Window        *debugWindowState      `json:"window"`
+	WAL           *debugWALState         `json:"wal"`
+	Capture       debugCaptureState      `json:"capture"`
+	Runtime       debugRuntimeState      `json:"runtime"`
+	Replication   *debugReplicationState `json:"replication"`
 }
 
 // handleDebugState consolidates the introspection stats of every subsystem
@@ -353,7 +354,7 @@ type debugStateResponse struct {
 // /v1/debug/slow.
 func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	s.refreshDebugStats()
@@ -428,6 +429,7 @@ func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
 			TornTailDrops: wst.TornTailDrops,
 		}
 	}
+	resp.Replication = s.replicationDebugState()
 	s.mu.Lock()
 	hits, rebinds, invalidates := s.cache.Stats()
 	resp.Capture = debugCaptureState{

@@ -1,0 +1,333 @@
+// The follower side of WAL-shipping replication (DESIGN.md §16): a server
+// constructed with Config.FollowURL never takes writes of its own — its
+// entire state is a pure function of the leader's WAL. Bootstrap installs
+// the leader's newest snapshot through the same readers a durable boot uses,
+// Apply replays streamed records through the same code paths as boot replay
+// (publish → hot-swap, feedback → relation, observe → window store), and the
+// scoring path stamps window columns read-only (window.PeekColumns) so local
+// traffic never mutates the mirrored aggregates. The follower's /v1/rules
+// ETag therefore equals the leader's at the same version — the invariant
+// cluster-smoke asserts.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/replica"
+	"repro/internal/telemetry"
+)
+
+// followerState is the replication-side state of a following server.
+type followerState struct {
+	leaderURL string
+
+	applied    atomic.Uint64 // last WAL seq applied
+	target     atomic.Uint64 // leader's last seq at first connect: the catch-up goal
+	leaderSeq  atomic.Uint64 // leader's last seq at the most recent (re)connect
+	snapSeq    atomic.Uint64 // seq of the bootstrap snapshot
+	reconnects atomic.Uint64
+	caughtUp   atomic.Bool
+
+	mApplied    *telemetry.Gauge
+	mLag        *telemetry.Gauge
+	mReconnects *telemetry.Counter
+}
+
+// ready reports whether replay has reached the leader's position as of the
+// first connect — the /readyz gate: a load balancer never routes to a
+// follower still serving a stale version.
+func (f *followerState) ready() bool { return f.caughtUp.Load() }
+
+// lag returns how many records the follower trails the last known leader
+// position (clamped at 0: the stream can be ahead of the last manifest).
+func (f *followerState) lag() uint64 {
+	leader, applied := f.leaderSeq.Load(), f.applied.Load()
+	if applied >= leader {
+		return 0
+	}
+	return leader - applied
+}
+
+// setApplied advances the applied position, refreshes the gauges and flips
+// readiness once the catch-up target is reached.
+func (s *Server) setApplied(seq uint64) {
+	f := s.follower
+	f.applied.Store(seq)
+	f.mApplied.Set(int64(seq))
+	f.mLag.Set(int64(f.lag()))
+	if !f.caughtUp.Load() && f.target.Load() > 0 && seq >= f.target.Load() {
+		f.caughtUp.Store(true)
+		s.log.Info("follower caught up", "leader", f.leaderURL, "applied", seq, "version", s.Version())
+	}
+}
+
+// Follow replicates from Config.FollowURL until ctx is cancelled. It blocks;
+// run it in its own goroutine next to Serve. A nil return means ctx ended
+// the loop. A non-nil return is unrecoverable in place — most notably
+// replica.ErrContinuityLost (the leader pruned past our position) — and the
+// process should exit so a restart re-bootstraps cleanly.
+func (s *Server) Follow(ctx context.Context) error {
+	if s.follower == nil {
+		return errors.New("serve: Follow requires Config.FollowURL")
+	}
+	f := s.follower
+	rep, err := replica.New(replica.Config{
+		LeaderURL: f.leaderURL,
+		Target:    followTarget{s},
+		Logger:    s.log,
+		OnConnect: func(leaderLast, snapSeq uint64) {
+			f.leaderSeq.Store(leaderLast)
+			// The catch-up target freezes at the first connect: /readyz must
+			// not flap back to 503 just because the leader kept writing.
+			if f.target.Load() == 0 {
+				t := leaderLast
+				if t == 0 {
+					t = 1 // a durable leader writes its initial publish as seq 1
+				}
+				f.target.Store(t)
+			}
+			f.mLag.Set(int64(f.lag()))
+			if f.applied.Load() >= f.target.Load() {
+				f.caughtUp.Store(true)
+			}
+		},
+		OnApplied: func(seq uint64) { s.setApplied(seq) },
+		OnReconnect: func(err error) {
+			f.reconnects.Add(1)
+			f.mReconnects.Inc()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return rep.Run(ctx)
+}
+
+// followTarget adapts the Server to replica.Target without widening the
+// Server's public API.
+type followTarget struct{ s *Server }
+
+// Bootstrap installs one leader snapshot, delivered as raw file bytes, using
+// the same readers a durable boot uses on its own snapshot directory.
+func (t followTarget) Bootstrap(seq uint64, files map[string][]byte) error {
+	s := t.s
+	if seq == 0 {
+		// Fresh leader, no snapshot: start empty, every record streams in.
+		s.setApplied(0)
+		return nil
+	}
+	var m manifest
+	if err := json.Unmarshal(files[manifestFile], &m); err != nil {
+		return fmt.Errorf("snapshot manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return fmt.Errorf("snapshot manifest format %d, this build reads %d", m.Format, manifestFormat)
+	}
+	if m.WALSeq != seq {
+		return fmt.Errorf("snapshot manifest covers wal seq %d, expected %d", m.WALSeq, seq)
+	}
+	hist, err := history.ReadJSON(bytes.NewReader(files[historyFile]), s.schema)
+	if err != nil {
+		return fmt.Errorf("snapshot history: %w", err)
+	}
+	feedback, err := relation.ReadCSV(s.schema, bytes.NewReader(files[feedbackFile]))
+	if err != nil {
+		return fmt.Errorf("snapshot feedback: %w", err)
+	}
+	if hist.Len() != m.Versions || feedback.Len() != m.Feedback {
+		return fmt.Errorf("snapshot disagrees with its manifest: %d versions (manifest %d), %d feedback (manifest %d)",
+			hist.Len(), m.Versions, feedback.Len(), m.Feedback)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if win, ok := files[windowFile]; ok && s.winStore != nil {
+		if err := s.winStore.ReadSnapshot(bytes.NewReader(win)); err != nil {
+			return fmt.Errorf("snapshot window state: %w", err)
+		}
+	}
+	s.hist = hist
+	s.feedback = feedback
+	if v, ok := hist.Latest(); ok {
+		rs, err := hist.Checkout(hist.Len() - 1)
+		if err != nil {
+			return err
+		}
+		s.installLocked(rs, index.Compile(s.schema, rs), v)
+	}
+	s.cache.Invalidate()
+	s.follower.snapSeq.Store(seq)
+	s.setApplied(seq)
+	s.log.Info("follower bootstrapped", "leader", s.follower.leaderURL,
+		"snapshot_seq", seq, "version", m.Version, "feedback", feedback.Len())
+	return nil
+}
+
+// Apply replays one streamed WAL record — the live twin of applyWALRecord,
+// except a replicated publish also hot-swaps immediately (boot replay defers
+// the install to the end; a follower serves while it tails).
+func (t followTarget) Apply(seq uint64, payload []byte) error {
+	s := t.s
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("record %d does not parse: %w", seq, err)
+	}
+	switch rec.Type {
+	case "feedback":
+		fb := rec.Feedback
+		if fb == nil || len(fb.Tuples) != len(fb.Labels) || len(fb.Tuples) != len(fb.Scores) {
+			return fmt.Errorf("record %d: malformed feedback batch", seq)
+		}
+		s.mu.Lock()
+		for i, vals := range fb.Tuples {
+			if _, err := s.feedback.Append(relation.Tuple(vals), relation.Label(fb.Labels[i]), fb.Scores[i]); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("record %d transaction %d: %w", seq, i, err)
+			}
+		}
+		s.mu.Unlock()
+	case "publish":
+		if rec.Publish == nil {
+			return fmt.Errorf("record %d: publish record without a version", seq)
+		}
+		s.mu.Lock()
+		if err := s.hist.Append(*rec.Publish); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		rs, err := s.hist.Checkout(s.hist.Len() - 1)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("record %d: %w", seq, err)
+		}
+		st := s.installLocked(rs, index.Compile(s.schema, rs), *rec.Publish)
+		s.mu.Unlock()
+		s.mSwaps.Inc()
+		s.log.Info("replicated publish installed", "version", st.version, "rules", rs.Len(), "seq", seq)
+	case "observe":
+		if rec.Observe == nil {
+			return fmt.Errorf("record %d: observe record without tuples", seq)
+		}
+		if s.winStore == nil {
+			return fmt.Errorf("record %d: observe record but the schema has no time attribute", seq)
+		}
+		for _, vals := range rec.Observe.Tuples {
+			s.winStore.Observe(relation.Tuple(vals))
+		}
+	default:
+		return fmt.Errorf("record %d: unknown type %q", seq, rec.Type)
+	}
+	s.setApplied(seq)
+	return nil
+}
+
+// readOnly blocks the given methods on a follower with the uniform envelope:
+// 403, stable code "read_only", and a Location header pointing the client at
+// the leader's copy of the same path. Other methods fall through (so GET
+// /v1/rules still serves, and wrong-method requests still answer 405). A
+// no-op wrapper on a leader.
+func (s *Server) readOnly(h http.Handler, methods ...string) http.Handler {
+	if s.follower == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range methods {
+			if r.Method == m {
+				w.Header().Set("Location", s.follower.leaderURL+r.URL.Path)
+				s.writeError(w, r, http.StatusForbidden, CodeReadOnly,
+					"this node is a read-only follower; send writes to the leader at %s", s.follower.leaderURL)
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// statusResponse is the GET /v1/status document: one small stable identity
+// record shared by leaders and followers, so cluster tooling never scrapes
+// /metrics text to learn a node's role.
+type statusResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Version is the published rule-set version.
+	Version int `json:"version"`
+	// WALLastSeq is the newest durable WAL seq (leader; 0 when not durable)
+	// or the last applied seq (follower).
+	WALLastSeq uint64 `json:"wal_last_seq"`
+	// SnapshotSeq is the WAL seq of the newest local snapshot (leader) or of
+	// the bootstrap snapshot (follower).
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// UptimeS is seconds since the process constructed the server.
+	UptimeS float64 `json:"uptime_s"`
+	// Ready mirrors /readyz: false while draining or while a follower is
+	// still catching up.
+	Ready bool `json:"ready"`
+}
+
+// handleStatus serves the node identity document.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, r, http.MethodGet)
+		return
+	}
+	resp := statusResponse{
+		RequestID: requestMeta(r).id,
+		Role:      "leader",
+		Version:   s.Version(),
+		UptimeS:   time.Since(s.started).Seconds(),
+		Ready:     !s.draining.Load(),
+	}
+	if f := s.follower; f != nil {
+		resp.Role = "follower"
+		resp.WALLastSeq = f.applied.Load()
+		resp.SnapshotSeq = f.snapSeq.Load()
+		resp.Ready = resp.Ready && f.ready()
+	} else if s.wal != nil {
+		resp.WALLastSeq = s.wal.LastSeq()
+		s.mu.Lock()
+		resp.SnapshotSeq = s.lastSnapSeq
+		s.mu.Unlock()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// debugReplicationState is the replication block of GET /v1/debug/state.
+type debugReplicationState struct {
+	Role       string `json:"role"`
+	LeaderURL  string `json:"leader_url,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	LeaderSeq  uint64 `json:"leader_seq,omitempty"`
+	LagRecords uint64 `json:"lag_records"`
+	Reconnects uint64 `json:"reconnects"`
+	CaughtUp   bool   `json:"caught_up"`
+}
+
+// replicationDebugState builds the replication block for /v1/debug/state.
+func (s *Server) replicationDebugState() *debugReplicationState {
+	if f := s.follower; f != nil {
+		return &debugReplicationState{
+			Role:       "follower",
+			LeaderURL:  f.leaderURL,
+			AppliedSeq: f.applied.Load(),
+			LeaderSeq:  f.leaderSeq.Load(),
+			LagRecords: f.lag(),
+			Reconnects: f.reconnects.Load(),
+			CaughtUp:   f.ready(),
+		}
+	}
+	st := &debugReplicationState{Role: "leader", CaughtUp: true}
+	if s.wal != nil {
+		st.AppliedSeq = s.wal.LastSeq()
+	}
+	return st
+}

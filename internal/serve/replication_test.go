@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startFollower builds a follower of the leader at leaderURL, runs its
+// replication loop until the test ends, and serves its handler over httptest.
+func startFollower(t testing.TB, cfg Config, leaderURL string) (*Server, string) {
+	t.Helper()
+	cfg.FollowURL = leaderURL
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Follow(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Follow: %v", err)
+		}
+	})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	return f, ts.URL
+}
+
+// decodeBody unmarshals a response body into out, failing the test on
+// malformed JSON.
+func decodeBody(t testing.TB, resp *http.Response, out any) {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshaling %q: %v", data, err)
+	}
+}
+
+// waitFor polls cond for up to 10s — replication is asynchronous by design,
+// so convergence assertions poll instead of sleeping a fixed amount.
+func waitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func etagOf(t testing.TB, base string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr rulesResponse
+	decodeBody(t, resp, &rr)
+	return resp.Header.Get("ETag"), rr.Version
+}
+
+// TestFollowerReplicatesLeader is the end-to-end tentpole test: a follower
+// bootstraps from a live durable leader, replays feedback and publishes,
+// reaches readiness, serves GET /v1/rules with the leader's exact ETag,
+// keeps converging on later publishes, and rejects writes with the
+// "read_only" envelope pointing at the leader.
+func TestFollowerReplicatesLeader(t *testing.T) {
+	schema := testSchema(t)
+	leader, lts := newTestServer(t, Config{
+		Schema:  schema,
+		Rules:   mustRules(t, schema, "amount >= 100"),
+		DataDir: t.TempDir(),
+		Fsync:   "never",
+	})
+	defer leader.Close()
+
+	// Pre-existing leader state the follower must replay: one feedback batch
+	// and a second published version.
+	if code, body := postJSON(t, lts.URL+"/v1/feedback", map[string]any{
+		"transactions": []any{
+			map[string]any{"attrs": map[string]any{"amount": 500, "hour": 3}, "score": 10, "label": "fraud"},
+			map[string]any{"attrs": map[string]any{"amount": 20, "hour": 12}, "score": 10, "label": "legit"},
+		},
+	}, nil); code != http.StatusOK {
+		t.Fatalf("leader feedback: %d %s", code, body)
+	}
+	if code, body := postJSON(t, lts.URL+"/v1/rules", map[string]any{
+		"rules": []string{"amount >= 100", "hour <= 4"}, "comment": "v2",
+	}, nil); code != http.StatusOK {
+		t.Fatalf("leader publish: %d %s", code, body)
+	}
+
+	follower, fts := startFollower(t, Config{Schema: schema}, lts.URL)
+
+	waitFor(t, "follower readiness", func() bool {
+		return getJSON(t, fts+"/readyz", nil) == http.StatusOK
+	})
+	waitFor(t, "version convergence", func() bool { return follower.Version() == leader.Version() })
+
+	// The load-bearing invariant: the follower's /v1/rules ETag equals the
+	// leader's at the same version.
+	letag, lver := etagOf(t, lts.URL)
+	fetag, fver := etagOf(t, fts)
+	if letag != fetag || lver != fver {
+		t.Fatalf("leader %s v%d != follower %s v%d", letag, lver, fetag, fver)
+	}
+	if got, want := follower.FeedbackLen(), leader.FeedbackLen(); got != want {
+		t.Fatalf("follower feedback = %d, want %d", got, want)
+	}
+
+	// The follower scores with the replicated rules.
+	var sr scoreResponse
+	if code, body := postJSON(t, fts+"/v1/score", tx(150, 12, 10), &sr); code != http.StatusOK {
+		t.Fatalf("follower score: %d %s", code, body)
+	} else if !sr.Flagged[0] || sr.Version != lver {
+		t.Fatalf("follower score: %+v, want flagged at version %d", sr, lver)
+	}
+
+	// GET /v1/status reports the roles.
+	var st statusResponse
+	if code := getJSON(t, fts+"/v1/status", &st); code != http.StatusOK || st.Role != "follower" || !st.Ready {
+		t.Fatalf("follower status: code %d, %+v", code, st)
+	}
+	if code := getJSON(t, lts.URL+"/v1/status", &st); code != http.StatusOK || st.Role != "leader" || st.WALLastSeq == 0 {
+		t.Fatalf("leader status: code %d, %+v", code, st)
+	}
+
+	// Writes are rejected with the stable code and a Location to the leader.
+	resp, err := http.Post(fts+"/v1/feedback", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	decodeBody(t, resp, &er)
+	if resp.StatusCode != http.StatusForbidden || er.Error.Code != CodeReadOnly {
+		t.Fatalf("follower write: %d %+v, want 403 %s", resp.StatusCode, er, CodeReadOnly)
+	}
+	if loc := resp.Header.Get("Location"); loc != lts.URL+"/v1/feedback" {
+		t.Fatalf("Location = %q, want %q", loc, lts.URL+"/v1/feedback")
+	}
+	// GET on the same guarded route still serves.
+	if code := getJSON(t, fts+"/v1/rules", nil); code != http.StatusOK {
+		t.Fatalf("follower GET /v1/rules: %d", code)
+	}
+
+	// A publish after catch-up streams through live.
+	if code, body := postJSON(t, lts.URL+"/v1/rules", map[string]any{
+		"rules": []string{"amount >= 200"}, "comment": "v3",
+	}, nil); code != http.StatusOK {
+		t.Fatalf("leader publish v3: %d %s", code, body)
+	}
+	waitFor(t, "post-catch-up convergence", func() bool { return follower.Version() == leader.Version() })
+	letag, _ = etagOf(t, lts.URL)
+	fetag, _ = etagOf(t, fts)
+	if letag != fetag {
+		t.Fatalf("post-publish ETags diverge: leader %s follower %s", letag, fetag)
+	}
+}
+
+// TestFollowerBootstrapsFromSnapshot forces a leader snapshot (which prunes
+// the WAL) before the follower connects: bootstrap must come from the
+// snapshot files, not a full-WAL replay, and the streamed tail must carry
+// only the records past it. Windowed state rides along in window.json.
+func TestFollowerBootstrapsFromSnapshot(t *testing.T) {
+	schema := velocityServeSchema(t)
+	leader, lts := newTestServer(t, Config{
+		Schema:  schema,
+		Rules:   mustRules(t, schema, "COUNT(user, 10m) >= 3"),
+		DataDir: t.TempDir(),
+		Fsync:   "never",
+	})
+	defer leader.Close()
+
+	// Two observed events inside the snapshot...
+	for i := 0; i < 2; i++ {
+		if code, body := postJSON(t, lts.URL+"/v1/score", vtx(int64(100+i), 7, 50), nil); code != http.StatusOK {
+			t.Fatalf("leader score %d: %d %s", i, code, body)
+		}
+	}
+	if err := leader.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and one streamed after it.
+	if code, body := postJSON(t, lts.URL+"/v1/score", vtx(102, 7, 50), nil); code != http.StatusOK {
+		t.Fatalf("leader score post-snapshot: %d %s", code, body)
+	}
+
+	follower, fts := startFollower(t, Config{Schema: schema}, lts.URL)
+	waitFor(t, "follower readiness", func() bool {
+		return getJSON(t, fts+"/readyz", nil) == http.StatusOK
+	})
+	if follower.follower.snapSeq.Load() == 0 {
+		t.Fatal("follower did not bootstrap from a snapshot")
+	}
+
+	// The replicated window store has user 7's three observes: a fourth
+	// event scores as flagged on the follower — read-only, so scoring it
+	// twice yields the same aggregate (the follower never observes).
+	for try := 0; try < 2; try++ {
+		var sr scoreResponse
+		if code, body := postJSON(t, fts+"/v1/score", vtx(103, 7, 50), &sr); code != http.StatusOK {
+			t.Fatalf("follower score: %d %s", code, body)
+		} else if !sr.Flagged[0] {
+			t.Fatalf("try %d: follower did not flag the velocity rule (%+v)", try, sr)
+		}
+	}
+	// A different user has no replicated activity: not flagged.
+	var sr scoreResponse
+	if _, body := postJSON(t, fts+"/v1/score", vtx(103, 8, 50), &sr); sr.Flagged[0] {
+		t.Fatalf("unseen user flagged: %s", body)
+	}
+}

@@ -128,6 +128,15 @@ type Server struct {
 	obsMu    sync.Mutex
 
 	draining atomic.Bool
+	// drainCh is closed (once) when draining starts; long-lived responses
+	// (the /v1/wal/stream long-poll) select on it so graceful drain is never
+	// blocked by an open replication stream.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	// follower is the replication-side state when this server was built with
+	// Config.FollowURL (nil on a leader); see follower.go.
+	follower *followerState
 
 	sem chan struct{}
 
@@ -241,6 +250,10 @@ func New(cfg Config) (*Server, error) {
 		reg:      cfg.Registry,
 		log:      cfg.Logger,
 		started:  time.Now(),
+		drainCh:  make(chan struct{}),
+	}
+	if cfg.FollowURL != "" {
+		s.follower = &followerState{leaderURL: strings.TrimRight(cfg.FollowURL, "/")}
 	}
 	s.attrJSON = make([]string, cfg.Schema.Arity())
 	for i := range s.attrJSON {
@@ -286,7 +299,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	if !restored {
+	if s.follower != nil {
+		// A follower's entire state is a function of the leader's WAL: do not
+		// mint a local version 1. Install an empty version-0 state so the
+		// server is constructible and scoreable (zero rules, nothing flags)
+		// before Follow bootstraps; /readyz reports not-ready until then. The
+		// leader's first WAL record is its own v1 publish, which replays here.
+		rs := rules.NewSet()
+		s.mu.Lock()
+		s.installLocked(rs, index.Compile(s.schema, rs), history.Version{})
+		s.mu.Unlock()
+	} else if !restored {
 		s.mu.Lock()
 		_, err := s.publishLocked(cfg.Rules.Clone(), nil, "initial rules")
 		s.mu.Unlock()
@@ -396,6 +419,14 @@ func (s *Server) initMetrics() {
 	s.mWALDiskBytes = r.Gauge("rudolf_wal_disk_bytes")
 	s.mSlowPromoted = r.Counter("rudolf_trace_slow_promoted_total")
 	s.mSlowThreshold = r.FloatGauge("rudolf_trace_slow_threshold_seconds")
+	if s.follower != nil {
+		r.Help("rudolf_replica_applied_seq", "Last leader WAL sequence number applied by this follower.")
+		r.Help("rudolf_replica_lag_records", "Records this follower trails the last known leader position.")
+		r.Help("rudolf_replica_reconnects_total", "Times the follower's replication stream reconnected to the leader.")
+		s.follower.mApplied = r.Gauge("rudolf_replica_applied_seq")
+		s.follower.mLag = r.Gauge("rudolf_replica_lag_records")
+		s.follower.mReconnects = r.Counter("rudolf_replica_reconnects_total")
+	}
 	s.rc = newRuntimeCollector(r)
 }
 
@@ -503,8 +534,15 @@ func (s *Server) FeedbackLen() int {
 
 // SetDraining flips readiness: a draining server answers /readyz with 503
 // so load balancers stop routing to it, while in-flight and late requests
-// still complete.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// still complete. Entering the draining state also ends any open
+// /v1/wal/stream long-polls (they would otherwise hold graceful shutdown
+// open indefinitely); followers reconnect on their own schedule.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	if v {
+		s.drainOnce.Do(func() { close(s.drainCh) })
+	}
+}
 
 // v1Routes maps the route basename (also the request-span suffix) to its
 // handler constructor; shared by the /v1 table and the legacy redirects.
@@ -517,9 +555,13 @@ func (s *Server) v1Routes() []struct {
 		h    http.Handler
 	}{
 		{"score", s.timeout(http.HandlerFunc(s.handleScore), s.cfg.ScoreTimeout)},
-		{"rules", s.timeout(http.HandlerFunc(s.handleRules), s.cfg.SwapTimeout)},
-		{"feedback", s.timeout(http.HandlerFunc(s.handleFeedback), s.cfg.FeedbackTimeout)},
-		{"refine", s.timeout(http.HandlerFunc(s.handleRefine), s.cfg.RefineTimeout)},
+		// The mutating routes are wrapped by the read-only guard: on a
+		// follower their write methods answer 403 "read_only" with a Location
+		// header pointing at the leader; their read methods (GET /v1/rules)
+		// and wrong-method 405s pass through. No-op on a leader.
+		{"rules", s.readOnly(s.timeout(http.HandlerFunc(s.handleRules), s.cfg.SwapTimeout), http.MethodPost)},
+		{"feedback", s.readOnly(s.timeout(http.HandlerFunc(s.handleFeedback), s.cfg.FeedbackTimeout), http.MethodPost)},
+		{"refine", s.readOnly(s.timeout(http.HandlerFunc(s.handleRefine), s.cfg.RefineTimeout), http.MethodPost)},
 		{"stats", http.HandlerFunc(s.handleStats)},
 		{"schema", http.HandlerFunc(s.handleSchema)},
 	}
@@ -540,6 +582,17 @@ func (s *Server) Handler() http.Handler {
 	// unversioned, so no legacy redirects).
 	mux.Handle("/v1/rules/health", s.instrument("/v1/rules/health", "rules_health", http.HandlerFunc(s.handleRuleHealth)))
 	mux.Handle("/v1/audit", s.instrument("/v1/audit", "audit", http.HandlerFunc(s.handleAudit)))
+	// /v1/status: the role-aware node identity document, served identically
+	// by leaders and followers.
+	mux.Handle("/v1/status", s.instrument("/v1/status", "status", http.HandlerFunc(s.handleStatus)))
+	// The replication surface (leader side; see replication.go). The manifest
+	// and snapshot endpoints are ordinary instrumented GETs; the stream is
+	// deliberately uninstrumented and untimed — it is long-lived by design
+	// (a span that lives for minutes would always be promoted into the slow
+	// ring, and a timeout would sever healthy followers).
+	mux.Handle("/v1/wal/segments", s.instrument("/v1/wal/segments", "wal_segments", http.HandlerFunc(s.handleWALSegments)))
+	mux.Handle("/v1/wal/snapshot", s.instrument("/v1/wal/snapshot", "wal_snapshot", http.HandlerFunc(s.handleWALSnapshot)))
+	mux.Handle("/v1/wal/stream", http.HandlerFunc(s.handleWALStream))
 	// /v1/trace is deliberately uninstrumented: fetching the trace must not
 	// append request spans to the very ring being exported.
 	mux.Handle("/v1/trace", http.HandlerFunc(s.handleTrace))
@@ -549,6 +602,10 @@ func (s *Server) Handler() http.Handler {
 	// promoted into it.
 	mux.Handle("/v1/debug/slow", http.HandlerFunc(s.handleDebugSlow))
 	mux.Handle("/v1/debug/state", http.HandlerFunc(s.handleDebugState))
+	// The debug endpoints predate /v1 in tooling bookmarks; redirect the
+	// unversioned spellings like the rest of the legacy surface.
+	mux.Handle("/debug/slow", legacyRedirect("/v1/debug/slow"))
+	mux.Handle("/debug/state", legacyRedirect("/v1/debug/state"))
 	mux.Handle("/healthz", http.HandlerFunc(s.handleHealthz))
 	mux.Handle("/readyz", http.HandlerFunc(s.handleReadyz))
 	metricsHandler := s.reg.Handler()
@@ -589,7 +646,7 @@ func legacyRedirect(target string) http.Handler {
 // ?format=jsonl.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeErrorID(w, "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	recs := s.tracer.Snapshot()
@@ -779,6 +836,7 @@ const (
 	CodeConflict         = "conflict"
 	CodeNotFound         = "not_found"
 	CodeNotReady         = "not_ready"
+	CodeReadOnly         = "read_only"
 	CodeTimeout          = "timeout"
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal"
@@ -847,6 +905,15 @@ func isClientGone(err error) bool {
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, http.ErrHandlerTimeout)
+}
+
+// methodNotAllowed answers a wrong-method request uniformly: 405 with the
+// standard Allow header naming what the route does accept, and the uniform
+// error envelope with the stable "method_not_allowed" code.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, allow ...string) {
+	methods := strings.Join(allow, ", ")
+	w.Header().Set("Allow", methods)
+	s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s is not allowed here (allow: %s)", r.Method, methods)
 }
 
 // writeError emits the uniform error envelope, carrying the request's id so
@@ -924,7 +991,7 @@ func (s *Server) release() {
 // handleScore evaluates a batch against exactly one published version.
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
 	// The stage clock splits this request's wall time across the stage
@@ -973,23 +1040,32 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	// columns, which the compiled evaluator's exact-match fast path then
 	// reads. Window-less rule sets skip all of it: no lock, no WAL record.
 	if len(st.winSpecs) > 0 && s.winStore != nil {
-		// Waiting on obsMu is attributed to the window stage; the durable
-		// observe append (including its synchronous fsync) to wal_append.
 		clock.begin(stageWindow)
-		s.obsMu.Lock()
-		if s.wal != nil {
-			clock.begin(stageWAL)
-			err := s.walAppendObserve(rel)
-			clock.begin(stageWindow)
-			if err != nil {
-				s.obsMu.Unlock()
-				s.release()
-				s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting observations: %v", err)
-				return
+		if s.follower != nil {
+			// A follower's window store mirrors the leader's observe stream;
+			// local read traffic must not mutate it, so scoring stamps the
+			// current aggregates read-only (no observe, no WAL, no obsMu —
+			// the store's shard locks make reads safe against the replication
+			// goroutine's concurrent Observe applies).
+			rel.SetWindowColumns(s.winStore.PeekColumns(rel, st.winSpecs))
+		} else {
+			// Waiting on obsMu is attributed to the window stage; the durable
+			// observe append (including its synchronous fsync) to wal_append.
+			s.obsMu.Lock()
+			if s.wal != nil {
+				clock.begin(stageWAL)
+				err := s.walAppendObserve(rel)
+				clock.begin(stageWindow)
+				if err != nil {
+					s.obsMu.Unlock()
+					s.release()
+					s.writeError(w, r, http.StatusInternalServerError, CodeInternal, "persisting observations: %v", err)
+					return
+				}
 			}
+			rel.SetWindowColumns(s.winStore.StampColumns(rel, st.winSpecs))
+			s.obsMu.Unlock()
 		}
-		rel.SetWindowColumns(s.winStore.StampColumns(rel, st.winSpecs))
-		s.obsMu.Unlock()
 	}
 	// The default path computes first-match attribution instead of the bare
 	// union: same short-circuiting loop and chunking as Eval, one int32
@@ -1138,7 +1214,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("ETag", versionETag(st.version))
 		s.writeJSON(w, http.StatusOK, rulesResponse{RequestID: requestMeta(r).id, Version: st.version, Count: len(st.texts), Rules: st.texts})
 	default:
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or POST only")
+		s.methodNotAllowed(w, r, http.MethodGet, http.MethodPost)
 	}
 }
 
@@ -1196,7 +1272,7 @@ func readRulesBody(r *http.Request) (texts []string, comment string, err error) 
 // already capture.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
 	var req feedbackRequest
@@ -1278,7 +1354,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 // atomically publishes the refined rules.
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		s.methodNotAllowed(w, r, http.MethodPost)
 		return
 	}
 	var req refineRequest
@@ -1341,7 +1417,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 // relation, read off the incremental capture cache.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	s.mu.Lock()
@@ -1379,7 +1455,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // hold (and detect a publish race with If-None-Match).
 func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	meta := requestMeta(r)
@@ -1400,7 +1476,7 @@ func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
 // ?n= bounds the returned entries (default 100).
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	n := 100
@@ -1440,7 +1516,7 @@ func (s *Server) refreshRuleGauges() {
 // self-configure.
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		s.methodNotAllowed(w, r, http.MethodGet)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -1455,11 +1531,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz reports readiness. New replays the snapshot and WAL before
-// the server can even be constructed, so a reachable server is a restored
-// server; readiness only flips while draining.
+// the server can even be constructed, so a reachable leader is a restored
+// leader and its readiness only flips while draining. A follower is
+// additionally not ready until replay has caught up to the leader's WAL
+// position as of the first connect — load balancers never route reads to a
+// node still serving a stale rule version.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		s.writeErrorID(w, "", http.StatusServiceUnavailable, CodeNotReady, "draining")
+		return
+	}
+	if f := s.follower; f != nil && !f.ready() {
+		s.writeErrorID(w, "", http.StatusServiceUnavailable, CodeNotReady,
+			"follower catching up: applied seq %d of %d", f.applied.Load(), f.target.Load())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

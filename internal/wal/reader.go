@@ -1,0 +1,330 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// This file is the read side of the log used by replication (DESIGN.md §16):
+// a point-in-time Manifest of the segment list, a pruning-aware sequential
+// Reader over the durable records, and a WaitFor notification channel so a
+// streaming server can long-poll the tail without spinning.
+
+// ErrPruned reports that the requested sequence number precedes the oldest
+// live segment: the records were removed by Prune and the caller must
+// re-bootstrap from a snapshot instead of tailing the log.
+var ErrPruned = errors.New("wal: sequence already pruned")
+
+// SegmentInfo describes one live segment file.
+type SegmentInfo struct {
+	// FirstSeq is the sequence number of the segment's first record.
+	FirstSeq uint64 `json:"first_seq"`
+	// Bytes is the segment's durable size. For the active segment this is
+	// the durable frame boundary, which may trail the file size by an
+	// in-flight write.
+	Bytes int64 `json:"bytes"`
+}
+
+// Manifest is a consistent point-in-time view of the log's segment list.
+type Manifest struct {
+	// FirstSeq is the oldest sequence number still readable (records before
+	// it were pruned). 1 for a never-pruned log.
+	FirstSeq uint64 `json:"first_seq"`
+	// LastSeq is the newest durable sequence number (0 for an empty log).
+	LastSeq uint64 `json:"last_seq"`
+	// Segments lists every live segment, ascending by FirstSeq.
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Manifest returns a consistent snapshot of the segment list. The copy is
+// taken under the log's lock, so it can never show a half-pruned or
+// half-rotated list, but it is immediately stale: a segment may be pruned
+// right after. Readers that need the records, not just the shape, should
+// open a Reader — open readers hold Prune back.
+func (l *Log) Manifest() Manifest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := Manifest{LastSeq: l.nextSeq - 1}
+	if len(l.segments) > 0 {
+		m.FirstSeq = l.segments[0]
+	}
+	m.Segments = make([]SegmentInfo, 0, len(l.segments))
+	for i, first := range l.segments {
+		info := SegmentInfo{FirstSeq: first}
+		if i == len(l.segments)-1 {
+			info.Bytes = l.size
+		} else if fi, err := os.Stat(segmentPath(l.opts.Dir, first)); err == nil {
+			info.Bytes = fi.Size()
+		}
+		m.Segments = append(m.Segments, info)
+	}
+	return m
+}
+
+// WaitFor returns a channel that is closed once a record with sequence
+// number >= seq is durable in the log (already closed if one is), or when
+// the log is closed. It is the long-poll primitive behind the streaming
+// endpoint: wait on the channel instead of polling LastSeq.
+func (l *Log) WaitFor(seq uint64) <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.nextSeq-1 >= seq {
+		return closedChan
+	}
+	if l.notify == nil {
+		l.notify = make(chan struct{})
+	}
+	return l.notify
+}
+
+// closedChan is returned by WaitFor when the condition already holds.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// notifyLocked wakes every WaitFor waiter. Callers hold l.mu.
+func (l *Log) notifyLocked() {
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
+}
+
+// Reader iterates the durable records of the log in sequence order, across
+// segment boundaries, re-verifying every frame's CRC. While a Reader is
+// open, Prune will not remove any segment the Reader has not fully
+// consumed — this is the documented contract that makes streaming and
+// snapshot pruning safe to run concurrently (the reader pins its position;
+// see TestPruneHeldBackByReader). A Reader is owned by one goroutine;
+// multiple Readers may run concurrently with appends and prunes.
+type Reader struct {
+	l   *Log
+	pos atomic.Uint64 // next seq to deliver; read by Prune to pin segments
+
+	f        *os.File
+	br       *bufio.Reader
+	segFirst uint64 // first seq of the open segment
+	off      int64  // consumed bytes within the open segment
+	limit    int64  // durable byte bound of the open segment
+	sealed   bool   // open segment is not the active one
+	closed   bool
+}
+
+// NewReader positions a Reader at sequence number from (0 is treated as 1).
+// Returns ErrPruned if from precedes the oldest live segment, and an error
+// if from is beyond the durable tail plus one.
+func (l *Log) NewReader(from uint64) (*Reader, error) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("wal: log is closed")
+	}
+	if len(l.segments) > 0 && from < l.segments[0] {
+		return nil, fmt.Errorf("%w: seq %d precedes oldest live segment %s — bootstrap from a snapshot",
+			ErrPruned, from, segmentName(l.segments[0]))
+	}
+	if from > l.nextSeq {
+		return nil, fmt.Errorf("wal: seq %d is beyond the log tail (next seq %d)", from, l.nextSeq)
+	}
+	r := &Reader{l: l}
+	r.pos.Store(from)
+	if l.readers == nil {
+		l.readers = make(map[*Reader]struct{})
+	}
+	l.readers[r] = struct{}{}
+	return r, nil
+}
+
+// Next returns the next durable record. ok is false when the reader has
+// reached the durable tail — the caller decides whether to wait (WaitFor)
+// and retry or to stop. The returned payload is freshly allocated and owned
+// by the caller. A non-nil error means the log is corrupt or the reader's
+// segment vanished; the reader is not usable afterwards.
+func (r *Reader) Next() (e Entry, ok bool, err error) {
+	if r.closed {
+		return Entry{}, false, errors.New("wal: reader is closed")
+	}
+	for {
+		if r.f == nil {
+			opened, err := r.openSegment()
+			if err != nil {
+				return Entry{}, false, err
+			}
+			if !opened {
+				return Entry{}, false, nil // at the durable tail
+			}
+		}
+		if r.off >= r.limit {
+			if r.sealed {
+				// Fully consumed a sealed segment: advance to the next one.
+				r.closeSegment()
+				continue
+			}
+			// Active segment: refresh the durable bound (it grows with
+			// appends, and the segment may have been sealed by rotation).
+			if !r.refreshLimit() {
+				return Entry{}, false, nil // still at the durable tail
+			}
+			continue
+		}
+		line, err := r.br.ReadBytes('\n')
+		if err != nil {
+			// Frames never straddle the durable bound (size advances in
+			// whole frames under the log lock), so a read error inside the
+			// bound is real corruption or a vanished file.
+			return Entry{}, false, fmt.Errorf("wal: reading %s at offset %d: %w", segmentName(r.segFirst), r.off, err)
+		}
+		want := r.pos.Load()
+		entry, perr := parseFrame(line[:len(line)-1], want)
+		if perr != nil {
+			return Entry{}, false, fmt.Errorf("wal: %s: corrupt record %d at offset %d: %s",
+				segmentName(r.segFirst), want, r.off, perr)
+		}
+		r.off += int64(len(line))
+		r.pos.Store(want + 1)
+		return Entry{Seq: want, Payload: entry.Payload}, true, nil
+	}
+}
+
+// openSegment opens the segment containing pos and skips to it. Returns
+// false (no error) when pos is past the durable tail.
+func (r *Reader) openSegment() (bool, error) {
+	pos := r.pos.Load()
+	l := r.l
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false, errors.New("wal: log is closed")
+	}
+	if pos > l.nextSeq-1 {
+		l.mu.Unlock()
+		return false, nil
+	}
+	// Find the segment whose range contains pos. The reader's pin guarantees
+	// it was not pruned.
+	idx := -1
+	for i, first := range l.segments {
+		if first <= pos {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		l.mu.Unlock()
+		return false, fmt.Errorf("wal: no live segment contains seq %d", pos)
+	}
+	first := l.segments[idx]
+	sealed := idx < len(l.segments)-1
+	limit := l.size // durable bound of the active segment
+	dir := l.opts.Dir
+	l.mu.Unlock()
+
+	f, err := os.Open(segmentPath(dir, first))
+	if err != nil {
+		return false, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	if sealed {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return false, fmt.Errorf("wal: sizing segment: %w", err)
+		}
+		limit = fi.Size()
+	}
+	r.f, r.segFirst, r.off, r.limit, r.sealed = f, first, 0, limit, sealed
+	if r.br == nil {
+		r.br = bufio.NewReaderSize(f, 64<<10)
+	} else {
+		r.br.Reset(f)
+	}
+	// Skip whole frames up to pos.
+	for skip := first; skip < pos; skip++ {
+		line, err := r.br.ReadBytes('\n')
+		if err != nil {
+			r.closeSegment()
+			return false, fmt.Errorf("wal: skipping to seq %d in %s: %w", pos, segmentName(first), err)
+		}
+		if _, perr := parseFrame(line[:len(line)-1], skip); perr != nil {
+			r.closeSegment()
+			return false, fmt.Errorf("wal: %s: corrupt record %d while seeking: %s", segmentName(first), skip, perr)
+		}
+		r.off += int64(len(line))
+	}
+	return true, nil
+}
+
+// refreshLimit re-reads the durable bound of the open (active) segment.
+// Returns false when nothing new is readable.
+func (r *Reader) refreshLimit() bool {
+	l := r.l
+	l.mu.Lock()
+	active := len(l.segments) > 0 && l.segments[len(l.segments)-1] == r.segFirst
+	size := l.size
+	l.mu.Unlock()
+	if active {
+		if size > r.limit {
+			r.limit = size
+			return true
+		}
+		return false
+	}
+	// The segment was sealed by rotation behind us: its full size is now
+	// the final bound.
+	fi, err := r.f.Stat()
+	if err != nil {
+		return false
+	}
+	r.sealed = true
+	if fi.Size() > r.limit {
+		r.limit = fi.Size()
+		return true
+	}
+	// Sealed with nothing left: advance on the next Next() pass.
+	return true
+}
+
+// closeSegment closes the open segment file; the next Next() reopens at pos.
+func (r *Reader) closeSegment() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}
+
+// Pos returns the next sequence number the reader will deliver — the seq to
+// pass to WaitFor when Next reports the durable tail.
+func (r *Reader) Pos() uint64 { return r.pos.Load() }
+
+// Close releases the reader and its prune pin.
+func (r *Reader) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.closeSegment()
+	r.l.mu.Lock()
+	delete(r.l.readers, r)
+	r.l.mu.Unlock()
+}
+
+// AppendFrame appends the wire framing of one record — the exact
+// "<seq> <len> <crc32-hex> <payload>\n" format the log files use — to dst
+// and returns the extended slice. It is exported so the replication stream
+// can ship verified frames byte-identical to the on-disk format.
+func AppendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	return appendFrame(dst, seq, payload)
+}
+
+// ParseFrame decodes one framed line (without its trailing newline) and
+// verifies sequence number, length and CRC — the follower-side counterpart
+// of AppendFrame. The returned payload aliases line.
+func ParseFrame(line []byte, wantSeq uint64) (Entry, error) {
+	return parseFrame(line, wantSeq)
+}

@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// readAll drains a Reader up to the durable tail, returning the payloads.
+func readAll(t *testing.T, r *Reader) [][]byte {
+	t.Helper()
+	var got [][]byte
+	for {
+		e, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return got
+		}
+		got = append(got, e.Payload)
+	}
+}
+
+// TestReaderRoundTrip appends across several small segments and asserts a
+// Reader delivers every record in order, including ones appended after the
+// reader already drained to the tail.
+func TestReaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 128, Sync: SyncNever}, nil)
+	defer l.Close()
+
+	var want []string
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("record-%03d", i)
+		if _, err := l.Append([]byte(p)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		want = append(want, p)
+	}
+
+	r, err := l.NewReader(1)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer r.Close()
+	got := readAll(t, r)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// The reader is at the tail; new appends become visible without reopening.
+	if _, err := l.Append([]byte("after-tail")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	e, ok, err := r.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next after tail append: ok=%v err=%v", ok, err)
+	}
+	if string(e.Payload) != "after-tail" || e.Seq != 51 {
+		t.Fatalf("got seq %d payload %q, want 51 %q", e.Seq, e.Payload, "after-tail")
+	}
+	if _, ok, _ := r.Next(); ok {
+		t.Fatalf("expected tail after draining")
+	}
+}
+
+// TestReaderFromMidLog seeks a reader into the middle of a sealed segment.
+func TestReaderFromMidLog(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 128, Sync: SyncNever}, nil)
+	defer l.Close()
+	for i := 1; i <= 40; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%03d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	r, err := l.NewReader(17)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer r.Close()
+	got := readAll(t, r)
+	if len(got) != 24 {
+		t.Fatalf("read %d records from seq 17, want 24", len(got))
+	}
+	if string(got[0]) != "r017" || string(got[23]) != "r040" {
+		t.Fatalf("got range %q..%q, want r017..r040", got[0], got[23])
+	}
+}
+
+// TestPruneHeldBackByReader is the regression test for the prune-vs-reader
+// race: a snapshot prune must not unlink a segment a streaming reader has
+// not consumed yet. The pin is positional — once the reader advances past
+// the segment, the same Prune succeeds.
+func TestPruneHeldBackByReader(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64, Sync: SyncNever}, nil)
+	defer l.Close()
+	for i := 1; i <= 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := l.Stats().Segments; got < 3 {
+		t.Fatalf("got %d segments, want at least 3", got)
+	}
+
+	r, err := l.NewReader(1)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer r.Close()
+
+	// Mid-stream: the reader is inside segment 1 (one record consumed).
+	if _, ok, err := r.Next(); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+
+	// A prune that would remove everything must leave every segment the
+	// reader still needs.
+	last := l.LastSeq()
+	if _, err := l.Prune(last); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	m := l.Manifest()
+	if m.FirstSeq != 1 {
+		t.Fatalf("prune removed pinned segment: first available seq %d, want 1", m.FirstSeq)
+	}
+
+	// The stream must finish cleanly over the pinned files.
+	rest := readAll(t, r)
+	if got := 1 + len(rest); got != 30 {
+		t.Fatalf("stream delivered %d records across prune, want 30", got)
+	}
+
+	// With the reader past them (and then closed), the prune proceeds.
+	if _, err := l.Prune(last); err != nil {
+		t.Fatalf("Prune after drain: %v", err)
+	}
+	m = l.Manifest()
+	if len(m.Segments) != 1 {
+		t.Fatalf("got %d segments after unpinned prune, want 1 (active)", len(m.Segments))
+	}
+	if m.LastSeq != 30 {
+		t.Fatalf("manifest last seq %d, want 30", m.LastSeq)
+	}
+}
+
+// TestNewReaderPruned asserts the explicit re-bootstrap signal when asking
+// for records that were pruned away.
+func TestNewReaderPruned(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64, Sync: SyncNever}, nil)
+	defer l.Close()
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, err := l.Prune(l.LastSeq()); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	first := l.Manifest().FirstSeq
+	if first <= 1 {
+		t.Fatalf("prune left first seq %d, want > 1", first)
+	}
+	if _, err := l.NewReader(1); !errors.Is(err, ErrPruned) {
+		t.Fatalf("NewReader(1) after prune: err = %v, want ErrPruned", err)
+	}
+	r, err := l.NewReader(first)
+	if err != nil {
+		t.Fatalf("NewReader(first available): %v", err)
+	}
+	r.Close()
+	if _, err := l.NewReader(l.LastSeq() + 2); err == nil {
+		t.Fatalf("NewReader past the tail+1 unexpectedly succeeded")
+	}
+}
+
+// TestWaitFor exercises the long-poll primitive: already-durable sequence
+// numbers return a closed channel, future ones block until the append.
+func TestWaitFor(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, Sync: SyncNever}, nil)
+	defer l.Close()
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case <-l.WaitFor(1):
+	default:
+		t.Fatalf("WaitFor(1) should be closed already")
+	}
+	ch := l.WaitFor(2)
+	select {
+	case <-ch:
+		t.Fatalf("WaitFor(2) closed before the append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	if _, err := l.Append([]byte("two")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("WaitFor(2) not woken by the append")
+	}
+}
+
+// TestFrameExports asserts AppendFrame/ParseFrame round-trip and reject
+// tampering — the wire contract the replication stream relies on.
+func TestFrameExports(t *testing.T) {
+	frame := AppendFrame(nil, 7, []byte(`{"k":"v"}`))
+	e, err := ParseFrame(frame[:len(frame)-1], 7)
+	if err != nil {
+		t.Fatalf("ParseFrame: %v", err)
+	}
+	if e.Seq != 7 || string(e.Payload) != `{"k":"v"}` {
+		t.Fatalf("round-trip got seq %d payload %q", e.Seq, e.Payload)
+	}
+	if _, err := ParseFrame(frame[:len(frame)-1], 8); err == nil {
+		t.Fatalf("ParseFrame accepted wrong expected seq")
+	}
+	bad := append([]byte(nil), frame[:len(frame)-1]...)
+	bad[len(bad)-2] ^= 0x01
+	if _, err := ParseFrame(bad, 7); err == nil {
+		t.Fatalf("ParseFrame accepted a flipped payload bit")
+	}
+}

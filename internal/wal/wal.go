@@ -159,6 +159,8 @@ type Log struct {
 	closed    bool
 	segments  []uint64 // first seq of every live segment, ascending
 	buf       []byte   // frame scratch, reused across appends
+	readers   map[*Reader]struct{}
+	notify    chan struct{} // closed+replaced on append; see WaitFor
 
 	stats struct {
 		appends, fsyncs, replayed, torn uint64
@@ -296,6 +298,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.diskBytes += int64(len(l.buf))
 	l.nextSeq++
 	l.dirty = true
+	l.notifyLocked()
 	l.stats.appends++
 	inc(l.opts.Counters.Appends)
 	observe(l.opts.Counters.AppendSeconds, time.Since(start))
@@ -364,14 +367,28 @@ func (l *Log) rotateLocked() error {
 
 // Prune removes whole segments every record of which has sequence number
 // <= seq (typically the WAL position of the latest snapshot). The active
-// segment is never removed. Returns the number of segments removed.
+// segment is never removed, and neither is a segment an open Reader has not
+// fully consumed — a streaming follower pins its position, so pruning can
+// never unlink a file out from under a tailing reader (the satellite race
+// this contract closes). Returns the number of segments removed.
 func (l *Log) Prune(seq uint64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	removed := 0
 	for len(l.segments) > 1 {
 		// Segment 0 covers [segments[0], segments[1]-1].
-		if l.segments[1]-1 > seq {
+		end := l.segments[1] - 1
+		if end > seq {
+			break
+		}
+		pinned := false
+		for r := range l.readers {
+			if r.pos.Load() <= end {
+				pinned = true
+				break
+			}
+		}
+		if pinned {
 			break
 		}
 		path := segmentPath(l.opts.Dir, l.segments[0])
@@ -420,6 +437,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.notifyLocked() // wake WaitFor waiters so streams observe the close
 	stop, done := l.stopSync, l.syncDone
 	l.mu.Unlock()
 	if stop != nil {

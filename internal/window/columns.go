@@ -70,23 +70,54 @@ func ComputeColumns(rel *relation.Relation, specs []Spec) *ColumnSet {
 // evaluator then reads.
 func (s *Store) StampColumns(rel *relation.Relation, specs []Spec) *ColumnSet {
 	n := rel.Len()
-	cs := &ColumnSet{Specs: specs, Cols: make([][]int64, len(specs)), Rows: n}
-	flat := make([]int64, n*len(specs))
-	for k := range specs {
-		cs.Cols[k] = flat[k*n : (k+1)*n : (k+1)*n]
-	}
+	cs := newColumnSet(specs, n)
 	set := s.specs.Load()
 	for i := 0; i < n; i++ {
 		t := rel.Tuple(i)
 		s.Observe(t)
 		wm := s.watermark.Load()
-		for k, sp := range specs {
-			si, ok := set.index[sp]
-			if !ok {
-				continue // unregistered: reads as zero
-			}
-			cs.Cols[k][i] = s.aggregateAt(si, &set.specs[si], t[sp.Key], wm)
-		}
+		stampRow(s, set, cs, specs, t, i, wm)
 	}
 	return cs
+}
+
+// PeekColumns is the read-only form of StampColumns: it stamps the current
+// aggregates of the requested specs onto rel WITHOUT observing the tuples
+// or lifting the watermark. A replication follower scores with this — its
+// store mirrors the leader's observe stream, so local read traffic must not
+// mutate it, and a scored transaction therefore does not count itself
+// (COUNT(key, W) >= 1 fires only once the leader's stream delivers a prior
+// event for the key).
+func (s *Store) PeekColumns(rel *relation.Relation, specs []Spec) *ColumnSet {
+	n := rel.Len()
+	cs := newColumnSet(specs, n)
+	set := s.specs.Load()
+	wm := s.watermark.Load()
+	for i := 0; i < n; i++ {
+		stampRow(s, set, cs, specs, rel.Tuple(i), i, wm)
+	}
+	return cs
+}
+
+// newColumnSet carves the index-aligned columns for n rows out of one flat
+// allocation.
+func newColumnSet(specs []Spec, n int) *ColumnSet {
+	cs := &ColumnSet{Specs: specs, Cols: make([][]int64, len(specs)), Rows: n}
+	flat := make([]int64, n*len(specs))
+	for k := range specs {
+		cs.Cols[k] = flat[k*n : (k+1)*n : (k+1)*n]
+	}
+	return cs
+}
+
+// stampRow fills row i of the column set with each spec's aggregate for
+// tuple t's key at watermark wm.
+func stampRow(s *Store, set *specSet, cs *ColumnSet, specs []Spec, t relation.Tuple, i int, wm int64) {
+	for k, sp := range specs {
+		si, ok := set.index[sp]
+		if !ok {
+			continue // unregistered: reads as zero
+		}
+		cs.Cols[k][i] = s.aggregateAt(si, &set.specs[si], t[sp.Key], wm)
+	}
 }

@@ -1,0 +1,235 @@
+#!/usr/bin/env bash
+# Replication smoke test for the WAL-shipping cluster (DESIGN.md §16): boot
+# one durable leader and two -follow followers, assert roles over GET
+# /v1/status and the read_only write rejection (stable envelope + Location
+# into the leader), measure a single-follower scoring baseline, then drive
+# both followers concurrently while the leader publishes a new rule set
+# mid-load and require every node to converge to the leader's exact
+# /v1/rules ETag. One follower is then SIGKILLed and restarted — it must
+# re-bootstrap from the leader and converge again. Finally the aggregate
+# two-follower throughput must beat the single-follower baseline by
+# CLUSTER_SMOKE_FACTOR. The default is core-aware and deliberately lenient —
+# this is a scale sanity check, not a benchmark: with >= 4 cores the two
+# followers must actually scale (1.2x the baseline); on smaller boxes the
+# leader, both followers and both load generators all contend for the same
+# CPUs, so the assertion degrades to a floor (0.5x) proving both followers
+# keep serving under concurrent load. Wired into `make cluster-smoke` and
+# the `make ci` chain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+DURATION=${CLUSTER_SMOKE_DURATION:-3s}
+CORES=$(nproc 2>/dev/null || echo 1)
+if [[ -n "${CLUSTER_SMOKE_FACTOR:-}" ]]; then
+    FACTOR=$CLUSTER_SMOKE_FACTOR
+elif [[ $CORES -ge 4 ]]; then
+    FACTOR=1.2
+else
+    FACTOR=0.5
+fi
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+DATA="$TMP/data"
+mkdir -p "$BIN"
+
+LEADER_PID=""
+F1_PID=""
+F2_PID=""
+cleanup() {
+    local pid
+    for pid in "$F1_PID" "$F2_PID" "$LEADER_PID"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# wait_addr <addr-file> <pid> <log> <name>: block until the daemon writes its
+# bound address, echo it.
+wait_addr() {
+    local addrfile=$1 pid=$2 log=$3 name=$4
+    for _ in $(seq 1 200); do
+        [[ -s "$addrfile" ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: $name died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$addrfile" ]]; then
+        echo "cluster-smoke: $name never published its address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    head -n1 "$addrfile" | tr -d '[:space:]'
+}
+
+# wait_ready <base-url> <name>: poll /readyz until it answers 200.
+wait_ready() {
+    local base=$1 name=$2
+    for _ in $(seq 1 200); do
+        if curl -fsS "$base/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "cluster-smoke: $name never became ready" >&2
+    exit 1
+}
+
+# boot_follower <n>: start follower n against the leader; sets F<n> (base
+# URL) and F<n>_PID.
+boot_follower() {
+    local n=$1
+    local log="$TMP/follower-$n.log" addrfile="$TMP/addr-f$n"
+    : >"$addrfile"
+    "$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$addrfile" \
+        -follow "http://$LEADER_ADDR" >"$log" 2>&1 &
+    local pid=$!
+    local addr
+    addr=$(wait_addr "$addrfile" "$pid" "$log" "follower $n")
+    if [[ $n == 1 ]]; then
+        F1_PID=$pid F1="http://$addr"
+    else
+        F2_PID=$pid F2="http://$addr"
+    fi
+}
+
+# etag_of <base-url>: the current GET /v1/rules ETag.
+etag_of() {
+    curl -fsS -o /dev/null -D - "$1/v1/rules" |
+        awk 'tolower($1) == "etag:" { print $2 }' | tr -d '\r'
+}
+
+# tx_rate <loadgen-log>: the load-phase throughput loadgen reported.
+tx_rate() {
+    awk '/tx\/s/ { for (i = 1; i <= NF; i++) if ($i == "->") print $(i + 1) }' "$1" | head -n1
+}
+
+echo "cluster-smoke: building rudolfd and loadgen"
+$GO build -o "$BIN/rudolfd" ./cmd/rudolfd
+$GO build -o "$BIN/loadgen" ./cmd/loadgen
+
+echo "cluster-smoke: booting the leader with -data-dir"
+: >"$TMP/addr-leader"
+"$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$TMP/addr-leader" -size 2000 -seed 1 \
+    -data-dir "$DATA" -fsync interval -snapshot-interval 2s \
+    >"$TMP/leader.log" 2>&1 &
+LEADER_PID=$!
+LEADER_ADDR=$(wait_addr "$TMP/addr-leader" "$LEADER_PID" "$TMP/leader.log" "leader")
+LEADER="http://$LEADER_ADDR"
+wait_ready "$LEADER" "leader"
+echo "cluster-smoke: leader is up on $LEADER_ADDR (pid $LEADER_PID)"
+
+echo "cluster-smoke: booting two followers of $LEADER"
+boot_follower 1
+boot_follower 2
+wait_ready "$F1" "follower 1"
+wait_ready "$F2" "follower 2"
+echo "cluster-smoke: followers are up on $F1 and $F2"
+
+echo "cluster-smoke: asserting roles over GET /v1/status"
+[[ $(curl -fsS "$LEADER/v1/status" | jq -r .role) == leader ]] || {
+    echo "cluster-smoke: leader does not report role=leader" >&2
+    exit 1
+}
+for f in "$F1" "$F2"; do
+    [[ $(curl -fsS "$f/v1/status" | jq -r .role) == follower ]] || {
+        echo "cluster-smoke: $f does not report role=follower" >&2
+        exit 1
+    }
+done
+
+echo "cluster-smoke: asserting the read_only write rejection"
+STATUS=$(curl -s -o "$TMP/ro-body" -D "$TMP/ro-headers" -w '%{http_code}' \
+    -H 'Content-Type: application/json' -X POST "$F1/v1/rules" \
+    -d '{"rules": ["score >= 1"]}')
+[[ $STATUS == 403 ]] || {
+    echo "cluster-smoke: follower POST /v1/rules answered $STATUS, want 403" >&2
+    cat "$TMP/ro-body" >&2
+    exit 1
+}
+[[ $(jq -r .error.code <"$TMP/ro-body") == read_only ]] || {
+    echo "cluster-smoke: rejection is not the read_only envelope:" >&2
+    cat "$TMP/ro-body" >&2
+    exit 1
+}
+grep -qi "^Location: $LEADER/v1/rules" "$TMP/ro-headers" || {
+    echo "cluster-smoke: rejection Location does not point at the leader:" >&2
+    cat "$TMP/ro-headers" >&2
+    exit 1
+}
+
+echo "cluster-smoke: single-follower baseline ($DURATION)"
+"$BIN/loadgen" -url "$F1" -follower-of "$LEADER" -duration "$DURATION" \
+    -concurrency 4 -batch 64 | tee "$TMP/loadgen-base.log"
+BASE_RATE=$(tx_rate "$TMP/loadgen-base.log")
+
+echo "cluster-smoke: concurrent load on both followers, publish mid-load"
+"$BIN/loadgen" -url "$F1" -follower-of "$LEADER" -duration "$DURATION" \
+    -concurrency 4 -batch 64 -seed 2 >"$TMP/loadgen-f1.log" 2>&1 &
+LG1=$!
+"$BIN/loadgen" -url "$F2" -follower-of "$LEADER" -duration "$DURATION" \
+    -concurrency 4 -batch 64 -seed 3 >"$TMP/loadgen-f2.log" 2>&1 &
+LG2=$!
+sleep 1
+NEW_RULES=$(curl -fsS "$LEADER/v1/rules" | jq '.rules + ["score >= 1"]')
+curl -fsS -H 'Content-Type: application/json' -X POST "$LEADER/v1/rules" \
+    -d "{\"rules\": $NEW_RULES, \"comment\": \"cluster-smoke mid-load publish\"}" >/dev/null
+echo "cluster-smoke: published a new rule set on the leader mid-load"
+wait "$LG1" || { echo "cluster-smoke: loadgen on follower 1 failed:" >&2; cat "$TMP/loadgen-f1.log" >&2; exit 1; }
+wait "$LG2" || { echo "cluster-smoke: loadgen on follower 2 failed:" >&2; cat "$TMP/loadgen-f2.log" >&2; exit 1; }
+
+echo "cluster-smoke: waiting for every node to converge on the leader's ETag"
+LETAG=$(etag_of "$LEADER")
+for f in "$F1" "$F2"; do
+    for _ in $(seq 1 100); do
+        [[ $(etag_of "$f") == "$LETAG" ]] && break
+        sleep 0.1
+    done
+    FETAG=$(etag_of "$f")
+    [[ $FETAG == "$LETAG" ]] || {
+        echo "cluster-smoke: $f ETag $FETAG never converged to leader ETag $LETAG" >&2
+        exit 1
+    }
+done
+echo "cluster-smoke: all nodes serve /v1/rules with ETag $LETAG"
+
+echo "cluster-smoke: SIGKILL follower 2 (pid $F2_PID) and restart it"
+kill -KILL "$F2_PID"
+wait "$F2_PID" 2>/dev/null || true
+F2_PID=""
+boot_follower 2
+wait_ready "$F2" "restarted follower 2"
+"$BIN/loadgen" -url "$F2" -follower-of "$LEADER" -duration 1s \
+    -concurrency 2 -batch 64 -seed 4 >"$TMP/loadgen-f2b.log" 2>&1 || {
+    echo "cluster-smoke: restarted follower 2 failed its contract check:" >&2
+    cat "$TMP/loadgen-f2b.log" >&2
+    exit 1
+}
+echo "cluster-smoke: restarted follower 2 re-bootstrapped and converged"
+
+R1=$(tx_rate "$TMP/loadgen-f1.log")
+R2=$(tx_rate "$TMP/loadgen-f2.log")
+RATIO=$(awk -v a="$R1" -v b="$R2" -v base="$BASE_RATE" \
+    'BEGIN { printf "%.2f", (a + b) / base }')
+echo "cluster-smoke: single-follower baseline $BASE_RATE tx/s; concurrent $R1 + $R2 tx/s (ratio $RATIO, want >= $FACTOR on $CORES cores)"
+awk -v a="$R1" -v b="$R2" -v base="$BASE_RATE" -v f="$FACTOR" \
+    'BEGIN { exit !(a + b >= f * base) }' || {
+    echo "cluster-smoke: aggregate follower throughput did not scale (ratio $RATIO < $FACTOR)" >&2
+    exit 1
+}
+
+# Graceful teardown: followers first, then the leader.
+for pid in "$F1_PID" "$F2_PID" "$LEADER_PID"; do
+    kill -TERM "$pid"
+    wait "$pid"
+done
+F1_PID="" F2_PID="" LEADER_PID=""
+echo "cluster-smoke: ok"
