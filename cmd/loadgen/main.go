@@ -62,6 +62,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	goruntime "runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -200,7 +201,7 @@ func main() {
 	}
 	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_latency_seconds"); err == nil {
 		fmt.Printf("loadgen: per-request latency from /metrics: p50 %s, p99 %s (%d requests observed)\n",
-			fmtSeconds(h.Quantile(0.5)), fmtSeconds(h.Quantile(0.99)), h.Total)
+			fmtSeconds(telemetry.Quantile(h, 0.5)), fmtSeconds(telemetry.Quantile(h, 0.99)), h.Total)
 	}
 	printStageTable(page)
 	if h, err := telemetry.ScrapeHistogram(strings.NewReader(page), "rudolf_score_batch_size"); err == nil && h.Total > 0 {
@@ -330,6 +331,12 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 		return fmt.Errorf("rudolf_score_tx_total = %v (ok=%v), want >= %d", v, ok, scored)
 	}
 	if err := crossCheckStages(page, client); err != nil {
+		return err
+	}
+	if err := checkBuildInfo(page); err != nil {
+		return err
+	}
+	if err := checkAlerts(url, page); err != nil {
 		return err
 	}
 
@@ -475,6 +482,92 @@ func runSmoke(url, page string, rng *rand.Rand, schema *relation.Schema,
 	// Observability: a deliberately slow request must land in the slow ring
 	// with a stage breakdown, and /v1/debug/state must be well-formed.
 	return checkDebugObservability(url, rng, schema)
+}
+
+// checkBuildInfo asserts the build-identity gauge: rudolf_build_info must
+// be a constant 1 labeled with the Go runtime version — which, for a
+// locally built daemon, is the very toolchain that built this loadgen.
+func checkBuildInfo(page string) error {
+	series := fmt.Sprintf(`rudolf_build_info{go_version=%q,version=`, goruntime.Version())
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		if !strings.HasSuffix(strings.TrimSpace(line), " 1") {
+			return fmt.Errorf("rudolf_build_info is not constant 1: %q", line)
+		}
+		fmt.Printf("loadgen: smoke build-info ok: %s\n", strings.TrimSpace(line))
+		return nil
+	}
+	return fmt.Errorf("/metrics has no rudolf_build_info series for %s", goruntime.Version())
+}
+
+// checkAlerts asserts the alerting surface's shape: GET /v1/alerts serves
+// the compiled-in default rules (all inactive on a healthy freshly loaded
+// daemon) with a working ETag, and /metrics exports the matching
+// ALERTS{name,severity,state} gauge family. The breach-and-resolve
+// lifecycle is exercised by scripts/smoke.sh with an aggressive rule file;
+// here the defaults must simply be present, evaluable and quiet.
+func checkAlerts(url, page string) error {
+	resp, err := http.Get(url + "/v1/alerts?refresh=1")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	etag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/alerts: %d %s", resp.StatusCode, body)
+	}
+	if etag == "" {
+		return fmt.Errorf("GET /v1/alerts carries no ETag")
+	}
+	var doc struct {
+		RequestID string `json:"request_id"`
+		Firing    int    `json:"firing"`
+		Rules     []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+			Expr  string `json:"expr"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("GET /v1/alerts is not valid JSON: %w", err)
+	}
+	if doc.RequestID == "" || len(doc.Rules) == 0 {
+		return fmt.Errorf("/v1/alerts request_id=%q rules=%d malformed", doc.RequestID, len(doc.Rules))
+	}
+	for _, r := range doc.Rules {
+		if r.Name == "" || r.State == "" || r.Expr == "" {
+			return fmt.Errorf("/v1/alerts rule malformed: %+v", r)
+		}
+		if r.State == "firing" {
+			return fmt.Errorf("default alert %s firing on a freshly loaded daemon (%s)", r.Name, r.Expr)
+		}
+		series := fmt.Sprintf(`ALERTS{name=%q,severity=`, r.Name)
+		if !strings.Contains(page, series) {
+			return fmt.Errorf("/metrics missing the ALERTS gauge family for alert %s", r.Name)
+		}
+	}
+	// The ETag must answer a conditional re-read with 304 (no transitions
+	// can have happened: nothing fires and we installed no rules).
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/alerts", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("conditional GET /v1/alerts: %d, want 304", resp.StatusCode)
+	}
+	fmt.Printf("loadgen: smoke alerts ok: %d default rules installed, %d firing, ETag %s honored\n",
+		len(doc.Rules), doc.Firing, etag)
+	return nil
 }
 
 // crossCheckStages validates the server's per-stage histograms against the

@@ -15,6 +15,7 @@
 //	        [-slow-ring N] [-slow-floor 250ms]
 //	        [-audit-ring N] [-audit-sample N] [-drift-half-life 5m]
 //	        [-rule-label-cap N]
+//	        [-alerts alerts.txt] [-alert-interval 15s] [-alert-webhook URL]
 //
 // Without -schema, the daemon boots on the synthetic financial-institute
 // schema with the generated incumbent rule set (-size, -seed), which is the
@@ -23,7 +24,8 @@
 // Endpoints: POST /v1/score, GET+POST /v1/rules, POST /v1/feedback,
 // POST /v1/refine, GET /v1/stats, GET /v1/schema, GET /v1/status,
 // GET /v1/trace, GET /v1/debug/slow, GET /v1/debug/state,
-// GET /v1/rules/health, GET /v1/audit, the replication surface
+// GET /v1/rules/health, GET /v1/audit, GET+POST /v1/alerts,
+// the replication surface
 // GET /v1/wal/segments, GET /v1/wal/snapshot and GET /v1/wal/stream
 // (durable leaders only), plus the unversioned infra endpoints
 // GET /healthz, GET /readyz, GET /metrics.
@@ -40,6 +42,20 @@
 // slower than a live p99-tracking threshold (or the -slow-floor) keep their
 // full span tree for GET /v1/debug/slow. GET /v1/debug/state consolidates
 // trace/window/WAL/capture/runtime introspection into one JSON document.
+//
+// The daemon also alerts on its own telemetry (DESIGN.md §17): a built-in
+// alert engine periodically evaluates declarative threshold rules — over
+// the /metrics series (delta-window quantiles and rates), the per-rule
+// health signals of GET /v1/rules/health, and the replication gauges — and
+// drives each alert through pending → firing → resolved with for-duration
+// hysteresis. GET /v1/alerts serves the live readout (?refresh=1 evaluates
+// on demand), POST /v1/alerts installs a replacement rule set node-locally
+// on any role, /metrics exports ALERTS{name,severity,state} gauges, and
+// -alert-webhook streams firing/resolved transitions as JSON POSTs with
+// bounded queueing and capped-backoff retries. -alerts loads a rule file
+// (one rule per line, e.g.
+// `alert slo severity=page for=1m: p99(rudolf_stage_duration_seconds{stage="eval"}) > 5ms`);
+// without it a conservative compiled-in SLO set is active.
 //
 // -debug-addr opens a second, loopback-only listener exposing
 // net/http/pprof (/debug/pprof/...), kept off the scoring port so profiling
@@ -109,6 +125,9 @@ func main() {
 		auditSample = flag.Int("audit-sample", 0, "audit 1-in-N decision sampling rate (0: default; 1: every decision)")
 		driftHalf   = flag.Duration("drift-half-life", 0, "EWMA half-life for per-rule fire-rate drift in GET /v1/rules/health (0: default)")
 		ruleLblCap  = flag.Int("rule-label-cap", 0, "max per-rule metric label series before collapsing to rule=\"other\" (0: default; negative: unbounded)")
+		alertsPath  = flag.String("alerts", "", "declarative alert-rule file (empty: the compiled-in SLO defaults)")
+		alertIvl    = flag.Duration("alert-interval", 0, "alert evaluation period (0: default 15s; negative: on-demand only via GET /v1/alerts?refresh=1)")
+		alertHook   = flag.String("alert-webhook", "", "POST firing/resolved alert transitions as JSON to this URL")
 	)
 	flag.Parse()
 
@@ -140,6 +159,9 @@ func main() {
 		AuditSample:      *auditSample,
 		DriftHalfLife:    *driftHalf,
 		RuleLabelCap:     *ruleLblCap,
+		AlertsPath:       *alertsPath,
+		AlertInterval:    *alertIvl,
+		AlertWebhook:     *alertHook,
 		Logger:           logger,
 	}.ServerConfig()
 	if err != nil {

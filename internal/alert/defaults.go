@@ -1,0 +1,36 @@
+package alert
+
+// defaultRulesText is the compiled-in rule set rudolfd loads when no
+// -alerts file is given: one alert per operational failure mode the daemon
+// already measures. Thresholds are deliberately conservative — they are
+// SLO defaults for a production box, not demo triggers (scripts/smoke.sh
+// publishes its own aggressive rules to exercise the lifecycle quickly).
+const defaultRulesText = `
+# SLO burn: the eval stage of the score hot path. The whole-request budget
+# is single-digit milliseconds; a sustained 5ms p99 in eval alone means the
+# rule set or the window store is drowning.
+alert slo_eval_p99 severity=page for=1m: p99(rudolf_stage_duration_seconds{stage="eval"}) > 5ms
+
+# Replication lag: a follower trailing the leader by hundreds of WAL
+# records for sustained time is serving stale rule versions. (On a leader
+# the series does not exist, so this alert never leaves inactive.)
+alert replica_lag severity=page for=30s: value(rudolf_replica_lag_records) > 500
+
+# Replication churn: steady reconnects mean the stream keeps dying (leader
+# restarts, network flap, prune races).
+alert replica_reconnect_churn severity=warn for=1m: rate(rudolf_replica_reconnects_total) > 0.2
+
+# Durability: WAL fsync stalls starve every acknowledged write.
+alert wal_fsync_stall severity=warn for=30s: p99(rudolf_wal_fsync_seconds) > 50ms
+
+# Window store pressure: LRU evictions mean live velocity state is being
+# discarded to make room — windowed rules silently under-count.
+alert window_lru_pressure severity=warn for=1m: rate(rudolf_window_evictions_total{cause="lru"}) > 100
+
+# Rule health: some published rule is mostly wrong on labeled feedback
+# (FP share over 90% with at least 5 labeled feedbacks).
+alert rule_fp_spike severity=warn for=2m: max(rule_fp_share) > 0.9
+`
+
+// DefaultRules returns the compiled-in rule set (a fresh copy per call).
+func DefaultRules() []Rule { return MustParseRules(defaultRulesText) }

@@ -1,0 +1,150 @@
+package alert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Expr is one compiled threshold expression:
+//
+//	<fn>(<signal>) <op> <threshold>
+//
+// Functions:
+//
+//	value(series)  — the instantaneous value of a counter / gauge /
+//	                 float-gauge telemetry series (exact name, labels
+//	                 included). A missing series is "no data", not zero —
+//	                 value(rudolf_replica_lag_records) simply never fires
+//	                 on a leader, where the series does not exist.
+//	rate(series)   — the per-second increase of a counter (or of a
+//	                 histogram's observation count) between evaluations.
+//	p50/p90/p95/p99/p999(series)
+//	               — the quantile estimate over the histogram's
+//	                 observations since the previous evaluation (the
+//	                 inter-tick delta, not the lifetime distribution —
+//	                 cumulative buckets would never let an alert resolve).
+//	                 An interval with no observations is "no data".
+//	max(signal)    — the maximum over a per-rule rulestats signal:
+//	                 rule_fp_share (FP/(TP+FP), rules with ≥ MinEvidence
+//	                 labeled feedbacks only), rule_drift, or
+//	                 rule_staleness_seconds (rules that have fired).
+//
+// Comparators: > >= < <= == !=. Thresholds are plain numbers or Go
+// durations (5ms → 0.005; seconds are the unit of every latency series).
+//
+// "No data" makes the condition false: an alert with nothing to measure is
+// not breaching, and a firing alert whose signal dries up resolves.
+type Expr struct {
+	// Fn is the sampling function name.
+	Fn string
+	// Signal is the series name (labels included) or rulestats signal.
+	Signal string
+	// Op is the comparator.
+	Op string
+	// Threshold is the right-hand side, in the signal's unit.
+	Threshold float64
+	// Raw is the original expression text.
+	Raw string
+}
+
+// The rulestats per-rule signals usable under max(...).
+const (
+	SignalRuleFPShare   = "rule_fp_share"
+	SignalRuleDrift     = "rule_drift"
+	SignalRuleStaleness = "rule_staleness_seconds"
+)
+
+// MinEvidence is the labeled-feedback floor for rule_fp_share: rules with
+// fewer than this many TP+FP feedbacks are skipped, so one stray analyst
+// label cannot page anyone.
+const MinEvidence = 5
+
+// quantileFns maps the pNN function names to their quantile.
+var quantileFns = map[string]float64{
+	"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99, "p999": 0.999,
+}
+
+// ParseExpr parses the expression grammar documented on Expr.
+func ParseExpr(text string) (Expr, error) {
+	raw := strings.TrimSpace(text)
+	lp := strings.IndexByte(raw, '(')
+	rp := strings.LastIndexByte(raw, ')')
+	if lp < 0 || rp < lp {
+		return Expr{}, fmt.Errorf("bad expression %q: want fn(signal) op threshold", raw)
+	}
+	e := Expr{
+		Fn:     strings.TrimSpace(raw[:lp]),
+		Signal: strings.TrimSpace(raw[lp+1 : rp]),
+		Raw:    raw,
+	}
+	if _, isQuantile := quantileFns[e.Fn]; !isQuantile {
+		switch e.Fn {
+		case "value", "rate", "max":
+		default:
+			return Expr{}, fmt.Errorf("unknown function %q (want value, rate, max, p50, p90, p95, p99 or p999)", e.Fn)
+		}
+	}
+	if e.Signal == "" {
+		return Expr{}, fmt.Errorf("empty signal in %q", raw)
+	}
+	if e.Fn == "max" {
+		switch e.Signal {
+		case SignalRuleFPShare, SignalRuleDrift, SignalRuleStaleness:
+		default:
+			return Expr{}, fmt.Errorf("max() takes a rulestats signal (%s, %s or %s), not %q",
+				SignalRuleFPShare, SignalRuleDrift, SignalRuleStaleness, e.Signal)
+		}
+	}
+	rest := strings.Fields(raw[rp+1:])
+	if len(rest) != 2 {
+		return Expr{}, fmt.Errorf("bad comparison in %q: want `op threshold` after the closing ')'", raw)
+	}
+	switch rest[0] {
+	case ">", ">=", "<", "<=", "==", "!=":
+		e.Op = rest[0]
+	default:
+		return Expr{}, fmt.Errorf("unknown comparator %q (want >, >=, <, <=, == or !=)", rest[0])
+	}
+	th, err := parseThreshold(rest[1])
+	if err != nil {
+		return Expr{}, fmt.Errorf("bad threshold %q: %w", rest[1], err)
+	}
+	e.Threshold = th
+	return e, nil
+}
+
+// parseThreshold accepts a plain float or a Go duration (converted to
+// seconds — the unit of every telemetry latency series).
+func parseThreshold(s string) (float64, error) {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative duration")
+		}
+		return d.Seconds(), nil
+	}
+	return 0, fmt.Errorf("want a number (0.9) or a duration (5ms)")
+}
+
+// compare applies the expression's comparator to a sampled value.
+func (e Expr) compare(v float64) bool {
+	switch e.Op {
+	case ">":
+		return v > e.Threshold
+	case ">=":
+		return v >= e.Threshold
+	case "<":
+		return v < e.Threshold
+	case "<=":
+		return v <= e.Threshold
+	case "==":
+		return v == e.Threshold
+	case "!=":
+		return v != e.Threshold
+	}
+	return false
+}

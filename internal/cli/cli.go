@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/alert"
 	"repro/internal/history"
 	"repro/internal/relation"
 	"repro/internal/rules"
@@ -44,6 +45,17 @@ func LoadRules(path string, s *relation.Schema) (*rules.Set, error) {
 	var rs *rules.Set
 	err := load(path, func(f *os.File) (err error) {
 		rs, err = rules.ReadSet(f, s)
+		return err
+	})
+	return rs, err
+}
+
+// LoadAlertRules reads a declarative alert-rule file (one rule per line,
+// '#' comments; see internal/alert).
+func LoadAlertRules(path string) ([]alert.Rule, error) {
+	var rs []alert.Rule
+	err := load(path, func(f *os.File) (err error) {
+		rs, err = alert.ParseRules(f)
 		return err
 	})
 	return rs, err

@@ -63,6 +63,14 @@ type ServeOptions struct {
 	AuditSample   int
 	DriftHalfLife time.Duration
 	RuleLabelCap  int
+	// AlertsPath is a declarative alert-rule file (see internal/alert);
+	// empty keeps the compiled-in default rules. AlertInterval is the
+	// evaluation period (0 means the serving default, negative disables the
+	// periodic evaluator). AlertWebhook receives firing/resolved
+	// transitions as JSON POSTs.
+	AlertsPath    string
+	AlertInterval time.Duration
+	AlertWebhook  string
 	// Logger receives the daemon's structured logs.
 	Logger *slog.Logger
 }
@@ -87,6 +95,15 @@ func (o ServeOptions) ServerConfig() (serve.Config, error) {
 		AuditSampleEvery: o.AuditSample,
 		DriftHalfLife:    o.DriftHalfLife,
 		RuleLabelCap:     o.RuleLabelCap,
+		AlertInterval:    o.AlertInterval,
+		AlertWebhook:     o.AlertWebhook,
+	}
+	if o.AlertsPath != "" {
+		alertRules, err := LoadAlertRules(o.AlertsPath)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		cfg.AlertRules = alertRules
 	}
 	if o.HistoryPath != "" && o.DataDir != "" {
 		return serve.Config{}, errors.New("-history and -data-dir are mutually exclusive: the data directory persists its own version history")

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	goruntime "runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/alert"
+)
+
+// alertTestConfig builds a server config with a deterministic alert setup:
+// no ticker (GET /v1/alerts?refresh=1 drives evaluation synchronously) and
+// a single rate-based rule that breaches while transactions are being
+// scored and resolves the moment traffic stops.
+func alertTestConfig(t *testing.T) Config {
+	schema := testSchema(t)
+	return Config{
+		Schema:        schema,
+		Rules:         mustRules(t, schema, "amount >= 100"),
+		AlertInterval: -1,
+		AlertRules:    alert.MustParseRules("alert traffic severity=page: rate(rudolf_score_tx_total) > 0"),
+	}
+}
+
+type alertsTestDoc struct {
+	RequestID string `json:"request_id"`
+	Firing    int    `json:"firing"`
+	Pending   int    `json:"pending"`
+	Rules     []struct {
+		Name    string  `json:"name"`
+		State   string  `json:"state"`
+		Value   float64 `json:"value"`
+		HasData bool    `json:"has_data"`
+	} `json:"rules"`
+	Recent []struct {
+		Name  string `json:"name"`
+		State string `json:"state"`
+	} `json:"recent"`
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	return body
+}
+
+func getAlerts(t *testing.T, base string, refresh bool) (alertsTestDoc, string) {
+	t.Helper()
+	u := base + "/v1/alerts"
+	if refresh {
+		u += "?refresh=1"
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/alerts = %d: %s", resp.StatusCode, body)
+	}
+	var doc alertsTestDoc
+	if err := jsonUnmarshal(body, &doc); err != nil {
+		t.Fatalf("GET /v1/alerts body %q: %v", body, err)
+	}
+	return doc, resp.Header.Get("ETag")
+}
+
+// TestAlertsTripAndResolve drives the full lifecycle through the HTTP
+// surface: traffic breaches the rate rule, the alert fires (visible on
+// /v1/alerts, /metrics, /v1/status and /v1/debug/state), and the next
+// quiet evaluation resolves it.
+func TestAlertsTripAndResolve(t *testing.T) {
+	_, ts := newTestServer(t, alertTestConfig(t))
+
+	// Prime the rate window: first sighting is no-data, nothing fires.
+	doc, etag := getAlerts(t, ts.URL, true)
+	if len(doc.Rules) != 1 || doc.Firing != 0 || doc.Rules[0].HasData {
+		t.Fatalf("primed state: %+v", doc)
+	}
+	if etag == "" {
+		t.Fatal("GET /v1/alerts carries no ETag")
+	}
+
+	// Score traffic, then evaluate: the inter-evaluation rate is positive.
+	if code, body := postJSON(t, ts.URL+"/v1/score", tx(500, 3, 9), nil); code != http.StatusOK {
+		t.Fatalf("score: %d %s", code, body)
+	}
+	doc, etag2 := getAlerts(t, ts.URL, true)
+	if doc.Firing != 1 || doc.Rules[0].State != "firing" || doc.Rules[0].Value <= 0 {
+		t.Fatalf("breached state: %+v", doc)
+	}
+	if etag2 == etag {
+		t.Fatalf("ETag did not move across a firing transition: %s", etag)
+	}
+
+	// The firing alert is visible on every surface.
+	metrics := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		`ALERTS{name="traffic",severity="page",state="firing"} 1`,
+		"rudolf_alerts_firing 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q while firing", want)
+		}
+	}
+	var status struct {
+		AlertsFiring int `json:"alerts_firing"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/status", &status); code != http.StatusOK || status.AlertsFiring != 1 {
+		t.Fatalf("/v1/status = %d, alerts_firing = %d, want 1", code, status.AlertsFiring)
+	}
+	var dbg struct {
+		Alerts *struct {
+			Rules         int  `json:"rules"`
+			Firing        int  `json:"firing"`
+			TickerRunning bool `json:"ticker_running"`
+		} `json:"alerts"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/debug/state", &dbg); code != http.StatusOK || dbg.Alerts == nil {
+		t.Fatalf("/v1/debug/state = %d, alerts block %+v", code, dbg.Alerts)
+	}
+	if dbg.Alerts.Firing != 1 || dbg.Alerts.Rules != 1 || dbg.Alerts.TickerRunning {
+		t.Fatalf("debug alerts block: %+v", dbg.Alerts)
+	}
+
+	// No traffic between evaluations: the rate drops to zero and the alert
+	// resolves, leaving the firing→resolved pair in the history.
+	doc, _ = getAlerts(t, ts.URL, true)
+	if doc.Firing != 0 || doc.Rules[0].State != "inactive" {
+		t.Fatalf("resolved state: %+v", doc)
+	}
+	if len(doc.Recent) != 2 || doc.Recent[0].State != "resolved" || doc.Recent[1].State != "firing" {
+		t.Fatalf("history: %+v", doc.Recent)
+	}
+	metrics = getMetrics(t, ts.URL)
+	if !strings.Contains(metrics, `ALERTS{name="traffic",severity="page",state="firing"} 0`) {
+		t.Error("/metrics still shows the resolved alert firing")
+	}
+
+	// A conditional re-read with the current tag answers 304.
+	_, etag3 := getAlerts(t, ts.URL, false)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/alerts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag3)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET /v1/alerts = %d, want 304", resp.StatusCode)
+	}
+}
+
+// TestAlertsPublish: POST /v1/alerts replaces the node-local rule set,
+// bumps the config version (and the ETag), and rejects malformed rules
+// with the uniform envelope.
+func TestAlertsPublish(t *testing.T) {
+	_, ts := newTestServer(t, alertTestConfig(t))
+
+	_, etagBefore := getAlerts(t, ts.URL, false)
+	var ack struct {
+		RequestID     string `json:"request_id"`
+		ConfigVersion int    `json:"config_version"`
+		Rules         int    `json:"rules"`
+	}
+	code, body := postJSON(t, ts.URL+"/v1/alerts", map[string]any{
+		"rules": []string{
+			"alert a for=1h: value(rudolf_score_inflight) > 1000000",
+			"alert b: rate(rudolf_score_tx_total) > 1000000",
+		},
+	}, &ack)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/alerts = %d: %s", code, body)
+	}
+	if ack.ConfigVersion != 2 || ack.Rules != 2 || ack.RequestID == "" {
+		t.Fatalf("publish ack: %+v", ack)
+	}
+	doc, etagAfter := getAlerts(t, ts.URL, false)
+	if len(doc.Rules) != 2 || doc.Rules[0].Name != "a" || doc.Rules[1].Name != "b" {
+		t.Fatalf("post-install rules: %+v", doc.Rules)
+	}
+	if etagAfter == etagBefore {
+		t.Fatalf("ETag did not move across a rule install: %s", etagAfter)
+	}
+
+	// A parse error is a 400 in the uniform envelope, and the installed set
+	// is untouched.
+	code, body = postJSON(t, ts.URL+"/v1/alerts", map[string]any{"rules": []string{"alert broken: wat"}}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad rule POST = %d: %s", code, body)
+	}
+	var er errorResponse
+	if err := jsonUnmarshal(body, &er); err != nil || er.Error.Code != CodeBadRequest {
+		t.Fatalf("bad rule envelope %q (err %v), want code %q", body, err, CodeBadRequest)
+	}
+	if doc, _ := getAlerts(t, ts.URL, false); len(doc.Rules) != 2 {
+		t.Fatalf("failed publish mutated the rule set: %+v", doc.Rules)
+	}
+
+	// An explicit empty set disables alerting without disabling the surface.
+	code, body = postJSON(t, ts.URL+"/v1/alerts", map[string]any{"rules": []string{}}, &ack)
+	if code != http.StatusOK || ack.Rules != 0 {
+		t.Fatalf("empty publish = %d (%s), ack %+v", code, body, ack)
+	}
+}
+
+// TestBuildInfoMetric pins the build-identity gauge: constant 1, labeled
+// with the running toolchain and the daemon version.
+func TestBuildInfoMetric(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+	want := fmt.Sprintf("rudolf_build_info{go_version=%q,version=%q} 1", goruntime.Version(), Version)
+	if metrics := getMetrics(t, ts.URL); !strings.Contains(metrics, want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+}
+
+// TestAuditBadN pins GET /v1/audit's parameter validation: any non-positive
+// or non-numeric n answers 400 in the uniform envelope.
+func TestAuditBadN(t *testing.T) {
+	schema := testSchema(t)
+	_, ts := newTestServer(t, Config{Schema: schema, Rules: mustRules(t, schema, "amount >= 100")})
+	for _, bad := range []string{"0", "-1", "abc", "1.5"} {
+		resp, err := http.Get(ts.URL + "/v1/audit?n=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/audit?n=%s = %d (%s), want 400", bad, resp.StatusCode, body)
+			continue
+		}
+		var er errorResponse
+		if err := jsonUnmarshal(body, &er); err != nil || er.Error.Code != CodeBadRequest {
+			t.Errorf("n=%s envelope %q (err %v), want code %q", bad, body, err, CodeBadRequest)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/audit?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/audit?n=5 = %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestAlertWebhookConfigValidate: a relative or non-http webhook URL is
+// rejected up front.
+func TestAlertWebhookConfigValidate(t *testing.T) {
+	schema := testSchema(t)
+	for _, bad := range []string{"alertmanager:9093", "/hook", "ftp://x/hook"} {
+		cfg := Config{Schema: schema, AlertWebhook: bad}
+		if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "AlertWebhook") {
+			t.Errorf("Validate(AlertWebhook=%q) = %v, want an AlertWebhook error", bad, err)
+		}
+	}
+	if err := (Config{Schema: schema, AlertWebhook: "http://127.0.0.1:9093/hook"}).Validate(); err != nil {
+		t.Errorf("Validate rejected a good webhook URL: %v", err)
+	}
+}

@@ -309,6 +309,12 @@ func TestAPIContract(t *testing.T) {
 		{"POST", "/v1/rules/health", "{}", notAllowed, notAllowed},
 		{"GET", "/v1/audit", "", ok, ok},
 		{"POST", "/v1/audit", "{}", notAllowed, notAllowed},
+		// /v1/alerts is node-local on every role: a follower accepts alert
+		// rules (its replication lag is exactly what they watch), so POST is
+		// deliberately NOT read-only-guarded.
+		{"GET", "/v1/alerts", "", ok, ok},
+		{"POST", "/v1/alerts", `{"rules":["alert contract: value(rudolf_score_inflight) > 1000000"]}`, ok, ok},
+		{"DELETE", "/v1/alerts", "", notAllowed, notAllowed},
 		{"GET", "/v1/trace", "", ok, ok},
 		{"POST", "/v1/trace", "{}", notAllowed, notAllowed},
 		{"GET", "/v1/debug/slow", "", ok, ok},

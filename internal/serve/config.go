@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/core"
 	"repro/internal/expert"
 	"repro/internal/history"
@@ -124,6 +125,22 @@ type Config struct {
 	// wal.DefaultSegmentBytes. Requires DataDir.
 	WALSegmentBytes int64
 
+	// AlertRules is the declarative alert rule set the embedded alert engine
+	// evaluates (see internal/alert and DESIGN.md §17). Nil means
+	// alert.DefaultRules(); an explicit empty slice disables every rule
+	// while keeping the engine (and POST /v1/alerts) available.
+	AlertRules []alert.Rule
+	// AlertInterval is the evaluation period. 0 means
+	// alert.DefaultInterval (15s); negative disables the periodic
+	// evaluator (the engine still exists, and GET /v1/alerts?refresh=1
+	// evaluates on demand — how tests and scripts drive it
+	// deterministically).
+	AlertInterval time.Duration
+	// AlertWebhook, when non-empty, is an absolute http(s) URL that
+	// receives every firing and resolved alert transition as a JSON POST
+	// (asynchronously, with bounded queue and capped-backoff retries).
+	AlertWebhook string
+
 	// FollowURL turns the server into a read-only replication follower of
 	// the leader at this base URL (e.g. "http://leader:8080"): it bootstraps
 	// from the leader's newest snapshot, tails its WAL stream, serves reads
@@ -213,6 +230,12 @@ func (cfg Config) Validate() error {
 	if cfg.DataDir != "" && cfg.History != nil {
 		return errors.New("serve: Config.DataDir and Config.History are mutually exclusive; the data directory persists its own version history")
 	}
+	if cfg.AlertWebhook != "" {
+		u, err := url.Parse(cfg.AlertWebhook)
+		if err != nil || !u.IsAbs() || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return fmt.Errorf("serve: Config.AlertWebhook = %q; want an absolute http(s) URL like http://alertmanager:9093/hook", cfg.AlertWebhook)
+		}
+	}
 	if cfg.FollowURL != "" {
 		if cfg.DataDir != "" {
 			return errors.New("serve: Config.FollowURL and Config.DataDir are mutually exclusive; a follower's durable state is the leader's")
@@ -281,6 +304,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Fsync == "" {
 		cfg.Fsync = string(wal.SyncAlways)
+	}
+	if cfg.AlertRules == nil {
+		cfg.AlertRules = alert.DefaultRules()
+	}
+	if cfg.AlertInterval == 0 {
+		cfg.AlertInterval = alert.DefaultInterval
 	}
 	if cfg.DataDir != "" && cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = DefaultSnapshotInterval

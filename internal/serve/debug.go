@@ -347,6 +347,7 @@ type debugStateResponse struct {
 	Capture       debugCaptureState      `json:"capture"`
 	Runtime       debugRuntimeState      `json:"runtime"`
 	Replication   *debugReplicationState `json:"replication"`
+	Alerts        *debugAlertsState      `json:"alerts"`
 }
 
 // handleDebugState consolidates the introspection stats of every subsystem
@@ -430,6 +431,7 @@ func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Replication = s.replicationDebugState()
+	resp.Alerts = s.alertsDebugState()
 	s.mu.Lock()
 	hits, rebinds, invalidates := s.cache.Stats()
 	resp.Capture = debugCaptureState{

@@ -562,6 +562,13 @@ func (s *Server) snapshotLoop(interval time.Duration) {
 // drain. Servers without a DataDir close trivially.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		if s.alertStop != nil {
+			close(s.alertStop)
+			<-s.alertDone
+		}
+		if s.alerts != nil {
+			s.alerts.Close()
+		}
 		if s.snapStop != nil {
 			close(s.snapStop)
 			<-s.snapDone

@@ -272,6 +272,9 @@ type statusResponse struct {
 	// Ready mirrors /readyz: false while draining or while a follower is
 	// still catching up.
 	Ready bool `json:"ready"`
+	// AlertsFiring is the number of alert rules currently in the firing
+	// state on this node (see GET /v1/alerts).
+	AlertsFiring int `json:"alerts_firing"`
 }
 
 // handleStatus serves the node identity document.
@@ -281,11 +284,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statusResponse{
-		RequestID: requestMeta(r).id,
-		Role:      "leader",
-		Version:   s.Version(),
-		UptimeS:   time.Since(s.started).Seconds(),
-		Ready:     !s.draining.Load(),
+		RequestID:    requestMeta(r).id,
+		Role:         "leader",
+		Version:      s.Version(),
+		UptimeS:      time.Since(s.started).Seconds(),
+		Ready:        !s.draining.Load(),
+		AlertsFiring: s.alerts.FiringCount(),
 	}
 	if f := s.follower; f != nil {
 		resp.Role = "follower"

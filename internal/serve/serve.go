@@ -56,6 +56,7 @@ import (
 	"mime"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/history"
@@ -180,6 +182,15 @@ type Server struct {
 	closeOnce   sync.Once
 	closeErr    error
 
+	// alerts is the embedded alert engine (DESIGN.md §17): declarative
+	// threshold rules over the telemetry registry, rule health and
+	// replication state, evaluated on its own ticker so the score hot path
+	// never pays for it. alertStop/alertDone bracket the ticker goroutine
+	// (nil when Config.AlertInterval < 0).
+	alerts    *alert.Engine
+	alertStop chan struct{}
+	alertDone chan struct{}
+
 	// tracer records request/refinement spans; reqSeq numbers requests for
 	// the X-Request-Id header echoed in every JSON response.
 	tracer *trace.Tracer
@@ -220,6 +231,12 @@ type Server struct {
 	lastSlowPromoted    uint64
 	mSlowThreshold      *telemetry.FloatGauge
 }
+
+// Version identifies the daemon build in /v1/status and the
+// rudolf_build_info metric. Overridable at link time:
+//
+//	go build -ldflags "-X repro/internal/serve.Version=v1.2.3" ./cmd/rudolfd
+var Version = "dev"
 
 // httpCounterKey keys the cached rudolf_http_requests_total counters.
 type httpCounterKey struct {
@@ -325,6 +342,37 @@ func New(cfg Config) (*Server, error) {
 		s.snapDone = make(chan struct{})
 		go s.snapshotLoop(cfg.SnapshotInterval)
 	}
+
+	// The alert engine always exists (GET /v1/alerts and POST /v1/alerts
+	// work even with the ticker disabled); the periodic evaluator only runs
+	// for a positive interval. Prepare refreshes the derived window / WAL /
+	// runtime gauges before each pass — the same refresh /metrics does — so
+	// rules over those series never read stale values.
+	alertCfg := alert.Config{
+		Rules:    cfg.AlertRules,
+		Interval: cfg.AlertInterval,
+		Sources: alert.Sources{
+			Metrics:   s.reg,
+			RuleStats: s.stats.Snapshot,
+		},
+		Prepare: s.refreshDebugStats,
+		Logger:  s.log,
+	}
+	if cfg.AlertWebhook != "" {
+		alertCfg.Webhook = &alert.WebhookConfig{URL: cfg.AlertWebhook}
+	}
+	s.alerts = alert.NewEngine(alertCfg)
+	if cfg.AlertInterval > 0 {
+		s.alertStop = make(chan struct{})
+		s.alertDone = make(chan struct{})
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			defer close(s.alertDone)
+			defer cancel()
+			go func() { <-s.alertStop; cancel() }()
+			s.alerts.Run(ctx)
+		}()
+	}
 	return s, nil
 }
 
@@ -427,6 +475,10 @@ func (s *Server) initMetrics() {
 		s.follower.mLag = r.Gauge("rudolf_replica_lag_records")
 		s.follower.mReconnects = r.Counter("rudolf_replica_reconnects_total")
 	}
+	// Build identity: a constant-1 gauge whose labels carry the versions, the
+	// standard Prometheus idiom for joining build metadata onto any query.
+	r.Help("rudolf_build_info", "Build metadata: constant 1, labeled with the Go runtime version and the daemon version.")
+	r.Gauge(`rudolf_build_info{go_version="` + telemetry.EscapeLabel(runtime.Version()) + `",version="` + telemetry.EscapeLabel(Version) + `"}`).Set(1)
 	s.rc = newRuntimeCollector(r)
 }
 
@@ -582,6 +634,11 @@ func (s *Server) Handler() http.Handler {
 	// unversioned, so no legacy redirects).
 	mux.Handle("/v1/rules/health", s.instrument("/v1/rules/health", "rules_health", http.HandlerFunc(s.handleRuleHealth)))
 	mux.Handle("/v1/audit", s.instrument("/v1/audit", "audit", http.HandlerFunc(s.handleAudit)))
+	// /v1/alerts: the alert engine's readout and rule surface. Deliberately
+	// not readOnly-wrapped — each node alerts on its own signals (a
+	// follower's replication lag is exactly what its alert rules watch), so
+	// rule installs are node-local on every role. See DESIGN.md §17.
+	mux.Handle("/v1/alerts", s.instrument("/v1/alerts", "alerts", http.HandlerFunc(s.handleAlerts)))
 	// /v1/status: the role-aware node identity document, served identically
 	// by leaders and followers.
 	mux.Handle("/v1/status", s.instrument("/v1/status", "status", http.HandlerFunc(s.handleStatus)))

@@ -51,6 +51,7 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck // test teardown; Close is idempotent
 	return s, ts
 }
 

@@ -24,6 +24,12 @@ func (s ScrapedHistogram) Quantile(q float64) float64 {
 	return QuantileFromBuckets(s.Uppers, s.Cum, s.Total, q)
 }
 
+// Buckets exposes the scraped bucket view, satisfying BucketSource so the
+// shared Quantile helper works identically on live and scraped histograms.
+func (s ScrapedHistogram) Buckets() (uppers []float64, cum []uint64, total uint64) {
+	return s.Uppers, s.Cum, s.Total
+}
+
 // ScrapeValue returns the value of the series with the given name (exact
 // match, including any label set) from a text-format page.
 func ScrapeValue(page, series string) (float64, bool) {

@@ -164,6 +164,35 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return QuantileFromBuckets(h.uppers, cum, total, q)
 }
 
+// Buckets returns a consistent-enough snapshot of the histogram: finite
+// upper bounds, cumulative counts aligned with them, and the overall total
+// (including the +Inf bucket). The uppers slice is shared (callers must not
+// mutate it); the counts are freshly allocated. This is the registry-side
+// twin of ScrapedHistogram — the alert engine reads live histograms through
+// it instead of round-tripping the text exposition format.
+func (h *Histogram) Buckets() (uppers []float64, cum []uint64, total uint64) {
+	cum, total = h.snapshot()
+	return h.uppers, cum, total
+}
+
+// BucketSource is any histogram view that can expose cumulative bucket
+// counts: *Histogram (live registry series) and ScrapedHistogram (parsed
+// back from a /metrics page) both satisfy it.
+type BucketSource interface {
+	Buckets() (uppers []float64, cum []uint64, total uint64)
+}
+
+// Quantile estimates the q-quantile of any bucketed histogram view with the
+// shared interpolation arithmetic, so a live registry read and a scraped
+// page can never disagree about what "p99" means. A nil source returns 0.
+func Quantile(h BucketSource, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	uppers, cum, total := h.Buckets()
+	return QuantileFromBuckets(uppers, cum, total, q)
+}
+
 // QuantileFromBuckets is the bucket-interpolation quantile estimate over
 // cumulative counts cum (aligned with uppers) and the overall total
 // (including the +Inf bucket). Exported so cmd/loadgen can compute p50/p99
@@ -322,6 +351,42 @@ func (r *Registry) Histogram(name string, uppers []float64) *Histogram {
 	r.series[name] = m
 	r.ordered = append(r.ordered, m)
 	return m.h
+}
+
+// Value returns the current value of the scalar series with the exact given
+// name (counter, gauge or float gauge, labels included). It reports false
+// for names that are not registered or name a histogram — absence is a
+// signal of its own to consumers like the alert engine (no data ≠ zero).
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	m, ok := r.lookup(name)
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case m.c != nil:
+		return float64(m.c.Value()), true
+	case m.g != nil:
+		return float64(m.g.Value()), true
+	case m.fg != nil:
+		return m.fg.Value(), true
+	}
+	return 0, false
+}
+
+// FindHistogram returns the histogram series registered under the exact
+// given name (labels included), without creating it — the read-side
+// counterpart of Histogram for consumers that must distinguish "no such
+// series" from "series with no observations".
+func (r *Registry) FindHistogram(name string) (*Histogram, bool) {
+	r.mu.Lock()
+	m, ok := r.lookup(name)
+	r.mu.Unlock()
+	if !ok || m.h == nil {
+		return nil, false
+	}
+	return m.h, true
 }
 
 // labelJoin splices an extra label (le="...") into a series name that may

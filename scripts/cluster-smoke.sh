@@ -37,9 +37,11 @@ mkdir -p "$BIN"
 LEADER_PID=""
 F1_PID=""
 F2_PID=""
+F3_PID=""
+L2_PID=""
 cleanup() {
     local pid
-    for pid in "$F1_PID" "$F2_PID" "$LEADER_PID"; do
+    for pid in "$F1_PID" "$F2_PID" "$F3_PID" "$LEADER_PID" "$L2_PID"; do
         if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
             kill -KILL "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -226,10 +228,94 @@ awk -v a="$R1" -v b="$R2" -v base="$BASE_RATE" -v f="$FACTOR" \
     exit 1
 }
 
-# Graceful teardown: followers first, then the leader.
-for pid in "$F1_PID" "$F2_PID" "$LEADER_PID"; do
+# --- Replication-lag alerting: a catching-up follower pages, then resolves
+# A second leader runs with periodic snapshots disabled, so a fresh follower
+# must replay its entire WAL record by record — a wide, observable catch-up
+# window. The WAL is fattened with observe records (a windowed rule makes
+# every scored batch durable), then a follower boots with a node-local alert
+# file (-alerts, proving the flag composes with -follow) and a 25ms
+# evaluator: any replication lag at all must page. The firing→resolved pair
+# is asserted from the retained history, so the assertion does not race the
+# catch-up — the fast ticker observed it even if the poll below missed it.
+echo "cluster-smoke: replication-lag alert phase (leader 2, no periodic snapshots)"
+: >"$TMP/addr-leader2"
+"$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$TMP/addr-leader2" -size 2000 -seed 1 \
+    -data-dir "$TMP/data2" -fsync interval -snapshot-interval -1s \
+    >"$TMP/leader2.log" 2>&1 &
+L2_PID=$!
+L2_ADDR=$(wait_addr "$TMP/addr-leader2" "$L2_PID" "$TMP/leader2.log" "leader 2")
+L2="http://$L2_ADDR"
+wait_ready "$L2" "leader 2"
+L2_RULES=$(curl -fsS "$L2/v1/rules" | jq '.rules + ["COUNT(location, 10m) >= 5"]')
+curl -fsS -H 'Content-Type: application/json' -X POST "$L2/v1/rules" \
+    -d "{\"rules\": $L2_RULES, \"comment\": \"cluster-smoke windowed rule\"}" >/dev/null
+"$BIN/loadgen" -url "$L2" -duration "$DURATION" -concurrency 4 -batch 64 -seed 5 \
+    >"$TMP/loadgen-l2.log" 2>&1 || {
+    echo "cluster-smoke: WAL-fattening load on leader 2 failed:" >&2
+    cat "$TMP/loadgen-l2.log" >&2
+    exit 1
+}
+
+cat >"$TMP/lag-alert.txt" <<'EOF'
+# Cluster-smoke: page the moment this follower trails the leader at all.
+alert lag_catchup severity=page: value(rudolf_replica_lag_records) >= 1
+EOF
+: >"$TMP/addr-f3"
+"$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$TMP/addr-f3" \
+    -follow "$L2" -alerts "$TMP/lag-alert.txt" -alert-interval 25ms \
+    >"$TMP/follower-3.log" 2>&1 &
+F3_PID=$!
+F3_ADDR=$(wait_addr "$TMP/addr-f3" "$F3_PID" "$TMP/follower-3.log" "follower 3")
+F3="http://$F3_ADDR"
+
+# Best-effort live observation of the firing state while /readyz is still
+# 503; the authoritative assertion is on the history below.
+LIVE=""
+for _ in $(seq 1 200); do
+    if curl -fsS "$F3/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    DOC=$(curl -fsS "$F3/v1/alerts" 2>/dev/null || true)
+    if [[ -n "$DOC" ]] && jq -e \
+        '.rules[] | select(.name == "lag_catchup") | .state == "firing"' <<<"$DOC" >/dev/null 2>&1; then
+        LIVE=1
+    fi
+    sleep 0.02
+done
+wait_ready "$F3" "follower 3"
+
+# Caught up: the next evaluation sees zero lag and must resolve the page.
+LAG_OK=""
+for _ in $(seq 1 100); do
+    DOC=$(curl -fsS "$F3/v1/alerts?refresh=1")
+    if jq -e '.rules[] | select(.name == "lag_catchup") | .state == "inactive"' <<<"$DOC" >/dev/null; then
+        LAG_OK=1
+        break
+    fi
+    sleep 0.05
+done
+[[ -n "$LAG_OK" ]] || {
+    echo "cluster-smoke: lag_catchup never resolved after catch-up: $DOC" >&2
+    exit 1
+}
+jq -e '
+    ([.recent[] | select(.name == "lag_catchup" and .state == "firing")] | length >= 1)
+    and ([.recent[] | select(.name == "lag_catchup" and .state == "resolved")] | length >= 1)
+' <<<"$DOC" >/dev/null || {
+    echo "cluster-smoke: lag_catchup history lacks the firing/resolved pair: $DOC" >&2
+    cat "$TMP/follower-3.log" >&2
+    exit 1
+}
+curl -fsS "$F3/v1/status" | jq -e '.role == "follower" and .alerts_firing == 0' >/dev/null || {
+    echo "cluster-smoke: follower 3 status malformed after catch-up" >&2
+    exit 1
+}
+echo "cluster-smoke: lag alert fired during catch-up and resolved when caught up${LIVE:+ (observed live)}"
+
+# Graceful teardown: followers first, then the leaders.
+for pid in "$F1_PID" "$F2_PID" "$F3_PID" "$LEADER_PID" "$L2_PID"; do
     kill -TERM "$pid"
     wait "$pid"
 done
-F1_PID="" F2_PID="" LEADER_PID=""
+F1_PID="" F2_PID="" F3_PID="" LEADER_PID="" L2_PID=""
 echo "cluster-smoke: ok"

@@ -27,7 +27,12 @@ $GO build -o "$BIN/rudolfd" ./cmd/rudolfd
 $GO build -o "$BIN/loadgen" ./cmd/loadgen
 
 echo "smoke: booting rudolfd on a random port"
+# -alert-interval 100ms: the fast ticker the alert phase at the bottom
+# relies on. No -alerts file — loadgen -smoke asserts the compiled-in
+# default SLO rules are installed (and quiet); the alert phase then swaps
+# in its own aggressive rule through POST /v1/alerts.
 "$BIN/rudolfd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -size 2000 -seed 1 \
+    -alert-interval 100ms \
     >"$TMP/rudolfd.log" 2>&1 &
 DAEMON_PID=$!
 
@@ -236,6 +241,96 @@ echo "$STATE" | jq -e '
     exit 1
 }
 echo "smoke: debug-endpoint assertions ok (slow trace $SLOW_ID retained with stage breakdown)"
+
+# --- Alerting: induce a breach, watch it fire, starve it, watch it resolve
+# Replace the default SLO rules with one aggressive traffic rule: any
+# scoring between two evaluator ticks breaches it. A background curl loop
+# keeps transactions flowing, so the 100ms ticker must take the rule to
+# firing; killing the loop starves the rate and the next quiet tick must
+# resolve it. State is read without ?refresh=1 so it is the periodic
+# evaluator being asserted, not an on-demand pass.
+echo "smoke: alert breach/resolve assertions (curl/jq)"
+ACK=$(curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/alerts" \
+    -d '{"rules": ["alert smoke_traffic severity=page: rate(rudolf_score_tx_total) > 0"]}')
+echo "$ACK" | jq -e '.config_version == 2 and .rules == 1' >/dev/null || {
+    echo "smoke: POST /v1/alerts ack malformed: $ACK" >&2
+    exit 1
+}
+
+touch "$TMP/alertload"
+(
+    while [[ -f "$TMP/alertload" ]]; do
+        curl -fsS -H 'Content-Type: application/json' -X POST "$BASE/v1/score" \
+            -d "{\"transactions\": [$TX]}" >/dev/null 2>&1 || true
+        sleep 0.02
+    done
+) &
+LOAD_PID=$!
+
+# Two 100ms evaluation intervals is the contract; poll a little past that
+# to absorb scheduler noise, but record how many ticks it actually took.
+FIRED=""
+for i in $(seq 1 40); do
+    STATE=$(curl -fsS "$BASE/v1/alerts")
+    if echo "$STATE" | jq -e '.rules[] | select(.name == "smoke_traffic") | .state == "firing"' >/dev/null; then
+        FIRED=1
+        break
+    fi
+    sleep 0.05
+done
+rm -f "$TMP/alertload"
+if [[ -z "$FIRED" ]]; then
+    wait "$LOAD_PID" 2>/dev/null || true
+    echo "smoke: smoke_traffic never fired under load: $STATE" >&2
+    exit 1
+fi
+echo "smoke: smoke_traffic fired after ~$((i * 50))ms of load"
+
+# While firing, the alert is visible on every surface.
+METRICS=$(curl -fsS "$BASE/metrics")
+grep -qF 'ALERTS{name="smoke_traffic",severity="page",state="firing"} 1' <<<"$METRICS" || {
+    echo "smoke: /metrics missing the firing ALERTS series" >&2
+    exit 1
+}
+curl -fsS "$BASE/v1/status" | jq -e '.alerts_firing >= 1' >/dev/null || {
+    echo "smoke: /v1/status alerts_firing did not move" >&2
+    exit 1
+}
+curl -fsS "$BASE/v1/debug/state" | jq -e \
+    '.alerts.rules == 1 and .alerts.firing >= 1 and .alerts.ticker_running' >/dev/null || {
+    echo "smoke: /v1/debug/state alerts block malformed" >&2
+    exit 1
+}
+
+# Load stopped: the next quiet tick sees a zero rate and resolves.
+wait "$LOAD_PID" 2>/dev/null || true
+RESOLVED=""
+for _ in $(seq 1 40); do
+    STATE=$(curl -fsS "$BASE/v1/alerts")
+    if echo "$STATE" | jq -e '.rules[] | select(.name == "smoke_traffic") | .state == "inactive"' >/dev/null; then
+        RESOLVED=1
+        break
+    fi
+    sleep 0.05
+done
+[[ -n "$RESOLVED" ]] || {
+    echo "smoke: smoke_traffic never resolved after load stopped: $STATE" >&2
+    exit 1
+}
+# The firing→resolved pair is in the retained history, newest first.
+echo "$STATE" | jq -e '
+    ([.recent[] | select(.name == "smoke_traffic" and .state == "resolved")] | length >= 1)
+    and ([.recent[] | select(.name == "smoke_traffic" and .state == "firing")] | length >= 1)
+' >/dev/null || {
+    echo "smoke: alert history lacks the firing/resolved pair: $STATE" >&2
+    exit 1
+}
+METRICS=$(curl -fsS "$BASE/metrics")
+grep -qF 'ALERTS{name="smoke_traffic",severity="page",state="firing"} 0' <<<"$METRICS" || {
+    echo "smoke: ALERTS series did not drop back to 0 after resolve" >&2
+    exit 1
+}
+echo "smoke: alert breach/resolve assertions ok (fired under load, resolved when starved)"
 
 # Graceful drain: SIGTERM must exit cleanly.
 kill -TERM "$DAEMON_PID"
